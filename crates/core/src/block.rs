@@ -1,0 +1,451 @@
+//! The ALF block (paper Fig. 1, Eq. 1/2/5).
+//!
+//! An ALF block replaces a standard convolution `A ∗ W` with
+//!
+//! ```text
+//! Ã  = σinter(A ∗ Wcode)            (code convolution, Ccode filters)
+//! A' = Ã ∗ Wexp                     (1×1 expansion back to Co channels)
+//! ```
+//!
+//! where `Wcode` is produced by the block's [`WeightAutoencoder`] from the
+//! raw trainable filters `W`. During the backward pass the gradient that
+//! lands on `Wcode` is applied *directly* to `W` — the straight-through
+//! estimator of Eq. 5 — because `Wenc`, `M` and `σae` belong to the other
+//! player and would otherwise inject noise (and the clipped mask would
+//! zeroise most of the gradient).
+
+use alf_nn::activation::{Activation, ActivationKind};
+use alf_nn::conv::Conv2d;
+use alf_nn::layer::{Layer, Mode, Param};
+use alf_nn::norm::BatchNorm2d;
+use alf_tensor::init::Init;
+use alf_tensor::rng::Rng;
+use alf_tensor::Tensor;
+
+use crate::autoencoder::{AeStats, WeightAutoencoder};
+use crate::schedule::PruneSchedule;
+use crate::Result;
+
+/// Configuration of an ALF block — the knobs explored in Fig. 2a/2b.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AlfBlockConfig {
+    /// Autoencoder activation `σae` (paper winner: `tanh`).
+    pub sigma_ae: ActivationKind,
+    /// Intermediate activation `σinter` between code conv and expansion
+    /// (paper winner: none/identity).
+    pub sigma_inter: ActivationKind,
+    /// Whether to insert `BNinter` between the code conv and expansion.
+    pub inter_bn: bool,
+    /// Initialiser for the raw filters `W`.
+    pub w_init: Init,
+    /// Initialiser for `Wenc`/`Wdec` (paper winner: Xavier).
+    pub ae_init: Init,
+    /// Initialiser for the expansion weights `Wexp` (paper winner: Xavier).
+    pub exp_init: Init,
+    /// Mask clip threshold `t` (paper trade-off choice: `1e-4`).
+    pub threshold: f32,
+    /// Whether the pruning mask is active (disabled in Setup 2).
+    pub mask_enabled: bool,
+    /// Whether the task gradient uses the straight-through estimator
+    /// (Eq. 5). Disabling it routes the gradient through the true
+    /// encoder/mask chain — provided for the STE ablation bench.
+    pub ste: bool,
+}
+
+impl AlfBlockConfig {
+    /// The configuration selected by the paper's design-space exploration:
+    /// Xavier for `Wexp`/`Wae`, `σae = tanh`, `σinter = none`, no
+    /// `BNinter`, `t = 1e-4`.
+    pub fn paper_default() -> Self {
+        Self {
+            sigma_ae: ActivationKind::Tanh,
+            sigma_inter: ActivationKind::Identity,
+            inter_bn: false,
+            w_init: Init::He,
+            ae_init: Init::Xavier,
+            exp_init: Init::Xavier,
+            threshold: 1e-4,
+            mask_enabled: true,
+            ste: true,
+        }
+    }
+}
+
+impl Default for AlfBlockConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// A convolution wrapped in the ALF machinery.
+///
+/// # Example
+///
+/// ```
+/// use alf_core::{AlfBlock, AlfBlockConfig};
+/// use alf_nn::{Layer, Mode};
+/// use alf_tensor::{rng::Rng, Tensor};
+///
+/// # fn main() -> alf_core::Result<()> {
+/// let mut block = AlfBlock::new(3, 16, 3, 1, 1, AlfBlockConfig::paper_default(), &mut Rng::new(0));
+/// let y = block.forward(&Tensor::zeros(&[2, 3, 8, 8]), Mode::Train)?;
+/// assert_eq!(y.dims(), &[2, 16, 8, 8]); // expansion restores Co channels
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct AlfBlock {
+    w: Param,
+    ae: WeightAutoencoder,
+    code_conv: Conv2d,
+    inter_act: Activation,
+    inter_bn: Option<BatchNorm2d>,
+    expansion: Conv2d,
+    config: AlfBlockConfig,
+}
+
+impl AlfBlock {
+    /// Creates an ALF block replacing a `c_in → c_out`, `kernel × kernel`
+    /// convolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `kernel` or `stride` is zero.
+    pub fn new(
+        c_in: usize,
+        c_out: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        config: AlfBlockConfig,
+        rng: &mut Rng,
+    ) -> Self {
+        let w = Param::new(
+            Tensor::randn(&[c_out, c_in, kernel, kernel], config.w_init, rng),
+            // The paper applies no regularisation to W (§III-B).
+            false,
+        );
+        let mut ae = WeightAutoencoder::new(
+            c_in,
+            c_out,
+            kernel,
+            config.ae_init,
+            config.sigma_ae,
+            config.threshold,
+            rng,
+        );
+        if !config.mask_enabled {
+            ae = ae.without_mask();
+        }
+        // The code conv's weight is derived state — overwritten from the
+        // autoencoder before every forward pass.
+        let code_conv =
+            Conv2d::new(c_in, c_out, kernel, stride, pad, false, Init::Zeros, rng);
+        let expansion = Conv2d::new(c_out, c_out, 1, 1, 0, false, config.exp_init, rng);
+        Self {
+            w,
+            ae,
+            code_conv,
+            inter_act: Activation::new(config.sigma_inter),
+            inter_bn: config.inter_bn.then(|| BatchNorm2d::new(c_out)),
+            expansion,
+            config,
+        }
+    }
+
+    /// The block configuration.
+    pub fn config(&self) -> &AlfBlockConfig {
+        &self.config
+    }
+
+    /// The raw trainable filters `W`.
+    pub fn raw_weight(&self) -> &Tensor {
+        &self.w.value
+    }
+
+    /// The block's autoencoder.
+    pub fn autoencoder(&self) -> &WeightAutoencoder {
+        &self.ae
+    }
+
+    /// Mutable access to the block's autoencoder (for experiments that
+    /// manipulate the mask or encoder directly).
+    pub fn autoencoder_mut(&mut self) -> &mut WeightAutoencoder {
+        &mut self.ae
+    }
+
+    /// Current code `Wcode` in convolution layout.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the autoencoder (cannot happen for a
+    /// block constructed through [`AlfBlock::new`]).
+    pub fn code(&self) -> Result<Tensor> {
+        self.ae.code(&self.w.value)
+    }
+
+    /// Number of code filters surviving the mask clip.
+    pub fn active_filters(&self) -> usize {
+        self.ae.active_channels().len()
+    }
+
+    /// Total code filters (`Ccode = Co` during training).
+    pub fn total_filters(&self) -> usize {
+        self.code_conv.c_out()
+    }
+
+    /// Geometry of the code convolution.
+    pub fn conv_spec(&self) -> alf_tensor::ops::Conv2dSpec {
+        self.code_conv.spec()
+    }
+
+    /// Input channel count.
+    pub fn c_in(&self) -> usize {
+        self.code_conv.c_in()
+    }
+
+    /// Expansion weights `Wexp` (`[Co, Ccode, 1, 1]`).
+    pub fn expansion_weight(&self) -> &Tensor {
+        self.expansion.weight()
+    }
+
+    /// One optimisation step of the block's autoencoder player: computes
+    /// `νprune` from the schedule at the current zero fraction and updates
+    /// `Wenc`, `Wdec`, `M`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates autoencoder shape errors (cannot happen for a block
+    /// constructed through [`AlfBlock::new`]).
+    pub fn autoencoder_step(&mut self, lr: f32, schedule: &PruneSchedule) -> Result<AeStats> {
+        let nu = schedule.nu(self.ae.zero_fraction());
+        self.ae.step(&self.w.value, lr, nu)
+    }
+}
+
+impl Layer for AlfBlock {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        // Refresh the derived code weights from the current W / Wenc / M.
+        let code = self.ae.code(&self.w.value)?;
+        self.code_conv.set_weight(code)?;
+        self.code_conv.zero_grads();
+        let mut x = self.code_conv.forward(input, mode)?;
+        x = self.inter_act.forward(&x, mode)?;
+        if let Some(bn) = &mut self.inter_bn {
+            x = bn.forward(&x, mode)?;
+        }
+        self.expansion.forward(&x, mode)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let mut g = self.expansion.backward(grad_output)?;
+        if let Some(bn) = &mut self.inter_bn {
+            g = bn.backward(&g)?;
+        }
+        g = self.inter_act.backward(&g)?;
+        let g_in = self.code_conv.backward(&g)?;
+        if self.config.ste {
+            // Straight-through estimator (Eq. 5): the gradient computed for
+            // Wcode is applied to W unchanged, skipping encoder, mask and
+            // σae.
+            self.w.grad.axpy(1.0, self.code_conv.weight_grad())?;
+        } else {
+            // Ablation: true chain gradient through the autoencoder. The
+            // mask zeroises most of it and the encoder mixes in noise —
+            // the failure mode §III-B describes.
+            let true_grad = self
+                .ae
+                .backproject_task_grad(&self.w.value, self.code_conv.weight_grad())?;
+            self.w.grad.axpy(1.0, &true_grad)?;
+        }
+        Ok(g_in)
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
+        // W is trained by the task player (via STE); the code conv's weight
+        // is derived and must NOT be visited. Wenc/Wdec/M belong to the
+        // autoencoder player and are likewise excluded here.
+        visitor(&mut self.w);
+        if let Some(bn) = &mut self.inter_bn {
+            bn.visit_params(visitor);
+        }
+        self.expansion.visit_params(visitor);
+    }
+
+    fn visit_state(&mut self, visitor: &mut dyn FnMut(&mut Tensor)) {
+        // Checkpoints must capture both players: W plus the autoencoder's
+        // Wenc/Wdec/M (the code conv's weight is derived and excluded).
+        visitor(&mut self.w.value);
+        self.ae.visit_state(visitor);
+        if let Some(bn) = &mut self.inter_bn {
+            bn.visit_state(visitor);
+        }
+        self.expansion.visit_state(visitor);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alf_nn::gradcheck;
+    use alf_tensor::init::Init;
+
+    fn block(seed: u64) -> AlfBlock {
+        AlfBlock::new(
+            2,
+            4,
+            3,
+            1,
+            1,
+            AlfBlockConfig::paper_default(),
+            &mut Rng::new(seed),
+        )
+    }
+
+    #[test]
+    fn forward_restores_channel_count() {
+        let mut b = block(0);
+        let y = b.forward(&Tensor::zeros(&[1, 2, 6, 6]), Mode::Train).unwrap();
+        assert_eq!(y.dims(), &[1, 4, 6, 6]);
+    }
+
+    #[test]
+    fn strided_block_downsamples() {
+        let mut b = AlfBlock::new(
+            2,
+            4,
+            3,
+            2,
+            1,
+            AlfBlockConfig::paper_default(),
+            &mut Rng::new(1),
+        );
+        let y = b.forward(&Tensor::zeros(&[1, 2, 8, 8]), Mode::Train).unwrap();
+        assert_eq!(y.dims(), &[1, 4, 4, 4]);
+    }
+
+    #[test]
+    fn task_params_exclude_autoencoder_and_code_conv() {
+        let mut b = block(2);
+        // W (4·2·3·3 = 72) + expansion (4·4·1·1 = 16).
+        assert_eq!(b.param_count(), 72 + 16);
+    }
+
+    #[test]
+    fn inter_bn_adds_params() {
+        let mut cfg = AlfBlockConfig::paper_default();
+        cfg.inter_bn = true;
+        let mut b = AlfBlock::new(2, 4, 3, 1, 1, cfg, &mut Rng::new(3));
+        assert_eq!(b.param_count(), 72 + 16 + 8);
+        let y = b.forward(&Tensor::zeros(&[2, 2, 5, 5]), Mode::Train).unwrap();
+        assert_eq!(y.dims(), &[2, 4, 5, 5]);
+        assert!(b.backward(&y).is_ok());
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_differences() {
+        let mut rng = Rng::new(4);
+        let x = Tensor::randn(&[1, 2, 5, 5], Init::Rand, &mut rng);
+        let base = block(5);
+        let (a, n) = gradcheck::input_gradients(
+            &x,
+            |x| {
+                let mut b = base.clone();
+                let y = b.forward(x, Mode::Train)?;
+                Ok(0.5 * y.sq_norm())
+            },
+            |x| {
+                let mut b = base.clone();
+                let y = b.forward(x, Mode::Train)?;
+                b.backward(&y)
+            },
+        )
+        .unwrap();
+        gradcheck::assert_close(&a, &n, 2e-2);
+    }
+
+    #[test]
+    fn ste_routes_code_gradient_onto_w() {
+        // The STE claim: dLtask/dW == dLtask/dWcode elementwise. Verify by
+        // comparing W's gradient against a finite difference taken on the
+        // *code* tensor directly.
+        let base = block(6);
+        let mut rng = Rng::new(7);
+        let x = Tensor::randn(&[1, 2, 4, 4], Init::Rand, &mut rng);
+        let code0 = base.code().unwrap();
+        let (a, n) = gradcheck::input_gradients(
+            &code0,
+            |code| {
+                // Loss as a function of the code (bypassing the autoencoder).
+                let mut conv = base.code_conv.clone();
+                conv.set_weight(code.clone())?;
+                let mut exp = base.expansion.clone();
+                let h = conv.forward(&x, Mode::Train)?;
+                let y = exp.forward(&h, Mode::Train)?;
+                Ok(0.5 * y.sq_norm())
+            },
+            |_| {
+                // The implementation's W-gradient via the STE.
+                let mut b = base.clone();
+                let y = b.forward(&x, Mode::Train)?;
+                b.backward(&y)?;
+                Ok(b.w.grad.clone())
+            },
+        )
+        .unwrap();
+        gradcheck::assert_close(&a, &n, 2e-2);
+    }
+
+    #[test]
+    fn pruned_filters_do_not_affect_output() {
+        let mut cfg = AlfBlockConfig::paper_default();
+        cfg.threshold = 0.05; // wide dead zone so clipped channels stay clipped
+        let mut b = AlfBlock::new(2, 4, 3, 1, 1, cfg, &mut Rng::new(8));
+        let mut rng = Rng::new(9);
+        let x = Tensor::randn(&[1, 2, 5, 5], Init::Rand, &mut rng);
+        let y_full = b.forward(&x, Mode::Eval).unwrap();
+        // Zero a channel via the public path: run the autoencoder with
+        // sustained pressure until something clips.
+        for _ in 0..5000 {
+            b.autoencoder_step(3e-3, &PruneSchedule::new(8.0, 0.95)).unwrap();
+            if b.active_filters() < b.total_filters() {
+                break;
+            }
+        }
+        assert!(b.active_filters() < b.total_filters(), "no filter pruned");
+        let code = b.code().unwrap();
+        let fan = 18;
+        let pruned: Vec<usize> = (0..4)
+            .filter(|&j| code.data()[j * fan..(j + 1) * fan].iter().all(|&v| v == 0.0))
+            .collect();
+        assert!(!pruned.is_empty());
+        let y = b.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(y.dims(), y_full.dims());
+        assert!(y.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn autoencoder_step_reports_schedule_pressure() {
+        let mut b = block(10);
+        let stats = b
+            .autoencoder_step(1e-3, &PruneSchedule::paper_default())
+            .unwrap();
+        assert!(stats.nu_prune > 0.99); // dense mask ⇒ full pressure
+        assert!(stats.l_rec >= 0.0);
+        assert!((stats.l_prune - 1.0).abs() < 0.1); // mask ≈ ones
+    }
+
+    #[test]
+    fn code_conv_weight_tracks_autoencoder() {
+        let mut b = block(11);
+        let x = Tensor::zeros(&[1, 2, 4, 4]);
+        b.forward(&x, Mode::Train).unwrap();
+        let w1 = b.code_conv.weight().clone();
+        // Mutate the autoencoder, forward again: conv weight must change.
+        for _ in 0..50 {
+            b.autoencoder_step(0.05, &PruneSchedule::paper_default()).unwrap();
+        }
+        b.forward(&x, Mode::Train).unwrap();
+        assert_ne!(&w1, b.code_conv.weight());
+    }
+}

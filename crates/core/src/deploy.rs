@@ -1,0 +1,314 @@
+//! Deployment post-processing (paper §III-C).
+//!
+//! After training, every ALF block's code `Wcode` contains some filters
+//! that are exactly zero (their mask entries were clipped). Deployment:
+//!
+//! 1. materialises the code as constant weights (the autoencoder is
+//!    discarded),
+//! 2. strips the zero filters from the code convolution, and
+//! 3. removes the matching *input channels* of the 1×1 expansion layer
+//!    (their contribution was identically zero).
+//!
+//! The result is a dense model that computes exactly the same function as
+//! the training-form network in evaluation mode — verified by
+//! [`compress`]'s test-suite — but with `Ccode < Co` filters per layer.
+
+use alf_nn::activation::ActivationKind;
+use alf_nn::conv::Conv2d;
+use alf_tensor::init::Init;
+use alf_tensor::rng::Rng;
+use alf_tensor::{ShapeError, Tensor};
+
+use crate::block::AlfBlock;
+use crate::metrics::{ConvShape, NetworkCost};
+use crate::model::{CnnModel, ConvKind, Unit};
+use crate::Result;
+
+/// Per-convolution deployment record: the layer's geometry plus its
+/// retained code size (`None` for standard convolutions).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeployedConvInfo {
+    /// Geometry of the (code) convolution.
+    pub shape: ConvShape,
+    /// Retained code filters `Ccode`, or `None` for standard convs.
+    pub c_code: Option<usize>,
+}
+
+impl DeployedConvInfo {
+    /// Parameter count of this layer as deployed.
+    pub fn params(&self) -> u64 {
+        match self.c_code {
+            Some(c) => self.shape.alf_params(c),
+            None => self.shape.params(),
+        }
+    }
+
+    /// MAC count of this layer as deployed.
+    pub fn macs(&self) -> u64 {
+        match self.c_code {
+            Some(c) => self.shape.alf_macs(c),
+            None => self.shape.macs(),
+        }
+    }
+
+    /// Whether the retained code is below the paper's efficiency bound
+    /// `Ccode,max` (Eq. 2) — i.e. the ALF block is actually cheaper than
+    /// the convolution it replaced.
+    pub fn is_profitable(&self) -> bool {
+        match self.c_code {
+            Some(c) => c <= self.shape.c_code_max(),
+            None => false,
+        }
+    }
+}
+
+fn strip_block(block: &AlfBlock) -> Result<(Conv2d, Conv2d)> {
+    let cfg = block.config();
+    if cfg.sigma_inter != ActivationKind::Identity || cfg.inter_bn {
+        return Err(ShapeError::new(
+            "deploy",
+            "only σinter = none and no BNinter can be deployed as a linear conv pair",
+        ));
+    }
+    let code = block.code()?; // [Co, Ci, K, K]
+    let (co, ci, k) = (code.dims()[0], code.dims()[1], code.dims()[2]);
+    let fan = ci * k * k;
+    // Keep filters that are not identically zero; guarantee at least one
+    // filter so downstream shapes stay valid even for a fully-pruned layer.
+    let mut active: Vec<usize> = (0..co)
+        .filter(|&j| code.data()[j * fan..(j + 1) * fan].iter().any(|&v| v != 0.0))
+        .collect();
+    if active.is_empty() {
+        active.push(0);
+    }
+    let c_code = active.len();
+    let mut code_w = Tensor::zeros(&[c_code, ci, k, k]);
+    for (row, &j) in active.iter().enumerate() {
+        code_w.data_mut()[row * fan..(row + 1) * fan]
+            .copy_from_slice(&code.data()[j * fan..(j + 1) * fan]);
+    }
+    let exp_full = block.expansion_weight(); // [Co, Co, 1, 1]
+    let mut exp_w = Tensor::zeros(&[co, c_code, 1, 1]);
+    for o in 0..co {
+        for (row, &j) in active.iter().enumerate() {
+            exp_w.data_mut()[o * c_code + row] = exp_full.data()[o * co + j];
+        }
+    }
+    let spec = block.conv_spec();
+    let mut rng = Rng::new(0);
+    let mut code_conv = Conv2d::new(
+        ci,
+        c_code,
+        spec.kernel,
+        spec.stride,
+        spec.pad,
+        false,
+        Init::Zeros,
+        &mut rng,
+    );
+    code_conv.set_weight(code_w)?;
+    let mut expansion = Conv2d::new(c_code, co, 1, 1, 0, false, Init::Zeros, &mut rng);
+    expansion.set_weight(exp_w)?;
+    Ok((code_conv, expansion))
+}
+
+fn deploy_conv(kind: &ConvKind) -> Result<ConvKind> {
+    Ok(match kind {
+        ConvKind::Alf(block) => {
+            let (code, expansion) = strip_block(block)?;
+            ConvKind::Deployed { code, expansion }
+        }
+        other => other.clone(),
+    })
+}
+
+/// Produces the densely-compressed deployment form of a model: every ALF
+/// block is replaced by a stripped `code conv → expansion` pair; standard
+/// convolutions (and BN running statistics, classifier, …) are copied
+/// unchanged.
+///
+/// # Errors
+///
+/// Returns an error when a block uses `σinter ≠ none` or `BNinter`, which
+/// cannot be folded into a linear conv pair (the paper's selected
+/// configuration uses neither).
+///
+/// # Example
+///
+/// ```
+/// use alf_core::models::plain20_alf;
+/// use alf_core::{deploy, AlfBlockConfig};
+///
+/// # fn main() -> alf_core::Result<()> {
+/// let model = plain20_alf(10, 4, AlfBlockConfig::paper_default(), 1)?;
+/// let deployed = deploy::compress(&model)?;
+/// assert!(deployed.name().starts_with("deployed-"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn compress(model: &CnnModel) -> Result<CnnModel> {
+    let mut out = model.clone();
+    for unit in out.units_mut() {
+        match unit {
+            Unit::Conv(cu) => {
+                *cu.conv_mut() = deploy_conv(cu.conv())?;
+            }
+            Unit::Residual(r) => {
+                *r.a_mut().conv_mut() = deploy_conv(r.a().conv())?;
+                *r.b_mut().conv_mut() = deploy_conv(r.b().conv())?;
+            }
+            Unit::Fire(f) => {
+                for cu in f.conv_units_mut() {
+                    *cu.conv_mut() = deploy_conv(cu.conv())?;
+                }
+            }
+            _ => {}
+        }
+    }
+    out.set_name(format!("deployed-{}", model.name()));
+    Ok(out)
+}
+
+/// Per-layer deployment records for an input of `h × w` pixels, pairing
+/// each convolution's geometry with its retained code size.
+pub fn conv_report(model: &CnnModel, h: usize, w: usize) -> Vec<DeployedConvInfo> {
+    model
+        .conv_shapes(h, w)
+        .into_iter()
+        .zip(model.conv_kinds())
+        .map(|(shape, kind)| DeployedConvInfo {
+            shape,
+            c_code: kind.c_code(),
+        })
+        .collect()
+}
+
+/// Aggregate deployed cost of a model at the given input resolution.
+pub fn cost(model: &CnnModel, h: usize, w: usize) -> NetworkCost {
+    conv_report(model, h, w)
+        .iter()
+        .fold(NetworkCost::default(), |acc, info| NetworkCost {
+            params: acc.params + info.params(),
+            macs: acc.macs + info.macs(),
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::AlfBlockConfig;
+    use crate::models::{plain20, plain20_alf, resnet20_alf};
+    use crate::schedule::PruneSchedule;
+    use alf_nn::layer::{Layer, Mode};
+
+    fn pruned_model(seed: u64) -> CnnModel {
+        let mut cfg = AlfBlockConfig::paper_default();
+        cfg.threshold = 5e-2; // aggressive so pruning happens fast
+        let mut model = plain20_alf(4, 4, cfg, seed).unwrap();
+        let schedule = PruneSchedule::new(8.0, 0.9);
+        for block in model.alf_blocks_mut() {
+            for _ in 0..1500 {
+                block.autoencoder_step(5e-3, &schedule).unwrap();
+            }
+        }
+        model
+    }
+
+    #[test]
+    fn compress_preserves_function_exactly() {
+        let mut model = pruned_model(1);
+        let mut deployed = compress(&model).unwrap();
+        let mut rng = Rng::new(2);
+        let x = Tensor::randn(&[2, 3, 16, 16], Init::Rand, &mut rng);
+        let y_train_form = model.forward(&x, Mode::Eval).unwrap();
+        let y_deployed = deployed.forward(&x, Mode::Eval).unwrap();
+        assert!(
+            y_deployed.allclose(&y_train_form, 1e-4),
+            "deployment changed the function"
+        );
+    }
+
+    #[test]
+    fn compress_actually_strips_filters() {
+        let model = pruned_model(3);
+        // Ensure at least one block pruned something.
+        assert!(model.remaining_filter_fraction() < 1.0);
+        let deployed = compress(&model).unwrap();
+        let infos = conv_report(&deployed, 16, 16);
+        let total_code: usize = infos.iter().filter_map(|i| i.c_code).sum();
+        let total_out: usize = infos.iter().map(|i| i.shape.c_out).sum();
+        assert!(total_code < total_out, "{total_code} vs {total_out}");
+    }
+
+    #[test]
+    fn deployed_cost_below_vanilla_when_pruned_enough() {
+        let model = pruned_model(4);
+        let deployed = compress(&model).unwrap();
+        let vanilla = plain20(4, 4).unwrap();
+        let v_cost = cost(&vanilla, 16, 16);
+        let d_cost = cost(&deployed, 16, 16);
+        // With heavy pruning the deployed network must be cheaper.
+        if model.remaining_filter_fraction() < 0.5 {
+            assert!(d_cost.macs < v_cost.macs, "{d_cost:?} vs {v_cost:?}");
+        }
+    }
+
+    #[test]
+    fn conv_report_flags_profitability() {
+        let model = pruned_model(5);
+        let deployed = compress(&model).unwrap();
+        for info in conv_report(&deployed, 16, 16) {
+            let c = info.c_code.unwrap();
+            assert_eq!(info.is_profitable(), c <= info.shape.c_code_max());
+        }
+    }
+
+    #[test]
+    fn standard_convs_pass_through_unchanged() {
+        let vanilla = plain20(4, 4).unwrap();
+        let deployed = compress(&vanilla).unwrap();
+        assert_eq!(cost(&vanilla, 16, 16), cost(&deployed, 16, 16));
+        assert!(conv_report(&deployed, 16, 16)
+            .iter()
+            .all(|i| i.c_code.is_none()));
+    }
+
+    #[test]
+    fn residual_models_deploy_too() {
+        let mut cfg = AlfBlockConfig::paper_default();
+        cfg.threshold = 5e-2;
+        let mut model = resnet20_alf(4, 4, cfg, 6).unwrap();
+        for block in model.alf_blocks_mut() {
+            for _ in 0..1500 {
+                block
+                    .autoencoder_step(5e-3, &PruneSchedule::new(8.0, 0.9))
+                    .unwrap();
+            }
+        }
+        let mut deployed = compress(&model).unwrap();
+        let mut rng = Rng::new(7);
+        let x = Tensor::randn(&[1, 3, 16, 16], Init::Rand, &mut rng);
+        let a = model.forward(&x, Mode::Eval).unwrap();
+        let b = deployed.forward(&x, Mode::Eval).unwrap();
+        assert!(a.allclose(&b, 1e-4));
+    }
+
+    #[test]
+    fn non_identity_sigma_inter_is_rejected() {
+        let mut cfg = AlfBlockConfig::paper_default();
+        cfg.sigma_inter = ActivationKind::Relu;
+        let model = plain20_alf(4, 4, cfg, 8).unwrap();
+        assert!(compress(&model).is_err());
+    }
+
+    #[test]
+    fn fully_pruned_block_keeps_one_filter() {
+        let mut cfg = AlfBlockConfig::paper_default();
+        cfg.threshold = 1e9; // everything clips
+        let model = plain20_alf(4, 4, cfg, 9).unwrap();
+        let deployed = compress(&model).unwrap();
+        for info in conv_report(&deployed, 16, 16) {
+            assert!(info.c_code.unwrap() >= 1);
+        }
+    }
+}

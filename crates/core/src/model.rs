@@ -1,0 +1,807 @@
+//! CNN models whose convolutions are either standard layers or ALF blocks.
+//!
+//! The paper trains Plain-20/ResNet-20/ResNet-18 where every convolution is
+//! replaced by an ALF block. [`CnnModel`] is a small structured container
+//! (not a general graph) supporting exactly the topologies in the model
+//! zoo: conv units, residual basic-blocks with parameter-free padded
+//! shortcuts (He et al.'s option A, so Params match the paper's 0.27 M),
+//! pooling and a linear classifier.
+
+use alf_nn::activation::{Activation, ActivationKind};
+use alf_nn::conv::Conv2d;
+use alf_nn::layer::{Layer, Mode, Param};
+use alf_nn::linear::Linear;
+use alf_nn::norm::BatchNorm2d;
+use alf_nn::pool::{GlobalAvgPool, MaxPool2d};
+use alf_tensor::{ShapeError, Tensor};
+
+use crate::block::AlfBlock;
+use crate::metrics::ConvShape;
+use crate::Result;
+
+/// A convolution that is either a standard layer, an ALF block, or a
+/// deployed (stripped) ALF pair.
+#[derive(Debug, Clone)]
+#[allow(clippy::large_enum_variant)] // models hold few of these; boxing would obscure the API
+pub enum ConvKind {
+    /// Plain convolution (vanilla baseline models).
+    Standard(Conv2d),
+    /// ALF block (code conv + expansion) in training form.
+    Alf(AlfBlock),
+    /// Deployed ALF block: the zero code filters and the matching
+    /// expansion input channels have been stripped (paper §III-C).
+    Deployed {
+        /// Code convolution with only the surviving `Ccode` filters.
+        code: Conv2d,
+        /// 1×1 expansion back to the original channel count.
+        expansion: Conv2d,
+    },
+}
+
+impl ConvKind {
+    /// Input channels.
+    pub fn c_in(&self) -> usize {
+        match self {
+            ConvKind::Standard(c) => c.c_in(),
+            ConvKind::Alf(b) => b.c_in(),
+            ConvKind::Deployed { code, .. } => code.c_in(),
+        }
+    }
+
+    /// Output channels (after expansion for ALF blocks).
+    pub fn c_out(&self) -> usize {
+        match self {
+            ConvKind::Standard(c) => c.c_out(),
+            ConvKind::Alf(b) => b.total_filters(),
+            ConvKind::Deployed { expansion, .. } => expansion.c_out(),
+        }
+    }
+
+    /// Retained code filters, if this is an ALF-style convolution.
+    pub fn c_code(&self) -> Option<usize> {
+        match self {
+            ConvKind::Standard(_) => None,
+            ConvKind::Alf(b) => Some(b.active_filters()),
+            ConvKind::Deployed { code, .. } => Some(code.c_out()),
+        }
+    }
+
+    /// Convolution geometry (of the main/code conv).
+    pub fn spec(&self) -> alf_tensor::ops::Conv2dSpec {
+        match self {
+            ConvKind::Standard(c) => c.spec(),
+            ConvKind::Alf(b) => b.conv_spec(),
+            ConvKind::Deployed { code, .. } => code.spec(),
+        }
+    }
+
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Result<Tensor> {
+        match self {
+            ConvKind::Standard(c) => c.forward(x, mode),
+            ConvKind::Alf(b) => b.forward(x, mode),
+            ConvKind::Deployed { code, expansion } => {
+                let h = code.forward(x, mode)?;
+                expansion.forward(&h, mode)
+            }
+        }
+    }
+
+    fn backward(&mut self, g: &Tensor) -> Result<Tensor> {
+        match self {
+            ConvKind::Standard(c) => c.backward(g),
+            ConvKind::Alf(b) => b.backward(g),
+            ConvKind::Deployed { code, expansion } => {
+                let g = expansion.backward(g)?;
+                code.backward(&g)
+            }
+        }
+    }
+
+    fn visit_params(&mut self, v: &mut dyn FnMut(&mut Param)) {
+        match self {
+            ConvKind::Standard(c) => c.visit_params(v),
+            ConvKind::Alf(b) => b.visit_params(v),
+            ConvKind::Deployed { code, expansion } => {
+                code.visit_params(v);
+                expansion.visit_params(v);
+            }
+        }
+    }
+
+    fn visit_state(&mut self, v: &mut dyn FnMut(&mut Tensor)) {
+        match self {
+            ConvKind::Standard(c) => c.visit_state(v),
+            ConvKind::Alf(b) => b.visit_state(v),
+            ConvKind::Deployed { code, expansion } => {
+                code.visit_state(v);
+                expansion.visit_state(v);
+            }
+        }
+    }
+}
+
+/// Named conv → BN → (optional) activation unit.
+#[derive(Debug, Clone)]
+pub struct ConvUnit {
+    name: String,
+    conv: ConvKind,
+    bn: BatchNorm2d,
+    act: Option<Activation>,
+}
+
+impl ConvUnit {
+    /// Creates a unit; `act = None` omits the trailing activation (used by
+    /// the second conv of a residual block, which activates after the add).
+    pub fn new(name: impl Into<String>, conv: ConvKind, act: Option<ActivationKind>) -> Self {
+        let bn = BatchNorm2d::new(conv.c_out());
+        Self {
+            name: name.into(),
+            conv,
+            bn,
+            act: act.map(Activation::new),
+        }
+    }
+
+    /// Unit name (the paper's `convXYZ` notation).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The wrapped convolution.
+    pub fn conv(&self) -> &ConvKind {
+        &self.conv
+    }
+
+    /// Mutable access to the wrapped convolution.
+    pub fn conv_mut(&mut self) -> &mut ConvKind {
+        &mut self.conv
+    }
+
+    /// The unit's batch-norm layer.
+    pub fn bn(&self) -> &BatchNorm2d {
+        &self.bn
+    }
+
+    /// Mutable access to the unit's batch-norm layer.
+    pub fn bn_mut(&mut self) -> &mut BatchNorm2d {
+        &mut self.bn
+    }
+
+    /// Silences a set of output channels: zeroes the convolution filters
+    /// (standard convs only) and the BN scale/shift, making the channel
+    /// output exactly zero — functionally equivalent to removing the
+    /// filter while keeping tensor shapes intact. Used by the structured
+    /// pruning baselines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any channel index is out of range.
+    pub fn zero_output_channels(&mut self, channels: &[usize]) {
+        let c_out = self.conv.c_out();
+        for &ch in channels {
+            assert!(ch < c_out, "channel {ch} out of range ({c_out})");
+            if let ConvKind::Standard(conv) = &mut self.conv {
+                let w = conv.weight_mut();
+                let fan = w.len() / c_out;
+                for v in &mut w.data_mut()[ch * fan..(ch + 1) * fan] {
+                    *v = 0.0;
+                }
+            }
+            self.bn.scale_mut().data_mut()[ch] = 0.0;
+            self.bn.shift_mut().data_mut()[ch] = 0.0;
+        }
+    }
+
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Result<Tensor> {
+        let mut h = self.conv.forward(x, mode)?;
+        h = self.bn.forward(&h, mode)?;
+        if let Some(act) = &mut self.act {
+            h = act.forward(&h, mode)?;
+        }
+        Ok(h)
+    }
+
+    fn backward(&mut self, g: &Tensor) -> Result<Tensor> {
+        let mut g = g.clone();
+        if let Some(act) = &mut self.act {
+            g = act.backward(&g)?;
+        }
+        let g = self.bn.backward(&g)?;
+        self.conv.backward(&g)
+    }
+
+    fn visit_params(&mut self, v: &mut dyn FnMut(&mut Param)) {
+        self.conv.visit_params(v);
+        self.bn.visit_params(v);
+    }
+
+    fn visit_state(&mut self, v: &mut dyn FnMut(&mut Tensor)) {
+        self.conv.visit_state(v);
+        self.bn.visit_state(v);
+    }
+}
+
+/// Parameter-free shortcut for strided residual stages: subsample spatially
+/// by the stride and zero-pad the channel dimension (He et al. option A).
+#[derive(Debug, Clone)]
+pub struct PadShortcut {
+    stride: usize,
+    c_out: usize,
+    input_dims: Option<[usize; 4]>,
+}
+
+impl PadShortcut {
+    /// Creates a shortcut producing `c_out` channels at `1/stride` spatial
+    /// resolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride` is zero.
+    pub fn new(stride: usize, c_out: usize) -> Self {
+        assert!(stride > 0);
+        Self {
+            stride,
+            c_out,
+            input_dims: None,
+        }
+    }
+
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Result<Tensor> {
+        let (n, c, h, w) = match x.dims() {
+            &[n, c, h, w] => (n, c, h, w),
+            _ => {
+                return Err(ShapeError::new(
+                    "pad_shortcut",
+                    format!("expected rank 4, got {}", x.shape()),
+                ))
+            }
+        };
+        if c > self.c_out {
+            return Err(ShapeError::new(
+                "pad_shortcut",
+                format!("cannot shrink channels {c} → {}", self.c_out),
+            ));
+        }
+        let (ho, wo) = (h.div_ceil(self.stride), w.div_ceil(self.stride));
+        let mut out = Tensor::zeros(&[n, self.c_out, ho, wo]);
+        for b in 0..n {
+            for ch in 0..c {
+                for y in 0..ho {
+                    for xw in 0..wo {
+                        *out.at_mut(&[b, ch, y, xw]) =
+                            x.at(&[b, ch, y * self.stride, xw * self.stride]);
+                    }
+                }
+            }
+        }
+        self.input_dims = (mode == Mode::Train).then_some([n, c, h, w]);
+        Ok(out)
+    }
+
+    fn backward(&mut self, g: &Tensor) -> Result<Tensor> {
+        let [n, c, h, w] = self.input_dims.ok_or_else(|| {
+            ShapeError::new("pad_shortcut", "backward called before forward")
+        })?;
+        let mut out = Tensor::zeros(&[n, c, h, w]);
+        let (ho, wo) = (h.div_ceil(self.stride), w.div_ceil(self.stride));
+        for b in 0..n {
+            for ch in 0..c {
+                for y in 0..ho {
+                    for xw in 0..wo {
+                        *out.at_mut(&[b, ch, y * self.stride, xw * self.stride]) =
+                            g.at(&[b, ch, y, xw]);
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Residual basic block: `relu(bn2(conv2(relu(bn1(conv1 x)))) + shortcut)`.
+#[derive(Debug, Clone)]
+pub struct ResidualUnit {
+    a: ConvUnit,
+    b: ConvUnit,
+    shortcut: Option<PadShortcut>,
+    final_act: Activation,
+    cached_skip: Option<Tensor>,
+}
+
+impl ResidualUnit {
+    /// First conv unit (conv → BN → ReLU).
+    pub fn a(&self) -> &ConvUnit {
+        &self.a
+    }
+
+    /// Mutable access to the first conv unit.
+    pub fn a_mut(&mut self) -> &mut ConvUnit {
+        &mut self.a
+    }
+
+    /// Second conv unit (conv → BN, activation after the add).
+    pub fn b(&self) -> &ConvUnit {
+        &self.b
+    }
+
+    /// Mutable access to the second conv unit.
+    pub fn b_mut(&mut self) -> &mut ConvUnit {
+        &mut self.b
+    }
+
+    /// Mutable access to both conv units at once.
+    pub fn units_mut(&mut self) -> (&mut ConvUnit, &mut ConvUnit) {
+        (&mut self.a, &mut self.b)
+    }
+
+    /// Creates a basic block from its two conv units; `shortcut` is `None`
+    /// for identity skips.
+    pub fn new(a: ConvUnit, b: ConvUnit, shortcut: Option<PadShortcut>) -> Self {
+        Self {
+            a,
+            b,
+            shortcut,
+            final_act: Activation::new(ActivationKind::Relu),
+            cached_skip: None,
+        }
+    }
+
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Result<Tensor> {
+        let skip = match &mut self.shortcut {
+            Some(s) => s.forward(x, mode)?,
+            None => x.clone(),
+        };
+        let h = self.a.forward(x, mode)?;
+        let h = self.b.forward(&h, mode)?;
+        let sum = h.add(&skip)?;
+        self.cached_skip = (mode == Mode::Train).then_some(skip);
+        self.final_act.forward(&sum, mode)
+    }
+
+    fn backward(&mut self, g: &Tensor) -> Result<Tensor> {
+        let g = self.final_act.backward(g)?;
+        // The add fans the gradient out to both branches.
+        let g_skip = match &mut self.shortcut {
+            Some(s) => s.backward(&g)?,
+            None => g.clone(),
+        };
+        let g_main = self.b.backward(&g)?;
+        let g_main = self.a.backward(&g_main)?;
+        g_main.add(&g_skip)
+    }
+
+    fn visit_params(&mut self, v: &mut dyn FnMut(&mut Param)) {
+        self.a.visit_params(v);
+        self.b.visit_params(v);
+    }
+
+    fn visit_state(&mut self, v: &mut dyn FnMut(&mut Tensor)) {
+        self.a.visit_state(v);
+        self.b.visit_state(v);
+    }
+}
+
+/// SqueezeNet-style fire module: a 1×1 squeeze conv feeding two parallel
+/// expand convs (1×1 and 3×3) whose outputs concatenate along channels.
+#[derive(Debug, Clone)]
+pub struct FireUnit {
+    squeeze: ConvUnit,
+    expand1: ConvUnit,
+    expand3: ConvUnit,
+}
+
+impl FireUnit {
+    /// Creates a fire module from its three conv units. The expand units
+    /// must take the squeeze unit's output channels as input and produce
+    /// equal spatial sizes (1×1 and 3×3-pad-1 convs at stride 1 do).
+    pub fn new(squeeze: ConvUnit, expand1: ConvUnit, expand3: ConvUnit) -> Self {
+        Self {
+            squeeze,
+            expand1,
+            expand3,
+        }
+    }
+
+    /// Total output channels (both expand branches concatenated).
+    pub fn c_out(&self) -> usize {
+        self.expand1.conv().c_out() + self.expand3.conv().c_out()
+    }
+
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Result<Tensor> {
+        let s = self.squeeze.forward(x, mode)?;
+        let a = self.expand1.forward(&s, mode)?;
+        let b = self.expand3.forward(&s, mode)?;
+        Ok(alf_tensor::ops::concat_channels(&a, &b)?)
+    }
+
+    fn backward(&mut self, g: &Tensor) -> Result<Tensor> {
+        let c1 = self.expand1.conv().c_out();
+        let (ga, gb) = alf_tensor::ops::split_channels(g, c1)?;
+        let gs_a = self.expand1.backward(&ga)?;
+        let gs_b = self.expand3.backward(&gb)?;
+        let gs = gs_a.add(&gs_b)?;
+        self.squeeze.backward(&gs)
+    }
+
+    fn visit_params(&mut self, v: &mut dyn FnMut(&mut Param)) {
+        self.squeeze.visit_params(v);
+        self.expand1.visit_params(v);
+        self.expand3.visit_params(v);
+    }
+
+    fn visit_state(&mut self, v: &mut dyn FnMut(&mut Tensor)) {
+        self.squeeze.visit_state(v);
+        self.expand1.visit_state(v);
+        self.expand3.visit_state(v);
+    }
+
+    pub(crate) fn conv_units(&self) -> [&ConvUnit; 3] {
+        [&self.squeeze, &self.expand1, &self.expand3]
+    }
+
+    pub(crate) fn conv_units_mut(&mut self) -> [&mut ConvUnit; 3] {
+        [&mut self.squeeze, &mut self.expand1, &mut self.expand3]
+    }
+}
+
+/// One structural element of a [`CnnModel`].
+#[derive(Debug, Clone)]
+#[allow(clippy::large_enum_variant)] // models hold few of these; boxing would obscure the API
+pub enum Unit {
+    /// conv → BN → activation.
+    Conv(ConvUnit),
+    /// Residual basic block.
+    Residual(ResidualUnit),
+    /// SqueezeNet fire module.
+    Fire(FireUnit),
+    /// Max pooling (ImageNet-geometry stems).
+    MaxPool(MaxPool2d),
+    /// Global average pooling (`[n,c,h,w] → [n,c]`).
+    GlobalPool(GlobalAvgPool),
+    /// Final linear classifier.
+    Classifier(Linear),
+}
+
+/// A CNN assembled from [`Unit`]s, trained by the two-player loop in
+/// [`crate::train`].
+///
+/// # Example
+///
+/// ```
+/// use alf_core::models::plain20;
+/// use alf_nn::{Layer, Mode};
+/// use alf_tensor::Tensor;
+///
+/// # fn main() -> alf_core::Result<()> {
+/// let mut model = plain20(10, 8)?;
+/// let logits = model.forward(&Tensor::zeros(&[2, 3, 32, 32]), Mode::Eval)?;
+/// assert_eq!(logits.dims(), &[2, 10]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CnnModel {
+    name: String,
+    units: Vec<Unit>,
+    num_classes: usize,
+}
+
+impl CnnModel {
+    /// Assembles a model from units.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the unit list has no classifier.
+    pub fn from_units(
+        name: impl Into<String>,
+        units: Vec<Unit>,
+        num_classes: usize,
+    ) -> Result<Self> {
+        if !units.iter().any(|u| matches!(u, Unit::Classifier(_))) {
+            return Err(ShapeError::new("cnn model", "no classifier unit"));
+        }
+        Ok(Self {
+            name: name.into(),
+            units,
+            num_classes,
+        })
+    }
+
+    /// Model name (e.g. `plain20`, `alf-resnet20`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of output classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// The structural units.
+    pub fn units(&self) -> &[Unit] {
+        &self.units
+    }
+
+    /// Mutable access to the structural units (used by deployment).
+    pub fn units_mut(&mut self) -> &mut [Unit] {
+        &mut self.units
+    }
+
+    /// All convolutions in execution order (residual blocks contribute
+    /// their two convs in `a`, `b` order) — parallel to
+    /// [`CnnModel::conv_shapes`].
+    pub fn conv_kinds(&self) -> Vec<&ConvKind> {
+        let mut out = Vec::new();
+        for unit in &self.units {
+            match unit {
+                Unit::Conv(cu) => out.push(cu.conv()),
+                Unit::Residual(r) => {
+                    out.push(r.a.conv());
+                    out.push(r.b.conv());
+                }
+                Unit::Fire(f) => out.extend(f.conv_units().map(ConvUnit::conv)),
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Renames the model (deployment marks compressed models).
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// All conv units in execution order, mutably (residual blocks
+    /// contribute `a`, `b`) — parallel to [`CnnModel::conv_shapes`]. Used
+    /// by the pruning baselines for model surgery.
+    pub fn conv_units_mut(&mut self) -> Vec<&mut ConvUnit> {
+        let mut out = Vec::new();
+        for unit in &mut self.units {
+            match unit {
+                Unit::Conv(cu) => out.push(cu),
+                Unit::Residual(r) => {
+                    let (a, b) = r.units_mut();
+                    out.push(a);
+                    out.push(b);
+                }
+                Unit::Fire(f) => out.extend(f.conv_units_mut()),
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Iterates over all ALF blocks (in network order) mutably — the hook
+    /// the autoencoder player uses.
+    pub fn alf_blocks_mut(&mut self) -> Vec<&mut AlfBlock> {
+        let mut out = Vec::new();
+        for unit in &mut self.units {
+            match unit {
+                Unit::Conv(cu) => {
+                    if let ConvKind::Alf(b) = cu.conv_mut() {
+                        out.push(b);
+                    }
+                }
+                Unit::Residual(r) => {
+                    if let ConvKind::Alf(b) = r.a.conv_mut() {
+                        out.push(b);
+                    }
+                    if let ConvKind::Alf(b) = r.b.conv_mut() {
+                        out.push(b);
+                    }
+                }
+                Unit::Fire(f) => {
+                    for cu in f.conv_units_mut() {
+                        if let ConvKind::Alf(b) = cu.conv_mut() {
+                            out.push(b);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// `(name, active, total)` filter statistics for every ALF block.
+    pub fn filter_stats(&self) -> Vec<(String, usize, usize)> {
+        let mut out = Vec::new();
+        let mut record = |cu: &ConvUnit| {
+            if let ConvKind::Alf(b) = cu.conv() {
+                out.push((cu.name().to_string(), b.active_filters(), b.total_filters()));
+            }
+        };
+        for unit in &self.units {
+            match unit {
+                Unit::Conv(cu) => record(cu),
+                Unit::Residual(r) => {
+                    record(&r.a);
+                    record(&r.b);
+                }
+                Unit::Fire(f) => {
+                    for cu in f.conv_units() {
+                        record(cu);
+                    }
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Fraction of code filters still active across all ALF blocks
+    /// (1.0 for a fully dense model).
+    pub fn remaining_filter_fraction(&self) -> f32 {
+        let stats = self.filter_stats();
+        let (active, total) = stats
+            .iter()
+            .fold((0usize, 0usize), |(a, t), s| (a + s.1, t + s.2));
+        if total == 0 {
+            1.0
+        } else {
+            active as f32 / total as f32
+        }
+    }
+
+    /// Geometry of every convolution for an input of `h × w` pixels, in
+    /// execution order (the input to Params/OPs accounting and the
+    /// accelerator model).
+    pub fn conv_shapes(&self, mut h: usize, mut w: usize) -> Vec<ConvShape> {
+        let mut shapes = Vec::new();
+        let mut push = |cu: &ConvUnit, h: &mut usize, w: &mut usize| {
+            let spec = cu.conv().spec();
+            let (ho, wo) = spec.output_hw(*h, *w);
+            shapes.push(ConvShape::new(
+                cu.name(),
+                cu.conv().c_in(),
+                cu.conv().c_out(),
+                spec.kernel,
+                spec.stride,
+                ho,
+                wo,
+            ));
+            *h = ho;
+            *w = wo;
+        };
+        for unit in &self.units {
+            match unit {
+                Unit::Conv(cu) => push(cu, &mut h, &mut w),
+                Unit::Residual(r) => {
+                    push(&r.a, &mut h, &mut w);
+                    push(&r.b, &mut h, &mut w);
+                }
+                Unit::Fire(f) => {
+                    // Squeeze advances the spatial state (1x1/stride-1 is a
+                    // no-op); the parallel expands share it.
+                    for cu in f.conv_units() {
+                        push(cu, &mut h, &mut w);
+                    }
+                }
+                Unit::MaxPool(mp) => {
+                    h /= mp.window();
+                    w /= mp.window();
+                }
+                Unit::GlobalPool(_) | Unit::Classifier(_) => {}
+            }
+        }
+        shapes
+    }
+}
+
+impl Layer for CnnModel {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        let mut x = input.clone();
+        for unit in &mut self.units {
+            x = match unit {
+                Unit::Conv(cu) => cu.forward(&x, mode)?,
+                Unit::Residual(r) => r.forward(&x, mode)?,
+                Unit::Fire(f) => f.forward(&x, mode)?,
+                Unit::MaxPool(mp) => mp.forward(&x, mode)?,
+                Unit::GlobalPool(gp) => gp.forward(&x, mode)?,
+                Unit::Classifier(fc) => fc.forward(&x, mode)?,
+            };
+        }
+        Ok(x)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let mut g = grad_output.clone();
+        for unit in self.units.iter_mut().rev() {
+            g = match unit {
+                Unit::Conv(cu) => cu.backward(&g)?,
+                Unit::Residual(r) => r.backward(&g)?,
+                Unit::Fire(f) => f.backward(&g)?,
+                Unit::MaxPool(mp) => mp.backward(&g)?,
+                Unit::GlobalPool(gp) => gp.backward(&g)?,
+                Unit::Classifier(fc) => fc.backward(&g)?,
+            };
+        }
+        Ok(g)
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
+        for unit in &mut self.units {
+            match unit {
+                Unit::Conv(cu) => cu.visit_params(visitor),
+                Unit::Residual(r) => r.visit_params(visitor),
+                Unit::Fire(f) => f.visit_params(visitor),
+                Unit::Classifier(fc) => fc.visit_params(visitor),
+                Unit::MaxPool(_) | Unit::GlobalPool(_) => {}
+            }
+        }
+    }
+
+    fn visit_state(&mut self, visitor: &mut dyn FnMut(&mut Tensor)) {
+        for unit in &mut self.units {
+            match unit {
+                Unit::Conv(cu) => cu.visit_state(visitor),
+                Unit::Residual(r) => r.visit_state(visitor),
+                Unit::Fire(f) => f.visit_state(visitor),
+                Unit::Classifier(fc) => fc.visit_state(visitor),
+                Unit::MaxPool(_) | Unit::GlobalPool(_) => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alf_tensor::init::Init;
+    use alf_tensor::rng::Rng;
+
+    #[test]
+    fn pad_shortcut_subsamples_and_pads() {
+        let mut s = PadShortcut::new(2, 4);
+        let x = Tensor::from_fn(&[1, 2, 4, 4], |i| i as f32);
+        let y = s.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.dims(), &[1, 4, 2, 2]);
+        assert_eq!(y.at(&[0, 0, 0, 0]), x.at(&[0, 0, 0, 0]));
+        assert_eq!(y.at(&[0, 0, 1, 1]), x.at(&[0, 0, 2, 2]));
+        assert_eq!(y.at(&[0, 3, 1, 1]), 0.0); // padded channel
+    }
+
+    #[test]
+    fn pad_shortcut_backward_is_adjoint() {
+        let mut rng = Rng::new(0);
+        let mut s = PadShortcut::new(2, 4);
+        let x = Tensor::randn(&[2, 2, 4, 4], Init::Rand, &mut rng);
+        let y = s.forward(&x, Mode::Train).unwrap();
+        let g = Tensor::randn(y.dims(), Init::Rand, &mut rng);
+        let gx = s.backward(&g).unwrap();
+        let lhs = y.dot(&g).unwrap();
+        let rhs = x.dot(&gx).unwrap();
+        assert!((lhs - rhs).abs() < 1e-4, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn pad_shortcut_rejects_shrinking() {
+        let mut s = PadShortcut::new(1, 2);
+        assert!(s.forward(&Tensor::zeros(&[1, 4, 2, 2]), Mode::Eval).is_err());
+        assert!(s.forward(&Tensor::zeros(&[4, 2, 2]), Mode::Eval).is_err());
+    }
+
+    #[test]
+    fn model_requires_classifier() {
+        assert!(CnnModel::from_units("m", vec![], 2).is_err());
+    }
+
+    #[test]
+    fn residual_unit_round_trip() {
+        let mut rng = Rng::new(1);
+        let mk_conv = |c_in: usize, c_out: usize, stride: usize, rng: &mut Rng| {
+            ConvKind::Standard(Conv2d::new(c_in, c_out, 3, stride, 1, false, Init::He, rng))
+        };
+        let mut r = ResidualUnit::new(
+            ConvUnit::new("a", mk_conv(4, 8, 2, &mut rng), Some(ActivationKind::Relu)),
+            ConvUnit::new("b", mk_conv(8, 8, 1, &mut rng), None),
+            Some(PadShortcut::new(2, 8)),
+        );
+        let x = Tensor::randn(&[2, 4, 8, 8], Init::Rand, &mut rng);
+        let y = r.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.dims(), &[2, 8, 4, 4]);
+        let gx = r.backward(&y).unwrap();
+        assert_eq!(gx.dims(), x.dims());
+        assert!(gx.data().iter().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,141 @@
+//! Human-readable model summaries.
+
+use alf_nn::layer::Layer;
+
+use crate::deploy;
+use crate::model::CnnModel;
+use crate::NetworkCost;
+
+/// One row of a [`summarize`] table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerSummary {
+    /// Layer name.
+    pub name: String,
+    /// `CixHxW → CoxHxW` shape transition.
+    pub shape: String,
+    /// Parameters of this convolution as currently deployed.
+    pub params: u64,
+    /// MACs of this convolution as currently deployed.
+    pub macs: u64,
+    /// `Some(kept/total)` for ALF-style convolutions.
+    pub alf: Option<(usize, usize)>,
+}
+
+/// Per-layer summary of a model's convolutions at the given input size,
+/// plus aggregate totals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelSummary {
+    /// Model name.
+    pub model: String,
+    /// Per-convolution rows in execution order.
+    pub layers: Vec<LayerSummary>,
+    /// Aggregate convolution cost (ALF-aware).
+    pub conv_cost: NetworkCost,
+    /// Total trainable parameters (all layers, task-player view).
+    pub trainable_params: u64,
+}
+
+impl ModelSummary {
+    /// Renders the summary as an aligned text table.
+    pub fn to_text(&self) -> String {
+        let mut out = format!("model: {}\n", self.model);
+        out.push_str(&format!(
+            "{:<12} {:<22} {:>10} {:>12} {:>9}\n",
+            "layer", "shape", "params", "MACs", "ALF"
+        ));
+        for l in &self.layers {
+            let alf = match l.alf {
+                Some((kept, total)) => format!("{kept}/{total}"),
+                None => "—".into(),
+            };
+            out.push_str(&format!(
+                "{:<12} {:<22} {:>10} {:>12} {:>9}\n",
+                l.name, l.shape, l.params, l.macs, alf
+            ));
+        }
+        out.push_str(&format!(
+            "conv totals: {} params, {} MACs; trainable params {}\n",
+            self.conv_cost.params, self.conv_cost.macs, self.trainable_params
+        ));
+        out
+    }
+}
+
+/// Summarises a model's convolutions at `h × w` input resolution.
+///
+/// # Example
+///
+/// ```
+/// use alf_core::models::plain20;
+/// use alf_core::summary;
+///
+/// # fn main() -> alf_core::Result<()> {
+/// let mut model = plain20(10, 16)?;
+/// let s = summary::summarize(&mut model, 32, 32);
+/// assert_eq!(s.layers.len(), 19);
+/// println!("{}", s.to_text());
+/// # Ok(())
+/// # }
+/// ```
+pub fn summarize(model: &mut CnnModel, h: usize, w: usize) -> ModelSummary {
+    let infos = deploy::conv_report(model, h, w);
+    let layers = infos
+        .iter()
+        .map(|info| LayerSummary {
+            name: info.shape.name.clone(),
+            shape: format!(
+                "{}x{}x{} → {}x{}x{}",
+                info.shape.c_in,
+                info.shape.h_in(),
+                info.shape.w_in(),
+                info.shape.c_out,
+                info.shape.h_out,
+                info.shape.w_out
+            ),
+            params: info.params(),
+            macs: info.macs(),
+            alf: info.c_code.map(|c| (c, info.shape.c_out)),
+        })
+        .collect();
+    ModelSummary {
+        model: model.name().to_string(),
+        layers,
+        conv_cost: deploy::cost(model, h, w),
+        trainable_params: model.param_count() as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::AlfBlockConfig;
+    use crate::models::{plain20, plain20_alf};
+
+    #[test]
+    fn vanilla_summary_matches_metrics() {
+        let mut model = plain20(10, 16).unwrap();
+        let s = summarize(&mut model, 32, 32);
+        assert_eq!(s.layers.len(), 19);
+        assert_eq!(s.conv_cost.params, 267_696);
+        assert!(s.layers.iter().all(|l| l.alf.is_none()));
+        assert_eq!(s.layers[0].shape, "3x32x32 → 16x32x32");
+        let text = s.to_text();
+        assert!(text.contains("conv1"));
+        assert!(text.contains("conv totals"));
+    }
+
+    #[test]
+    fn alf_summary_reports_keep_counts() {
+        let mut model = plain20_alf(4, 4, AlfBlockConfig::paper_default(), 1).unwrap();
+        let s = summarize(&mut model, 16, 16);
+        assert!(s.layers.iter().all(|l| l.alf.is_some()));
+        // Dense at init: kept == total.
+        assert!(s.layers.iter().all(|l| {
+            let (kept, total) = l.alf.unwrap();
+            kept == total
+        }));
+        // Trainable params include the expansion layers, so exceed the
+        // vanilla conv count scaled to this width.
+        assert!(s.trainable_params > 0);
+    }
+}

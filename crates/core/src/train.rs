@@ -1,0 +1,511 @@
+//! The two-player training scheme (paper §III-B).
+//!
+//! Each optimisation step plays one round of the two-player game:
+//!
+//! 1. **Task player** — forward the CNN (ALF blocks convolve with the
+//!    current code `Wcode`), compute `Ltask = LCE + νwd·Lreg`, backprop,
+//!    and update `W` (via the STE), `Wexp`, BN and classifier parameters
+//!    with SGD + momentum. Weight decay implements `νwd·Lreg` and is
+//!    *skipped* for `W` (the paper regularises neither `W` nor `Wcode`).
+//! 2. **Autoencoder player** — every ALF block runs one dedicated SGD step
+//!    on `Lae = Lrec + νprune·Lprune`, updating `Wenc`, `Wdec` and `M`.
+
+use alf_data::{Dataset, Split};
+use alf_nn::layer::{Layer, Mode};
+use alf_nn::loss::{accuracy, softmax_cross_entropy};
+use alf_nn::optim::{LrSchedule, Sgd};
+use alf_tensor::rng::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::model::CnnModel;
+use crate::schedule::PruneSchedule;
+use crate::Result;
+
+/// Hyper-parameters of the two-player game.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AlfHyper {
+    /// Task-player learning rate.
+    pub task_lr: f32,
+    /// Task-player momentum.
+    pub momentum: f32,
+    /// Weight-decay factor `νwd` (L2, applied to decaying params only).
+    pub weight_decay: f32,
+    /// Task learning-rate schedule.
+    pub lr_schedule: LrSchedule,
+    /// Autoencoder-player learning rate `lrae` (paper trade-off: `1e-3`).
+    pub ae_lr: f32,
+    /// Pruning-pressure schedule (paper: `m = 8`, `prmax = 0.85`).
+    pub prune_schedule: PruneSchedule,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Autoencoder optimisation steps per task step. The paper uses 1 (one
+    /// round of the two-player game per batch); shortened smoke schedules
+    /// use more to give the autoencoder player the same number of moves it
+    /// would get over a full-length training run.
+    pub ae_steps_per_batch: usize,
+    /// Optional training-time augmentation applied to each batch.
+    pub augment: Option<alf_data::Augment>,
+}
+
+impl Default for AlfHyper {
+    fn default() -> Self {
+        Self {
+            task_lr: 0.05,
+            momentum: 0.9,
+            weight_decay: 1e-4,
+            lr_schedule: LrSchedule::Step {
+                every: 40,
+                gamma: 0.1,
+            },
+            ae_lr: 1e-3,
+            prune_schedule: PruneSchedule::paper_default(),
+            batch_size: 32,
+            ae_steps_per_batch: 1,
+            augment: None,
+        }
+    }
+}
+
+/// Per-epoch training statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EpochStats {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// Mean task loss over the epoch.
+    pub train_loss: f32,
+    /// Training accuracy over the epoch (running, on training batches).
+    pub train_accuracy: f32,
+    /// Held-out accuracy after the epoch.
+    pub test_accuracy: f32,
+    /// Fraction of code filters still active (1.0 when no ALF blocks).
+    pub remaining_filters: f32,
+    /// Mean autoencoder reconstruction loss over the epoch (0 when no ALF
+    /// blocks).
+    pub mean_l_rec: f32,
+}
+
+/// Full training trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainReport {
+    /// Name of the trained model.
+    pub model_name: String,
+    /// Per-epoch statistics, in order.
+    pub epochs: Vec<EpochStats>,
+}
+
+impl TrainReport {
+    /// Test accuracy after the last epoch (0.0 for an empty report).
+    pub fn final_accuracy(&self) -> f32 {
+        self.epochs.last().map_or(0.0, |e| e.test_accuracy)
+    }
+
+    /// Remaining-filter fraction after the last epoch.
+    pub fn final_remaining_filters(&self) -> f32 {
+        self.epochs.last().map_or(1.0, |e| e.remaining_filters)
+    }
+
+    /// Best test accuracy across epochs.
+    pub fn best_accuracy(&self) -> f32 {
+        self.epochs
+            .iter()
+            .map(|e| e.test_accuracy)
+            .fold(0.0, f32::max)
+    }
+
+    /// Renders the trace as CSV
+    /// (`epoch,train_loss,train_accuracy,test_accuracy,remaining_filters,
+    /// mean_l_rec`) for external plotting of Fig. 2c-style curves.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "epoch,train_loss,train_accuracy,test_accuracy,remaining_filters,mean_l_rec\n",
+        );
+        for e in &self.epochs {
+            out.push_str(&format!(
+                "{},{:.6},{:.4},{:.4},{:.4},{:.6}\n",
+                e.epoch,
+                e.train_loss,
+                e.train_accuracy,
+                e.test_accuracy,
+                e.remaining_filters,
+                e.mean_l_rec
+            ));
+        }
+        out
+    }
+}
+
+/// Drives the two-player training of a [`CnnModel`].
+///
+/// Works for vanilla models too: with no ALF blocks the autoencoder player
+/// is a no-op and the loop degenerates to ordinary SGD training.
+///
+/// # Example
+///
+/// ```no_run
+/// use alf_core::models::plain20_alf;
+/// use alf_core::{AlfBlockConfig, AlfHyper, AlfTrainer};
+/// use alf_data::SynthVision;
+///
+/// # fn main() -> alf_core::Result<()> {
+/// let data = SynthVision::cifar_like(0).with_train_size(256).build()?;
+/// let model = plain20_alf(10, 8, AlfBlockConfig::paper_default(), 7)?;
+/// let mut trainer = AlfTrainer::new(model, AlfHyper::default(), 7)?;
+/// let report = trainer.run(&data, 3)?;
+/// println!("acc {:.2}, filters {:.0}%",
+///          report.final_accuracy(),
+///          100.0 * report.final_remaining_filters());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct AlfTrainer {
+    model: CnnModel,
+    hyper: AlfHyper,
+    task_opt: Sgd,
+    rng: Rng,
+    epoch: usize,
+}
+
+impl AlfTrainer {
+    /// Creates a trainer over a model.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible for valid hyper-parameters; kept fallible for
+    /// forward compatibility with validated configs.
+    pub fn new(model: CnnModel, hyper: AlfHyper, seed: u64) -> Result<Self> {
+        let task_opt = Sgd::new(hyper.task_lr, hyper.momentum, hyper.weight_decay);
+        Ok(Self {
+            model,
+            hyper,
+            task_opt,
+            rng: Rng::new(seed ^ 0xa1f0_0000),
+            epoch: 0,
+        })
+    }
+
+    /// The model being trained.
+    pub fn model(&self) -> &CnnModel {
+        &self.model
+    }
+
+    /// Mutable access to the model (e.g. for deployment after training).
+    pub fn model_mut(&mut self) -> &mut CnnModel {
+        &mut self.model
+    }
+
+    /// Consumes the trainer, returning the trained model.
+    pub fn into_model(self) -> CnnModel {
+        self.model
+    }
+
+    /// Runs `epochs` additional epochs, returning the statistics for the
+    /// epochs run in *this* call.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the model or data pipeline.
+    pub fn run(&mut self, data: &Dataset, epochs: usize) -> Result<TrainReport> {
+        let mut report = TrainReport {
+            model_name: self.model.name().to_string(),
+            epochs: Vec::with_capacity(epochs),
+        };
+        for _ in 0..epochs {
+            report.epochs.push(self.run_epoch(data)?);
+        }
+        Ok(report)
+    }
+
+    /// Runs a single epoch (all training batches + one evaluation).
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the model or data pipeline.
+    pub fn run_epoch(&mut self, data: &Dataset) -> Result<EpochStats> {
+        let lr = self
+            .hyper
+            .lr_schedule
+            .lr_at(self.hyper.task_lr, self.epoch);
+        self.task_opt.set_lr(lr);
+        let mut loss_sum = 0.0;
+        let mut acc_sum = 0.0;
+        let mut l_rec_sum = 0.0;
+        let mut batches = 0usize;
+        let mut shuffle_rng = self.rng.split();
+        // Only consume an RNG split when augmentation is on, so enabling it
+        // is the sole thing that changes the training trajectory.
+        let mut augment_rng = self.hyper.augment.map(|_| self.rng.split());
+        for batch in data.batches(Split::Train, self.hyper.batch_size, Some(&mut shuffle_rng)) {
+            let (mut images, labels) = batch?;
+            if let (Some(policy), Some(rng)) = (&self.hyper.augment, augment_rng.as_mut()) {
+                policy.apply(&mut images, rng)?;
+            }
+            // --- task player ---
+            self.model.zero_grads();
+            let logits = self.model.forward(&images, Mode::Train)?;
+            let (loss, grad) = softmax_cross_entropy(&logits, &labels)?;
+            acc_sum += accuracy(&logits, &labels)?;
+            self.model.backward(&grad)?;
+            self.task_opt.step_layer(&mut self.model);
+            // --- autoencoder player ---
+            let ae_lr = self.hyper.ae_lr;
+            let schedule = self.hyper.prune_schedule;
+            let mut block_l_rec = 0.0;
+            let ae_steps = self.hyper.ae_steps_per_batch.max(1);
+            let blocks = self.model.alf_blocks_mut();
+            let n_blocks = blocks.len();
+            for block in blocks {
+                let mut last = 0.0;
+                for _ in 0..ae_steps {
+                    last = block.autoencoder_step(ae_lr, &schedule)?.l_rec;
+                }
+                block_l_rec += last;
+            }
+            if n_blocks > 0 {
+                l_rec_sum += block_l_rec / n_blocks as f32;
+            }
+            loss_sum += loss;
+            batches += 1;
+        }
+        let test_accuracy = evaluate(&self.model, data, Split::Test, self.hyper.batch_size)?;
+        let stats = EpochStats {
+            epoch: self.epoch,
+            train_loss: loss_sum / batches.max(1) as f32,
+            train_accuracy: acc_sum / batches.max(1) as f32,
+            test_accuracy,
+            remaining_filters: self.model.remaining_filter_fraction(),
+            mean_l_rec: l_rec_sum / batches.max(1) as f32,
+        };
+        self.epoch += 1;
+        Ok(stats)
+    }
+}
+
+/// Evaluates classification accuracy of a model on a dataset split,
+/// fanning batches out over `crossbeam` scoped threads (each thread works
+/// on its own clone of the model).
+///
+/// # Errors
+///
+/// Propagates shape errors from the model or data pipeline.
+pub fn evaluate(
+    model: &CnnModel,
+    data: &Dataset,
+    split: Split,
+    batch_size: usize,
+) -> Result<f32> {
+    let n = data.len_of(split);
+    if n == 0 {
+        return Ok(0.0);
+    }
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n.div_ceil(batch_size.max(1)))
+        .max(1);
+    let chunk = n.div_ceil(threads);
+    let results = crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let lo = t * chunk;
+            let hi = ((t + 1) * chunk).min(n);
+            if lo >= hi {
+                continue;
+            }
+            handles.push(scope.spawn(move |_| -> Result<(usize, usize)> {
+                let mut local = model.clone();
+                let mut correct = 0usize;
+                let mut start = lo;
+                while start < hi {
+                    let end = (start + batch_size.max(1)).min(hi);
+                    let idx: Vec<usize> = (start..end).collect();
+                    let (images, labels) = data.gather(split, &idx)?;
+                    let logits = local.forward(&images, Mode::Eval)?;
+                    let acc = accuracy(&logits, &labels)?;
+                    correct += (acc * labels.len() as f32).round() as usize;
+                    start = end;
+                }
+                Ok((correct, hi - lo))
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("evaluation thread panicked"))
+            .collect::<Result<Vec<_>>>()
+    })
+    .expect("evaluation scope panicked")?;
+    let (correct, total) = results
+        .into_iter()
+        .fold((0usize, 0usize), |(c, t), (dc, dt)| (c + dc, t + dt));
+    Ok(correct as f32 / total.max(1) as f32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::AlfBlockConfig;
+    use crate::models::{plain20, plain20_alf};
+    use alf_data::SynthVision;
+
+    fn small_data(seed: u64) -> Dataset {
+        SynthVision::cifar_like(seed)
+            .with_image_size(12)
+            .with_max_shift(1)
+            .with_num_classes(4)
+            .with_train_size(128)
+            .with_test_size(64)
+            .with_noise(0.05)
+            .build()
+            .unwrap()
+    }
+
+    fn quick_hyper() -> AlfHyper {
+        AlfHyper {
+            task_lr: 0.05,
+            batch_size: 16,
+            lr_schedule: alf_nn::LrSchedule::Constant,
+            ..AlfHyper::default()
+        }
+    }
+
+    #[test]
+    fn vanilla_training_learns_above_chance() {
+        let data = small_data(1);
+        let model = plain20(4, 8).unwrap();
+        let mut trainer = AlfTrainer::new(model, quick_hyper(), 1).unwrap();
+        let report = trainer.run(&data, 10).unwrap();
+        assert_eq!(report.epochs.len(), 10);
+        // 4 classes ⇒ chance = 25%.
+        assert!(
+            report.final_accuracy() > 0.4,
+            "accuracy {} not above chance",
+            report.final_accuracy()
+        );
+        // Loss should drop.
+        assert!(report.epochs.last().unwrap().train_loss < report.epochs[0].train_loss);
+    }
+
+    #[test]
+    fn alf_training_learns_and_tracks_filters() {
+        let data = small_data(2);
+        let model = plain20_alf(4, 8, AlfBlockConfig::paper_default(), 3).unwrap();
+        let mut trainer = AlfTrainer::new(model, quick_hyper(), 3).unwrap();
+        let report = trainer.run(&data, 10).unwrap();
+        assert!(
+            report.final_accuracy() > 0.35,
+            "accuracy {}",
+            report.final_accuracy()
+        );
+        let rf = report.final_remaining_filters();
+        assert!((0.0..=1.0).contains(&rf));
+        assert!(report.epochs.iter().all(|e| e.mean_l_rec.is_finite()));
+    }
+
+    #[test]
+    fn prune_pressure_reduces_filters_over_time() {
+        let data = small_data(4);
+        // A wide clip dead-zone (threshold ≫ lrae·ν/Co) so clipped channels
+        // stay clipped, and a large lrae so the mask travels from 1 to 0
+        // within the few hundred steps this test can afford.
+        let mut cfg = AlfBlockConfig::paper_default();
+        cfg.threshold = 5e-2;
+        let model = plain20_alf(4, 4, cfg, 5).unwrap();
+        let mut hyper = quick_hyper();
+        hyper.ae_lr = 2e-2;
+        hyper.batch_size = 8;
+        let mut trainer = AlfTrainer::new(model, hyper, 5).unwrap();
+        let report = trainer.run(&data, 15).unwrap();
+        assert!(
+            report.final_remaining_filters() < 1.0,
+            "no pruning happened: {:?}",
+            report.epochs.last()
+        );
+    }
+
+    #[test]
+    fn evaluate_is_deterministic_and_bounded() {
+        let data = small_data(6);
+        let model = plain20(4, 4).unwrap();
+        let a = evaluate(&model, &data, Split::Test, 8).unwrap();
+        let b = evaluate(&model, &data, Split::Test, 8).unwrap();
+        assert_eq!(a, b);
+        assert!((0.0..=1.0).contains(&a));
+        // Different batch size must not change the result.
+        let c = evaluate(&model, &data, Split::Test, 5).unwrap();
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn augmented_training_still_learns() {
+        let data = small_data(10);
+        let mut hyper = quick_hyper();
+        hyper.augment = Some(alf_data::Augment {
+            hflip_prob: 0.5,
+            max_shift: 1,
+            noise: 0.02,
+        });
+        let model = plain20(4, 8).unwrap();
+        let mut trainer = AlfTrainer::new(model, hyper, 11).unwrap();
+        let report = trainer.run(&data, 10).unwrap();
+        assert!(
+            report.final_accuracy() > 0.35,
+            "accuracy {} under augmentation",
+            report.final_accuracy()
+        );
+    }
+
+    #[test]
+    fn report_csv_has_header_and_rows() {
+        let report = TrainReport {
+            model_name: "m".into(),
+            epochs: vec![EpochStats {
+                epoch: 0,
+                train_loss: 1.0,
+                train_accuracy: 0.3,
+                test_accuracy: 0.5,
+                remaining_filters: 0.9,
+                mean_l_rec: 0.1,
+            }],
+        };
+        let csv = report.to_csv();
+        let lines: Vec<&str> = csv.trim_end().lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("epoch,"));
+        assert!(lines[1].starts_with("0,"));
+        assert_eq!(lines[1].split(',').count(), 6);
+    }
+
+    #[test]
+    fn report_helpers() {
+        let report = TrainReport {
+            model_name: "m".into(),
+            epochs: vec![
+                EpochStats {
+                    epoch: 0,
+                    train_loss: 1.0,
+                    train_accuracy: 0.3,
+                    test_accuracy: 0.5,
+                    remaining_filters: 1.0,
+                    mean_l_rec: 0.1,
+                },
+                EpochStats {
+                    epoch: 1,
+                    train_loss: 0.5,
+                    train_accuracy: 0.6,
+                    test_accuracy: 0.4,
+                    remaining_filters: 0.7,
+                    mean_l_rec: 0.05,
+                },
+            ],
+        };
+        assert_eq!(report.final_accuracy(), 0.4);
+        assert_eq!(report.best_accuracy(), 0.5);
+        assert_eq!(report.final_remaining_filters(), 0.7);
+        let empty = TrainReport {
+            model_name: "e".into(),
+            epochs: vec![],
+        };
+        assert_eq!(empty.final_accuracy(), 0.0);
+        assert_eq!(empty.final_remaining_filters(), 1.0);
+    }
+}

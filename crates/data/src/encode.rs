@@ -1,0 +1,167 @@
+//! Binary serialisation of datasets.
+//!
+//! Generating the larger synthetic datasets takes noticeable time; the
+//! bench harness caches them on disk using this compact little-endian
+//! format (magic + geometry header + label/pixel payloads).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::dataset::{Dataset, Split};
+
+const MAGIC: &[u8; 8] = b"ALFDATA1";
+
+/// Error returned when a byte stream is not a valid encoded dataset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeDatasetError(String);
+
+impl std::fmt::Display for DecodeDatasetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid dataset encoding: {}", self.0)
+    }
+}
+
+impl std::error::Error for DecodeDatasetError {}
+
+/// Serialises a dataset to bytes.
+///
+/// The format is: magic, `u32` geometry (`channels`, `height`, `width`,
+/// `num_classes`, train count, test count), train labels (`u32` each),
+/// test labels, train pixels (`f32` LE), test pixels.
+pub fn encode_dataset(dataset: &Dataset) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_slice(MAGIC);
+    let [c, h, w] = dataset.image_dims();
+    for v in [
+        c,
+        h,
+        w,
+        dataset.num_classes(),
+        dataset.len_of(Split::Train),
+        dataset.len_of(Split::Test),
+    ] {
+        buf.put_u32_le(v as u32);
+    }
+    for split in [Split::Train, Split::Test] {
+        for &l in dataset.labels(split) {
+            buf.put_u32_le(l as u32);
+        }
+    }
+    for split in [Split::Train, Split::Test] {
+        for &p in dataset.images(split) {
+            buf.put_f32_le(p);
+        }
+    }
+    buf.freeze()
+}
+
+/// Deserialises a dataset previously produced by [`encode_dataset`].
+///
+/// # Errors
+///
+/// Returns an error on a bad magic value, truncated payload, or internally
+/// inconsistent geometry.
+pub fn decode_dataset(mut bytes: Bytes) -> Result<Dataset, DecodeDatasetError> {
+    if bytes.remaining() < MAGIC.len() {
+        return Err(DecodeDatasetError("truncated header".into()));
+    }
+    let mut magic = [0u8; 8];
+    bytes.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(DecodeDatasetError("bad magic".into()));
+    }
+    let mut geom = [0usize; 6];
+    for g in &mut geom {
+        if bytes.remaining() < 4 {
+            return Err(DecodeDatasetError("truncated geometry".into()));
+        }
+        *g = bytes.get_u32_le() as usize;
+    }
+    let [c, h, w, classes, n_train, n_test] = geom;
+    let pix = c * h * w;
+    let need = 4 * (n_train + n_test) + 4 * pix * (n_train + n_test);
+    if bytes.remaining() < need {
+        return Err(DecodeDatasetError(format!(
+            "payload truncated: {} bytes left, {need} needed",
+            bytes.remaining()
+        )));
+    }
+    let read_labels = |bytes: &mut Bytes, n: usize| -> Vec<usize> {
+        (0..n).map(|_| bytes.get_u32_le() as usize).collect()
+    };
+    let train_labels = read_labels(&mut bytes, n_train);
+    let test_labels = read_labels(&mut bytes, n_test);
+    let read_pixels = |bytes: &mut Bytes, n: usize| -> Vec<f32> {
+        (0..n * pix).map(|_| bytes.get_f32_le()).collect()
+    };
+    let train_images = read_pixels(&mut bytes, n_train);
+    let test_images = read_pixels(&mut bytes, n_test);
+    Dataset::from_parts(
+        train_images,
+        train_labels,
+        test_images,
+        test_labels,
+        c,
+        h,
+        w,
+        classes,
+    )
+    .map_err(|e| DecodeDatasetError(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SynthVision;
+
+    #[test]
+    fn round_trip_preserves_dataset() {
+        let d = SynthVision::cifar_like(21)
+            .with_train_size(12)
+            .with_test_size(6)
+            .with_image_size(8)
+            .build()
+            .unwrap();
+        let encoded = encode_dataset(&d);
+        let decoded = decode_dataset(encoded).unwrap();
+        assert_eq!(d, decoded);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let err = decode_dataset(Bytes::from_static(b"NOTDATA1rest")).unwrap_err();
+        assert!(err.to_string().contains("magic"));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let d = SynthVision::cifar_like(22)
+            .with_train_size(4)
+            .with_test_size(2)
+            .with_image_size(8)
+            .build()
+            .unwrap();
+        let encoded = encode_dataset(&d);
+        for cut in [0, 4, 10, encoded.len() / 2, encoded.len() - 1] {
+            assert!(
+                decode_dataset(encoded.slice(0..cut)).is_err(),
+                "cut at {cut} should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_labels_are_caught_by_dataset_validation() {
+        let d = SynthVision::cifar_like(23)
+            .with_train_size(4)
+            .with_test_size(2)
+            .with_image_size(8)
+            .with_num_classes(2)
+            .build()
+            .unwrap();
+        let mut raw = encode_dataset(&d).to_vec();
+        // First train label lives right after the 8-byte magic + 24-byte
+        // geometry; overwrite it with an out-of-range class id.
+        raw[32..36].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_dataset(Bytes::from(raw)).is_err());
+    }
+}

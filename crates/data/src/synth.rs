@@ -1,0 +1,337 @@
+//! Synthetic dataset generator.
+
+use alf_tensor::rng::Rng;
+use alf_tensor::ShapeError;
+
+use crate::dataset::Dataset;
+use crate::Result;
+
+/// Entry points for the two dataset families used by the experiments.
+///
+/// [`SynthVision::cifar_like`] mirrors CIFAR-10's geometry (32×32×3,
+/// 10 classes); [`SynthVision::imagenet_like`] is a scaled-down stand-in
+/// for ImageNet (64×64×3, 100 classes — documented in `DESIGN.md`).
+///
+/// # Example
+///
+/// ```
+/// use alf_data::SynthVision;
+///
+/// # fn main() -> alf_data::Result<()> {
+/// let data = SynthVision::cifar_like(42)
+///     .with_train_size(256)
+///     .with_test_size(64)
+///     .build()?;
+/// assert_eq!(data.image_dims(), [3, 32, 32]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct SynthVision;
+
+impl SynthVision {
+    /// CIFAR-10-like configuration: 32×32 RGB, 10 classes.
+    pub fn cifar_like(seed: u64) -> SynthVisionBuilder {
+        SynthVisionBuilder {
+            seed,
+            num_classes: 10,
+            channels: 3,
+            image_size: 32,
+            train_size: 2000,
+            test_size: 500,
+            noise: 0.25,
+            max_shift: 3,
+            blobs_per_class: 6,
+        }
+    }
+
+    /// ImageNet-like configuration: 64×64 RGB, 100 classes (scaled-down
+    /// substitution, see `DESIGN.md`).
+    pub fn imagenet_like(seed: u64) -> SynthVisionBuilder {
+        SynthVisionBuilder {
+            seed,
+            num_classes: 100,
+            channels: 3,
+            image_size: 64,
+            train_size: 5000,
+            test_size: 1000,
+            noise: 0.25,
+            max_shift: 6,
+            blobs_per_class: 10,
+        }
+    }
+}
+
+/// Builder configuring and generating a synthetic [`Dataset`].
+#[derive(Debug, Clone)]
+pub struct SynthVisionBuilder {
+    seed: u64,
+    num_classes: usize,
+    channels: usize,
+    image_size: usize,
+    train_size: usize,
+    test_size: usize,
+    noise: f32,
+    max_shift: usize,
+    blobs_per_class: usize,
+}
+
+impl SynthVisionBuilder {
+    /// Sets the number of training samples.
+    pub fn with_train_size(mut self, n: usize) -> Self {
+        self.train_size = n;
+        self
+    }
+
+    /// Sets the number of test samples.
+    pub fn with_test_size(mut self, n: usize) -> Self {
+        self.test_size = n;
+        self
+    }
+
+    /// Sets the square image side length.
+    pub fn with_image_size(mut self, side: usize) -> Self {
+        self.image_size = side;
+        self
+    }
+
+    /// Sets the number of classes.
+    pub fn with_num_classes(mut self, n: usize) -> Self {
+        self.num_classes = n;
+        self
+    }
+
+    /// Sets the additive Gaussian pixel-noise standard deviation.
+    pub fn with_noise(mut self, sigma: f32) -> Self {
+        self.noise = sigma;
+        self
+    }
+
+    /// Sets the maximum random translation (pixels, per axis).
+    pub fn with_max_shift(mut self, shift: usize) -> Self {
+        self.max_shift = shift;
+        self
+    }
+
+    /// Generates the dataset.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the configuration is degenerate (zero classes,
+    /// zero image size, or an image smaller than twice the shift range).
+    pub fn build(&self) -> Result<Dataset> {
+        if self.num_classes == 0 || self.image_size == 0 || self.channels == 0 {
+            return Err(ShapeError::new("synth", "degenerate configuration"));
+        }
+        if self.image_size <= 2 * self.max_shift {
+            return Err(ShapeError::new(
+                "synth",
+                format!(
+                    "image size {} too small for shift ±{}",
+                    self.image_size, self.max_shift
+                ),
+            ));
+        }
+        let mut rng = Rng::new(self.seed);
+        let templates = self.make_templates(&mut rng);
+        let mut train_rng = rng.split();
+        let mut test_rng = rng.split();
+        let (train_images, train_labels) =
+            self.make_split(self.train_size, &templates, &mut train_rng);
+        let (test_images, test_labels) =
+            self.make_split(self.test_size, &templates, &mut test_rng);
+        Dataset::from_parts(
+            train_images,
+            train_labels,
+            test_images,
+            test_labels,
+            self.channels,
+            self.image_size,
+            self.image_size,
+            self.num_classes,
+        )
+    }
+
+    /// One smooth template per class: a sum of Gaussian blobs per channel,
+    /// normalised to roughly unit amplitude.
+    fn make_templates(&self, rng: &mut Rng) -> Vec<Vec<f32>> {
+        let side = self.image_size as f32;
+        let pix = self.channels * self.image_size * self.image_size;
+        (0..self.num_classes)
+            .map(|_| {
+                let mut tpl = vec![0.0f32; pix];
+                for c in 0..self.channels {
+                    for _ in 0..self.blobs_per_class {
+                        let cx = rng.uniform(0.2 * side, 0.8 * side);
+                        let cy = rng.uniform(0.2 * side, 0.8 * side);
+                        let sigma = rng.uniform(0.08 * side, 0.25 * side);
+                        let amp = rng.uniform(-1.0, 1.0);
+                        let inv2s2 = 1.0 / (2.0 * sigma * sigma);
+                        for y in 0..self.image_size {
+                            for x in 0..self.image_size {
+                                let d2 = (x as f32 - cx).powi(2) + (y as f32 - cy).powi(2);
+                                tpl[(c * self.image_size + y) * self.image_size + x] +=
+                                    amp * (-d2 * inv2s2).exp();
+                            }
+                        }
+                    }
+                }
+                // Normalise to unit max-abs so noise levels are comparable
+                // across classes.
+                let max_abs = tpl.iter().fold(0.0f32, |m, &v| m.max(v.abs())).max(1e-6);
+                for v in &mut tpl {
+                    *v /= max_abs;
+                }
+                tpl
+            })
+            .collect()
+    }
+
+    fn make_split(
+        &self,
+        n: usize,
+        templates: &[Vec<f32>],
+        rng: &mut Rng,
+    ) -> (Vec<f32>, Vec<usize>) {
+        let s = self.image_size;
+        let pix = self.channels * s * s;
+        let mut images = Vec::with_capacity(n * pix);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            // Round-robin class assignment keeps the splits balanced.
+            let label = i % self.num_classes;
+            labels.push(label);
+            let tpl = &templates[label];
+            let shift = self.max_shift as isize;
+            let dx = if shift > 0 {
+                rng.below((2 * shift + 1) as usize) as isize - shift
+            } else {
+                0
+            };
+            let dy = if shift > 0 {
+                rng.below((2 * shift + 1) as usize) as isize - shift
+            } else {
+                0
+            };
+            let contrast = rng.uniform(0.8, 1.2);
+            for c in 0..self.channels {
+                for y in 0..s {
+                    for x in 0..s {
+                        let sy = y as isize - dy;
+                        let sx = x as isize - dx;
+                        let base = if sy >= 0 && sx >= 0 && (sy as usize) < s && (sx as usize) < s
+                        {
+                            tpl[(c * s + sy as usize) * s + sx as usize]
+                        } else {
+                            0.0
+                        };
+                        images.push(contrast * base + self.noise * rng.normal());
+                    }
+                }
+            }
+        }
+        (images, labels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Split;
+
+    #[test]
+    fn build_is_deterministic() {
+        let a = SynthVision::cifar_like(5)
+            .with_train_size(20)
+            .with_test_size(10)
+            .build()
+            .unwrap();
+        let b = SynthVision::cifar_like(5)
+            .with_train_size(20)
+            .with_test_size(10)
+            .build()
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = SynthVision::cifar_like(1).with_train_size(10).build().unwrap();
+        let b = SynthVision::cifar_like(2).with_train_size(10).build().unwrap();
+        assert_ne!(a.images(Split::Train), b.images(Split::Train));
+    }
+
+    #[test]
+    fn labels_are_balanced_round_robin() {
+        let d = SynthVision::cifar_like(3)
+            .with_train_size(25)
+            .with_num_classes(5)
+            .build()
+            .unwrap();
+        let mut counts = [0usize; 5];
+        for &l in d.labels(Split::Train) {
+            counts[l] += 1;
+        }
+        assert_eq!(counts, [5, 5, 5, 5, 5]);
+    }
+
+    #[test]
+    fn rejects_degenerate_configs() {
+        assert!(SynthVision::cifar_like(0).with_num_classes(0).build().is_err());
+        assert!(SynthVision::cifar_like(0).with_image_size(0).build().is_err());
+        assert!(SynthVision::cifar_like(0)
+            .with_image_size(6)
+            .with_max_shift(3)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn imagenet_like_geometry() {
+        let d = SynthVision::imagenet_like(0)
+            .with_train_size(4)
+            .with_test_size(2)
+            .build()
+            .unwrap();
+        assert_eq!(d.image_dims(), [3, 64, 64]);
+        assert_eq!(d.num_classes(), 100);
+    }
+
+    #[test]
+    fn same_class_closer_than_other_class_on_average() {
+        // Sanity: the task must be learnable — intra-class distance below
+        // inter-class distance (in expectation) for noiseless samples.
+        let d = SynthVision::cifar_like(11)
+            .with_train_size(40)
+            .with_num_classes(4)
+            .with_noise(0.0)
+            .with_max_shift(0)
+            .build()
+            .unwrap();
+        let pix: usize = d.image_dims().iter().product();
+        let img = |i: usize| &d.images(Split::Train)[i * pix..(i + 1) * pix];
+        let dist = |a: &[f32], b: &[f32]| -> f32 {
+            a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+        };
+        // Samples 0 and 4 share class 0; samples 0 and 1 differ.
+        let intra = dist(img(0), img(4));
+        let inter = dist(img(0), img(1));
+        assert!(
+            intra < inter,
+            "intra-class {intra} should be below inter-class {inter}"
+        );
+    }
+
+    #[test]
+    fn pixel_values_are_bounded_sanely() {
+        let d = SynthVision::cifar_like(13)
+            .with_train_size(10)
+            .with_noise(0.1)
+            .build()
+            .unwrap();
+        assert!(d
+            .images(Split::Train)
+            .iter()
+            .all(|v| v.is_finite() && v.abs() < 5.0));
+    }
+}

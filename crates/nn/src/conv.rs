@@ -1,0 +1,345 @@
+//! 2-D convolution layer with GEMM forward and exact backward.
+
+use alf_tensor::init::Init;
+use alf_tensor::ops::{col2im, conv2d, im2col, matmul_at, matmul_bt, Conv2dSpec};
+use alf_tensor::rng::Rng;
+use alf_tensor::{ShapeError, Tensor};
+
+use crate::layer::{missing_cache, Layer, Mode, Param};
+use crate::Result;
+
+/// Convolutional layer (`NCHW` activations, `[c_out, c_in, k, k]` weights).
+///
+/// The weight is exposed mutably via [`Conv2d::weight_mut`] because the ALF
+/// block *writes* the autoencoder code `Wcode` into the convolution before
+/// every forward pass; the gradient that `backward` accumulates on the
+/// weight is then routed to `W` through the straight-through estimator
+/// (paper Eq. 5).
+///
+/// # Example
+///
+/// ```
+/// use alf_nn::{Conv2d, Layer, Mode};
+/// use alf_tensor::{init::Init, rng::Rng, Tensor};
+///
+/// # fn main() -> alf_nn::Result<()> {
+/// let mut conv = Conv2d::new(3, 8, 3, 1, 1, false, Init::He, &mut Rng::new(0));
+/// let x = Tensor::zeros(&[2, 3, 16, 16]);
+/// let y = conv.forward(&x, Mode::Train)?;
+/// assert_eq!(y.dims(), &[2, 8, 16, 16]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    weight: Param,
+    bias: Option<Param>,
+    spec: Conv2dSpec,
+    c_in: usize,
+    c_out: usize,
+    cache: Option<Cache>,
+}
+
+#[derive(Debug, Clone)]
+struct Cache {
+    cols: Tensor,
+    input_dims: [usize; 4],
+}
+
+impl Conv2d {
+    /// Creates a convolution layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel` or `stride` is zero (via [`Conv2dSpec::new`]).
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        c_in: usize,
+        c_out: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        bias: bool,
+        init: Init,
+        rng: &mut Rng,
+    ) -> Self {
+        let weight = Param::new(
+            Tensor::randn(&[c_out, c_in, kernel, kernel], init, rng),
+            true,
+        );
+        let bias = bias.then(|| Param::new(Tensor::zeros(&[c_out]), false));
+        Self {
+            weight,
+            bias,
+            spec: Conv2dSpec::new(kernel, stride, pad),
+            c_in,
+            c_out,
+            cache: None,
+        }
+    }
+
+    /// Geometry of the convolution.
+    pub fn spec(&self) -> Conv2dSpec {
+        self.spec
+    }
+
+    /// Input channel count.
+    pub fn c_in(&self) -> usize {
+        self.c_in
+    }
+
+    /// Output channel count.
+    pub fn c_out(&self) -> usize {
+        self.c_out
+    }
+
+    /// Read-only view of the weight tensor.
+    pub fn weight(&self) -> &Tensor {
+        &self.weight.value
+    }
+
+    /// Mutable access to the weight tensor (used by the ALF block to inject
+    /// `Wcode`).
+    pub fn weight_mut(&mut self) -> &mut Tensor {
+        &mut self.weight.value
+    }
+
+    /// Gradient accumulated on the weight by the last backward pass.
+    pub fn weight_grad(&self) -> &Tensor {
+        &self.weight.grad
+    }
+
+    /// Replaces the weight tensor entirely.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the new weight shape differs from the current
+    /// one.
+    pub fn set_weight(&mut self, weight: Tensor) -> Result<()> {
+        self.weight.value.shape().expect_same(weight.shape(), "set_weight")?;
+        self.weight.value = weight;
+        Ok(())
+    }
+
+    /// Disables weight decay on the conv weight (the paper's ALF blocks
+    /// train `W` without regularisation).
+    pub fn without_weight_decay(mut self) -> Self {
+        self.weight.decay = false;
+        self
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        let out = conv2d(
+            input,
+            &self.weight.value,
+            self.bias.as_ref().map(|b| &b.value),
+            self.spec,
+        )?;
+        if mode == Mode::Train {
+            let dims = input.dims();
+            self.cache = Some(Cache {
+                cols: im2col(input, self.spec)?,
+                input_dims: [dims[0], dims[1], dims[2], dims[3]],
+            });
+        } else {
+            self.cache = None;
+        }
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let cache = self.cache.as_ref().ok_or_else(|| missing_cache("conv2d"))?;
+        let [n, ci, h, w] = cache.input_dims;
+        let (ho, wo) = self.spec.output_hw(h, w);
+        if grad_output.dims() != [n, self.c_out, ho, wo] {
+            return Err(ShapeError::new(
+                "conv2d backward",
+                format!(
+                    "grad {} vs expected [{n}x{}x{ho}x{wo}]",
+                    grad_output.shape(),
+                    self.c_out
+                ),
+            ));
+        }
+        let k = self.spec.kernel;
+        // Rearrange grad [n, co, ho, wo] → [co, n·ho·wo] to match the GEMM layout.
+        let hw = ho * wo;
+        let mut gmat = Tensor::zeros(&[self.c_out, n * hw]);
+        {
+            let src = grad_output.data();
+            let dst = gmat.data_mut();
+            for b in 0..n {
+                for c in 0..self.c_out {
+                    let s = &src[(b * self.c_out + c) * hw..(b * self.c_out + c + 1) * hw];
+                    let d = &mut dst[c * n * hw + b * hw..c * n * hw + (b + 1) * hw];
+                    d.copy_from_slice(s);
+                }
+            }
+        }
+        // grad_w = gmat · colsᵀ  → [co, ci·k²]
+        let gw = matmul_bt(&gmat, &cache.cols)?;
+        self.weight
+            .grad
+            .axpy(1.0, &gw.reshape(&[self.c_out, ci, k, k])?)?;
+        // grad_b = row sums of gmat.
+        if let Some(bias) = &mut self.bias {
+            let gd = gmat.data();
+            for c in 0..self.c_out {
+                let row_sum: f32 = gd[c * n * hw..(c + 1) * n * hw].iter().sum();
+                bias.grad.data_mut()[c] += row_sum;
+            }
+        }
+        // grad_x = col2im(Wᵀ_mat · gmat).
+        let wmat = self.weight.value.reshape(&[self.c_out, ci * k * k])?;
+        // Wᵀ · gmat: [ci·k², n·ho·wo]
+        let gcols = matmul_at(&wmat, &gmat)?;
+        col2im(&gcols, n, ci, h, w, self.spec)
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
+        visitor(&mut self.weight);
+        if let Some(b) = &mut self.bias {
+            visitor(b);
+        }
+    }
+}
+
+/// Computes the output of a fixed (non-trainable) convolution; a thin
+/// re-export of [`alf_tensor::ops::conv2d`] that deployment code uses so it
+/// does not need the layer machinery.
+///
+/// # Errors
+///
+/// Propagates shape errors from the underlying kernel.
+pub fn conv2d_fixed(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    spec: Conv2dSpec,
+) -> Result<Tensor> {
+    conv2d(input, weight, bias, spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck;
+
+    fn mk(rng_seed: u64, bias: bool) -> Conv2d {
+        Conv2d::new(2, 3, 3, 1, 1, bias, Init::Rand, &mut Rng::new(rng_seed))
+    }
+
+    #[test]
+    fn forward_shape() {
+        let mut conv = Conv2d::new(3, 8, 3, 2, 1, false, Init::He, &mut Rng::new(0));
+        let y = conv
+            .forward(&Tensor::zeros(&[4, 3, 32, 32]), Mode::Eval)
+            .unwrap();
+        assert_eq!(y.dims(), &[4, 8, 16, 16]);
+    }
+
+    #[test]
+    fn backward_requires_forward() {
+        let mut conv = mk(1, false);
+        assert!(conv.backward(&Tensor::zeros(&[1, 3, 4, 4])).is_err());
+    }
+
+    #[test]
+    fn backward_validates_grad_shape() {
+        let mut conv = mk(2, false);
+        conv.forward(&Tensor::zeros(&[1, 2, 4, 4]), Mode::Train)
+            .unwrap();
+        assert!(conv.backward(&Tensor::zeros(&[1, 3, 5, 5])).is_err());
+    }
+
+    #[test]
+    fn eval_mode_does_not_cache() {
+        let mut conv = mk(3, false);
+        conv.forward(&Tensor::zeros(&[1, 2, 4, 4]), Mode::Eval)
+            .unwrap();
+        assert!(conv.backward(&Tensor::zeros(&[1, 3, 4, 4])).is_err());
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_differences() {
+        let mut rng = Rng::new(5);
+        let x = Tensor::randn(&[2, 2, 5, 5], Init::Rand, &mut rng);
+        let conv = mk(6, true);
+        let (analytic, numeric) = gradcheck::input_gradients(
+            &x,
+            |conv_in| {
+                let mut c = conv.clone();
+                let y = c.forward(conv_in, Mode::Train)?;
+                Ok(y.data().iter().map(|v| v * v).sum::<f32>() * 0.5)
+            },
+            |conv_in| {
+                let mut c = conv.clone();
+                let y = c.forward(conv_in, Mode::Train)?;
+                c.backward(&y) // d(0.5·Σy²)/dy = y
+            },
+        )
+        .unwrap();
+        gradcheck::assert_close(&analytic, &numeric, 2e-2);
+    }
+
+    #[test]
+    fn weight_gradient_matches_finite_differences() {
+        let mut rng = Rng::new(7);
+        let x = Tensor::randn(&[1, 2, 4, 4], Init::Rand, &mut rng);
+        let base = mk(8, false);
+        let w0 = base.weight().clone();
+        let (analytic, numeric) = gradcheck::input_gradients(
+            &w0,
+            |w| {
+                let mut c = base.clone();
+                c.set_weight(w.clone())?;
+                let y = c.forward(&x, Mode::Train)?;
+                Ok(y.data().iter().map(|v| v * v).sum::<f32>() * 0.5)
+            },
+            |w| {
+                let mut c = base.clone();
+                c.set_weight(w.clone())?;
+                let y = c.forward(&x, Mode::Train)?;
+                c.backward(&y)?;
+                Ok(c.weight_grad().clone())
+            },
+        )
+        .unwrap();
+        gradcheck::assert_close(&analytic, &numeric, 2e-2);
+    }
+
+    #[test]
+    fn bias_gradient_is_spatial_sum() {
+        let mut conv = Conv2d::new(1, 1, 1, 1, 0, true, Init::Zeros, &mut Rng::new(9));
+        let x = Tensor::ones(&[2, 1, 3, 3]);
+        conv.forward(&x, Mode::Train).unwrap();
+        conv.backward(&Tensor::ones(&[2, 1, 3, 3])).unwrap();
+        let mut grads = Vec::new();
+        conv.visit_params(&mut |p| grads.push(p.grad.clone()));
+        // grads[1] is the bias: 2 samples × 9 pixels.
+        assert_eq!(grads[1].data(), &[18.0]);
+    }
+
+    #[test]
+    fn set_weight_validates_shape() {
+        let mut conv = mk(10, false);
+        assert!(conv.set_weight(Tensor::zeros(&[3, 2, 3, 3])).is_ok());
+        assert!(conv.set_weight(Tensor::zeros(&[1, 1, 1, 1])).is_err());
+    }
+
+    #[test]
+    fn param_count_includes_bias() {
+        assert_eq!(mk(11, false).param_count(), 3 * 2 * 9);
+        assert_eq!(mk(12, true).param_count(), 3 * 2 * 9 + 3);
+    }
+
+    #[test]
+    fn without_weight_decay_clears_flag() {
+        let mut conv = mk(13, false).without_weight_decay();
+        let mut decays = Vec::new();
+        conv.visit_params(&mut |p| decays.push(p.decay));
+        assert_eq!(decays, vec![false]);
+    }
+}

@@ -1,0 +1,153 @@
+//! Inverted dropout.
+
+use alf_tensor::rng::Rng;
+use alf_tensor::Tensor;
+
+use crate::layer::{missing_cache, Layer, Mode};
+use crate::Result;
+
+/// Inverted dropout: during training each element is zeroed with
+/// probability `p` and survivors are scaled by `1/(1−p)`, so evaluation is
+/// the identity. The layer owns a deterministic RNG stream, keeping
+/// training runs reproducible.
+///
+/// # Example
+///
+/// ```
+/// use alf_nn::{dropout::Dropout, Layer, Mode};
+/// use alf_tensor::Tensor;
+///
+/// # fn main() -> alf_nn::Result<()> {
+/// let mut drop = Dropout::new(0.5, 7);
+/// let x = Tensor::ones(&[4, 4]);
+/// let eval = drop.forward(&x, Mode::Eval)?;
+/// assert_eq!(eval, x); // identity at evaluation time
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dropout {
+    p: f32,
+    rng: Rng,
+    mask: Option<Tensor>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `p ∈ [0, 1)`.
+    pub fn new(p: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "drop probability {p} ∉ [0, 1)");
+        Self {
+            p,
+            rng: Rng::new(seed ^ 0xd207),
+            mask: None,
+        }
+    }
+
+    /// The drop probability.
+    pub fn p(&self) -> f32 {
+        self.p
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        match mode {
+            Mode::Eval => {
+                self.mask = None;
+                Ok(input.clone())
+            }
+            Mode::Train => {
+                let keep = 1.0 - self.p;
+                let mask = Tensor::from_fn(input.dims(), |_| {
+                    if self.rng.next_f32() < self.p {
+                        0.0
+                    } else {
+                        1.0 / keep
+                    }
+                });
+                let out = input.mul(&mask)?;
+                self.mask = Some(mask);
+                Ok(out)
+            }
+        }
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let mask = self.mask.as_ref().ok_or_else(|| missing_cache("dropout"))?;
+        grad_output.mul(mask)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_is_identity() {
+        let mut d = Dropout::new(0.9, 0);
+        let x = Tensor::from_fn(&[3, 3], |i| i as f32);
+        assert_eq!(d.forward(&x, Mode::Eval).unwrap(), x);
+    }
+
+    #[test]
+    fn train_preserves_expectation() {
+        let mut d = Dropout::new(0.3, 1);
+        let x = Tensor::ones(&[10_000]);
+        let y = d.forward(&x, Mode::Train).unwrap();
+        // E[y] = 1; the mean over 10k elements should be close.
+        assert!((y.mean() - 1.0).abs() < 0.05, "mean {}", y.mean());
+        // Roughly 30% of elements dropped.
+        let dropped = y.count_near_zero(0.0) as f32 / y.len() as f32;
+        assert!((dropped - 0.3).abs() < 0.03, "dropped {dropped}");
+    }
+
+    #[test]
+    fn backward_uses_same_mask() {
+        let mut d = Dropout::new(0.5, 2);
+        let x = Tensor::ones(&[64]);
+        let y = d.forward(&x, Mode::Train).unwrap();
+        let g = d.backward(&Tensor::ones(&[64])).unwrap();
+        // Where the forward pass dropped, the gradient is zero; where it
+        // kept, the gradient equals the scale factor.
+        for (yo, go) in y.data().iter().zip(g.data()) {
+            assert_eq!(yo, go);
+        }
+    }
+
+    #[test]
+    fn backward_requires_forward() {
+        let mut d = Dropout::new(0.5, 3);
+        assert!(d.backward(&Tensor::zeros(&[1])).is_err());
+        // Eval forward clears the mask too.
+        d.forward(&Tensor::zeros(&[1]), Mode::Train).unwrap();
+        d.forward(&Tensor::zeros(&[1]), Mode::Eval).unwrap();
+        assert!(d.backward(&Tensor::zeros(&[1])).is_err());
+    }
+
+    #[test]
+    fn zero_probability_is_identity_in_train() {
+        let mut d = Dropout::new(0.0, 4);
+        let x = Tensor::from_fn(&[8], |i| i as f32);
+        assert_eq!(d.forward(&x, Mode::Train).unwrap(), x);
+    }
+
+    #[test]
+    #[should_panic(expected = "drop probability")]
+    fn rejects_p_of_one() {
+        Dropout::new(1.0, 5);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed| {
+            let mut d = Dropout::new(0.5, seed);
+            d.forward(&Tensor::ones(&[32]), Mode::Train).unwrap()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+}

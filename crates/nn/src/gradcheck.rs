@@ -1,0 +1,134 @@
+//! Finite-difference gradient verification.
+//!
+//! Every backward pass in the workspace is validated against central
+//! differences by the test-suite through [`input_gradients`]. The helper is
+//! public (not test-only) so that downstream crates — e.g. the ALF block in
+//! `alf-core` — can check their composite gradients too.
+
+use alf_tensor::Tensor;
+
+use crate::Result;
+
+/// Computes the analytic and numeric gradients of a scalar function.
+///
+/// * `loss` — evaluates the scalar objective at a given input.
+/// * `analytic` — returns the gradient the implementation claims.
+///
+/// The numeric gradient uses central differences with step `1e-3`, a good
+/// trade-off for `f32` arithmetic.
+///
+/// # Errors
+///
+/// Propagates errors from either closure.
+///
+/// # Example
+///
+/// ```
+/// use alf_nn::gradcheck;
+/// use alf_tensor::Tensor;
+///
+/// # fn main() -> alf_nn::Result<()> {
+/// let x = Tensor::from_vec(vec![1.0, -2.0], &[2])?;
+/// let (analytic, numeric) = gradcheck::input_gradients(
+///     &x,
+///     |x| Ok(x.sq_norm() * 0.5),
+///     |x| Ok(x.clone()),
+/// )?;
+/// gradcheck::assert_close(&analytic, &numeric, 1e-2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn input_gradients(
+    at: &Tensor,
+    mut loss: impl FnMut(&Tensor) -> Result<f32>,
+    mut analytic: impl FnMut(&Tensor) -> Result<Tensor>,
+) -> Result<(Tensor, Tensor)> {
+    const H: f32 = 1e-3;
+    let grad_analytic = analytic(at)?;
+    let mut grad_numeric = Tensor::zeros(at.dims());
+    let mut probe = at.clone();
+    for i in 0..at.len() {
+        let orig = probe.data()[i];
+        probe.data_mut()[i] = orig + H;
+        let up = loss(&probe)?;
+        probe.data_mut()[i] = orig - H;
+        let down = loss(&probe)?;
+        probe.data_mut()[i] = orig;
+        grad_numeric.data_mut()[i] = (up - down) / (2.0 * H);
+    }
+    Ok((grad_analytic, grad_numeric))
+}
+
+/// Asserts two gradients agree within a relative-or-absolute tolerance.
+///
+/// For each element the check is
+/// `|a − n| ≤ tol · max(1, |a|, |n|)` — absolute near zero, relative for
+/// large magnitudes.
+///
+/// # Panics
+///
+/// Panics (with the worst offending element) when any element violates the
+/// tolerance or the shapes differ.
+pub fn assert_close(analytic: &Tensor, numeric: &Tensor, tol: f32) {
+    assert_eq!(
+        analytic.dims(),
+        numeric.dims(),
+        "gradient shapes differ: {} vs {}",
+        analytic.shape(),
+        numeric.shape()
+    );
+    let mut worst = (0usize, 0.0f32);
+    for (i, (&a, &n)) in analytic
+        .data()
+        .iter()
+        .zip(numeric.data().iter())
+        .enumerate()
+    {
+        let scale = 1.0f32.max(a.abs()).max(n.abs());
+        let err = (a - n).abs() / scale;
+        if err > worst.1 {
+            worst = (i, err);
+        }
+    }
+    assert!(
+        worst.1 <= tol,
+        "gradient mismatch at element {}: analytic {} vs numeric {} (rel err {:.2e} > tol {:.1e})",
+        worst.0,
+        analytic.data()[worst.0],
+        numeric.data()[worst.0],
+        worst.1,
+        tol
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quadratic_gradient_checks() {
+        let x = Tensor::from_vec(vec![0.3, -1.2, 2.0], &[3]).unwrap();
+        let (a, n) =
+            input_gradients(&x, |x| Ok(x.sq_norm() * 0.5), |x| Ok(x.clone())).unwrap();
+        assert_close(&a, &n, 1e-2);
+    }
+
+    #[test]
+    #[should_panic(expected = "gradient mismatch")]
+    fn wrong_gradient_is_detected() {
+        let x = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        let (a, n) = input_gradients(
+            &x,
+            |x| Ok(x.sq_norm() * 0.5),
+            |x| Ok(x.scale(2.0)), // wrong by a factor of 2
+        )
+        .unwrap();
+        assert_close(&a, &n, 1e-2);
+    }
+
+    #[test]
+    #[should_panic(expected = "shapes differ")]
+    fn shape_mismatch_is_detected() {
+        assert_close(&Tensor::zeros(&[2]), &Tensor::zeros(&[3]), 1.0);
+    }
+}

@@ -1,0 +1,155 @@
+//! The layer contract shared by every trainable component.
+
+use alf_tensor::Tensor;
+
+use crate::Result;
+
+/// Forward-pass mode.
+///
+/// Batch normalisation behaves differently during training (batch
+/// statistics) and evaluation (running statistics); every layer receives the
+/// mode explicitly rather than holding hidden state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// Training: caches for backward are populated; BN uses batch stats.
+    Train,
+    /// Inference: no caches needed; BN uses running stats.
+    Eval,
+}
+
+/// A trainable parameter: value, accumulated gradient, and whether L2
+/// weight decay applies to it.
+///
+/// The paper applies weight decay to ordinary task parameters but explicitly
+/// *not* to the ALF block's `W`/`Wcode` (§III-B), hence the per-parameter
+/// `decay` flag.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Current value.
+    pub value: Tensor,
+    /// Gradient accumulated by the most recent backward pass.
+    pub grad: Tensor,
+    /// Whether the optimizer should apply L2 weight decay to this parameter.
+    pub decay: bool,
+}
+
+impl Param {
+    /// Creates a parameter with a zeroed gradient of matching shape.
+    pub fn new(value: Tensor, decay: bool) -> Self {
+        let grad = Tensor::zeros(value.dims());
+        Self { value, grad, decay }
+    }
+
+    /// Zeroes the accumulated gradient in place.
+    pub fn zero_grad(&mut self) {
+        self.grad.fill_zero();
+    }
+}
+
+/// A differentiable layer.
+///
+/// The contract is the classic cache-and-replay scheme: `forward(Train)`
+/// must store whatever `backward` will need; `backward` consumes the
+/// gradient w.r.t. the layer output, accumulates parameter gradients into
+/// its [`Param`]s and returns the gradient w.r.t. the layer input.
+///
+/// # Example
+///
+/// ```
+/// use alf_nn::{Activation, ActivationKind, Layer, Mode};
+/// use alf_tensor::Tensor;
+///
+/// # fn main() -> alf_nn::Result<()> {
+/// let mut relu = Activation::new(ActivationKind::Relu);
+/// let x = Tensor::from_vec(vec![-1.0, 2.0], &[1, 2])?;
+/// let y = relu.forward(&x, Mode::Train)?;
+/// assert_eq!(y.data(), &[0.0, 2.0]);
+/// let gx = relu.backward(&Tensor::ones(&[1, 2]))?;
+/// assert_eq!(gx.data(), &[0.0, 1.0]);
+/// # Ok(())
+/// # }
+/// ```
+pub trait Layer: std::fmt::Debug {
+    /// Computes the layer output.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the input shape is incompatible.
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor>;
+
+    /// Propagates `grad_output` back to the input, accumulating parameter
+    /// gradients.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when no forward pass was cached or shapes mismatch.
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor>;
+
+    /// Visits every trainable parameter in a stable order.
+    ///
+    /// The default implementation visits nothing (stateless layers).
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
+        let _ = visitor;
+    }
+
+    /// Zeroes all parameter gradients.
+    fn zero_grads(&mut self) {
+        self.visit_params(&mut |p| p.zero_grad());
+    }
+
+    /// Visits every tensor that constitutes the layer's persistent state —
+    /// trainable parameters plus non-trained buffers (e.g. batch-norm
+    /// running statistics) — in a stable order. This is the hook model
+    /// checkpointing uses; layers with extra buffers must override it.
+    fn visit_state(&mut self, visitor: &mut dyn FnMut(&mut Tensor)) {
+        self.visit_params(&mut |p| visitor(&mut p.value));
+    }
+
+    /// Number of trainable scalars in this layer.
+    fn param_count(&mut self) -> usize {
+        let mut n = 0;
+        self.visit_params(&mut |p| n += p.value.len());
+        n
+    }
+}
+
+/// Convenience: raises a "backward before forward" shape error.
+pub(crate) fn missing_cache(op: &str) -> alf_tensor::ShapeError {
+    alf_tensor::ShapeError::new(op, "backward called before forward")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn param_new_zeroes_grad() {
+        let p = Param::new(Tensor::ones(&[2, 2]), true);
+        assert_eq!(p.grad.sum(), 0.0);
+        assert_eq!(p.grad.dims(), p.value.dims());
+        assert!(p.decay);
+    }
+
+    #[test]
+    fn param_zero_grad_resets() {
+        let mut p = Param::new(Tensor::ones(&[3]), false);
+        p.grad = Tensor::full(&[3], 2.0);
+        p.zero_grad();
+        assert_eq!(p.grad.sum(), 0.0);
+    }
+
+    #[test]
+    fn default_visit_params_is_empty() {
+        #[derive(Debug)]
+        struct Null;
+        impl Layer for Null {
+            fn forward(&mut self, input: &Tensor, _: Mode) -> Result<Tensor> {
+                Ok(input.clone())
+            }
+            fn backward(&mut self, g: &Tensor) -> Result<Tensor> {
+                Ok(g.clone())
+            }
+        }
+        assert_eq!(Null.param_count(), 0);
+    }
+}

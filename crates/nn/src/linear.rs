@@ -1,0 +1,193 @@
+//! Fully-connected layer (the classifier head of every model in the zoo).
+
+use alf_tensor::init::Init;
+use alf_tensor::ops::{matmul, matmul_at, matmul_bt};
+use alf_tensor::rng::Rng;
+use alf_tensor::{ShapeError, Tensor};
+
+use crate::layer::{missing_cache, Layer, Mode, Param};
+use crate::Result;
+
+/// Affine layer `y = x·Wᵀ + b` with `x: [n, in]`, `W: [out, in]`.
+///
+/// # Example
+///
+/// ```
+/// use alf_nn::{Layer, Linear, Mode};
+/// use alf_tensor::{init::Init, rng::Rng, Tensor};
+///
+/// # fn main() -> alf_nn::Result<()> {
+/// let mut fc = Linear::new(64, 10, Init::Xavier, &mut Rng::new(0));
+/// let y = fc.forward(&Tensor::zeros(&[4, 64]), Mode::Eval)?;
+/// assert_eq!(y.dims(), &[4, 10]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Linear {
+    weight: Param,
+    bias: Param,
+    input: Option<Tensor>,
+}
+
+impl Linear {
+    /// Creates a linear layer with the given initialiser and zero bias.
+    pub fn new(in_features: usize, out_features: usize, init: Init, rng: &mut Rng) -> Self {
+        Self {
+            weight: Param::new(Tensor::randn(&[out_features, in_features], init, rng), true),
+            bias: Param::new(Tensor::zeros(&[out_features]), false),
+            input: None,
+        }
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.weight.value.dims()[1]
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.weight.value.dims()[0]
+    }
+
+    /// Read-only weight view.
+    pub fn weight(&self) -> &Tensor {
+        &self.weight.value
+    }
+}
+
+impl Layer for Linear {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        if input.shape().rank() != 2 || input.dims()[1] != self.in_features() {
+            return Err(ShapeError::new(
+                "linear",
+                format!(
+                    "input {} vs expected [n x {}]",
+                    input.shape(),
+                    self.in_features()
+                ),
+            ));
+        }
+        // y = x · Wᵀ
+        let mut out = matmul_bt(input, &self.weight.value)?;
+        let bd = self.bias.value.data().to_vec();
+        let cols = out.dims()[1];
+        for (i, v) in out.data_mut().iter_mut().enumerate() {
+            *v += bd[i % cols];
+        }
+        self.input = (mode == Mode::Train).then(|| input.clone());
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let input = self.input.as_ref().ok_or_else(|| missing_cache("linear"))?;
+        if grad_output.dims() != [input.dims()[0], self.out_features()] {
+            return Err(ShapeError::new(
+                "linear backward",
+                format!("grad {}", grad_output.shape()),
+            ));
+        }
+        // grad_W = gᵀ · x  → [out, in]
+        let gw = matmul_at(grad_output, input)?;
+        self.weight.grad.axpy(1.0, &gw)?;
+        // grad_b = column sums of g.
+        let (n, out_f) = (grad_output.dims()[0], grad_output.dims()[1]);
+        for i in 0..n {
+            for j in 0..out_f {
+                self.bias.grad.data_mut()[j] += grad_output.data()[i * out_f + j];
+            }
+        }
+        // grad_x = g · W
+        matmul(grad_output, &self.weight.value)
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
+        visitor(&mut self.weight);
+        visitor(&mut self.bias);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck;
+
+    #[test]
+    fn forward_affine() {
+        let mut fc = Linear::new(2, 2, Init::Zeros, &mut Rng::new(0));
+        let y = fc
+            .forward(
+                &Tensor::from_vec(vec![1.0, 2.0], &[1, 2]).unwrap(),
+                Mode::Eval,
+            )
+            .unwrap();
+        assert_eq!(y.data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        let mut fc = Linear::new(4, 2, Init::Zeros, &mut Rng::new(0));
+        assert!(fc.forward(&Tensor::zeros(&[1, 3]), Mode::Eval).is_err());
+        assert!(fc.forward(&Tensor::zeros(&[4]), Mode::Eval).is_err());
+    }
+
+    #[test]
+    fn input_gradcheck() {
+        let mut rng = Rng::new(1);
+        let x = Tensor::randn(&[3, 4], Init::Rand, &mut rng);
+        let base = Linear::new(4, 5, Init::Rand, &mut rng);
+        let (a, n) = gradcheck::input_gradients(
+            &x,
+            |x| {
+                let mut l = base.clone();
+                let y = l.forward(x, Mode::Train)?;
+                Ok(0.5 * y.sq_norm())
+            },
+            |x| {
+                let mut l = base.clone();
+                let y = l.forward(x, Mode::Train)?;
+                l.backward(&y)
+            },
+        )
+        .unwrap();
+        gradcheck::assert_close(&a, &n, 2e-2);
+    }
+
+    #[test]
+    fn weight_and_bias_gradcheck() {
+        let mut rng = Rng::new(2);
+        let x = Tensor::randn(&[2, 3], Init::Rand, &mut rng);
+        let base = Linear::new(3, 2, Init::Rand, &mut rng);
+        let w0 = base.weight().clone();
+        let (a, n) = gradcheck::input_gradients(
+            &w0,
+            |w| {
+                let mut l = base.clone();
+                l.weight.value = w.clone();
+                let y = l.forward(&x, Mode::Train)?;
+                Ok(0.5 * y.sq_norm())
+            },
+            |w| {
+                let mut l = base.clone();
+                l.weight.value = w.clone();
+                let y = l.forward(&x, Mode::Train)?;
+                l.backward(&y)?;
+                Ok(l.weight.grad.clone())
+            },
+        )
+        .unwrap();
+        gradcheck::assert_close(&a, &n, 2e-2);
+    }
+
+    #[test]
+    fn backward_requires_forward() {
+        let mut fc = Linear::new(2, 2, Init::Zeros, &mut Rng::new(0));
+        assert!(fc.backward(&Tensor::zeros(&[1, 2])).is_err());
+    }
+
+    #[test]
+    fn param_count() {
+        let mut fc = Linear::new(10, 4, Init::Zeros, &mut Rng::new(0));
+        assert_eq!(fc.param_count(), 44);
+    }
+}

@@ -1,0 +1,331 @@
+//! Batch normalisation over `NCHW` activations.
+
+use alf_tensor::{ShapeError, Tensor};
+
+use crate::layer::{missing_cache, Layer, Mode, Param};
+use crate::Result;
+
+/// 2-D batch normalisation with learnable scale/shift and running
+/// statistics for evaluation.
+///
+/// Normalises each channel over the `(n, h, w)` axes during training and
+/// over the tracked running statistics during evaluation. The paper's
+/// "BNinter" configuration inserts one of these between the ALF convolution
+/// and the expansion layer (Fig. 2a).
+///
+/// # Example
+///
+/// ```
+/// use alf_nn::{BatchNorm2d, Layer, Mode};
+/// use alf_tensor::Tensor;
+///
+/// # fn main() -> alf_nn::Result<()> {
+/// let mut bn = BatchNorm2d::new(3);
+/// let y = bn.forward(&Tensor::ones(&[2, 3, 4, 4]), Mode::Train)?;
+/// assert_eq!(y.dims(), &[2, 3, 4, 4]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct BatchNorm2d {
+    gamma: Param,
+    beta: Param,
+    running_mean: Tensor,
+    running_var: Tensor,
+    momentum: f32,
+    eps: f32,
+    cache: Option<Cache>,
+}
+
+#[derive(Debug, Clone)]
+struct Cache {
+    xhat: Tensor,
+    inv_std: Vec<f32>,
+}
+
+impl BatchNorm2d {
+    /// Creates a batch-norm layer for `channels` feature maps
+    /// (γ = 1, β = 0, momentum 0.9, ε = 1e-5).
+    pub fn new(channels: usize) -> Self {
+        Self {
+            gamma: Param::new(Tensor::ones(&[channels]), false),
+            beta: Param::new(Tensor::zeros(&[channels]), false),
+            running_mean: Tensor::zeros(&[channels]),
+            running_var: Tensor::ones(&[channels]),
+            momentum: 0.9,
+            eps: 1e-5,
+            cache: None,
+        }
+    }
+
+    /// Number of channels this layer normalises.
+    pub fn channels(&self) -> usize {
+        self.gamma.value.len()
+    }
+
+    /// Learnable per-channel scale γ.
+    pub fn scale(&self) -> &Tensor {
+        &self.gamma.value
+    }
+
+    /// Mutable per-channel scale γ (used by structured-pruning surgery to
+    /// silence channels).
+    pub fn scale_mut(&mut self) -> &mut Tensor {
+        &mut self.gamma.value
+    }
+
+    /// Learnable per-channel shift β.
+    pub fn shift(&self) -> &Tensor {
+        &self.beta.value
+    }
+
+    /// Mutable per-channel shift β.
+    pub fn shift_mut(&mut self) -> &mut Tensor {
+        &mut self.beta.value
+    }
+
+    /// Running mean tracked for evaluation.
+    pub fn running_mean(&self) -> &Tensor {
+        &self.running_mean
+    }
+
+    /// Running variance tracked for evaluation.
+    pub fn running_var(&self) -> &Tensor {
+        &self.running_var
+    }
+
+    fn check_input(&self, input: &Tensor) -> Result<(usize, usize, usize, usize)> {
+        match input.dims() {
+            &[n, c, h, w] if c == self.channels() => Ok((n, c, h, w)),
+            _ => Err(ShapeError::new(
+                "batchnorm2d",
+                format!("input {} vs {} channels", input.shape(), self.channels()),
+            )),
+        }
+    }
+}
+
+impl Layer for BatchNorm2d {
+    #[allow(clippy::needless_range_loop)] // `ch` addresses several per-channel buffers
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        let (n, c, h, w) = self.check_input(input)?;
+        let m = (n * h * w) as f32;
+        let hw = h * w;
+        let mut out = Tensor::zeros(input.dims());
+        match mode {
+            Mode::Train => {
+                let mut xhat = Tensor::zeros(input.dims());
+                let mut inv_stds = vec![0.0; c];
+                for ch in 0..c {
+                    let mut mean = 0.0;
+                    for b in 0..n {
+                        let plane = &input.data()[(b * c + ch) * hw..(b * c + ch + 1) * hw];
+                        mean += plane.iter().sum::<f32>();
+                    }
+                    mean /= m;
+                    let mut var = 0.0;
+                    for b in 0..n {
+                        let plane = &input.data()[(b * c + ch) * hw..(b * c + ch + 1) * hw];
+                        var += plane.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>();
+                    }
+                    var /= m;
+                    let inv_std = 1.0 / (var + self.eps).sqrt();
+                    inv_stds[ch] = inv_std;
+                    let (g, bta) = (self.gamma.value.data()[ch], self.beta.value.data()[ch]);
+                    for b in 0..n {
+                        let base = (b * c + ch) * hw;
+                        for i in 0..hw {
+                            let xh = (input.data()[base + i] - mean) * inv_std;
+                            xhat.data_mut()[base + i] = xh;
+                            out.data_mut()[base + i] = g * xh + bta;
+                        }
+                    }
+                    let rm = &mut self.running_mean.data_mut()[ch];
+                    *rm = self.momentum * *rm + (1.0 - self.momentum) * mean;
+                    let rv = &mut self.running_var.data_mut()[ch];
+                    *rv = self.momentum * *rv + (1.0 - self.momentum) * var;
+                }
+                self.cache = Some(Cache {
+                    xhat,
+                    inv_std: inv_stds,
+                });
+            }
+            Mode::Eval => {
+                self.cache = None;
+                for ch in 0..c {
+                    let mean = self.running_mean.data()[ch];
+                    let inv_std = 1.0 / (self.running_var.data()[ch] + self.eps).sqrt();
+                    let (g, bta) = (self.gamma.value.data()[ch], self.beta.value.data()[ch]);
+                    for b in 0..n {
+                        let base = (b * c + ch) * hw;
+                        for i in 0..hw {
+                            out.data_mut()[base + i] =
+                                g * (input.data()[base + i] - mean) * inv_std + bta;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let cache = self
+            .cache
+            .as_ref()
+            .ok_or_else(|| missing_cache("batchnorm2d"))?;
+        let (n, c, h, w) = self.check_input(grad_output)?;
+        cache
+            .xhat
+            .shape()
+            .expect_same(grad_output.shape(), "batchnorm2d backward")?;
+        let hw = h * w;
+        let m = (n * hw) as f32;
+        let mut grad_in = Tensor::zeros(grad_output.dims());
+        for ch in 0..c {
+            let g = self.gamma.value.data()[ch];
+            let inv_std = cache.inv_std[ch];
+            // Accumulate the channel sums needed by the closed-form gradient.
+            let mut sum_dy = 0.0;
+            let mut sum_dy_xhat = 0.0;
+            for b in 0..n {
+                let base = (b * c + ch) * hw;
+                for i in 0..hw {
+                    let dy = grad_output.data()[base + i];
+                    sum_dy += dy;
+                    sum_dy_xhat += dy * cache.xhat.data()[base + i];
+                }
+            }
+            self.gamma.grad.data_mut()[ch] += sum_dy_xhat;
+            self.beta.grad.data_mut()[ch] += sum_dy;
+            for b in 0..n {
+                let base = (b * c + ch) * hw;
+                for i in 0..hw {
+                    let dy = grad_output.data()[base + i];
+                    let xh = cache.xhat.data()[base + i];
+                    grad_in.data_mut()[base + i] =
+                        g * inv_std / m * (m * dy - sum_dy - xh * sum_dy_xhat);
+                }
+            }
+        }
+        Ok(grad_in)
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
+        visitor(&mut self.gamma);
+        visitor(&mut self.beta);
+    }
+
+    fn visit_state(&mut self, visitor: &mut dyn FnMut(&mut Tensor)) {
+        visitor(&mut self.gamma.value);
+        visitor(&mut self.beta.value);
+        visitor(&mut self.running_mean);
+        visitor(&mut self.running_var);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck;
+    use alf_tensor::init::Init;
+    use alf_tensor::rng::Rng;
+
+    #[test]
+    fn train_output_is_normalised() {
+        let mut rng = Rng::new(0);
+        let x = Tensor::randn(&[4, 2, 5, 5], Init::He, &mut rng);
+        let mut bn = BatchNorm2d::new(2);
+        let y = bn.forward(&x, Mode::Train).unwrap();
+        // Per-channel mean ≈ 0, var ≈ 1.
+        let hw = 25;
+        for ch in 0..2 {
+            let mut vals = Vec::new();
+            for b in 0..4 {
+                vals.extend_from_slice(&y.data()[(b * 2 + ch) * hw..(b * 2 + ch + 1) * hw]);
+            }
+            let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+            let var: f32 =
+                vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
+            assert!(mean.abs() < 1e-4, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "var {var}");
+        }
+    }
+
+    #[test]
+    fn eval_uses_running_stats() {
+        let mut bn = BatchNorm2d::new(1);
+        // Feed constant batches so running stats converge to (5, 0).
+        let x = Tensor::full(&[2, 1, 3, 3], 5.0);
+        for _ in 0..200 {
+            bn.forward(&x, Mode::Train).unwrap();
+        }
+        let y = bn.forward(&x, Mode::Eval).unwrap();
+        // (5 - ~5) / sqrt(~0 + eps) ≈ 0.
+        assert!(y.data().iter().all(|v| v.abs() < 0.05), "{:?}", &y.data()[..3]);
+    }
+
+    #[test]
+    fn rejects_wrong_channel_count() {
+        let mut bn = BatchNorm2d::new(3);
+        assert!(bn.forward(&Tensor::zeros(&[1, 2, 4, 4]), Mode::Train).is_err());
+        assert!(bn.forward(&Tensor::zeros(&[2, 4]), Mode::Train).is_err());
+    }
+
+    #[test]
+    fn input_gradcheck() {
+        let mut rng = Rng::new(1);
+        let x = Tensor::randn(&[3, 2, 3, 3], Init::He, &mut rng);
+        let base = {
+            let mut bn = BatchNorm2d::new(2);
+            // Non-trivial gamma/beta so the gradient exercises both.
+            bn.gamma.value = Tensor::from_vec(vec![1.5, 0.5], &[2]).unwrap();
+            bn.beta.value = Tensor::from_vec(vec![-0.3, 0.7], &[2]).unwrap();
+            bn
+        };
+        let target = Tensor::randn(x.dims(), Init::Rand, &mut rng);
+        let (a, n) = gradcheck::input_gradients(
+            &x,
+            |x| {
+                let mut bn = base.clone();
+                let y = bn.forward(x, Mode::Train)?;
+                let d = y.sub(&target)?;
+                Ok(0.5 * d.sq_norm())
+            },
+            |x| {
+                let mut bn = base.clone();
+                let y = bn.forward(x, Mode::Train)?;
+                bn.backward(&y.sub(&target)?)
+            },
+        )
+        .unwrap();
+        gradcheck::assert_close(&a, &n, 3e-2);
+    }
+
+    #[test]
+    fn gamma_beta_gradients() {
+        let mut rng = Rng::new(2);
+        let x = Tensor::randn(&[2, 1, 4, 4], Init::He, &mut rng);
+        let mut bn = BatchNorm2d::new(1);
+        let y = bn.forward(&x, Mode::Train).unwrap();
+        bn.backward(&Tensor::ones(y.dims())).unwrap();
+        // dβ = Σ dy = 32; dγ = Σ xhat ≈ 0 (normalised).
+        assert!((bn.beta.grad.data()[0] - 32.0).abs() < 1e-3);
+        assert!(bn.gamma.grad.data()[0].abs() < 1e-3);
+    }
+
+    #[test]
+    fn backward_requires_forward() {
+        let mut bn = BatchNorm2d::new(1);
+        assert!(bn.backward(&Tensor::zeros(&[1, 1, 2, 2])).is_err());
+    }
+
+    #[test]
+    fn params_are_not_decayed() {
+        let mut bn = BatchNorm2d::new(4);
+        let mut decays = Vec::new();
+        bn.visit_params(&mut |p| decays.push(p.decay));
+        assert_eq!(decays, vec![false, false]);
+        assert_eq!(bn.param_count(), 8);
+    }
+}

@@ -1,0 +1,432 @@
+//! Pooling layers: global average pooling (the head of ResNet/Plain
+//! networks) and max pooling (used by the ImageNet-geometry models).
+
+use alf_tensor::{ShapeError, Tensor};
+
+use crate::layer::{missing_cache, Layer, Mode};
+use crate::Result;
+
+/// Global average pooling: `[n, c, h, w] → [n, c]`.
+///
+/// # Example
+///
+/// ```
+/// use alf_nn::{pool::GlobalAvgPool, Layer, Mode};
+/// use alf_tensor::Tensor;
+///
+/// # fn main() -> alf_nn::Result<()> {
+/// let mut gap = GlobalAvgPool::new();
+/// let y = gap.forward(&Tensor::full(&[1, 2, 4, 4], 3.0), Mode::Eval)?;
+/// assert_eq!(y.data(), &[3.0, 3.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GlobalAvgPool {
+    input_dims: Option<[usize; 4]>,
+}
+
+impl GlobalAvgPool {
+    /// Creates a global average pooling layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for GlobalAvgPool {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        let [n, c, h, w] = rank4("global_avg_pool", input)?;
+        let hw = (h * w) as f32;
+        let mut out = Tensor::zeros(&[n, c]);
+        for b in 0..n {
+            for ch in 0..c {
+                let plane = &input.data()[(b * c + ch) * h * w..(b * c + ch + 1) * h * w];
+                out.data_mut()[b * c + ch] = plane.iter().sum::<f32>() / hw;
+            }
+        }
+        self.input_dims = (mode == Mode::Train).then_some([n, c, h, w]);
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let [n, c, h, w] = self
+            .input_dims
+            .ok_or_else(|| missing_cache("global_avg_pool"))?;
+        if grad_output.dims() != [n, c] {
+            return Err(ShapeError::new(
+                "global_avg_pool backward",
+                format!("grad {}", grad_output.shape()),
+            ));
+        }
+        let hw = (h * w) as f32;
+        let mut grad_in = Tensor::zeros(&[n, c, h, w]);
+        for b in 0..n {
+            for ch in 0..c {
+                let g = grad_output.data()[b * c + ch] / hw;
+                for v in
+                    &mut grad_in.data_mut()[(b * c + ch) * h * w..(b * c + ch + 1) * h * w]
+                {
+                    *v = g;
+                }
+            }
+        }
+        Ok(grad_in)
+    }
+}
+
+/// Max pooling with square window and equal stride (window = stride,
+/// the common "downsample by k" configuration).
+#[derive(Debug, Clone)]
+pub struct MaxPool2d {
+    window: usize,
+    argmax: Option<(Vec<usize>, [usize; 4])>,
+}
+
+impl MaxPool2d {
+    /// Creates a max-pool layer with the given square window/stride.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "window must be positive");
+        Self {
+            window,
+            argmax: None,
+        }
+    }
+
+    /// Window (and stride) size.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        let [n, c, h, w] = rank4("max_pool2d", input)?;
+        let k = self.window;
+        if h < k || w < k {
+            return Err(ShapeError::new(
+                "max_pool2d",
+                format!("input {h}x{w} smaller than window {k}"),
+            ));
+        }
+        let (ho, wo) = (h / k, w / k);
+        let mut out = Tensor::zeros(&[n, c, ho, wo]);
+        let mut argmax = vec![0usize; n * c * ho * wo];
+        for b in 0..n {
+            for ch in 0..c {
+                let plane = &input.data()[(b * c + ch) * h * w..(b * c + ch + 1) * h * w];
+                for oy in 0..ho {
+                    for ox in 0..wo {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = 0;
+                        for dy in 0..k {
+                            for dx in 0..k {
+                                let idx = (oy * k + dy) * w + ox * k + dx;
+                                if plane[idx] > best {
+                                    best = plane[idx];
+                                    best_idx = idx;
+                                }
+                            }
+                        }
+                        let o = ((b * c + ch) * ho + oy) * wo + ox;
+                        out.data_mut()[o] = best;
+                        argmax[o] = best_idx;
+                    }
+                }
+            }
+        }
+        self.argmax = (mode == Mode::Train).then_some((argmax, [n, c, h, w]));
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let (argmax, [n, c, h, w]) = self
+            .argmax
+            .as_ref()
+            .ok_or_else(|| missing_cache("max_pool2d"))?;
+        let k = self.window;
+        let (ho, wo) = (h / k, w / k);
+        if grad_output.dims() != [*n, *c, ho, wo] {
+            return Err(ShapeError::new(
+                "max_pool2d backward",
+                format!("grad {}", grad_output.shape()),
+            ));
+        }
+        let mut grad_in = Tensor::zeros(&[*n, *c, *h, *w]);
+        for b in 0..*n {
+            for ch in 0..*c {
+                let plane_base = (b * c + ch) * h * w;
+                for o_local in 0..ho * wo {
+                    let o = (b * c + ch) * ho * wo + o_local;
+                    grad_in.data_mut()[plane_base + argmax[o]] += grad_output.data()[o];
+                }
+            }
+        }
+        Ok(grad_in)
+    }
+}
+
+/// Average pooling with square window and equal stride.
+#[derive(Debug, Clone)]
+pub struct AvgPool2d {
+    window: usize,
+    input_dims: Option<[usize; 4]>,
+}
+
+impl AvgPool2d {
+    /// Creates an average-pool layer with the given square window/stride.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "window must be positive");
+        Self {
+            window,
+            input_dims: None,
+        }
+    }
+
+    /// Window (and stride) size.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+}
+
+impl Layer for AvgPool2d {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        let [n, c, h, w] = rank4("avg_pool2d", input)?;
+        let k = self.window;
+        if h < k || w < k {
+            return Err(ShapeError::new(
+                "avg_pool2d",
+                format!("input {h}x{w} smaller than window {k}"),
+            ));
+        }
+        let (ho, wo) = (h / k, w / k);
+        let inv = 1.0 / (k * k) as f32;
+        let mut out = Tensor::zeros(&[n, c, ho, wo]);
+        for b in 0..n {
+            for ch in 0..c {
+                let plane = &input.data()[(b * c + ch) * h * w..(b * c + ch + 1) * h * w];
+                for oy in 0..ho {
+                    for ox in 0..wo {
+                        let mut acc = 0.0;
+                        for dy in 0..k {
+                            for dx in 0..k {
+                                acc += plane[(oy * k + dy) * w + ox * k + dx];
+                            }
+                        }
+                        *out.at_mut(&[b, ch, oy, ox]) = acc * inv;
+                    }
+                }
+            }
+        }
+        self.input_dims = (mode == Mode::Train).then_some([n, c, h, w]);
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let [n, c, h, w] = self
+            .input_dims
+            .ok_or_else(|| missing_cache("avg_pool2d"))?;
+        let k = self.window;
+        let (ho, wo) = (h / k, w / k);
+        if grad_output.dims() != [n, c, ho, wo] {
+            return Err(ShapeError::new(
+                "avg_pool2d backward",
+                format!("grad {}", grad_output.shape()),
+            ));
+        }
+        let inv = 1.0 / (k * k) as f32;
+        let mut grad_in = Tensor::zeros(&[n, c, h, w]);
+        for b in 0..n {
+            for ch in 0..c {
+                for oy in 0..ho {
+                    for ox in 0..wo {
+                        let g = grad_output.at(&[b, ch, oy, ox]) * inv;
+                        for dy in 0..k {
+                            for dx in 0..k {
+                                *grad_in.at_mut(&[b, ch, oy * k + dy, ox * k + dx]) += g;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(grad_in)
+    }
+}
+
+/// Flattens `[n, c, h, w]` (or any rank ≥ 2) into `[n, rest]`.
+#[derive(Debug, Clone, Default)]
+pub struct Flatten {
+    input_dims: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        if input.shape().rank() < 2 {
+            return Err(ShapeError::new(
+                "flatten",
+                format!("expected rank ≥ 2, got {}", input.shape()),
+            ));
+        }
+        let n = input.dims()[0];
+        let rest = input.len() / n;
+        self.input_dims = (mode == Mode::Train).then(|| input.dims().to_vec());
+        input.reshape(&[n, rest])
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let dims = self
+            .input_dims
+            .as_ref()
+            .ok_or_else(|| missing_cache("flatten"))?;
+        grad_output.reshape(dims)
+    }
+}
+
+fn rank4(op: &str, t: &Tensor) -> Result<[usize; 4]> {
+    match t.dims() {
+        &[a, b, c, d] => Ok([a, b, c, d]),
+        _ => Err(ShapeError::new(
+            op,
+            format!("expected rank-4 tensor, got {}", t.shape()),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck;
+    use alf_tensor::init::Init;
+    use alf_tensor::rng::Rng;
+
+    #[test]
+    fn gap_averages_planes() {
+        let x = Tensor::from_fn(&[1, 1, 2, 2], |i| i as f32);
+        let mut gap = GlobalAvgPool::new();
+        let y = gap.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(y.data(), &[1.5]);
+    }
+
+    #[test]
+    fn gap_backward_spreads_uniformly() {
+        let mut gap = GlobalAvgPool::new();
+        gap.forward(&Tensor::zeros(&[1, 1, 2, 2]), Mode::Train)
+            .unwrap();
+        let g = gap
+            .backward(&Tensor::from_vec(vec![4.0], &[1, 1]).unwrap())
+            .unwrap();
+        assert_eq!(g.data(), &[1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn gap_gradcheck() {
+        let mut rng = Rng::new(0);
+        let x = Tensor::randn(&[2, 3, 3, 3], Init::Rand, &mut rng);
+        let (a, n) = gradcheck::input_gradients(
+            &x,
+            |x| {
+                let mut l = GlobalAvgPool::new();
+                let y = l.forward(x, Mode::Train)?;
+                Ok(0.5 * y.sq_norm())
+            },
+            |x| {
+                let mut l = GlobalAvgPool::new();
+                let y = l.forward(x, Mode::Train)?;
+                l.backward(&y)
+            },
+        )
+        .unwrap();
+        gradcheck::assert_close(&a, &n, 1e-2);
+    }
+
+    #[test]
+    fn maxpool_selects_max() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]).unwrap();
+        let mut mp = MaxPool2d::new(2);
+        let y = mp.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.data(), &[4.0]);
+        let g = mp
+            .backward(&Tensor::from_vec(vec![1.0], &[1, 1, 1, 1]).unwrap())
+            .unwrap();
+        assert_eq!(g.data(), &[0.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn maxpool_rejects_small_input() {
+        let mut mp = MaxPool2d::new(3);
+        assert!(mp.forward(&Tensor::zeros(&[1, 1, 2, 2]), Mode::Eval).is_err());
+    }
+
+    #[test]
+    fn avgpool_averages_windows() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]).unwrap();
+        let mut ap = AvgPool2d::new(2);
+        let y = ap.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.data(), &[2.5]);
+        let g = ap
+            .backward(&Tensor::from_vec(vec![4.0], &[1, 1, 1, 1]).unwrap())
+            .unwrap();
+        assert_eq!(g.data(), &[1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn avgpool_gradcheck() {
+        let mut rng = Rng::new(4);
+        let x = Tensor::randn(&[1, 2, 4, 4], Init::Rand, &mut rng);
+        let (a, n) = gradcheck::input_gradients(
+            &x,
+            |x| {
+                let mut l = AvgPool2d::new(2);
+                let y = l.forward(x, Mode::Train)?;
+                Ok(0.5 * y.sq_norm())
+            },
+            |x| {
+                let mut l = AvgPool2d::new(2);
+                let y = l.forward(x, Mode::Train)?;
+                l.backward(&y)
+            },
+        )
+        .unwrap();
+        gradcheck::assert_close(&a, &n, 1e-2);
+    }
+
+    #[test]
+    fn avgpool_rejects_small_input() {
+        let mut ap = AvgPool2d::new(3);
+        assert!(ap.forward(&Tensor::zeros(&[1, 1, 2, 2]), Mode::Eval).is_err());
+        assert!(ap.backward(&Tensor::zeros(&[1, 1, 1, 1])).is_err());
+    }
+
+    #[test]
+    fn flatten_round_trips() {
+        let x = Tensor::from_fn(&[2, 3, 2, 2], |i| i as f32);
+        let mut fl = Flatten::new();
+        let y = fl.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.dims(), &[2, 12]);
+        let g = fl.backward(&y).unwrap();
+        assert_eq!(g.dims(), x.dims());
+        assert_eq!(g.data(), x.data());
+    }
+
+    #[test]
+    fn backward_requires_forward() {
+        assert!(GlobalAvgPool::new().backward(&Tensor::zeros(&[1, 1])).is_err());
+        assert!(MaxPool2d::new(2).backward(&Tensor::zeros(&[1, 1, 1, 1])).is_err());
+        assert!(Flatten::new().backward(&Tensor::zeros(&[1, 1])).is_err());
+    }
+}

@@ -1,0 +1,157 @@
+//! Sequential container chaining layers.
+
+use alf_tensor::Tensor;
+
+use crate::layer::{Layer, Mode};
+use crate::Result;
+
+/// A chain of boxed layers executed in order; backward runs in reverse.
+///
+/// # Example
+///
+/// ```
+/// use alf_nn::{Activation, ActivationKind, Layer, Linear, Mode, Sequential};
+/// use alf_tensor::{init::Init, rng::Rng, Tensor};
+///
+/// # fn main() -> alf_nn::Result<()> {
+/// let mut rng = Rng::new(0);
+/// let mut mlp = Sequential::new();
+/// mlp.push(Linear::new(4, 8, Init::He, &mut rng));
+/// mlp.push(Activation::new(ActivationKind::Relu));
+/// mlp.push(Linear::new(8, 2, Init::Xavier, &mut rng));
+/// let y = mlp.forward(&Tensor::zeros(&[3, 4]), Mode::Eval)?;
+/// assert_eq!(y.dims(), &[3, 2]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// Creates an empty container.
+    pub fn new() -> Self {
+        Self { layers: Vec::new() }
+    }
+
+    /// Appends a layer.
+    pub fn push(&mut self, layer: impl Layer + 'static) {
+        self.layers.push(Box::new(layer));
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// `true` when the container holds no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Immutable access to the layer list.
+    pub fn layers(&self) -> &[Box<dyn Layer>] {
+        &self.layers
+    }
+
+    /// Mutable access to a layer by index.
+    pub fn layer_mut(&mut self, index: usize) -> Option<&mut Box<dyn Layer>> {
+        self.layers.get_mut(index)
+    }
+}
+
+impl Layer for Sequential {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x, mode)?;
+        }
+        Ok(x)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let mut g = grad_output.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g)?;
+        }
+        Ok(g)
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut crate::Param)) {
+        for layer in &mut self.layers {
+            layer.visit_params(visitor);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::{Activation, ActivationKind};
+    use crate::gradcheck;
+    use crate::linear::Linear;
+    use alf_tensor::init::Init;
+    use alf_tensor::rng::Rng;
+
+    fn mlp(seed: u64) -> Sequential {
+        let mut rng = Rng::new(seed);
+        let mut s = Sequential::new();
+        s.push(Linear::new(3, 5, Init::Rand, &mut rng));
+        s.push(Activation::new(ActivationKind::Tanh));
+        s.push(Linear::new(5, 2, Init::Rand, &mut rng));
+        s
+    }
+
+    #[test]
+    fn empty_sequential_is_identity() {
+        let mut s = Sequential::new();
+        assert!(s.is_empty());
+        let x = Tensor::from_fn(&[2, 2], |i| i as f32);
+        assert_eq!(s.forward(&x, Mode::Eval).unwrap(), x);
+    }
+
+    #[test]
+    fn forward_chains_and_counts_params() {
+        let mut s = mlp(0);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.param_count(), 3 * 5 + 5 + 5 * 2 + 2);
+        let y = s.forward(&Tensor::zeros(&[4, 3]), Mode::Eval).unwrap();
+        assert_eq!(y.dims(), &[4, 2]);
+    }
+
+    #[test]
+    fn end_to_end_gradcheck() {
+        let mut rng = Rng::new(9);
+        let x = Tensor::randn(&[2, 3], Init::Rand, &mut rng);
+        let (a, n) = gradcheck::input_gradients(
+            &x,
+            |x| {
+                let mut s = mlp(1);
+                let y = s.forward(x, Mode::Train)?;
+                Ok(0.5 * y.sq_norm())
+            },
+            |x| {
+                let mut s = mlp(1);
+                let y = s.forward(x, Mode::Train)?;
+                s.backward(&y)
+            },
+        )
+        .unwrap();
+        gradcheck::assert_close(&a, &n, 2e-2);
+    }
+
+    #[test]
+    fn zero_grads_clears_all() {
+        let mut s = mlp(2);
+        let y = s.forward(&Tensor::ones(&[1, 3]), Mode::Train).unwrap();
+        s.backward(&y).unwrap();
+        let mut any_nonzero = false;
+        s.visit_params(&mut |p| any_nonzero |= p.grad.sq_norm() > 0.0);
+        assert!(any_nonzero);
+        s.zero_grads();
+        let mut total = 0.0;
+        s.visit_params(&mut |p| total += p.grad.sq_norm());
+        assert_eq!(total, 0.0);
+    }
+}

@@ -1,0 +1,131 @@
+//! Straight-through estimator (STE) primitives.
+//!
+//! The ALF training scheme uses the STE in two places (paper Eq. 5/6):
+//!
+//! 1. **Task player** — the gradient w.r.t. the code `∂Ltask/∂Wcode` is
+//!    applied *directly* to the raw filters `W`, skipping the encoder
+//!    matmul and the mask Hadamard product. In code this is simply: take
+//!    the weight-gradient the convolution accumulated on `Wcode` and add it
+//!    to `W`'s gradient unchanged.
+//! 2. **Autoencoder player** — the mask update `∂Lae/∂M` treats the
+//!    non-differentiable clip `Mprune = 1{|m| > t}·m` as identity.
+//!
+//! This module provides the forward-side functions ([`clip`],
+//! [`clip_tensor`]) plus [`l1_subgradient`], the `sign`-based gradient of
+//! the mask regulariser `Lprune = 1/Co·Σ|m|`.
+
+use alf_tensor::Tensor;
+
+/// Hard clipping gate: returns `m` when `|m| > t`, else `0`.
+///
+/// Gradient convention (STE): treat as identity everywhere. The clip lets
+/// the optimizer drive mask entries through the dead zone and *recover* a
+/// channel later — the property the paper highlights over hard pruning.
+///
+/// # Example
+///
+/// ```
+/// use alf_nn::ste::clip;
+///
+/// assert_eq!(clip(0.5, 0.1), 0.5);
+/// assert_eq!(clip(0.05, 0.1), 0.0);
+/// assert_eq!(clip(-0.5, 0.1), -0.5);
+/// ```
+pub fn clip(m: f32, t: f32) -> f32 {
+    if m.abs() > t {
+        m
+    } else {
+        0.0
+    }
+}
+
+/// Elementwise [`clip`] over a tensor.
+pub fn clip_tensor(m: &Tensor, t: f32) -> Tensor {
+    m.map(|x| clip(x, t))
+}
+
+/// Fraction of entries zeroed by the clip at threshold `t` — the paper's
+/// zero-fraction `θ = Ccode,zero / Ccode`.
+pub fn zero_fraction(m: &Tensor, t: f32) -> f32 {
+    if m.is_empty() {
+        return 0.0;
+    }
+    m.data().iter().filter(|x| x.abs() <= t).count() as f32 / m.len() as f32
+}
+
+/// Subgradient of `mean(|m|)` — `sign(m)/len` — used for `∂Lprune/∂M`.
+///
+/// At exactly zero the subgradient is taken as `0`.
+pub fn l1_subgradient(m: &Tensor) -> Tensor {
+    let n = m.len().max(1) as f32;
+    m.map(|x| {
+        if x > 0.0 {
+            1.0 / n
+        } else if x < 0.0 {
+            -1.0 / n
+        } else {
+            0.0
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clip_gates_small_values() {
+        assert_eq!(clip(0.2, 0.1), 0.2);
+        assert_eq!(clip(-0.2, 0.1), -0.2);
+        assert_eq!(clip(0.1, 0.1), 0.0); // boundary is inclusive-zero
+        assert_eq!(clip(0.0, 0.1), 0.0);
+    }
+
+    #[test]
+    fn clip_tensor_elementwise() {
+        let m = Tensor::from_vec(vec![0.5, 0.01, -0.3, -0.005], &[4]).unwrap();
+        let c = clip_tensor(&m, 0.05);
+        assert_eq!(c.data(), &[0.5, 0.0, -0.3, 0.0]);
+    }
+
+    #[test]
+    fn zero_fraction_counts_clipped() {
+        let m = Tensor::from_vec(vec![0.5, 0.01, -0.3, -0.005], &[4]).unwrap();
+        assert_eq!(zero_fraction(&m, 0.05), 0.5);
+        assert_eq!(zero_fraction(&m, 1.0), 1.0);
+        assert_eq!(zero_fraction(&Tensor::zeros(&[0]), 0.1), 0.0);
+    }
+
+    #[test]
+    fn l1_subgradient_is_scaled_sign() {
+        let m = Tensor::from_vec(vec![2.0, -3.0, 0.0, 1.0], &[4]).unwrap();
+        let g = l1_subgradient(&m);
+        assert_eq!(g.data(), &[0.25, -0.25, 0.0, 0.25]);
+    }
+
+    #[test]
+    fn l1_subgradient_matches_finite_difference_away_from_zero() {
+        use crate::gradcheck;
+        let m = Tensor::from_vec(vec![0.7, -1.2, 0.4], &[3]).unwrap();
+        let (a, n) = gradcheck::input_gradients(
+            &m,
+            |m| Ok(m.mean_abs()),
+            |m| Ok(l1_subgradient(m)),
+        )
+        .unwrap();
+        gradcheck::assert_close(&a, &n, 1e-2);
+    }
+
+    #[test]
+    fn clipped_channels_can_recover() {
+        // An entry inside the dead zone still receives (STE) gradient, so a
+        // few gradient ascent steps push it back above the threshold.
+        let t = 0.1;
+        let mut m = 0.02; // clipped: contributes nothing to the forward pass
+        assert_eq!(clip(m, t), 0.0);
+        for _ in 0..10 {
+            m += 0.05; // pretend the task benefits from this channel
+        }
+        assert!(clip(m, t) > 0.0, "channel should have recovered");
+    }
+}

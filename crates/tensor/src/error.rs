@@ -1,0 +1,77 @@
+use std::fmt;
+
+/// Error returned when tensor shapes are incompatible with an operation.
+///
+/// The error carries the operation name and a human-readable description of
+/// the offending shapes so that failures deep inside a training loop are
+/// diagnosable without a debugger.
+///
+/// # Example
+///
+/// ```
+/// use alf_tensor::{Tensor, ops};
+///
+/// let a = Tensor::zeros(&[2, 3]);
+/// let b = Tensor::zeros(&[4, 5]);
+/// let err = ops::matmul(&a, &b).unwrap_err();
+/// assert!(err.to_string().contains("matmul"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeError {
+    op: String,
+    detail: String,
+}
+
+impl ShapeError {
+    /// Creates a new shape error for operation `op` with a free-form detail.
+    pub fn new(op: impl Into<String>, detail: impl Into<String>) -> Self {
+        Self {
+            op: op.into(),
+            detail: detail.into(),
+        }
+    }
+
+    /// The name of the operation that rejected the shapes.
+    pub fn op(&self) -> &str {
+        &self.op
+    }
+
+    /// Human-readable description of the mismatch.
+    pub fn detail(&self) -> &str {
+        &self.detail
+    }
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "shape mismatch in {}: {}", self.op, self.detail)
+    }
+}
+
+impl std::error::Error for ShapeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_op_and_detail() {
+        let e = ShapeError::new("matmul", "2x3 vs 4x5");
+        let s = e.to_string();
+        assert!(s.contains("matmul"));
+        assert!(s.contains("2x3 vs 4x5"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ShapeError>();
+    }
+
+    #[test]
+    fn accessors_round_trip() {
+        let e = ShapeError::new("conv2d", "bad kernel");
+        assert_eq!(e.op(), "conv2d");
+        assert_eq!(e.detail(), "bad kernel");
+    }
+}

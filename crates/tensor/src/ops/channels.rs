@@ -1,0 +1,142 @@
+use crate::{ShapeError, Tensor};
+
+/// Concatenates two `NCHW` tensors along the channel axis.
+///
+/// # Errors
+///
+/// Returns an error unless both tensors are rank 4 and agree on batch and
+/// spatial dimensions.
+///
+/// # Example
+///
+/// ```
+/// use alf_tensor::{ops::concat_channels, Tensor};
+///
+/// # fn main() -> Result<(), alf_tensor::ShapeError> {
+/// let a = Tensor::ones(&[1, 2, 3, 3]);
+/// let b = Tensor::zeros(&[1, 1, 3, 3]);
+/// let c = concat_channels(&a, &b)?;
+/// assert_eq!(c.dims(), &[1, 3, 3, 3]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn concat_channels(a: &Tensor, b: &Tensor) -> Result<Tensor, ShapeError> {
+    let (na, ca, ha, wa) = rank4("concat_channels", a)?;
+    let (nb, cb, hb, wb) = rank4("concat_channels", b)?;
+    if na != nb || ha != hb || wa != wb {
+        return Err(ShapeError::new(
+            "concat_channels",
+            format!("{} vs {}", a.shape(), b.shape()),
+        ));
+    }
+    let plane = ha * wa;
+    let mut out = Tensor::zeros(&[na, ca + cb, ha, wa]);
+    let dst = out.data_mut();
+    for n in 0..na {
+        let dst_base = n * (ca + cb) * plane;
+        dst[dst_base..dst_base + ca * plane]
+            .copy_from_slice(&a.data()[n * ca * plane..(n + 1) * ca * plane]);
+        dst[dst_base + ca * plane..dst_base + (ca + cb) * plane]
+            .copy_from_slice(&b.data()[n * cb * plane..(n + 1) * cb * plane]);
+    }
+    Ok(out)
+}
+
+/// Splits an `NCHW` tensor into its first `c_first` channels and the rest
+/// — the adjoint of [`concat_channels`], used by branch-merge backward
+/// passes.
+///
+/// # Errors
+///
+/// Returns an error unless the tensor is rank 4 and
+/// `0 < c_first < channels`.
+pub fn split_channels(t: &Tensor, c_first: usize) -> Result<(Tensor, Tensor), ShapeError> {
+    let (n, c, h, w) = rank4("split_channels", t)?;
+    if c_first == 0 || c_first >= c {
+        return Err(ShapeError::new(
+            "split_channels",
+            format!("cannot split {c} channels at {c_first}"),
+        ));
+    }
+    let plane = h * w;
+    let c_rest = c - c_first;
+    let mut first = Tensor::zeros(&[n, c_first, h, w]);
+    let mut rest = Tensor::zeros(&[n, c_rest, h, w]);
+    for b in 0..n {
+        let src_base = b * c * plane;
+        first.data_mut()[b * c_first * plane..(b + 1) * c_first * plane]
+            .copy_from_slice(&t.data()[src_base..src_base + c_first * plane]);
+        rest.data_mut()[b * c_rest * plane..(b + 1) * c_rest * plane]
+            .copy_from_slice(&t.data()[src_base + c_first * plane..src_base + c * plane]);
+    }
+    Ok((first, rest))
+}
+
+fn rank4(op: &str, t: &Tensor) -> Result<(usize, usize, usize, usize), ShapeError> {
+    match t.dims() {
+        &[n, c, h, w] => Ok((n, c, h, w)),
+        _ => Err(ShapeError::new(
+            op,
+            format!("expected rank-4 tensor, got {}", t.shape()),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::Init;
+    use crate::rng::Rng;
+
+    #[test]
+    fn concat_then_split_round_trips() {
+        let mut rng = Rng::new(0);
+        let a = Tensor::randn(&[2, 3, 4, 4], Init::Rand, &mut rng);
+        let b = Tensor::randn(&[2, 5, 4, 4], Init::Rand, &mut rng);
+        let c = concat_channels(&a, &b).unwrap();
+        assert_eq!(c.dims(), &[2, 8, 4, 4]);
+        let (a2, b2) = split_channels(&c, 3).unwrap();
+        assert_eq!(a, a2);
+        assert_eq!(b, b2);
+    }
+
+    #[test]
+    fn concat_preserves_values_at_indices() {
+        let a = Tensor::from_fn(&[1, 1, 2, 2], |i| i as f32);
+        let b = Tensor::from_fn(&[1, 1, 2, 2], |i| 10.0 + i as f32);
+        let c = concat_channels(&a, &b).unwrap();
+        assert_eq!(c.at(&[0, 0, 1, 1]), 3.0);
+        assert_eq!(c.at(&[0, 1, 0, 0]), 10.0);
+    }
+
+    #[test]
+    fn concat_validates_shapes() {
+        let a = Tensor::zeros(&[1, 2, 4, 4]);
+        assert!(concat_channels(&a, &Tensor::zeros(&[2, 2, 4, 4])).is_err());
+        assert!(concat_channels(&a, &Tensor::zeros(&[1, 2, 3, 4])).is_err());
+        assert!(concat_channels(&a, &Tensor::zeros(&[2, 4, 4])).is_err());
+    }
+
+    #[test]
+    fn split_validates_boundary() {
+        let t = Tensor::zeros(&[1, 4, 2, 2]);
+        assert!(split_channels(&t, 0).is_err());
+        assert!(split_channels(&t, 4).is_err());
+        assert!(split_channels(&t, 5).is_err());
+        assert!(split_channels(&Tensor::zeros(&[4, 2, 2]), 1).is_err());
+    }
+
+    #[test]
+    fn adjoint_property_holds() {
+        // <concat(a,b), y> == <a, y_first> + <b, y_rest>
+        let mut rng = Rng::new(1);
+        let a = Tensor::randn(&[1, 2, 3, 3], Init::Rand, &mut rng);
+        let b = Tensor::randn(&[1, 3, 3, 3], Init::Rand, &mut rng);
+        let cat = concat_channels(&a, &b).unwrap();
+        let y = Tensor::randn(cat.dims(), Init::Rand, &mut rng);
+        let (ya, yb) = split_channels(&y, 2).unwrap();
+        let lhs = cat.dot(&y).unwrap();
+        let rhs = a.dot(&ya).unwrap() + b.dot(&yb).unwrap();
+        assert!((lhs - rhs).abs() < 1e-4);
+    }
+}

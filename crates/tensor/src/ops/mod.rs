@@ -1,0 +1,15 @@
+//! Numerical kernels: matrix multiplication and im2col-based convolution.
+//!
+//! The convolution entry points operate on `NCHW` activations and
+//! `[c_out, c_in, k, k]` weights and are shared by the forward *and*
+//! backward passes of [`alf-nn`](https://example.invalid/alf): the backward
+//! pass is expressed as matmuls against the saved column matrix plus a
+//! [`col2im`] scatter.
+
+mod channels;
+mod conv;
+mod matmul;
+
+pub use channels::{concat_channels, split_channels};
+pub use conv::{col2im, conv2d, conv_output_hw, im2col, Conv2dSpec};
+pub use matmul::{matmul, matmul_at, matmul_bt};

@@ -1,0 +1,166 @@
+//! Compares the compression baselines on one trained model: structured
+//! magnitude pruning, FPGM, the AMC-style learned policy, LCNN dictionary
+//! sharing, and ALF — accuracy vs chained Params/OPs.
+//!
+//! Run with: `cargo run --release --example baseline_comparison`
+
+use alf::baselines::api::{apply_keep_ratios, chained_cost};
+use alf::baselines::{lcnn, AmcAgent, AmcConfig};
+use alf::core::block::AlfBlockConfig;
+use alf::core::models::{plain20, plain20_alf};
+use alf::core::train::{evaluate, AlfHyper, AlfTrainer};
+use alf::core::{deploy, NetworkCost};
+use alf::data::{Split, SynthVision};
+use alf::nn::LrSchedule;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let data = SynthVision::cifar_like(31)
+        .with_image_size(16)
+        .with_max_shift(1)
+        .with_num_classes(4)
+        .with_train_size(256)
+        .with_test_size(96)
+        .build()?;
+    let hyper = AlfHyper {
+        task_lr: 0.05,
+        batch_size: 16,
+        ae_lr: 5e-2,
+        ae_steps_per_batch: 8,
+        lr_schedule: LrSchedule::Step {
+            every: 12,
+            gamma: 0.1,
+        },
+        ..AlfHyper::default()
+    };
+    println!("training the reference Plain-20 …");
+    let mut trainer = AlfTrainer::new(plain20(4, 8)?, hyper.clone(), 3)?;
+    trainer.run(&data, 16)?;
+    let reference = trainer.into_model();
+    let shapes = reference.conv_shapes(16, 16);
+    let baseline = NetworkCost::of_layers(&shapes);
+    let ref_acc = evaluate(&reference, &data, Split::Test, 32)?;
+
+    let mut rows: Vec<(String, u64, u64, f32)> = vec![(
+        "uncompressed".into(),
+        baseline.params,
+        baseline.ops(),
+        ref_acc,
+    )];
+
+    // Structured pruning needs a brief fine-tune after silencing channels;
+    // re-silence after each epoch so pruned channels stay dead.
+    let finetune = |model: alf::core::CnnModel,
+                    reprune: &dyn Fn(&mut alf::core::CnnModel)|
+     -> Result<alf::core::CnnModel, Box<dyn std::error::Error>> {
+        let mut ft = AlfTrainer::new(model, hyper.clone(), 9)?;
+        for _ in 0..4 {
+            ft.run_epoch(&data)?;
+            reprune(ft.model_mut());
+        }
+        Ok(ft.into_model())
+    };
+
+    // Magnitude (structured, keep 60%).
+    let mut m = reference.clone();
+    let report = alf::baselines::magnitude::prune_filters(&mut m, 0.6);
+    let keep: Vec<usize> = report.iter().map(|(_, k, _)| *k).collect();
+    let cost = chained_cost(&shapes, &keep);
+    let m = finetune(m, &|model| {
+        alf::baselines::magnitude::prune_filters(model, 0.6);
+    })?;
+    rows.push((
+        "magnitude (keep 60%)".into(),
+        cost.params,
+        cost.ops(),
+        evaluate(&m, &data, Split::Test, 32)?,
+    ));
+
+    // FPGM (keep 60%).
+    let mut m = reference.clone();
+    let report = alf::baselines::fpgm::prune_filters(&mut m, 0.6);
+    let keep: Vec<usize> = report.iter().map(|(_, k, _)| *k).collect();
+    let cost = chained_cost(&shapes, &keep);
+    let m = finetune(m, &|model| {
+        alf::baselines::fpgm::prune_filters(model, 0.6);
+    })?;
+    rows.push((
+        "fpgm (keep 60%)".into(),
+        cost.params,
+        cost.ops(),
+        evaluate(&m, &data, Split::Test, 32)?,
+    ));
+
+    // AMC-style learned policy.
+    println!("running the AMC-style search …");
+    let amc = AmcAgent::new(
+        AmcConfig {
+            population: 8,
+            elites: 2,
+            iterations: 3,
+            eval_batch: 32,
+            ..AmcConfig::default()
+        },
+        4,
+    )
+    .search(&reference, &data)?;
+    let mut m = reference.clone();
+    apply_keep_ratios(&mut m, &amc.keep_ratios);
+    let ratios = amc.keep_ratios.clone();
+    let m = finetune(m, &|model| {
+        apply_keep_ratios(model, &ratios);
+    })?;
+    rows.push((
+        "amc (learned)".into(),
+        amc.cost.params,
+        amc.cost.ops(),
+        evaluate(&m, &data, Split::Test, 32)?,
+    ));
+
+    // LCNN dictionary sharing. Fine-tuned by projected descent: train a few
+    // epochs, re-project the weights onto a learned dictionary each epoch.
+    let mut m = reference.clone();
+    let cost = lcnn::compress_model(&mut m, 0.3, 16, 16, 5)?;
+    let m = finetune(m, &|model| {
+        lcnn::compress_model(model, 0.3, 16, 16, 5).expect("lcnn projection");
+    })?;
+    rows.push((
+        "lcnn (dict 30%)".into(),
+        cost.params,
+        cost.ops(),
+        evaluate(&m, &data, Split::Test, 32)?,
+    ));
+
+    // ALF (trained from scratch, then deployed).
+    println!("training ALF …");
+    let block = AlfBlockConfig {
+        threshold: 2e-2,
+        ..AlfBlockConfig::paper_default()
+    };
+    let mut alf_trainer = AlfTrainer::new(plain20_alf(4, 8, block, 6)?, hyper, 6)?;
+    alf_trainer.run(&data, 16)?;
+    let alf = alf_trainer.into_model();
+    let deployed = deploy::compress(&alf)?;
+    let cost = deploy::cost(&deployed, 16, 16);
+    rows.push((
+        "alf (automatic)".into(),
+        cost.params,
+        cost.ops(),
+        evaluate(&deployed, &data, Split::Test, 32)?,
+    ));
+
+    println!(
+        "\n{:<24}{:>10}{:>12}{:>8}{:>12}",
+        "method", "params", "OPs", "acc", "Δops"
+    );
+    for (name, params, ops, acc) in &rows {
+        println!(
+            "{:<24}{:>10}{:>12}{:>7.1}%{:>11.0}%",
+            name,
+            params,
+            ops,
+            100.0 * acc,
+            100.0 * (1.0 - *ops as f64 / baseline.ops() as f64)
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,90 @@
+//! End-to-end compression study on synth-CIFAR: trains the vanilla
+//! ResNet-20 and its ALF counterpart, deploys the compressed model,
+//! verifies the deployment computes the same function, and prints a
+//! Table-II-style comparison.
+//!
+//! Run with: `cargo run --release --example compress_cifar`
+
+use alf::core::block::AlfBlockConfig;
+use alf::core::models::{resnet20, resnet20_alf};
+use alf::core::train::{evaluate, AlfHyper, AlfTrainer};
+use alf::core::{deploy, NetworkCost};
+use alf::data::{Split, SynthVision};
+use alf::nn::{Layer, LrSchedule, Mode};
+use alf::tensor::init::Init;
+use alf::tensor::rng::Rng;
+use alf::tensor::Tensor;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let data = SynthVision::cifar_like(21)
+        .with_image_size(16)
+        .with_max_shift(1)
+        .with_num_classes(4)
+        .with_train_size(256)
+        .with_test_size(96)
+        .build()?;
+    let hyper = AlfHyper {
+        task_lr: 0.05,
+        batch_size: 16,
+        ae_lr: 5e-2,
+        ae_steps_per_batch: 8,
+        lr_schedule: LrSchedule::Step {
+            every: 12,
+            gamma: 0.1,
+        },
+        ..AlfHyper::default()
+    };
+    let epochs = 16;
+
+    println!("training vanilla ResNet-20 …");
+    let mut vanilla_trainer = AlfTrainer::new(resnet20(4, 8)?, hyper.clone(), 5)?;
+    let vanilla_report = vanilla_trainer.run(&data, epochs)?;
+    let vanilla = vanilla_trainer.into_model();
+
+    println!("training ALF-ResNet-20 …");
+    let block = AlfBlockConfig {
+        threshold: 2e-2,
+        ..AlfBlockConfig::paper_default()
+    };
+    let mut alf_trainer = AlfTrainer::new(resnet20_alf(4, 8, block, 6)?, hyper, 6)?;
+    let alf_report = alf_trainer.run(&data, epochs)?;
+    let alf = alf_trainer.into_model();
+
+    // Deploy and verify exact functional equivalence.
+    let mut deployed = deploy::compress(&alf)?;
+    let mut alf_eval = alf.clone();
+    let probe = Tensor::randn(&[4, 3, 16, 16], Init::Rand, &mut Rng::new(9));
+    let y_train_form = alf_eval.forward(&probe, Mode::Eval)?;
+    let y_deployed = deployed.forward(&probe, Mode::Eval)?;
+    assert!(
+        y_deployed.allclose(&y_train_form, 1e-4),
+        "deployment must not change the function"
+    );
+    println!("deployment verified: identical outputs on a random probe batch");
+
+    let deployed_acc = evaluate(&deployed, &data, Split::Test, 32)?;
+    let vanilla_cost = NetworkCost::of_layers(&vanilla.conv_shapes(16, 16));
+    let alf_cost = deploy::cost(&deployed, 16, 16);
+    let (dp, dm) = alf_cost.reduction_vs(&vanilla_cost);
+    println!("\n{:<22}{:>10}{:>12}{:>10}", "model", "params", "MACs", "acc");
+    println!(
+        "{:<22}{:>10}{:>12}{:>9.1}%",
+        "resnet20",
+        vanilla_cost.params,
+        vanilla_cost.macs,
+        100.0 * vanilla_report.final_accuracy()
+    );
+    println!(
+        "{:<22}{:>10}{:>12}{:>9.1}%",
+        "alf-resnet20 (deployed)",
+        alf_cost.params,
+        alf_cost.macs,
+        100.0 * deployed_acc
+    );
+    println!(
+        "\nALF: −{dp:.0}% params, −{dm:.0}% MACs, remaining filters {:.0}%, Δacc {:.1} pts",
+        100.0 * alf_report.final_remaining_filters(),
+        100.0 * (vanilla_report.final_accuracy() - alf_report.final_accuracy())
+    );
+    Ok(())
+}

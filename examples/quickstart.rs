@@ -1,0 +1,68 @@
+//! Quickstart: train an ALF-compressed CNN on a synthetic dataset, watch
+//! it prune itself, then deploy the dense compressed model.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use alf::core::block::AlfBlockConfig;
+use alf::core::models::plain20_alf;
+use alf::core::train::{AlfHyper, AlfTrainer};
+use alf::core::{deploy, NetworkCost};
+use alf::data::SynthVision;
+use alf::nn::LrSchedule;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A small synthetic CIFAR-like classification task.
+    let data = SynthVision::cifar_like(7)
+        .with_image_size(16)
+        .with_max_shift(1)
+        .with_num_classes(4)
+        .with_train_size(256)
+        .with_test_size(96)
+        .build()?;
+
+    // 2. Plain-20 where every convolution is an ALF block (paper config,
+    //    with the clip threshold / autoencoder rate sped up for this demo).
+    let block = AlfBlockConfig {
+        threshold: 2e-2,
+        ..AlfBlockConfig::paper_default()
+    };
+    let model = plain20_alf(data.num_classes(), 8, block, 1)?;
+
+    // 3. Two-player training: task SGD vs per-block autoencoder SGD.
+    let hyper = AlfHyper {
+        task_lr: 0.05,
+        batch_size: 16,
+        ae_lr: 5e-2,
+        ae_steps_per_batch: 8,
+        lr_schedule: LrSchedule::Step {
+            every: 12,
+            gamma: 0.1,
+        },
+        ..AlfHyper::default()
+    };
+    let mut trainer = AlfTrainer::new(model, hyper, 1)?;
+    println!("epoch  loss   test-acc  remaining-filters");
+    for _ in 0..16 {
+        let s = trainer.run_epoch(&data)?;
+        println!(
+            "{:>5}  {:>5.2}  {:>7.1}%  {:>16.0}%",
+            s.epoch,
+            s.train_loss,
+            100.0 * s.test_accuracy,
+            100.0 * s.remaining_filters
+        );
+    }
+
+    // 4. Deployment: strip the zero code filters (and the matching
+    //    expansion channels) into a dense compressed model.
+    let trained = trainer.into_model();
+    let deployed = deploy::compress(&trained)?;
+    let vanilla_cost = NetworkCost::of_layers(&trained.conv_shapes(16, 16));
+    let deployed_cost = deploy::cost(&deployed, 16, 16);
+    let (dp, dm) = deployed_cost.reduction_vs(&vanilla_cost);
+    println!(
+        "\ndeployed model: {:.0}% fewer parameters, {:.0}% fewer MACs than the uncompressed net",
+        dp, dm
+    );
+    Ok(())
+}

@@ -1,0 +1,313 @@
+//! `alf` — command-line driver for the ALF reproduction.
+//!
+//! Subcommands:
+//!
+//! * `train`  — train a model on a synthetic dataset and save a checkpoint.
+//! * `eval`   — evaluate a checkpoint's accuracy.
+//! * `deploy` — strip a trained ALF checkpoint and report compression.
+//! * `hwmap`  — map a model geometry onto the Eyeriss-like accelerator.
+//!
+//! Run `alf <subcommand> --help` (or no arguments) for the option list.
+
+use std::process::ExitCode;
+
+use alf::core::block::AlfBlockConfig;
+use alf::core::models::{plain20, plain20_alf, resnet20, resnet20_alf, geometry};
+use alf::core::train::{evaluate, AlfHyper, AlfTrainer};
+use alf::core::{checkpoint, deploy, CnnModel, NetworkCost};
+use alf::data::{Dataset, Split, SynthVision};
+use alf::hwmodel::{Accelerator, ConvWorkload, Dataflow, Mapper, NetworkReport};
+
+/// Minimal `--key value` argument parser.
+struct Args {
+    items: Vec<(String, String)>,
+}
+
+impl Args {
+    fn parse(argv: &[String]) -> Result<Self, String> {
+        let mut items = Vec::new();
+        let mut i = 0;
+        while i < argv.len() {
+            let key = argv[i]
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --option, got '{}'", argv[i]))?;
+            let value = argv
+                .get(i + 1)
+                .ok_or_else(|| format!("--{key} needs a value"))?;
+            items.push((key.to_string(), value.clone()));
+            i += 2;
+        }
+        Ok(Self { items })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.items
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn get_or(&self, key: &str, default: &str) -> String {
+        self.get(key).unwrap_or(default).to_string()
+    }
+
+    fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key}: bad value '{v}'")),
+        }
+    }
+}
+
+fn usage() -> &'static str {
+    "usage: alf <train|eval|deploy|summary|hwmap> [options]\n\
+     \n\
+     common data options: --data-seed N --classes N --image-size N\n\
+     \u{20}                    --train-size N --test-size N\n\
+     \n\
+     alf train  --model plain20|resnet20|plain20-alf|resnet20-alf --out FILE\n\
+     \u{20}          [--width N] [--epochs N] [--seed N] [--task-lr F]\n\
+     \u{20}          [--ae-lr F] [--ae-steps N] [--threshold F] [--batch N]\n\
+     alf eval   --model M --ckpt FILE [data options]\n\
+     alf deploy --model plain20-alf|resnet20-alf --ckpt FILE [--width N]\n\
+     alf summary [--model M] [--ckpt FILE] [--width N]\n\
+     alf hwmap  [--width N] [--image-size N] [--batch N] [--dataflow rs|ws|os]\n\
+     \u{20}          [--remaining F]"
+}
+
+fn build_model(name: &str, classes: usize, width: usize, threshold: f32, seed: u64) -> Result<CnnModel, String> {
+    let block = AlfBlockConfig {
+        threshold,
+        ..AlfBlockConfig::paper_default()
+    };
+    let model = match name {
+        "plain20" => plain20(classes, width),
+        "resnet20" => resnet20(classes, width),
+        "plain20-alf" => plain20_alf(classes, width, block, seed),
+        "resnet20-alf" => resnet20_alf(classes, width, block, seed),
+        other => return Err(format!("unknown model '{other}'")),
+    };
+    model.map_err(|e| e.to_string())
+}
+
+fn build_data(args: &Args) -> Result<Dataset, String> {
+    SynthVision::cifar_like(args.num("data-seed", 7u64)?)
+        .with_num_classes(args.num("classes", 4usize)?)
+        .with_image_size(args.num("image-size", 16usize)?)
+        .with_max_shift(1)
+        .with_train_size(args.num("train-size", 256usize)?)
+        .with_test_size(args.num("test-size", 96usize)?)
+        .build()
+        .map_err(|e| e.to_string())
+}
+
+fn cmd_train(args: &Args) -> Result<(), String> {
+    let model_name = args.get_or("model", "plain20-alf");
+    let width = args.num("width", 8usize)?;
+    let seed = args.num("seed", 1u64)?;
+    let data = build_data(args)?;
+    let mut model = build_model(
+        &model_name,
+        data.num_classes(),
+        width,
+        args.num("threshold", 2e-2f32)?,
+        seed,
+    )?;
+    let hyper = AlfHyper {
+        task_lr: args.num("task-lr", 0.05f32)?,
+        batch_size: args.num("batch", 16usize)?,
+        ae_lr: args.num("ae-lr", 5e-2f32)?,
+        ae_steps_per_batch: args.num("ae-steps", 8usize)?,
+        ..AlfHyper::default()
+    };
+    let epochs = args.num("epochs", 16usize)?;
+    let mut trainer = AlfTrainer::new(model, hyper, seed).map_err(|e| e.to_string())?;
+    for _ in 0..epochs {
+        let s = trainer.run_epoch(&data).map_err(|e| e.to_string())?;
+        println!(
+            "epoch {:>3}: loss {:.3}  train {:.1}%  test {:.1}%  filters {:.0}%",
+            s.epoch,
+            s.train_loss,
+            100.0 * s.train_accuracy,
+            100.0 * s.test_accuracy,
+            100.0 * s.remaining_filters
+        );
+    }
+    model = trainer.into_model();
+    let out = args
+        .get("out")
+        .ok_or("--out FILE is required for train")?;
+    let blob = checkpoint::save(&mut model);
+    std::fs::write(out, &blob).map_err(|e| format!("writing {out}: {e}"))?;
+    println!("saved checkpoint to {out} ({} bytes)", blob.len());
+    Ok(())
+}
+
+fn load_ckpt(args: &Args, data: &Dataset) -> Result<CnnModel, String> {
+    let model_name = args.get_or("model", "plain20-alf");
+    let width = args.num("width", 8usize)?;
+    let mut model = build_model(
+        &model_name,
+        data.num_classes(),
+        width,
+        args.num("threshold", 2e-2f32)?,
+        args.num("seed", 1u64)?,
+    )?;
+    let path = args.get("ckpt").ok_or("--ckpt FILE is required")?;
+    let blob = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
+    checkpoint::load(&mut model, &blob).map_err(|e| e.to_string())?;
+    Ok(model)
+}
+
+fn cmd_eval(args: &Args) -> Result<(), String> {
+    let data = build_data(args)?;
+    let model = load_ckpt(args, &data)?;
+    let acc = evaluate(&model, &data, Split::Test, 32).map_err(|e| e.to_string())?;
+    println!("test accuracy: {:.2}%", 100.0 * acc);
+    Ok(())
+}
+
+fn cmd_deploy(args: &Args) -> Result<(), String> {
+    let data = build_data(args)?;
+    let model = load_ckpt(args, &data)?;
+    let deployed = deploy::compress(&model).map_err(|e| e.to_string())?;
+    let [_, h, w] = data.image_dims();
+    let dense = NetworkCost::of_layers(&model.conv_shapes(h, w));
+    let compressed = deploy::cost(&deployed, h, w);
+    let (dp, dm) = compressed.reduction_vs(&dense);
+    println!("layer            kept  total");
+    for info in deploy::conv_report(&deployed, h, w) {
+        if let Some(c) = info.c_code {
+            println!("{:<16} {:>4}  {:>5}", info.shape.name, c, info.shape.c_out);
+        }
+    }
+    println!(
+        "\ndeployed: {} params ({:+.0}% vs dense), {} MACs ({:+.0}% vs dense)",
+        compressed.params, -dp, compressed.macs, -dm
+    );
+    let acc = evaluate(&deployed, &data, Split::Test, 32).map_err(|e| e.to_string())?;
+    println!("deployed test accuracy: {:.2}%", 100.0 * acc);
+    Ok(())
+}
+
+fn cmd_summary(args: &Args) -> Result<(), String> {
+    let data = build_data(args)?;
+    let mut model = match args.get("ckpt") {
+        Some(_) => load_ckpt(args, &data)?,
+        None => build_model(
+            &args.get_or("model", "plain20-alf"),
+            data.num_classes(),
+            args.num("width", 8usize)?,
+            args.num("threshold", 2e-2f32)?,
+            args.num("seed", 1u64)?,
+        )?,
+    };
+    let [_, h, w] = data.image_dims();
+    print!("{}", alf::core::summary::summarize(&mut model, h, w).to_text());
+    Ok(())
+}
+
+fn cmd_hwmap(args: &Args) -> Result<(), String> {
+    let width = args.num("width", 16usize)?;
+    let side = args.num("image-size", 32usize)?;
+    let batch = args.num("batch", 16usize)?;
+    let remaining: f32 = args.num("remaining", 1.0f32)?;
+    let dataflow = match args.get_or("dataflow", "rs").as_str() {
+        "rs" => Dataflow::RowStationary,
+        "ws" => Dataflow::WeightStationary,
+        "os" => Dataflow::OutputStationary,
+        other => return Err(format!("unknown dataflow '{other}'")),
+    };
+    let mapper = Mapper::new(Accelerator::eyeriss(), dataflow);
+    let layers = geometry::plain20_layers_width(side, width);
+    let workloads: Vec<ConvWorkload> = if remaining >= 1.0 {
+        layers
+            .iter()
+            .map(|s| ConvWorkload::from_shape(s, batch))
+            .collect()
+    } else {
+        layers
+            .iter()
+            .flat_map(|s| {
+                let c = ((s.c_out as f32 * remaining).round() as usize).clamp(1, s.c_out);
+                [
+                    ConvWorkload::from_shape(
+                        &alf::core::ConvShape::new(
+                            format!("{}+code", s.name),
+                            s.c_in,
+                            c,
+                            s.kernel,
+                            s.stride,
+                            s.h_out,
+                            s.w_out,
+                        ),
+                        batch,
+                    ),
+                    ConvWorkload::from_shape(
+                        &alf::core::ConvShape::new(
+                            format!("{}+exp", s.name),
+                            c,
+                            s.c_out,
+                            1,
+                            1,
+                            s.h_out,
+                            s.w_out,
+                        ),
+                        batch,
+                    ),
+                ]
+            })
+            .collect()
+    };
+    let report = NetworkReport::evaluate(&mapper, &workloads)
+        .map_err(|e| e.to_string())?
+        .merged();
+    println!("layer        RF          buffer      DRAM        latency     util");
+    for l in &report.layers {
+        println!(
+            "{:<12} {:<11.3e} {:<11.3e} {:<11.3e} {:<11.3e} {:.0}%",
+            l.name, l.energy_rf, l.energy_buffer, l.energy_dram, l.latency_cycles,
+            100.0 * l.utilization
+        );
+    }
+    println!(
+        "\ntotal energy {:.3e}, total latency {:.3e} ({dataflow}, batch {batch})",
+        report.total_energy(),
+        report.total_latency()
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = argv.first() else {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let args = match Args::parse(&argv[1..]) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "train" => cmd_train(&args),
+        "eval" => cmd_eval(&args),
+        "deploy" => cmd_deploy(&args),
+        "summary" => cmd_summary(&args),
+        "hwmap" => cmd_hwmap(&args),
+        "--help" | "help" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand '{other}'")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", usage());
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Facade crate for the ALF reproduction workspace.
+//!
+//! Re-exports every sub-crate under one root so that examples and
+//! integration tests (and downstream users who want the whole stack) can
+//! depend on a single crate:
+//!
+//! * [`tensor`] — dense `f32` tensors and convolution kernels.
+//! * [`nn`] — layers, losses and optimizers with manual backprop.
+//! * [`data`] — deterministic synthetic vision datasets.
+//! * [`core`] — the ALF technique: blocks, two-player training, deployment.
+//! * [`baselines`] — magnitude / FPGM / AMC-style / LCNN compression baselines.
+//! * [`hwmodel`] — the Eyeriss-like accelerator model with mapping search.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use alf::core::models::plain20;
+//! use alf::core::train::{AlfHyper, AlfTrainer};
+//! use alf::data::SynthVision;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let data = SynthVision::cifar_like(0).with_train_size(512).build()?;
+//! let model = plain20(data.num_classes(), 8)?;
+//! let mut trainer = AlfTrainer::new(model, AlfHyper::default(), 0)?;
+//! let report = trainer.run(&data, 2)?;
+//! println!("accuracy {:.1}%", 100.0 * report.final_accuracy());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use alf_baselines as baselines;
+pub use alf_core as core;
+pub use alf_data as data;
+pub use alf_hwmodel as hwmodel;
+pub use alf_nn as nn;
+pub use alf_tensor as tensor;

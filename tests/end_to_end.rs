@@ -1,0 +1,158 @@
+//! Cross-crate integration: the full ALF pipeline — synthesize data, train
+//! the two-player game, prune, deploy, verify equivalence, and evaluate the
+//! deployed model on the accelerator model.
+
+use alf::core::block::AlfBlockConfig;
+use alf::core::models::{plain20, plain20_alf, resnet20_alf};
+use alf::core::train::{evaluate, AlfHyper, AlfTrainer};
+use alf::core::{deploy, NetworkCost};
+use alf::data::{Split, SynthVision};
+use alf::hwmodel::{Accelerator, ConvWorkload, Dataflow, Mapper, NetworkReport};
+use alf::nn::{Layer, LrSchedule, Mode};
+use alf::tensor::init::Init;
+use alf::tensor::rng::Rng;
+use alf::tensor::Tensor;
+
+fn quick_data(seed: u64) -> alf::data::Dataset {
+    SynthVision::cifar_like(seed)
+        .with_image_size(12)
+        .with_max_shift(1)
+        .with_num_classes(4)
+        .with_train_size(96)
+        .with_test_size(48)
+        .with_noise(0.05)
+        .build()
+        .expect("dataset")
+}
+
+fn quick_hyper() -> AlfHyper {
+    AlfHyper {
+        task_lr: 0.05,
+        batch_size: 16,
+        ae_lr: 5e-2,
+        ae_steps_per_batch: 8,
+        lr_schedule: LrSchedule::Constant,
+        ..AlfHyper::default()
+    }
+}
+
+fn aggressive_block() -> AlfBlockConfig {
+    AlfBlockConfig {
+        threshold: 2e-2,
+        ..AlfBlockConfig::paper_default()
+    }
+}
+
+#[test]
+fn full_pipeline_train_prune_deploy_map() {
+    let data = quick_data(1);
+    let model = plain20_alf(4, 6, aggressive_block(), 2).expect("model");
+    let mut trainer = AlfTrainer::new(model, quick_hyper(), 2).expect("trainer");
+    let report = trainer.run(&data, 10).expect("training");
+    let trained = trainer.into_model();
+
+    // Pruning must have happened by the end of the schedule.
+    assert!(
+        report.final_remaining_filters() < 0.95,
+        "expected pruning, remaining = {}",
+        report.final_remaining_filters()
+    );
+
+    // Deployment must preserve the function exactly.
+    let mut deployed = deploy::compress(&trained).expect("deploy");
+    let mut original = trained.clone();
+    let probe = Tensor::randn(&[2, 3, 12, 12], Init::Rand, &mut Rng::new(3));
+    let a = original.forward(&probe, Mode::Eval).expect("forward");
+    let b = deployed.forward(&probe, Mode::Eval).expect("forward");
+    assert!(a.allclose(&b, 1e-4), "deployment changed the function");
+
+    // Deployed accuracy equals the training-form accuracy.
+    let acc_trained = evaluate(&trained, &data, Split::Test, 16).expect("eval");
+    let acc_deployed = evaluate(&deployed, &data, Split::Test, 16).expect("eval");
+    assert!((acc_trained - acc_deployed).abs() < 1e-6);
+
+    // The deployed model maps onto the accelerator and costs less energy
+    // than the vanilla equivalent when compression is substantial.
+    let mapper = Mapper::new(Accelerator::eyeriss(), Dataflow::RowStationary);
+    let infos = deploy::conv_report(&deployed, 12, 12);
+    let mut workloads = Vec::new();
+    for info in &infos {
+        let c_code = info.c_code.expect("alf layer");
+        workloads.push(ConvWorkload::from_shape(
+            &alf::core::ConvShape::new(
+                format!("{}+code", info.shape.name),
+                info.shape.c_in,
+                c_code,
+                info.shape.kernel,
+                info.shape.stride,
+                info.shape.h_out,
+                info.shape.w_out,
+            ),
+            4,
+        ));
+        workloads.push(ConvWorkload::from_shape(
+            &alf::core::ConvShape::new(
+                format!("{}+exp", info.shape.name),
+                c_code,
+                info.shape.c_out,
+                1,
+                1,
+                info.shape.h_out,
+                info.shape.w_out,
+            ),
+            4,
+        ));
+    }
+    let alf_hw = NetworkReport::evaluate(&mapper, &workloads).expect("mapping");
+    assert!(alf_hw.total_energy() > 0.0);
+    assert_eq!(alf_hw.merged().layers.len(), infos.len());
+}
+
+#[test]
+fn vanilla_and_alf_share_training_infrastructure() {
+    let data = quick_data(4);
+    // The same trainer handles models with zero ALF blocks.
+    let mut vanilla = AlfTrainer::new(plain20(4, 6).expect("model"), quick_hyper(), 5)
+        .expect("trainer");
+    let r = vanilla.run(&data, 2).expect("training");
+    assert_eq!(r.epochs.len(), 2);
+    assert_eq!(r.final_remaining_filters(), 1.0);
+    assert_eq!(r.epochs[0].mean_l_rec, 0.0);
+}
+
+#[test]
+fn residual_alf_pipeline_deploys() {
+    let data = quick_data(6);
+    let model = resnet20_alf(4, 6, aggressive_block(), 7).expect("model");
+    let mut trainer = AlfTrainer::new(model, quick_hyper(), 7).expect("trainer");
+    trainer.run(&data, 6).expect("training");
+    let trained = trainer.into_model();
+    let deployed = deploy::compress(&trained).expect("deploy");
+    let vanilla_cost = NetworkCost::of_layers(&trained.conv_shapes(12, 12));
+    let deployed_cost = deploy::cost(&deployed, 12, 12);
+    // Deployed cost is bounded by (and with pruning below) the ALF-block
+    // upper bound of code+expansion at full width.
+    let upper = NetworkCost::of_alf_layers(
+        trained
+            .conv_shapes(12, 12)
+            .iter()
+            .map(|s| (s, s.c_out))
+            .collect::<Vec<_>>(),
+    );
+    assert!(deployed_cost.params <= upper.params);
+    // Sanity: vanilla cost is fixed and positive.
+    assert!(vanilla_cost.params > 0);
+}
+
+#[test]
+fn training_is_deterministic_across_runs() {
+    let data = quick_data(8);
+    let run = || {
+        let model = plain20_alf(4, 6, aggressive_block(), 9).expect("model");
+        let mut trainer = AlfTrainer::new(model, quick_hyper(), 9).expect("trainer");
+        trainer.run(&data, 3).expect("training")
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "identical seeds must give identical training traces");
+}

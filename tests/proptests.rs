@@ -1,0 +1,247 @@
+//! Property-based cross-crate invariants (proptest).
+
+use alf::baselines::api::chained_cost;
+use alf::core::autoencoder::WeightAutoencoder;
+use alf::core::{ConvShape, NetworkCost, PruneSchedule};
+use alf::data::{decode_dataset, encode_dataset, SynthVision};
+use alf::hwmodel::{Accelerator, ConvWorkload, Dataflow, Mapper};
+use alf::nn::activation::ActivationKind;
+use alf::nn::ste;
+use alf::tensor::init::Init;
+use alf::tensor::ops::{col2im, conv2d, im2col, matmul, matmul_at, matmul_bt, Conv2dSpec};
+use alf::tensor::rng::Rng;
+use alf::tensor::Tensor;
+use proptest::prelude::*;
+
+fn small_dims() -> impl Strategy<Value = (usize, usize, usize)> {
+    (1usize..5, 1usize..5, 1usize..5)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // ---- tensor algebra ---------------------------------------------------
+
+    #[test]
+    fn matmul_is_linear_in_first_argument((m, k, n) in small_dims(), seed in 0u64..1000, alpha in -2.0f32..2.0) {
+        let mut rng = Rng::new(seed);
+        let a = Tensor::randn(&[m, k], Init::Rand, &mut rng);
+        let b = Tensor::randn(&[k, n], Init::Rand, &mut rng);
+        let lhs = matmul(&a.scale(alpha), &b).unwrap();
+        let rhs = matmul(&a, &b).unwrap().scale(alpha);
+        prop_assert!(lhs.allclose(&rhs, 1e-4));
+    }
+
+    #[test]
+    fn matmul_transpose_variants_agree((m, k, n) in small_dims(), seed in 0u64..1000) {
+        let mut rng = Rng::new(seed);
+        let a = Tensor::randn(&[k, m], Init::Rand, &mut rng);
+        let b = Tensor::randn(&[k, n], Init::Rand, &mut rng);
+        let via_at = matmul_at(&a, &b).unwrap();
+        let via_explicit = matmul(&a.transpose2().unwrap(), &b).unwrap();
+        prop_assert!(via_at.allclose(&via_explicit, 1e-4));
+        let c = Tensor::randn(&[m, k], Init::Rand, &mut rng);
+        let d = Tensor::randn(&[n, k], Init::Rand, &mut rng);
+        let via_bt = matmul_bt(&c, &d).unwrap();
+        let via_explicit = matmul(&c, &d.transpose2().unwrap()).unwrap();
+        prop_assert!(via_bt.allclose(&via_explicit, 1e-4));
+    }
+
+    #[test]
+    fn conv2d_is_linear(seed in 0u64..1000, alpha in -2.0f32..2.0,
+                        n in 1usize..3, ci in 1usize..4, co in 1usize..4,
+                        k in 1usize..4, side in 4usize..8) {
+        let spec = Conv2dSpec::new(k, 1, k / 2);
+        let mut rng = Rng::new(seed);
+        let x = Tensor::randn(&[n, ci, side, side], Init::Rand, &mut rng);
+        let w = Tensor::randn(&[co, ci, k, k], Init::Rand, &mut rng);
+        let lhs = conv2d(&x.scale(alpha), &w, None, spec).unwrap();
+        let rhs = conv2d(&x, &w, None, spec).unwrap().scale(alpha);
+        prop_assert!(lhs.allclose(&rhs, 1e-3));
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col(seed in 0u64..1000, ci in 1usize..4,
+                                   k in 1usize..4, stride in 1usize..3, side in 5usize..9) {
+        let spec = Conv2dSpec::new(k, stride, k / 2);
+        let mut rng = Rng::new(seed);
+        let x = Tensor::randn(&[1, ci, side, side], Init::Rand, &mut rng);
+        let cols = im2col(&x, spec).unwrap();
+        let y = Tensor::randn(cols.dims(), Init::Rand, &mut rng);
+        let lhs = cols.dot(&y).unwrap();
+        let back = col2im(&y, 1, ci, side, side, spec).unwrap();
+        let rhs = x.dot(&back).unwrap();
+        prop_assert!((lhs - rhs).abs() < 1e-2 * (1.0 + lhs.abs()));
+    }
+
+    // ---- ALF mechanics ----------------------------------------------------
+
+    #[test]
+    fn clip_zeroes_exactly_the_dead_zone(m in proptest::collection::vec(-1.0f32..1.0, 1..16),
+                                         t in 0.0f32..0.5) {
+        let tensor = Tensor::from_vec(m.clone(), &[m.len()]).unwrap();
+        let clipped = ste::clip_tensor(&tensor, t);
+        for (orig, out) in m.iter().zip(clipped.data()) {
+            if orig.abs() > t {
+                prop_assert_eq!(*out, *orig);
+            } else {
+                prop_assert_eq!(*out, 0.0);
+            }
+        }
+        let zf = ste::zero_fraction(&tensor, t);
+        let expected = m.iter().filter(|v| v.abs() <= t).count() as f32 / m.len() as f32;
+        prop_assert_eq!(zf, expected);
+    }
+
+    #[test]
+    fn masked_code_channels_are_zero_under_any_mask(seed in 0u64..500,
+                                                    mask_bits in 1u32..15) {
+        let mut rng = Rng::new(seed);
+        let mut ae = WeightAutoencoder::new(2, 4, 3, Init::Xavier, ActivationKind::Tanh, 0.5, &mut rng);
+        // Drive mask entries inside/outside the dead zone per the bit mask.
+        for j in 0..4 {
+            let alive = (mask_bits >> j) & 1 == 1;
+            ae.set_mask_value(j, if alive { 1.0 } else { 0.1 });
+        }
+        let w = Tensor::randn(&[4, 2, 3, 3], Init::He, &mut rng);
+        let code = ae.code(&w).unwrap();
+        let fan = 18;
+        for j in 0..4 {
+            let alive = (mask_bits >> j) & 1 == 1;
+            let row_zero = code.data()[j * fan..(j + 1) * fan].iter().all(|&v| v == 0.0);
+            prop_assert_eq!(!alive, row_zero, "channel {} alive={}", j, alive);
+        }
+    }
+
+    #[test]
+    fn nu_prune_is_bounded_and_decreasing(slope in 1.0f32..10.0, pr in 0.0f32..1.0,
+                                          theta in 0.0f32..1.0) {
+        let s = PruneSchedule::new(slope, pr);
+        let nu = s.nu(theta);
+        prop_assert!((0.0..=1.0).contains(&nu));
+        prop_assert!(s.nu((theta + 0.05).min(1.0)) <= nu + 1e-6);
+    }
+
+    #[test]
+    fn eq2_bound_is_the_break_even_point(ci in 1usize..64, co in 1usize..64, k in 1usize..6) {
+        let shape = ConvShape::new("l", ci, co, k, 1, 8, 8);
+        let bound = shape.c_code_max();
+        if bound >= 1 {
+            prop_assert!(shape.alf_ops(bound) <= shape.ops());
+        }
+        prop_assert!(shape.alf_ops(bound + 1) > shape.ops());
+    }
+
+    // ---- baselines ----------------------------------------------------------
+
+    #[test]
+    fn chained_cost_never_exceeds_full_cost(keeps in proptest::collection::vec(1usize..8, 3)) {
+        let shapes = vec![
+            ConvShape::new("a", 3, 8, 3, 1, 8, 8),
+            ConvShape::new("b", 8, 8, 3, 1, 8, 8),
+            ConvShape::new("c", 8, 8, 3, 2, 4, 4),
+        ];
+        let cost = chained_cost(&shapes, &keeps);
+        let full = NetworkCost::of_layers(&shapes);
+        prop_assert!(cost.params <= full.params);
+        prop_assert!(cost.macs <= full.macs);
+        // Monotone: keeping more filters never reduces cost.
+        let mut more = keeps.clone();
+        more[1] = (more[1] + 1).min(8);
+        let cost_more = chained_cost(&shapes, &more);
+        prop_assert!(cost_more.params >= cost.params);
+    }
+
+    // ---- accelerator model ----------------------------------------------------
+
+    #[test]
+    fn mapper_results_are_sane_for_random_layers(ci in 1usize..32, co in 1usize..32,
+                                                 k in 1usize..4, side in 4usize..17) {
+        let mapper = Mapper::new(Accelerator::eyeriss(), Dataflow::RowStationary);
+        let w = ConvWorkload::from_shape(&ConvShape::new("l", ci, co, k, 1, side, side), 4);
+        let r = mapper.search(&w).unwrap();
+        prop_assert!(r.cost.total_energy() > 0.0);
+        prop_assert!(r.cost.latency_cycles > 0.0);
+        prop_assert!(r.cost.utilization > 0.0 && r.cost.utilization <= 1.0);
+        // RF accesses follow the dataflow's per-MAC constant exactly.
+        prop_assert_eq!(r.cost.rf_accesses, w.macs() as f64 * 3.0);
+        // Fundamental lower bound: every input/weight/output word must cross
+        // DRAM at least once.
+        let min_dram = (w.input_words() + w.weight_words() + w.output_words()) as f64;
+        prop_assert!(r.cost.dram_accesses >= min_dram - 1.0);
+    }
+
+    // ---- extensions -----------------------------------------------------------
+
+    #[test]
+    fn quantizer_error_bounded_by_half_step(values in proptest::collection::vec(-10.0f32..10.0, 1..64),
+                                            bits in 2u8..12) {
+        use alf::core::quant::Quantizer;
+        let t = Tensor::from_vec(values.clone(), &[values.len()]).unwrap();
+        let q = Quantizer::fit(&t, bits).unwrap();
+        for &v in t.data() {
+            let err = (q.round_trip(v) - v).abs();
+            prop_assert!(err <= q.scale / 2.0 + 1e-5, "err {} step {}", err, q.scale);
+        }
+    }
+
+    #[test]
+    fn checkpoint_round_trips_for_any_width(width in 2usize..6, seed in 0u64..100) {
+        use alf::core::checkpoint;
+        use alf::core::models::plain20;
+        use alf::nn::{Layer, Mode};
+        let mut a = plain20(3, width).unwrap();
+        let blob = checkpoint::save(&mut a);
+        let mut b = plain20(3, width).unwrap();
+        checkpoint::load(&mut b, &blob).unwrap();
+        let x = Tensor::randn(&[1, 3, 8, 8], Init::Rand, &mut Rng::new(seed));
+        prop_assert_eq!(
+            a.forward(&x, Mode::Eval).unwrap(),
+            b.forward(&x, Mode::Eval).unwrap()
+        );
+    }
+
+    #[test]
+    fn augment_preserves_shape_and_determinism(seed in 0u64..200, hflip in 0.0f32..1.0,
+                                               shift in 0usize..3) {
+        use alf::data::Augment;
+        let policy = Augment { hflip_prob: hflip, max_shift: shift, noise: 0.01 };
+        let run = || {
+            let mut b = Tensor::from_fn(&[2, 3, 8, 8], |i| (i % 13) as f32);
+            policy.apply(&mut b, &mut Rng::new(seed)).unwrap();
+            b
+        };
+        let a = run();
+        prop_assert_eq!(a.dims(), &[2, 3, 8, 8]);
+        prop_assert_eq!(a, run());
+    }
+
+    #[test]
+    fn geometric_median_stays_in_bounding_box(points in proptest::collection::vec(
+        proptest::collection::vec(-5.0f32..5.0, 3), 1..10)) {
+        let m = alf::baselines::geometric_median(&points, 100, 1e-5);
+        for d in 0..3 {
+            let lo = points.iter().map(|p| p[d]).fold(f32::INFINITY, f32::min);
+            let hi = points.iter().map(|p| p[d]).fold(f32::NEG_INFINITY, f32::max);
+            prop_assert!(m[d] >= lo - 1e-3 && m[d] <= hi + 1e-3,
+                         "dim {}: {} outside [{}, {}]", d, m[d], lo, hi);
+        }
+    }
+
+    // ---- data ---------------------------------------------------------------
+
+    #[test]
+    fn dataset_encode_decode_round_trips(seed in 0u64..500, train in 1usize..12,
+                                         test in 1usize..8, classes in 1usize..5) {
+        let d = SynthVision::cifar_like(seed)
+            .with_image_size(8)
+            .with_max_shift(1)
+            .with_num_classes(classes)
+            .with_train_size(train)
+            .with_test_size(test)
+            .build()
+            .unwrap();
+        let decoded = decode_dataset(encode_dataset(&d)).unwrap();
+        prop_assert_eq!(d, decoded);
+    }
+}
