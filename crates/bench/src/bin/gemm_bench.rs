@@ -1,0 +1,229 @@
+//! GEMM throughput benchmark: blocked kernel vs the seed reference loops.
+//!
+//! Measures the cache-blocked kernel (`alf_tensor::ops::gemm`) against the
+//! preserved seed loops (`alf_tensor::ops::reference`) across a ladder of
+//! shapes, reports GFLOP/s and speedups, sweeps worker-thread counts, and
+//! compares the sparse-LHS path against dense on a masked-`Wcode`-shaped
+//! problem. Results go to stdout as a table and to `BENCH_gemm.json`.
+//!
+//! `--scale smoke` (default) finishes in seconds and **gates**: the
+//! process exits nonzero if the blocked kernel is slower than the
+//! reference at the largest smoke shape, so CI catches kernel
+//! regressions. `--scale paper` adds the training-hot-loop shape
+//! `[256×1152]·[1152×1024]` (a width-128 conv layer's forward GEMM) and a
+//! 512³ cube.
+
+use std::time::{Duration, Instant};
+
+use alf_bench::Scale;
+use alf_tensor::init::Init;
+use alf_tensor::ops::{gemm_into, gemm_sparse_lhs_into, reference, Workspace};
+use alf_tensor::rng::Rng;
+use alf_tensor::Tensor;
+
+/// Wall-clock budget per measured kernel/shape pair.
+const BUDGET: Duration = Duration::from_millis(1200);
+/// Sample cap per kernel/shape pair.
+const MAX_SAMPLES: usize = 15;
+/// Thread counts swept for the scaling section.
+const THREAD_SWEEP: [usize; 3] = [1, 2, 4];
+
+fn main() {
+    let scale = Scale::from_args();
+    let shapes: Vec<(usize, usize, usize)> = match scale {
+        Scale::Smoke => vec![(64, 128, 64), (128, 256, 128), (192, 384, 256)],
+        Scale::Paper => vec![
+            (64, 128, 64),
+            (128, 256, 128),
+            (192, 384, 256),
+            (256, 1152, 1024),
+            (512, 512, 512),
+        ],
+    };
+
+    let host_threads = std::thread::available_parallelism().map_or(1, |v| v.get());
+    println!("GEMM bench  scale={}  host-threads={host_threads}", scale.label());
+    println!(
+        "{:<18} {:>10} {:>10} {:>8}   {}",
+        "shape", "ref GF/s", "blk GF/s", "speedup", "threads GF/s (scaling)"
+    );
+
+    let mut rng = Rng::new(0xa1f);
+    let mut rows_json = Vec::new();
+    let mut gate_speedup = f64::NAN;
+
+    for &(m, k, n) in &shapes {
+        let a = Tensor::randn(&[m, k], Init::Rand, &mut rng);
+        let b = Tensor::randn(&[k, n], Init::Rand, &mut rng);
+        let flops = 2.0 * m as f64 * k as f64 * n as f64;
+
+        // Correctness cross-check before timing anything.
+        let expect = reference::matmul(&a, &b).expect("reference matmul");
+        let mut ws = Workspace::new();
+        let mut c = vec![0.0f32; m * n];
+        gemm_into(&mut c, a.data(), false, b.data(), false, m, k, n, &mut ws, 1);
+        assert_close(&c, expect.data(), m, k, n);
+
+        let t_ref = time_median(|| {
+            std::hint::black_box(reference::matmul(&a, &b).unwrap());
+        });
+        let mut per_thread = Vec::new();
+        for &threads in &THREAD_SWEEP {
+            let t = time_median(|| {
+                gemm_into(
+                    &mut c,
+                    a.data(),
+                    false,
+                    b.data(),
+                    false,
+                    m,
+                    k,
+                    n,
+                    &mut ws,
+                    threads,
+                );
+                std::hint::black_box(&c);
+            });
+            per_thread.push((threads, t));
+        }
+
+        let t_blk1 = per_thread[0].1;
+        let gf = |t: Duration| flops / t.as_secs_f64() / 1e9;
+        let speedup = t_ref.as_secs_f64() / t_blk1.as_secs_f64();
+        gate_speedup = speedup; // last shape wins: the ladder is ascending
+
+        let scaling: Vec<String> = per_thread
+            .iter()
+            .map(|&(th, t)| {
+                format!(
+                    "{th}t:{:.2} ({:.2}x)",
+                    gf(t),
+                    t_blk1.as_secs_f64() / t.as_secs_f64()
+                )
+            })
+            .collect();
+        println!(
+            "{:<18} {:>10.2} {:>10.2} {:>7.2}x   {}",
+            format!("{m}x{k}x{n}"),
+            gf(t_ref),
+            gf(t_blk1),
+            speedup,
+            scaling.join("  ")
+        );
+
+        let threads_json: Vec<String> = per_thread
+            .iter()
+            .map(|&(th, t)| {
+                format!(
+                    "{{\"threads\":{th},\"ms\":{:.4},\"gflops\":{:.3},\"scaling\":{:.3}}}",
+                    t.as_secs_f64() * 1e3,
+                    gf(t),
+                    t_blk1.as_secs_f64() / t.as_secs_f64()
+                )
+            })
+            .collect();
+        rows_json.push(format!(
+            "{{\"m\":{m},\"k\":{k},\"n\":{n},\"reference_ms\":{:.4},\"reference_gflops\":{:.3},\"blocked_1t_ms\":{:.4},\"blocked_1t_gflops\":{:.3},\"speedup_1t\":{:.3},\"threads\":[{}]}}",
+            t_ref.as_secs_f64() * 1e3,
+            gf(t_ref),
+            t_blk1.as_secs_f64() * 1e3,
+            gf(t_blk1),
+            speedup,
+            threads_json.join(",")
+        ));
+    }
+
+    let sparse_json = bench_sparse(scale, &mut rng);
+
+    let json = format!(
+        "{{\"bench\":\"gemm\",\"scale\":\"{}\",\"host_threads\":{host_threads},\"shapes\":[{}],{sparse_json}}}\n",
+        scale.label(),
+        rows_json.join(",")
+    );
+    std::fs::write("BENCH_gemm.json", &json).expect("write BENCH_gemm.json");
+    println!("\nwrote BENCH_gemm.json");
+
+    // Smoke gate: the blocked kernel must not lose to the seed loops at the
+    // largest shape of the ladder.
+    if gate_speedup < 1.0 {
+        eprintln!(
+            "FAIL: blocked GEMM is {gate_speedup:.2}x the reference at the largest shape \
+             (expected >= 1.0x)"
+        );
+        std::process::exit(1);
+    }
+}
+
+/// Dense vs sparse-LHS on a masked-`Wcode`-shaped product (half the LHS
+/// rows zeroed, as mid-training pruning produces). Returns the JSON
+/// fragment for the report.
+fn bench_sparse(scale: Scale, rng: &mut Rng) -> String {
+    let (m, k, n) = match scale {
+        Scale::Smoke => (64, 288, 2048),
+        Scale::Paper => (128, 1152, 8192),
+    };
+    let mut a = Tensor::randn(&[m, k], Init::Rand, rng);
+    for i in (0..m).step_by(2) {
+        for v in a.data_mut()[i * k..(i + 1) * k].iter_mut() {
+            *v = 0.0;
+        }
+    }
+    let b = Tensor::randn(&[k, n], Init::Rand, rng);
+    let mut ws = Workspace::new();
+    let mut c = vec![0.0f32; m * n];
+
+    let t_dense = time_median(|| {
+        gemm_into(&mut c, a.data(), false, b.data(), false, m, k, n, &mut ws, 1);
+        std::hint::black_box(&c);
+    });
+    let t_sparse = time_median(|| {
+        gemm_sparse_lhs_into(&mut c, a.data(), b.data(), m, k, n, &mut ws, 1);
+        std::hint::black_box(&c);
+    });
+    let speedup = t_dense.as_secs_f64() / t_sparse.as_secs_f64();
+    println!(
+        "\nsparse-LHS ({m}x{k}x{n}, 50% rows zero)  dense {:.3} ms  sparse {:.3} ms  {:.2}x",
+        t_dense.as_secs_f64() * 1e3,
+        t_sparse.as_secs_f64() * 1e3,
+        speedup
+    );
+    format!(
+        "\"sparse_lhs\":{{\"m\":{m},\"k\":{k},\"n\":{n},\"zero_row_fraction\":0.5,\"dense_ms\":{:.4},\"sparse_ms\":{:.4},\"speedup\":{:.3}}}",
+        t_dense.as_secs_f64() * 1e3,
+        t_sparse.as_secs_f64() * 1e3,
+        speedup
+    )
+}
+
+/// Median wall-clock of repeated runs: one warm-up, then up to
+/// [`MAX_SAMPLES`] samples within [`BUDGET`].
+fn time_median(mut f: impl FnMut()) -> Duration {
+    f();
+    let mut samples = Vec::with_capacity(MAX_SAMPLES);
+    let deadline = Instant::now() + BUDGET;
+    for _ in 0..MAX_SAMPLES {
+        let start = Instant::now();
+        f();
+        samples.push(start.elapsed());
+        if Instant::now() >= deadline {
+            break;
+        }
+    }
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// Relative-error check between the blocked and reference results.
+fn assert_close(got: &[f32], want: &[f32], m: usize, k: usize, n: usize) {
+    let mut num = 0.0f64;
+    let mut den = 0.0f64;
+    for (&g, &w) in got.iter().zip(want.iter()) {
+        num += f64::from(g - w) * f64::from(g - w);
+        den += f64::from(w) * f64::from(w);
+    }
+    let rel = (num / den.max(1e-30)).sqrt();
+    assert!(
+        rel < 1e-4,
+        "blocked GEMM diverges from reference at {m}x{k}x{n}: rel err {rel:.2e}"
+    );
+}

@@ -138,9 +138,15 @@ impl AlfBlock {
             ae = ae.without_mask();
         }
         // The code conv's weight is derived state — overwritten from the
-        // autoencoder before every forward pass.
-        let code_conv =
+        // autoencoder before every forward pass. Once the mask starts
+        // pruning, whole output channels of that weight are zero, so the
+        // conv's GEMM is told to compact the live rows instead of
+        // multiplying zeros.
+        let mut code_conv =
             Conv2d::new(c_in, c_out, kernel, stride, pad, false, Init::Zeros, rng);
+        if config.mask_enabled {
+            code_conv.set_sparse_weight_hint(true);
+        }
         let expansion = Conv2d::new(c_out, c_out, 1, 1, 0, false, config.exp_init, rng);
         Self {
             w,

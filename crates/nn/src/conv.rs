@@ -1,7 +1,16 @@
 //! 2-D convolution layer with GEMM forward and exact backward.
+//!
+//! The hot path is allocation-free after warm-up: the im2col column
+//! matrix, the GEMM packing panels, and every backward scratch matrix
+//! live in a per-layer [`Workspace`], so a steady-state training step
+//! allocates nothing beyond the output / input-gradient tensors the
+//! `Layer` API returns by value.
 
 use alf_tensor::init::Init;
-use alf_tensor::ops::{col2im, conv2d, im2col, matmul_at, matmul_bt, Conv2dSpec};
+use alf_tensor::ops::{
+    auto_threads, col2im_into, conv2d, gemm_into, gemm_sparse_lhs_into, im2col_into, Conv2dSpec,
+    Workspace,
+};
 use alf_tensor::rng::Rng;
 use alf_tensor::{ShapeError, Tensor};
 
@@ -14,7 +23,9 @@ use crate::Result;
 /// block *writes* the autoencoder code `Wcode` into the convolution before
 /// every forward pass; the gradient that `backward` accumulates on the
 /// weight is then routed to `W` through the straight-through estimator
-/// (paper Eq. 5).
+/// (paper Eq. 5). A block that injects *masked* codes should also set
+/// [`Conv2d::set_sparse_weight_hint`] so the forward GEMM skips the
+/// all-zero weight rows pruning produces.
 ///
 /// # Example
 ///
@@ -37,12 +48,18 @@ pub struct Conv2d {
     spec: Conv2dSpec,
     c_in: usize,
     c_out: usize,
+    sparse_weight_hint: bool,
     cache: Option<Cache>,
+    ws: Workspace,
 }
 
+/// Forward-pass state the backward pass consumes. The column matrix is
+/// held here (not in the workspace) between the passes so that cloning
+/// the layer clones live data; it is donated back to the workspace by the
+/// next forward pass.
 #[derive(Debug, Clone)]
 struct Cache {
-    cols: Tensor,
+    cols: Vec<f32>,
     input_dims: [usize; 4],
 }
 
@@ -74,7 +91,9 @@ impl Conv2d {
             spec: Conv2dSpec::new(kernel, stride, pad),
             c_in,
             c_out,
+            sparse_weight_hint: false,
             cache: None,
+            ws: Workspace::new(),
         }
     }
 
@@ -127,23 +146,116 @@ impl Conv2d {
         self.weight.decay = false;
         self
     }
+
+    /// Declares that the injected weight is expected to contain all-zero
+    /// output-channel rows (a masked `Wcode` after pruning). The forward
+    /// GEMM then routes through the sparse-LHS kernel, which compacts the
+    /// live rows instead of multiplying zeros. Purely a performance hint —
+    /// results are identical either way.
+    pub fn set_sparse_weight_hint(&mut self, on: bool) {
+        self.sparse_weight_hint = on;
+    }
+
+    /// Whether the sparse-weight hint is set.
+    pub fn sparse_weight_hint(&self) -> bool {
+        self.sparse_weight_hint
+    }
+
+    /// The layer's scratch arena — exposed so tests and training
+    /// telemetry can check allocation behaviour
+    /// ([`Workspace::alloc_events`], [`Workspace::freeze`]).
+    pub fn workspace(&self) -> &Workspace {
+        &self.ws
+    }
+
+    /// Mutable access to the scratch arena (e.g. to freeze it after
+    /// warm-up so any stray per-step allocation trips a debug assertion).
+    pub fn workspace_mut(&mut self) -> &mut Workspace {
+        &mut self.ws
+    }
 }
 
 impl Layer for Conv2d {
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
-        let out = conv2d(
-            input,
-            &self.weight.value,
-            self.bias.as_ref().map(|b| &b.value),
-            self.spec,
-        )?;
+        let dims = input.dims();
+        if dims.len() != 4 || dims[1] != self.c_in {
+            return Err(ShapeError::new(
+                "conv2d forward",
+                format!(
+                    "input {} vs expected [n x {} x h x w]",
+                    input.shape(),
+                    self.c_in
+                ),
+            ));
+        }
+        let [n, ci, h, w] = [dims[0], dims[1], dims[2], dims[3]];
+        let (ho, wo) = self.spec.output_hw(h, w);
+        let k = self.spec.kernel;
+        let rows = ci * k * k;
+        let ncols = n * ho * wo;
+
+        // A still-cached column matrix from a step whose backward never ran
+        // returns to the arena so the slot keeps its capacity.
+        if let Some(old) = self.cache.take() {
+            self.ws.give("cols", old.cols);
+        }
+        let mut cols = self.ws.take("cols", rows * ncols);
+        im2col_into(&mut cols, input, self.spec)?;
+
+        // [co, ci·k²] × [ci·k², n·ho·wo] → [co, n·ho·wo]; the stored
+        // [co, ci, k, k] weight is already row-major [co, ci·k²].
+        let mut prod = self.ws.take("prod", self.c_out * ncols);
+        let threads = auto_threads(self.c_out, rows, ncols);
+        if self.sparse_weight_hint {
+            gemm_sparse_lhs_into(
+                &mut prod,
+                self.weight.value.data(),
+                &cols,
+                self.c_out,
+                rows,
+                ncols,
+                &mut self.ws,
+                threads,
+            );
+        } else {
+            gemm_into(
+                &mut prod,
+                self.weight.value.data(),
+                false,
+                &cols,
+                false,
+                self.c_out,
+                rows,
+                ncols,
+                &mut self.ws,
+                threads,
+            );
+        }
+
+        // Rearrange [co, n·ho·wo] → [n, co, ho, wo], adding bias. This is
+        // the only allocation of the steady-state forward pass.
+        let mut out = Tensor::zeros(&[n, self.c_out, ho, wo]);
+        let od = out.data_mut();
+        let hw = ho * wo;
+        for c in 0..self.c_out {
+            let bias_v = self.bias.as_ref().map_or(0.0, |b| b.value.data()[c]);
+            for b in 0..n {
+                let src = &prod[c * n * hw + b * hw..c * n * hw + (b + 1) * hw];
+                let dst = &mut od[(b * self.c_out + c) * hw..(b * self.c_out + c + 1) * hw];
+                for (d, &s) in dst.iter_mut().zip(src.iter()) {
+                    *d = s + bias_v;
+                }
+            }
+        }
+        self.ws.give("prod", prod);
+
         if mode == Mode::Train {
-            let dims = input.dims();
             self.cache = Some(Cache {
-                cols: im2col(input, self.spec)?,
-                input_dims: [dims[0], dims[1], dims[2], dims[3]],
+                cols,
+                input_dims: [n, ci, h, w],
             });
         } else {
+            self.ws.give("cols", cols);
             self.cache = None;
         }
         Ok(out)
@@ -164,38 +276,74 @@ impl Layer for Conv2d {
             ));
         }
         let k = self.spec.kernel;
-        // Rearrange grad [n, co, ho, wo] → [co, n·ho·wo] to match the GEMM layout.
+        let rows = ci * k * k;
         let hw = ho * wo;
-        let mut gmat = Tensor::zeros(&[self.c_out, n * hw]);
+        let ncols = n * hw;
+
+        // Rearrange grad [n, co, ho, wo] → [co, n·ho·wo] to match the GEMM
+        // layout.
+        let mut gmat = self.ws.take("gmat", self.c_out * ncols);
         {
             let src = grad_output.data();
-            let dst = gmat.data_mut();
             for b in 0..n {
                 for c in 0..self.c_out {
                     let s = &src[(b * self.c_out + c) * hw..(b * self.c_out + c + 1) * hw];
-                    let d = &mut dst[c * n * hw + b * hw..c * n * hw + (b + 1) * hw];
+                    let d = &mut gmat[c * n * hw + b * hw..c * n * hw + (b + 1) * hw];
                     d.copy_from_slice(s);
                 }
             }
         }
-        // grad_w = gmat · colsᵀ  → [co, ci·k²]
-        let gw = matmul_bt(&gmat, &cache.cols)?;
-        self.weight
-            .grad
-            .axpy(1.0, &gw.reshape(&[self.c_out, ci, k, k])?)?;
+
+        // grad_w = gmat · colsᵀ → [co, ci·k²], accumulated straight into the
+        // [co, ci, k, k] grad buffer (same row-major data).
+        let mut gw = self.ws.take("gw", self.c_out * rows);
+        gemm_into(
+            &mut gw,
+            &gmat,
+            false,
+            &cache.cols,
+            true,
+            self.c_out,
+            ncols,
+            rows,
+            &mut self.ws,
+            auto_threads(self.c_out, ncols, rows),
+        );
+        for (g, &v) in self.weight.grad.data_mut().iter_mut().zip(gw.iter()) {
+            *g += v;
+        }
+        self.ws.give("gw", gw);
+
         // grad_b = row sums of gmat.
         if let Some(bias) = &mut self.bias {
-            let gd = gmat.data();
             for c in 0..self.c_out {
-                let row_sum: f32 = gd[c * n * hw..(c + 1) * n * hw].iter().sum();
+                let row_sum: f32 = gmat[c * n * hw..(c + 1) * n * hw].iter().sum();
                 bias.grad.data_mut()[c] += row_sum;
             }
         }
-        // grad_x = col2im(Wᵀ_mat · gmat).
-        let wmat = self.weight.value.reshape(&[self.c_out, ci * k * k])?;
-        // Wᵀ · gmat: [ci·k², n·ho·wo]
-        let gcols = matmul_at(&wmat, &gmat)?;
-        col2im(&gcols, n, ci, h, w, self.spec)
+
+        // grad_x = col2im(Wᵀ_mat · gmat); Wᵀ is absorbed by GEMM packing.
+        let mut gcols = self.ws.take("gcols", rows * ncols);
+        gemm_into(
+            &mut gcols,
+            self.weight.value.data(),
+            true,
+            &gmat,
+            false,
+            rows,
+            self.c_out,
+            ncols,
+            &mut self.ws,
+            auto_threads(rows, self.c_out, ncols),
+        );
+        self.ws.give("gmat", gmat);
+
+        // The input gradient is the only allocation of the steady-state
+        // backward pass.
+        let mut gx = Tensor::zeros(&[n, ci, h, w]);
+        col2im_into(gx.data_mut(), &gcols, n, ci, h, w, self.spec)?;
+        self.ws.give("gcols", gcols);
+        Ok(gx)
     }
 
     fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
@@ -238,6 +386,29 @@ mod tests {
             .forward(&Tensor::zeros(&[4, 3, 32, 32]), Mode::Eval)
             .unwrap();
         assert_eq!(y.dims(), &[4, 8, 16, 16]);
+    }
+
+    #[test]
+    fn forward_matches_free_function() {
+        let mut rng = Rng::new(14);
+        let mut conv = Conv2d::new(3, 5, 3, 2, 1, true, Init::Rand, &mut rng);
+        let x = Tensor::randn(&[2, 3, 9, 9], Init::Rand, &mut rng);
+        let via_layer = conv.forward(&x, Mode::Eval).unwrap();
+        let via_free = conv2d(
+            &x,
+            conv.weight(),
+            Some(&Tensor::zeros(&[5])),
+            conv.spec(),
+        )
+        .unwrap();
+        assert!(via_layer.allclose(&via_free, 1e-5));
+    }
+
+    #[test]
+    fn forward_validates_input() {
+        let mut conv = mk(0, false);
+        assert!(conv.forward(&Tensor::zeros(&[1, 3, 4, 4]), Mode::Eval).is_err());
+        assert!(conv.forward(&Tensor::zeros(&[2, 4, 4]), Mode::Eval).is_err());
     }
 
     #[test]
@@ -341,5 +512,65 @@ mod tests {
         let mut decays = Vec::new();
         conv.visit_params(&mut |p| decays.push(p.decay));
         assert_eq!(decays, vec![false]);
+    }
+
+    #[test]
+    fn sparse_hint_does_not_change_results() {
+        let mut rng = Rng::new(15);
+        let x = Tensor::randn(&[2, 2, 6, 6], Init::Rand, &mut rng);
+        let mut dense = mk(16, false);
+        // Zero out one output channel's filters, as a pruned Wcode would.
+        let mut wt = dense.weight().clone();
+        let row = 2 * 9; // ci·k² elements per output channel
+        for v in wt.data_mut()[row..2 * row].iter_mut() {
+            *v = 0.0;
+        }
+        dense.set_weight(wt.clone()).unwrap();
+        let mut sparse = dense.clone();
+        sparse.set_sparse_weight_hint(true);
+        assert!(sparse.sparse_weight_hint());
+
+        let yd = dense.forward(&x, Mode::Train).unwrap();
+        let ys = sparse.forward(&x, Mode::Train).unwrap();
+        assert!(yd.allclose(&ys, 1e-6));
+        let gd = dense.backward(&yd).unwrap();
+        let gs = sparse.backward(&ys).unwrap();
+        assert!(gd.allclose(&gs, 1e-5));
+        assert!(dense.weight_grad().allclose(sparse.weight_grad(), 1e-4));
+    }
+
+    #[test]
+    fn steady_state_step_is_workspace_allocation_free() {
+        let mut rng = Rng::new(17);
+        let x = Tensor::randn(&[2, 2, 8, 8], Init::Rand, &mut rng);
+        let mut conv = mk(18, true);
+        // Warm up: first step grows every workspace slot to steady size.
+        for _ in 0..2 {
+            let y = conv.forward(&x, Mode::Train).unwrap();
+            conv.backward(&y).unwrap();
+        }
+        let warm = conv.workspace().alloc_events();
+        // Freeze: further growth would trip a debug assertion too.
+        conv.workspace_mut().freeze();
+        for _ in 0..5 {
+            let y = conv.forward(&x, Mode::Train).unwrap();
+            conv.backward(&y).unwrap();
+        }
+        assert_eq!(conv.workspace().alloc_events(), warm);
+    }
+
+    #[test]
+    fn cloned_layer_rewarms_its_own_workspace() {
+        let mut rng = Rng::new(19);
+        let x = Tensor::randn(&[1, 2, 5, 5], Init::Rand, &mut rng);
+        let mut conv = mk(20, false);
+        let y = conv.forward(&x, Mode::Train).unwrap();
+        // Clone mid-step: the clone carries the cached column matrix but a
+        // fresh workspace, and must still produce the right gradients.
+        let mut clone = conv.clone();
+        assert_eq!(clone.workspace().alloc_events(), 0);
+        let g_orig = conv.backward(&y).unwrap();
+        let g_clone = clone.backward(&y).unwrap();
+        assert_eq!(g_orig.data(), g_clone.data());
     }
 }

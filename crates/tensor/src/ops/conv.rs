@@ -75,11 +75,34 @@ pub fn im2col(input: &Tensor, spec: Conv2dSpec) -> Result<Tensor, ShapeError> {
     let [n, ci, h, w] = rank4("im2col", input)?;
     let (ho, wo) = spec.output_hw(h, w);
     let k = spec.kernel;
+    let mut out = Tensor::zeros(&[ci * k * k, n * ho * wo]);
+    im2col_into(out.data_mut(), input, spec)?;
+    Ok(out)
+}
+
+/// [`im2col`] into a caller-owned buffer of exactly
+/// `ci·k·k · n·h_out·w_out` elements — the allocation-free variant the
+/// `alf-nn` conv layer uses with its per-layer workspace. The buffer is
+/// fully overwritten (zeroed first, since padding taps are never stored).
+///
+/// # Errors
+///
+/// Returns an error unless `input` is rank 4 and `dst` has the exact
+/// output length.
+pub fn im2col_into(dst: &mut [f32], input: &Tensor, spec: Conv2dSpec) -> Result<(), ShapeError> {
+    let [n, ci, h, w] = rank4("im2col_into", input)?;
+    let (ho, wo) = spec.output_hw(h, w);
+    let k = spec.kernel;
     let rows = ci * k * k;
     let cols = n * ho * wo;
-    let mut out = Tensor::zeros(&[rows, cols]);
+    if dst.len() != rows * cols {
+        return Err(ShapeError::new(
+            "im2col_into",
+            format!("buffer has {} elements, expected {}x{}", dst.len(), rows, cols),
+        ));
+    }
+    dst.fill(0.0);
     let src = input.data();
-    let dst = out.data_mut();
     for b in 0..n {
         for c in 0..ci {
             let plane = &src[(b * ci + c) * h * w..(b * ci + c + 1) * h * w];
@@ -105,7 +128,7 @@ pub fn im2col(input: &Tensor, spec: Conv2dSpec) -> Result<Tensor, ShapeError> {
             }
         }
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Folds a column matrix back into an `NCHW` tensor, *accumulating*
@@ -134,9 +157,52 @@ pub fn col2im(
         ));
     }
     let mut out = Tensor::zeros(&[n, ci, h, w]);
-    let src = cols.data();
-    let dst = out.data_mut();
+    col2im_into(out.data_mut(), cols.data(), n, ci, h, w, spec)?;
+    Ok(out)
+}
+
+/// [`col2im`] into a caller-owned buffer of exactly `n·ci·h·w` elements —
+/// the allocation-free variant used by the `alf-nn` conv backward pass.
+/// The buffer is zeroed, then overlapping contributions accumulate.
+///
+/// # Errors
+///
+/// Returns an error when either buffer length disagrees with the stated
+/// geometry.
+pub fn col2im_into(
+    dst: &mut [f32],
+    cols: &[f32],
+    n: usize,
+    ci: usize,
+    h: usize,
+    w: usize,
+    spec: Conv2dSpec,
+) -> Result<(), ShapeError> {
+    let (ho, wo) = spec.output_hw(h, w);
+    let k = spec.kernel;
     let ncols = n * ho * wo;
+    if cols.len() != ci * k * k * ncols {
+        return Err(ShapeError::new(
+            "col2im_into",
+            format!(
+                "cols has {} elements, expected {}x{}",
+                cols.len(),
+                ci * k * k,
+                ncols
+            ),
+        ));
+    }
+    if dst.len() != n * ci * h * w {
+        return Err(ShapeError::new(
+            "col2im_into",
+            format!(
+                "buffer has {} elements, expected {n}x{ci}x{h}x{w}",
+                dst.len()
+            ),
+        ));
+    }
+    dst.fill(0.0);
+    let src = cols;
     for b in 0..n {
         for c in 0..ci {
             let base = (b * ci + c) * h * w;
@@ -162,7 +228,7 @@ pub fn col2im(
             }
         }
     }
-    Ok(out)
+    Ok(())
 }
 
 /// 2-D convolution forward pass: `NCHW` input, `[c_out, c_in, k, k]`
@@ -349,6 +415,33 @@ mod tests {
         let back = col2im(&y, n, ci, h, w, spec).unwrap();
         let rhs = x.dot(&back).unwrap();
         assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn into_variants_match_allocating_variants() {
+        let mut rng = Rng::new(19);
+        let spec = Conv2dSpec::new(3, 2, 1);
+        let (n, ci, h, w) = (2, 3, 7, 7);
+        let x = Tensor::randn(&[n, ci, h, w], Init::Rand, &mut rng);
+        let cols = im2col(&x, spec).unwrap();
+        let mut cols_buf = vec![f32::NAN; cols.data().len()];
+        im2col_into(&mut cols_buf, &x, spec).unwrap();
+        assert_eq!(cols.data(), &cols_buf[..]);
+
+        let y = Tensor::randn(cols.dims(), Init::Rand, &mut rng);
+        let folded = col2im(&y, n, ci, h, w, spec).unwrap();
+        let mut fold_buf = vec![f32::NAN; n * ci * h * w];
+        col2im_into(&mut fold_buf, y.data(), n, ci, h, w, spec).unwrap();
+        assert_eq!(folded.data(), &fold_buf[..]);
+    }
+
+    #[test]
+    fn into_variants_validate_buffer_lengths() {
+        let spec = Conv2dSpec::new(3, 1, 1);
+        let x = Tensor::zeros(&[1, 1, 4, 4]);
+        assert!(im2col_into(&mut [0.0; 3], &x, spec).is_err());
+        assert!(col2im_into(&mut [0.0; 16], &[0.0; 3], 1, 1, 4, 4, spec).is_err());
+        assert!(col2im_into(&mut [0.0; 5], &[0.0; 144], 1, 1, 4, 4, spec).is_err());
     }
 
     #[test]

@@ -1,0 +1,518 @@
+//! Cache-blocked, register-tiled, optionally multithreaded GEMM.
+//!
+//! This is the single compute kernel behind every matrix product in the
+//! workspace ([`super::matmul`], [`super::matmul_at`],
+//! [`super::matmul_bt`], the conv forward/backward GEMMs in `alf-nn`, and
+//! the autoencoder player in `alf-core`). The structure is the classic
+//! three-level blocking of Goto/BLIS:
+//!
+//! * the `n` dimension is split into [`NC`]-wide column strips,
+//! * the `k` dimension into [`KC`]-deep slabs — for each `(NC, KC)` pair
+//!   the corresponding block of `B` is packed once into contiguous
+//!   [`NR`]-column panels sized to stay L2/L3-resident,
+//! * each worker packs its whole row range of the `A` slab into
+//!   [`MR`]-row panels; a panel is L1-resident while the inner loop
+//!   streams the packed `B` strip past it,
+//! * an `MR`×`NR` register tile at the core, provided by the
+//!   `alf-gemm-kernels` crate. The kernels are safe Rust shaped for
+//!   LLVM's loop vectorizer (the workspace forbids `unsafe`, so explicit
+//!   intrinsics are off the table; `.cargo/config.toml` builds with
+//!   `-C target-cpu=native` to unlock AVX2/AVX-512 codegen), and they
+//!   live in their own crate because compiling them next to their
+//!   callers flips the vectorizer into a ~3x-slower shuffle-based form —
+//!   see that crate's docs for the full story. The tile's `C` write-back
+//!   lives *inside* the kernel function: the accumulator never crosses a
+//!   call boundary, which keeps it in registers instead of round-tripping
+//!   through a return slot on the stack.
+//!
+//! Transposed operands are handled in the packing routines — `Aᵀ` and
+//! `Bᵀ` cost a different read stride during the O(size) pack, never a
+//! materialised transpose or a strided inner loop.
+//!
+//! Threading partitions the `m` dimension into contiguous multiples of
+//! `MC` (one chunk per worker, spawned per `(NC, KC)` block through the
+//! crossbeam facade). Workers share the read-only packed `B` and own
+//! disjoint `A`-packing buffers and `C` row ranges, so results are
+//! **bitwise identical for every thread count**: each `C` element is
+//! accumulated by exactly one worker in exactly the order the
+//! single-thread loop uses. [`auto_threads`] gates parallelism on a flop
+//! threshold so small products (the common case inside per-layer training
+//! steps) never pay thread-spawn latency.
+//!
+//! All scratch (packing panels, sparse-compaction buffers) comes from the
+//! caller's [`Workspace`], so steady-state calls are allocation-free.
+
+use super::workspace::Workspace;
+use alf_gemm_kernels::{microkernel_into, microkernel_into_clipped};
+
+// The micro-kernels and the tile geometry live in `alf-gemm-kernels`, a
+// dedicated crate, because their codegen is context-sensitive: compiled in
+// the same LLVM module as their callers they come out ~3x slower (see that
+// crate's documentation). The blocking parameters below belong to *this*
+// layer — they describe how panels are packed and scheduled around the
+// fixed MR×NR register tile.
+pub use alf_gemm_kernels::{MR, NR};
+/// Row granularity of thread partitioning (each worker owns contiguous
+/// multiples of `MC` rows of `C`).
+pub const MC: usize = 128;
+/// Depth of the packed slabs.
+pub const KC: usize = 256;
+/// Columns of the packed `B` strip (L2/L3 working set: `KC·NC` floats).
+pub const NC: usize = 1024;
+
+/// Ceiling on worker threads regardless of core count.
+pub const MAX_THREADS: usize = 8;
+
+/// Products below this many flops (`2·m·k·n`) always run single-threaded;
+/// at typical single-core throughput this is well under a millisecond of
+/// work, where scoped-thread spawn/join overhead would dominate.
+const PAR_FLOP_THRESHOLD: f64 = 8.0e6;
+
+/// Minimum fraction of all-zero LHS rows (in eighths) for
+/// [`gemm_sparse_lhs_into`] to take the compaction path; below this the
+/// compact-and-scatter copies cost more than they save.
+const SPARSE_MIN_ZERO_EIGHTHS: usize = 1;
+
+/// Thread count policy for a `[m,k]·[k,n]` product: 1 below the flop
+/// threshold, otherwise capped by the host's parallelism, [`MAX_THREADS`],
+/// and the number of `MC` row blocks. The `ALF_GEMM_THREADS` environment
+/// variable overrides the policy (clamped to `[1, MAX_THREADS]`) — useful
+/// for benchmarking scaling and for forcing determinism checks across
+/// counts.
+pub fn auto_threads(m: usize, k: usize, n: usize) -> usize {
+    if let Some(t) = thread_override() {
+        return t.clamp(1, MAX_THREADS);
+    }
+    let flops = 2.0 * m as f64 * k as f64 * n as f64;
+    if flops < PAR_FLOP_THRESHOLD {
+        return 1;
+    }
+    let hw = std::thread::available_parallelism().map_or(1, |v| v.get());
+    hw.min(MAX_THREADS).min(m.div_ceil(MC)).max(1)
+}
+
+fn thread_override() -> Option<usize> {
+    static OVERRIDE: std::sync::OnceLock<Option<usize>> = std::sync::OnceLock::new();
+    *OVERRIDE.get_or_init(|| {
+        std::env::var("ALF_GEMM_THREADS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+    })
+}
+
+/// `C = op(A) · op(B)` into a caller-provided buffer.
+///
+/// `op` is transpose when the matching flag is set: `A` is stored `[m,k]`
+/// (`ta = false`) or `[k,m]` (`ta = true`); `B` is `[k,n]` or `[n,k]`.
+/// `C` is always `[m,n]` row-major and is fully overwritten. Scratch comes
+/// from `ws`; `threads` is typically [`auto_threads`] and is clamped to
+/// the available row blocks.
+///
+/// # Panics
+///
+/// Panics when a buffer length disagrees with the stated dimensions.
+pub fn gemm_into(
+    c: &mut [f32],
+    a: &[f32],
+    ta: bool,
+    b: &[f32],
+    tb: bool,
+    m: usize,
+    k: usize,
+    n: usize,
+    ws: &mut Workspace,
+    threads: usize,
+) {
+    assert_eq!(c.len(), m * n, "gemm: C buffer is not [{m}x{n}]");
+    assert_eq!(a.len(), m * k, "gemm: A buffer is not [{m}x{k}] (ta={ta})");
+    assert_eq!(b.len(), k * n, "gemm: B buffer is not [{k}x{n}] (tb={tb})");
+    c.fill(0.0);
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+
+    let n_blocks = m.div_ceil(MC);
+    let threads = threads.clamp(1, n_blocks).min(MAX_THREADS);
+    let kmax = k.min(KC);
+    let ncmax = n.min(NC).div_ceil(NR) * NR;
+    // Contiguous row chunks, each a whole number of MC blocks, so packed
+    // panels never straddle a worker boundary.
+    let rows_per_chunk = n_blocks.div_ceil(threads) * MC;
+    let mut bpack = ws.take("gemm_bpack", kmax * ncmax);
+    // Each worker packs its whole row range once per (jc, pc) block, so
+    // its buffer spans rows_per_chunk (already an MR multiple) rows.
+    let mut apack_all = ws.take("gemm_apack", threads * rows_per_chunk * kmax);
+
+    let mut jc = 0;
+    while jc < n {
+        let nc = NC.min(n - jc);
+        let mut pc = 0;
+        while pc < k {
+            let kc = KC.min(k - pc);
+            pack_b(&mut bpack, b, tb, k, n, pc, kc, jc, nc);
+            if threads == 1 {
+                process_rows(
+                    c, 0, m, a, ta, m, k, n, jc, nc, pc, kc, &bpack, &mut apack_all,
+                );
+            } else {
+                let bref = &bpack;
+                crossbeam::thread::scope(|scope| {
+                    let chunks = c
+                        .chunks_mut(rows_per_chunk * n)
+                        .zip(apack_all.chunks_mut(rows_per_chunk * kmax))
+                        .enumerate();
+                    let handles: Vec<_> = chunks
+                        .map(|(t, (c_chunk, apack))| {
+                            scope.spawn(move |_| {
+                                let row0 = t * rows_per_chunk;
+                                let mrows = c_chunk.len() / n;
+                                process_rows(
+                                    c_chunk, row0, mrows, a, ta, m, k, n, jc, nc, pc, kc,
+                                    bref, apack,
+                                );
+                            })
+                        })
+                        .collect();
+                    for h in handles {
+                        h.join().expect("gemm worker panicked");
+                    }
+                })
+                .expect("gemm thread scope failed");
+            }
+            pc += kc;
+        }
+        jc += nc;
+    }
+    ws.give("gemm_bpack", bpack);
+    ws.give("gemm_apack", apack_all);
+}
+
+/// One worker's share: all `MC` blocks inside its contiguous row range,
+/// against the already-packed `B` strip for `(jc, nc, pc, kc)`.
+///
+/// `c_rows` holds rows `row0 .. row0 + mrows` of `C` at full stride `n`.
+#[allow(clippy::too_many_arguments)]
+fn process_rows(
+    c_rows: &mut [f32],
+    row0: usize,
+    mrows: usize,
+    a: &[f32],
+    ta: bool,
+    m: usize,
+    k: usize,
+    n: usize,
+    jc: usize,
+    nc: usize,
+    pc: usize,
+    kc: usize,
+    bpack: &[f32],
+    apack: &mut [f32],
+) {
+    let j_panels = nc.div_ceil(NR);
+    pack_a(apack, a, ta, m, k, row0, mrows, pc, kc);
+    let i_panels = mrows.div_ceil(MR);
+    for ip in 0..i_panels {
+        let apanel = &apack[ip * kc * MR..(ip + 1) * kc * MR];
+        let rbase = ip * MR;
+        let rlim = MR.min(mrows - rbase);
+        for jp in 0..j_panels {
+            let bpanel = &bpack[jp * kc * NR..(jp + 1) * kc * NR];
+            let cbase = jc + jp * NR;
+            let clim = NR.min(nc - jp * NR);
+            let coff = rbase * n + cbase;
+            if rlim == MR && clim == NR {
+                let cend = coff + (MR - 1) * n + NR;
+                microkernel_into(apanel, bpanel, &mut c_rows[coff..cend], n);
+            } else {
+                let cend = coff + (rlim - 1) * n + clim;
+                microkernel_into_clipped(
+                    apanel,
+                    bpanel,
+                    &mut c_rows[coff..cend],
+                    n,
+                    rlim,
+                    clim,
+                );
+            }
+        }
+    }
+}
+
+/// Packs `A[i0..i0+mc, p0..p0+kc]` (transpose-aware) into `MR`-row panels:
+/// `apack[(ip·kc + p)·MR + r] = A[i0 + ip·MR + r, p0 + p]`, zero-padding
+/// rows past `mc`.
+#[allow(clippy::too_many_arguments)]
+fn pack_a(
+    apack: &mut [f32],
+    a: &[f32],
+    ta: bool,
+    m: usize,
+    k: usize,
+    i0: usize,
+    mc: usize,
+    p0: usize,
+    kc: usize,
+) {
+    for ip in 0..mc.div_ceil(MR) {
+        let panel = &mut apack[ip * kc * MR..(ip + 1) * kc * MR];
+        for (p, out) in panel.chunks_exact_mut(MR).enumerate().take(kc) {
+            for (r, slot) in out.iter_mut().enumerate() {
+                let row = i0 + ip * MR + r;
+                *slot = if row < i0 + mc {
+                    if ta {
+                        a[(p0 + p) * m + row]
+                    } else {
+                        a[row * k + p0 + p]
+                    }
+                } else {
+                    0.0
+                };
+            }
+        }
+    }
+}
+
+/// Packs `B[p0..p0+kc, j0..j0+nc]` (transpose-aware) into `NR`-column
+/// panels: `bpack[(jp·kc + p)·NR + r] = B[p0 + p, j0 + jp·NR + r]`,
+/// zero-padding columns past `nc`.
+#[allow(clippy::too_many_arguments)]
+fn pack_b(
+    bpack: &mut [f32],
+    b: &[f32],
+    tb: bool,
+    k: usize,
+    n: usize,
+    p0: usize,
+    kc: usize,
+    j0: usize,
+    nc: usize,
+) {
+    for jp in 0..nc.div_ceil(NR) {
+        let panel = &mut bpack[jp * kc * NR..(jp + 1) * kc * NR];
+        for (p, out) in panel.chunks_exact_mut(NR).enumerate().take(kc) {
+            for (r, slot) in out.iter_mut().enumerate() {
+                let col = j0 + jp * NR + r;
+                *slot = if col < j0 + nc {
+                    if tb {
+                        b[col * k + p0 + p]
+                    } else {
+                        b[(p0 + p) * n + col]
+                    }
+                } else {
+                    0.0
+                };
+            }
+        }
+    }
+}
+
+/// `C = A · B` where `A` (`[m,k]`, non-transposed) is expected to contain
+/// all-zero rows — the masked `Wcode` weight matrix of an ALF block, whose
+/// pruned code channels zero out whole rows.
+///
+/// Scans `A` once, compacts the nonzero rows, runs the dense blocked
+/// kernel on the compact problem, and scatters the result back; zero rows
+/// of `C` are written directly. Falls back to the dense kernel when fewer
+/// than 1/8 of the rows are zero, where the compact-and-scatter copies
+/// outweigh the skipped flops (see the `sparse_vs_dense` micro-benchmark
+/// in `crates/bench`).
+///
+/// # Panics
+///
+/// Panics when a buffer length disagrees with the stated dimensions.
+pub fn gemm_sparse_lhs_into(
+    c: &mut [f32],
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    ws: &mut Workspace,
+    threads: usize,
+) {
+    assert_eq!(c.len(), m * n, "gemm_sparse_lhs: C buffer is not [{m}x{n}]");
+    assert_eq!(a.len(), m * k, "gemm_sparse_lhs: A buffer is not [{m}x{k}]");
+    assert_eq!(b.len(), k * n, "gemm_sparse_lhs: B buffer is not [{k}x{n}]");
+    let mut rows = ws.take_idx("gemm_sparse_rows", m);
+    for i in 0..m {
+        if a[i * k..(i + 1) * k].iter().any(|&v| v != 0.0) {
+            rows.push(i);
+        }
+    }
+    let zero_rows = m - rows.len();
+    if zero_rows * 8 < m * SPARSE_MIN_ZERO_EIGHTHS {
+        ws.give_idx("gemm_sparse_rows", rows);
+        gemm_into(c, a, false, b, false, m, k, n, ws, threads);
+        return;
+    }
+    c.fill(0.0);
+    if rows.is_empty() || k == 0 || n == 0 {
+        ws.give_idx("gemm_sparse_rows", rows);
+        return;
+    }
+    let ma = rows.len();
+    let mut aa = ws.take("gemm_sparse_a", ma * k);
+    let mut ca = ws.take("gemm_sparse_c", ma * n);
+    for (ri, &i) in rows.iter().enumerate() {
+        aa[ri * k..(ri + 1) * k].copy_from_slice(&a[i * k..(i + 1) * k]);
+    }
+    gemm_into(&mut ca, &aa, false, b, false, ma, k, n, ws, threads);
+    for (ri, &i) in rows.iter().enumerate() {
+        c[i * n..(i + 1) * n].copy_from_slice(&ca[ri * n..(ri + 1) * n]);
+    }
+    ws.give("gemm_sparse_a", aa);
+    ws.give("gemm_sparse_c", ca);
+    ws.give_idx("gemm_sparse_rows", rows);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::Init;
+    use crate::ops::reference;
+    use crate::rng::Rng;
+    use crate::Tensor;
+
+    fn run(a: &Tensor, ta: bool, b: &Tensor, tb: bool, threads: usize) -> Tensor {
+        let (m, k) = if ta {
+            (a.dims()[1], a.dims()[0])
+        } else {
+            (a.dims()[0], a.dims()[1])
+        };
+        let n = if tb { b.dims()[0] } else { b.dims()[1] };
+        let mut ws = Workspace::new();
+        let mut out = Tensor::zeros(&[m, n]);
+        gemm_into(
+            out.data_mut(),
+            a.data(),
+            ta,
+            b.data(),
+            tb,
+            m,
+            k,
+            n,
+            &mut ws,
+            threads,
+        );
+        out
+    }
+
+    #[test]
+    fn matches_reference_across_shapes_and_transposes() {
+        let mut rng = Rng::new(99);
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (3, 5, 2),
+            (8, 8, 8),
+            (7, 9, 11),
+            (17, 33, 5),
+            (64, 64, 64),
+            (130, 260, 70),
+        ] {
+            let a = Tensor::randn(&[m, k], Init::Rand, &mut rng);
+            let b = Tensor::randn(&[k, n], Init::Rand, &mut rng);
+            let expect = reference::matmul(&a, &b).unwrap();
+            assert!(run(&a, false, &b, false, 1).allclose(&expect, 1e-4), "{m}x{k}x{n}");
+            let at = a.transpose2().unwrap();
+            assert!(run(&at, true, &b, false, 1).allclose(&expect, 1e-4), "ta {m}x{k}x{n}");
+            let bt = b.transpose2().unwrap();
+            assert!(run(&a, false, &bt, true, 1).allclose(&expect, 1e-4), "tb {m}x{k}x{n}");
+            assert!(
+                run(&at, true, &bt, true, 1).allclose(&expect, 1e-4),
+                "ta+tb {m}x{k}x{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_dims_produce_zeros_or_empty() {
+        let mut ws = Workspace::new();
+        // k == 0: C must be all zeros.
+        let mut c = vec![7.0f32; 6];
+        gemm_into(&mut c, &[], false, &[], false, 2, 0, 3, &mut ws, 1);
+        assert_eq!(c, vec![0.0; 6]);
+        // m == 0 / n == 0: empty C, must not panic.
+        gemm_into(&mut [], &[], false, &[1.0, 2.0], false, 0, 1, 2, &mut ws, 4);
+        gemm_into(&mut [], &[1.0, 2.0], false, &[], false, 2, 1, 0, &mut ws, 4);
+    }
+
+    #[test]
+    fn bitwise_deterministic_across_thread_counts() {
+        let mut rng = Rng::new(5);
+        let a = Tensor::randn(&[300, 70], Init::Rand, &mut rng);
+        let b = Tensor::randn(&[70, 90], Init::Rand, &mut rng);
+        let t1 = run(&a, false, &b, false, 1);
+        for threads in [2, 3, 4, 8] {
+            let tn = run(&a, false, &b, false, threads);
+            assert_eq!(t1.data(), tn.data(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn overwrites_stale_output_contents() {
+        let a = Tensor::ones(&[4, 4]);
+        let b = Tensor::eye(4);
+        let mut ws = Workspace::new();
+        let mut c = vec![42.0f32; 16];
+        gemm_into(&mut c, a.data(), false, b.data(), false, 4, 4, 4, &mut ws, 1);
+        assert_eq!(c, vec![1.0; 16]);
+    }
+
+    #[test]
+    fn workspace_reuse_is_allocation_free_after_warmup() {
+        let mut rng = Rng::new(3);
+        let a = Tensor::randn(&[65, 40], Init::Rand, &mut rng);
+        let b = Tensor::randn(&[40, 33], Init::Rand, &mut rng);
+        let mut ws = Workspace::new();
+        let mut c = vec![0.0f32; 65 * 33];
+        gemm_into(&mut c, a.data(), false, b.data(), false, 65, 40, 33, &mut ws, 1);
+        let warm = ws.alloc_events();
+        ws.freeze();
+        for _ in 0..5 {
+            gemm_into(&mut c, a.data(), false, b.data(), false, 65, 40, 33, &mut ws, 1);
+        }
+        assert_eq!(ws.alloc_events(), warm);
+    }
+
+    #[test]
+    fn sparse_lhs_matches_dense_on_masked_rows() {
+        let mut rng = Rng::new(21);
+        for &(m, k, n, stride) in &[(16, 9, 12, 2), (33, 20, 7, 3), (40, 16, 16, 1)] {
+            let mut a = Tensor::randn(&[m, k], Init::Rand, &mut rng);
+            // Zero every `stride`-th row (stride 1 → all rows zero).
+            for i in (0..m).step_by(stride.max(1)) {
+                if stride == 1 || i % stride == 0 {
+                    for v in a.data_mut()[i * k..(i + 1) * k].iter_mut() {
+                        *v = 0.0;
+                    }
+                }
+            }
+            let b = Tensor::randn(&[k, n], Init::Rand, &mut rng);
+            let expect = reference::matmul(&a, &b).unwrap();
+            let mut ws = Workspace::new();
+            let mut c = vec![1.0f32; m * n];
+            gemm_sparse_lhs_into(&mut c, a.data(), b.data(), m, k, n, &mut ws, 1);
+            let got = Tensor::from_vec(c, &[m, n]).unwrap();
+            assert!(got.allclose(&expect, 1e-4), "{m}x{k}x{n} stride={stride}");
+        }
+    }
+
+    #[test]
+    fn sparse_lhs_dense_fallback_matches() {
+        // No zero rows at all → dense fallback path.
+        let mut rng = Rng::new(22);
+        let a = Tensor::randn(&[10, 6], Init::Rand, &mut rng);
+        let b = Tensor::randn(&[6, 8], Init::Rand, &mut rng);
+        let expect = reference::matmul(&a, &b).unwrap();
+        let mut ws = Workspace::new();
+        let mut c = vec![0.0f32; 80];
+        gemm_sparse_lhs_into(&mut c, a.data(), b.data(), 10, 6, 8, &mut ws, 1);
+        assert!(Tensor::from_vec(c, &[10, 8]).unwrap().allclose(&expect, 1e-4));
+    }
+
+    #[test]
+    fn auto_threads_stays_single_for_small_products() {
+        assert_eq!(auto_threads(8, 8, 8), 1);
+        assert_eq!(auto_threads(64, 64, 64), 1);
+    }
+}

@@ -1,10 +1,17 @@
 use crate::{ShapeError, Tensor};
 
+use super::gemm::{auto_threads, gemm_into, gemm_sparse_lhs_into};
+use super::workspace::with_thread_workspace;
+
 /// Dense matrix product `C = A · B` for rank-2 tensors.
 ///
-/// Uses an `i-k-j` loop order so the inner loop streams both `B` and `C`
-/// rows sequentially — roughly an order of magnitude faster than the naive
-/// `i-j-k` order for the matrix sizes CNN training produces.
+/// Routed through the cache-blocked, register-tiled kernel in
+/// [`super::gemm`] (packing + `8×8` micro-tiles, multithreaded above a
+/// flop threshold), with packing scratch drawn from the calling thread's
+/// shared [`Workspace`](super::Workspace). The seed's naive loop survives
+/// as [`super::reference::matmul`] for differential testing; unlike the
+/// seed, this path has **no** per-element zero test — masked weights with
+/// structurally zero rows should use [`matmul_sparse_lhs`] instead.
 ///
 /// # Errors
 ///
@@ -24,25 +31,28 @@ use crate::{ShapeError, Tensor};
 pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, ShapeError> {
     let (m, k, n) = dims_for("matmul", a, b, false, false)?;
     let mut out = Tensor::zeros(&[m, n]);
-    let (ad, bd) = (a.data(), b.data());
-    let od = out.data_mut();
-    for i in 0..m {
-        let arow = &ad[i * k..(i + 1) * k];
-        let orow = &mut od[i * n..(i + 1) * n];
-        for (p, &av) in arow.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let brow = &bd[p * n..(p + 1) * n];
-            for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
-                *o += av * bv;
-            }
-        }
-    }
+    with_thread_workspace(|ws| {
+        gemm_into(
+            out.data_mut(),
+            a.data(),
+            false,
+            b.data(),
+            false,
+            m,
+            k,
+            n,
+            ws,
+            auto_threads(m, k, n),
+        );
+    });
     Ok(out)
 }
 
 /// `C = Aᵀ · B` without materialising the transpose.
+///
+/// The transpose is absorbed by the GEMM packing stage — `A` is read with
+/// a transposed stride while being packed into row panels, so the inner
+/// kernel is identical to the non-transposed case.
 ///
 /// # Errors
 ///
@@ -50,27 +60,27 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, ShapeError> {
 pub fn matmul_at(a: &Tensor, b: &Tensor) -> Result<Tensor, ShapeError> {
     let (m, k, n) = dims_for("matmul_at", a, b, true, false)?;
     let mut out = Tensor::zeros(&[m, n]);
-    let (ad, bd) = (a.data(), b.data());
-    let od = out.data_mut();
-    // A is [k, m]: column i of A is stride-m. Iterate over k outermost so both
-    // A and B rows stream sequentially.
-    for p in 0..k {
-        let arow = &ad[p * m..(p + 1) * m];
-        let brow = &bd[p * n..(p + 1) * n];
-        for (i, &av) in arow.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let orow = &mut od[i * n..(i + 1) * n];
-            for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
-                *o += av * bv;
-            }
-        }
-    }
+    with_thread_workspace(|ws| {
+        gemm_into(
+            out.data_mut(),
+            a.data(),
+            true,
+            b.data(),
+            false,
+            m,
+            k,
+            n,
+            ws,
+            auto_threads(m, k, n),
+        );
+    });
     Ok(out)
 }
 
 /// `C = A · Bᵀ` without materialising the transpose.
+///
+/// As with [`matmul_at`], the transpose costs only a different read
+/// stride during `B` packing.
 ///
 /// # Errors
 ///
@@ -78,23 +88,56 @@ pub fn matmul_at(a: &Tensor, b: &Tensor) -> Result<Tensor, ShapeError> {
 pub fn matmul_bt(a: &Tensor, b: &Tensor) -> Result<Tensor, ShapeError> {
     let (m, k, n) = dims_for("matmul_bt", a, b, false, true)?;
     let mut out = Tensor::zeros(&[m, n]);
-    let (ad, bd) = (a.data(), b.data());
-    let od = out.data_mut();
-    for i in 0..m {
-        let arow = &ad[i * k..(i + 1) * k];
-        for j in 0..n {
-            let brow = &bd[j * k..(j + 1) * k];
-            let mut acc = 0.0;
-            for (&av, &bv) in arow.iter().zip(brow.iter()) {
-                acc += av * bv;
-            }
-            od[i * n + j] = acc;
-        }
-    }
+    with_thread_workspace(|ws| {
+        gemm_into(
+            out.data_mut(),
+            a.data(),
+            false,
+            b.data(),
+            true,
+            m,
+            k,
+            n,
+            ws,
+            auto_threads(m, k, n),
+        );
+    });
     Ok(out)
 }
 
-fn dims_for(
+/// `C = A · B` where `A` is expected to contain whole rows of zeros — the
+/// masked `Wcode` matrix an ALF block feeds its code convolution after
+/// pruning has zeroed code channels.
+///
+/// The seed kernel served this case with an `av == 0.0` branch inside
+/// every dense matmul's inner loop, taxing all callers for one caller's
+/// sparsity. The split moves that cost here: nonzero rows are compacted,
+/// multiplied densely with the blocked kernel, and scattered back. Falls
+/// back to dense [`matmul`] behaviour when fewer than 1/8 of rows are
+/// zero. Results match [`matmul`] exactly for the rows both compute.
+///
+/// # Errors
+///
+/// Returns an error unless `A` is `[m, k]` and `B` is `[k, n]`.
+pub fn matmul_sparse_lhs(a: &Tensor, b: &Tensor) -> Result<Tensor, ShapeError> {
+    let (m, k, n) = dims_for("matmul_sparse_lhs", a, b, false, false)?;
+    let mut out = Tensor::zeros(&[m, n]);
+    with_thread_workspace(|ws| {
+        gemm_sparse_lhs_into(
+            out.data_mut(),
+            a.data(),
+            b.data(),
+            m,
+            k,
+            n,
+            ws,
+            auto_threads(m, k, n),
+        );
+    });
+    Ok(out)
+}
+
+pub(crate) fn dims_for(
     op: &str,
     a: &Tensor,
     b: &Tensor,
@@ -130,6 +173,7 @@ fn dims_for(
 mod tests {
     use super::*;
     use crate::init::Init;
+    use crate::ops::reference;
     use crate::rng::Rng;
 
     fn naive(a: &Tensor, b: &Tensor) -> Tensor {
@@ -157,6 +201,24 @@ mod tests {
             let fast = matmul(&a, &b).unwrap();
             assert!(fast.allclose(&naive(&a, &b), 1e-5), "{m}x{k}x{n}");
         }
+    }
+
+    #[test]
+    fn matches_seed_reference_kernels() {
+        let mut rng = Rng::new(44);
+        let a = Tensor::randn(&[19, 23], Init::Rand, &mut rng);
+        let b = Tensor::randn(&[23, 17], Init::Rand, &mut rng);
+        assert!(matmul(&a, &b)
+            .unwrap()
+            .allclose(&reference::matmul(&a, &b).unwrap(), 1e-4));
+        let at = Tensor::randn(&[23, 19], Init::Rand, &mut rng);
+        assert!(matmul_at(&at, &b)
+            .unwrap()
+            .allclose(&reference::matmul_at(&at, &b).unwrap(), 1e-4));
+        let bt = Tensor::randn(&[17, 23], Init::Rand, &mut rng);
+        assert!(matmul_bt(&a, &bt)
+            .unwrap()
+            .allclose(&reference::matmul_bt(&a, &bt).unwrap(), 1e-4));
     }
 
     #[test]
@@ -192,13 +254,33 @@ mod tests {
         assert!(matmul(&a, &Tensor::zeros(&[3])).is_err());
         assert!(matmul_at(&a, &Tensor::zeros(&[3, 2])).is_err());
         assert!(matmul_bt(&a, &Tensor::zeros(&[2, 2])).is_err());
+        assert!(matmul_sparse_lhs(&a, &Tensor::zeros(&[4, 2])).is_err());
     }
 
     #[test]
     fn zero_rows_short_circuit_correctly() {
-        // The av == 0.0 skip must not change results.
+        // Kept from the seed: zero LHS rows must yield zero output rows in
+        // both the dense and the sparse entry points.
         let a = Tensor::from_vec(vec![0.0, 1.0, 0.0, 0.0], &[2, 2]).unwrap();
         let b = Tensor::from_vec(vec![3.0, 4.0, 5.0, 6.0], &[2, 2]).unwrap();
         assert_eq!(matmul(&a, &b).unwrap().data(), &[5.0, 6.0, 0.0, 0.0]);
+        assert_eq!(
+            matmul_sparse_lhs(&a, &b).unwrap().data(),
+            &[5.0, 6.0, 0.0, 0.0]
+        );
+    }
+
+    #[test]
+    fn sparse_lhs_equals_dense_on_masked_matrix() {
+        let mut rng = Rng::new(45);
+        let mut a = Tensor::randn(&[24, 10], Init::Rand, &mut rng);
+        for i in (0..24).step_by(3) {
+            for v in a.data_mut()[i * 10..(i + 1) * 10].iter_mut() {
+                *v = 0.0;
+            }
+        }
+        let b = Tensor::randn(&[10, 14], Init::Rand, &mut rng);
+        let dense = matmul(&a, &b).unwrap();
+        assert!(matmul_sparse_lhs(&a, &b).unwrap().allclose(&dense, 1e-5));
     }
 }

@@ -5,11 +5,32 @@
 //! backward passes of [`alf-nn`](https://example.invalid/alf): the backward
 //! pass is expressed as matmuls against the saved column matrix plus a
 //! [`col2im`] scatter.
+//!
+//! Performance architecture (see `DESIGN.md` for the full picture):
+//!
+//! * [`gemm`] holds the cache-blocked, register-tiled, multithreaded
+//!   kernel every matrix product routes through; [`gemm_into`] /
+//!   [`gemm_sparse_lhs_into`] are the slice-level entry points hot loops
+//!   call with their own [`Workspace`].
+//! * [`matmul`] / [`matmul_at`] / [`matmul_bt`] / [`matmul_sparse_lhs`]
+//!   are the tensor-level conveniences, drawing scratch from a
+//!   thread-local workspace.
+//! * [`reference`] preserves the seed's naive kernels for differential
+//!   tests and as the benchmark baseline.
+//! * [`im2col_into`] / [`col2im_into`] write into caller-owned buffers so
+//!   layer code can keep the whole conv step allocation-free.
 
 mod channels;
 mod conv;
+pub mod gemm;
 mod matmul;
+pub mod reference;
+mod workspace;
 
 pub use channels::{concat_channels, split_channels};
-pub use conv::{col2im, conv2d, conv_output_hw, im2col, Conv2dSpec};
-pub use matmul::{matmul, matmul_at, matmul_bt};
+pub use conv::{
+    col2im, col2im_into, conv2d, conv_output_hw, im2col, im2col_into, Conv2dSpec,
+};
+pub use gemm::{auto_threads, gemm_into, gemm_sparse_lhs_into};
+pub use matmul::{matmul, matmul_at, matmul_bt, matmul_sparse_lhs};
+pub use workspace::{with_thread_workspace, Workspace};

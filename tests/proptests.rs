@@ -8,7 +8,10 @@ use alf::hwmodel::{Accelerator, ConvWorkload, Dataflow, Mapper};
 use alf::nn::activation::ActivationKind;
 use alf::nn::ste;
 use alf::tensor::init::Init;
-use alf::tensor::ops::{col2im, conv2d, im2col, matmul, matmul_at, matmul_bt, Conv2dSpec};
+use alf::tensor::ops::{
+    col2im, conv2d, gemm_into, im2col, matmul, matmul_at, matmul_bt, reference, Conv2dSpec,
+    Workspace,
+};
 use alf::tensor::rng::Rng;
 use alf::tensor::Tensor;
 use proptest::prelude::*;
@@ -243,5 +246,106 @@ proptest! {
             .unwrap();
         let decoded = decode_dataset(encode_dataset(&d)).unwrap();
         prop_assert_eq!(d, decoded);
+    }
+}
+
+// ---- blocked GEMM vs the seed loops ----------------------------------------
+//
+// The blocked kernel must agree with `reference::matmul` (the preserved
+// seed implementation) on arbitrary shapes — including dimensions of 1 and
+// sizes straddling the MR/NR/KC block boundaries — and must produce
+// *bitwise identical* results for every worker-thread count, since each
+// `C` element is accumulated by exactly one worker in a fixed order.
+
+/// Relative Frobenius error between two buffers.
+fn rel_err(got: &[f32], want: &[f32]) -> f64 {
+    let mut num = 0.0f64;
+    let mut den = 0.0f64;
+    for (&g, &w) in got.iter().zip(want.iter()) {
+        num += f64::from(g - w) * f64::from(g - w);
+        den += f64::from(w) * f64::from(w);
+    }
+    (num / den.max(1e-30)).sqrt()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn blocked_gemm_matches_reference_across_shapes(
+        m in 1usize..40, k in 1usize..70, n in 1usize..40, seed in 0u64..1000) {
+        let mut rng = Rng::new(seed);
+        let a = Tensor::randn(&[m, k], Init::Rand, &mut rng);
+        let b = Tensor::randn(&[k, n], Init::Rand, &mut rng);
+        let want = reference::matmul(&a, &b).unwrap();
+        let mut ws = Workspace::new();
+        let mut c = vec![0.0f32; m * n];
+        gemm_into(&mut c, a.data(), false, b.data(), false, m, k, n, &mut ws, 1);
+        prop_assert!(rel_err(&c, want.data()) < 1e-4,
+                     "blocked vs reference diverge at {}x{}x{}", m, k, n);
+    }
+
+    #[test]
+    fn blocked_gemm_transpose_flags_match_reference(
+        m in 1usize..20, k in 1usize..40, n in 1usize..20,
+        flags in 0u32..4, seed in 0u64..1000) {
+        let (ta, tb) = (flags & 1 != 0, flags & 2 != 0);
+        let mut rng = Rng::new(seed);
+        // Stored layout honours the transpose flag; the product is always [m,n].
+        let adims = if ta { [k, m] } else { [m, k] };
+        let bdims = if tb { [n, k] } else { [k, n] };
+        let a = Tensor::randn(&adims, Init::Rand, &mut rng);
+        let b = Tensor::randn(&bdims, Init::Rand, &mut rng);
+        let a_eff = if ta { a.transpose2().unwrap() } else { a.clone() };
+        let b_eff = if tb { b.transpose2().unwrap() } else { b.clone() };
+        let want = reference::matmul(&a_eff, &b_eff).unwrap();
+        let mut ws = Workspace::new();
+        let mut c = vec![0.0f32; m * n];
+        gemm_into(&mut c, a.data(), ta, b.data(), tb, m, k, n, &mut ws, 1);
+        prop_assert!(rel_err(&c, want.data()) < 1e-4,
+                     "ta={} tb={} diverges at {}x{}x{}", ta, tb, m, k, n);
+    }
+
+    #[test]
+    fn blocked_gemm_is_bitwise_deterministic_across_thread_counts(
+        // m spans two MC=128 row blocks so multi-worker splits actually engage.
+        m in 129usize..200, k in 1usize..48, n in 1usize..24, seed in 0u64..1000) {
+        let mut rng = Rng::new(seed);
+        let a = Tensor::randn(&[m, k], Init::Rand, &mut rng);
+        let b = Tensor::randn(&[k, n], Init::Rand, &mut rng);
+        let mut ws = Workspace::new();
+        let mut base = vec![0.0f32; m * n];
+        gemm_into(&mut base, a.data(), false, b.data(), false, m, k, n, &mut ws, 1);
+        for threads in [2usize, 3, 8] {
+            let mut c = vec![0.0f32; m * n];
+            gemm_into(&mut c, a.data(), false, b.data(), false, m, k, n, &mut ws, threads);
+            let bitwise_equal = base
+                .iter()
+                .zip(c.iter())
+                .all(|(x, y)| x.to_bits() == y.to_bits());
+            prop_assert!(bitwise_equal,
+                         "threads={} changes bits at {}x{}x{}", threads, m, k, n);
+        }
+    }
+}
+
+/// Degenerate dimensions: a zero-sized operand must yield an all-zero
+/// (possibly empty) `C` without panicking, for every flag combination.
+#[test]
+fn blocked_gemm_handles_empty_dims() {
+    let mut ws = Workspace::new();
+    for (m, k, n) in [(0, 3, 4), (3, 0, 4), (3, 4, 0), (0, 0, 0), (1, 1, 1)] {
+        for flags in 0..4u32 {
+            let (ta, tb) = (flags & 1 != 0, flags & 2 != 0);
+            let a = vec![0.5f32; m * k];
+            let b = vec![0.5f32; k * n];
+            let mut c = vec![f32::NAN; m * n];
+            gemm_into(&mut c, &a, ta, &b, tb, m, k, n, &mut ws, 1);
+            let want = if k == 0 { 0.0 } else { 0.25 * k as f32 };
+            assert!(
+                c.iter().all(|&v| (v - want).abs() < 1e-5),
+                "({m},{k},{n}) ta={ta} tb={tb}"
+            );
+        }
     }
 }

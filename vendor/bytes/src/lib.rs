@@ -1,0 +1,268 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Implements exactly the cursor/builder subset the workspace codecs
+//! (`alf-data::encode`, `alf-core::checkpoint`) rely on: `BytesMut` as an
+//! append-only builder, `Bytes` as an owned read cursor, and the `Buf` /
+//! `BufMut` traits carrying the little-endian accessors. Semantics match
+//! the real crate for this subset (including panics on over-reads); the
+//! zero-copy `Arc`-sharing machinery of the real crate is intentionally
+//! absent — blobs here are plain owned vectors.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::Deref;
+
+/// Read side: sequential byte access over a buffer.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// The unread portion of the buffer.
+    fn chunk(&self) -> &[u8];
+
+    /// Skips `n` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when fewer than `n` bytes remain.
+    fn advance(&mut self, n: usize);
+
+    /// Copies `dst.len()` bytes into `dst`, advancing the cursor.
+    ///
+    /// # Panics
+    ///
+    /// Panics when fewer than `dst.len()` bytes remain.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(
+            self.remaining() >= dst.len(),
+            "copy_to_slice: {} bytes remaining, {} requested",
+            self.remaining(),
+            dst.len()
+        );
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when fewer than 4 bytes remain.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut raw = [0u8; 4];
+        self.copy_to_slice(&mut raw);
+        u32::from_le_bytes(raw)
+    }
+
+    /// Reads a little-endian `f32`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when fewer than 4 bytes remain.
+    fn get_f32_le(&mut self) -> f32 {
+        f32::from_bits(self.get_u32_le())
+    }
+}
+
+/// Write side: sequential byte appends.
+pub trait BufMut {
+    /// Appends a byte slice.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `f32`.
+    fn put_f32_le(&mut self, v: f32) {
+        self.put_u32_le(v.to_bits());
+    }
+}
+
+/// Immutable byte blob with a read cursor.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Bytes {
+    /// Empty blob.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wraps a static byte string.
+    pub fn from_static(data: &'static [u8]) -> Self {
+        Self {
+            data: data.to_vec(),
+            pos: 0,
+        }
+    }
+
+    /// Copies an arbitrary slice into an owned blob.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Self {
+            data: data.to_vec(),
+            pos: 0,
+        }
+    }
+
+    /// Unread length (alias of [`Buf::remaining`] usable without the trait).
+    pub fn len(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Whether no unread bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copies the unread portion into a vector.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.chunk().to_vec()
+    }
+
+    /// Owned copy of a sub-range of the unread bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is out of bounds.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        Bytes {
+            data: self.chunk()[range].to_vec(),
+            pos: 0,
+        }
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+
+    fn advance(&mut self, n: usize) {
+        assert!(
+            n <= self.remaining(),
+            "advance past end: {} remaining, {n} requested",
+            self.remaining()
+        );
+        self.pos += n;
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.chunk()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.chunk()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Self { data, pos: 0 }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(data: &[u8]) -> Self {
+        Self::copy_from_slice(data)
+    }
+}
+
+/// Growable byte builder.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Empty builder with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Converts the builder into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: self.data,
+            pos: 0,
+        }
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_u32_f32() {
+        let mut b = BytesMut::new();
+        b.put_slice(b"HDR");
+        b.put_u32_le(0xdead_beef);
+        b.put_f32_le(1.5);
+        let mut r = b.freeze();
+        let mut hdr = [0u8; 3];
+        r.copy_to_slice(&mut hdr);
+        assert_eq!(&hdr, b"HDR");
+        assert_eq!(r.get_u32_le(), 0xdead_beef);
+        assert_eq!(r.get_f32_le(), 1.5);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "copy_to_slice")]
+    fn over_read_panics() {
+        let mut r = Bytes::from_static(b"ab");
+        r.get_u32_le();
+    }
+
+    #[test]
+    fn deref_exposes_unread_tail() {
+        let mut r = Bytes::from(vec![1u8, 2, 3, 4]);
+        r.advance(1);
+        assert_eq!(&r[..], &[2, 3, 4]);
+    }
+}

@@ -1,0 +1,196 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Supports the API surface the workspace benches use — `Criterion`,
+//! `Bencher::{iter, iter_batched}`, `BatchSize`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros — with a simple
+//! time-capped measurement loop and a plain-text report instead of the
+//! real crate's statistical machinery. Median-of-samples keeps the
+//! numbers stable enough for the relative comparisons the benches make.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Wall-clock budget spent per benchmark function.
+const TIME_BUDGET: Duration = Duration::from_millis(300);
+
+/// Benchmark driver; collects samples and prints one line per benchmark.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 20 }
+    }
+}
+
+/// Hint for how expensive batched setup inputs are; accepted and ignored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+impl Criterion {
+    /// Sets the target number of timing samples.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark and prints `name  median/iter (samples)`.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            target_samples: self.sample_size,
+        };
+        f(&mut bencher);
+        let mut samples = bencher.samples;
+        if samples.is_empty() {
+            println!("{name:<44} (no samples)");
+            return self;
+        }
+        samples.sort_unstable();
+        let median = samples[samples.len() / 2];
+        println!(
+            "{name:<44} {:>14} /iter  ({} samples)",
+            format_duration(median),
+            samples.len()
+        );
+        self
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Collects per-iteration timings for one benchmark.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    target_samples: usize,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly (one warm-up call, then up to the
+    /// configured sample count within the time budget).
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        black_box(routine());
+        let deadline = Instant::now() + TIME_BUDGET;
+        for _ in 0..self.target_samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is not
+    /// counted.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        black_box(routine(setup()));
+        let deadline = Instant::now() + TIME_BUDGET;
+        for _ in 0..self.target_samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (
+        name = $name:ident;
+        config = $config:expr;
+        targets = $($target:path),* $(,)?
+    ) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )*
+        }
+    };
+    ($name:ident, $($target:path),* $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = <$crate::Criterion as ::core::default::Default>::default();
+            targets = $($target),*
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),* $(,)?) => {
+        fn main() {
+            $( $group(); )*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+
+    criterion_group!(
+        name = group;
+        config = Criterion::default().sample_size(5);
+        targets = sample_bench
+    );
+
+    #[test]
+    fn group_runs_without_panicking() {
+        group();
+    }
+
+    #[test]
+    fn duration_formatting_scales() {
+        assert!(format_duration(Duration::from_nanos(5)).ends_with("ns"));
+        assert!(format_duration(Duration::from_micros(50)).ends_with("µs"));
+        assert!(format_duration(Duration::from_millis(50)).ends_with("ms"));
+        assert!(format_duration(Duration::from_secs(50)).ends_with("s"));
+    }
+}

@@ -1,0 +1,11 @@
+//! Offline stand-in for `serde`.
+//!
+//! This container has no access to crates.io, so the workspace vendors a
+//! minimal facade: the `Serialize`/`Deserialize` derive macros expand to
+//! nothing (see `serde_derive`), which is sufficient because no code in
+//! the workspace serialises through serde — persistence goes through the
+//! explicit binary codecs in `alf-data::encode` and
+//! `alf-core::checkpoint`. Swapping the real serde back in requires no
+//! source changes, only a `Cargo.toml` edit.
+
+pub use serde_derive::{Deserialize, Serialize};
