@@ -131,8 +131,8 @@ impl AmcAgent {
         let cost = chained_cost(&shapes, &keep);
         let accuracy = evaluate(&pruned, data, Split::Test, self.config.eval_batch)?;
         let ops_ratio = cost.ops() as f64 / baseline_ops;
-        let penalty = self.config.ops_penalty
-            * (ops_ratio - self.config.ops_target as f64).max(0.0) as f32;
+        let penalty =
+            self.config.ops_penalty * (ops_ratio - self.config.ops_target as f64).max(0.0) as f32;
         Ok((accuracy - penalty, accuracy, cost))
     }
 
@@ -156,11 +156,7 @@ impl AmcAgent {
                 let candidate: Vec<f32> = mu
                     .iter()
                     .zip(&sigma)
-                    .map(|(&m, &s)| {
-                        self.rng
-                            .normal_with(m, s)
-                            .clamp(self.config.min_keep, 1.0)
-                    })
+                    .map(|(&m, &s)| self.rng.normal_with(m, s).clamp(self.config.min_keep, 1.0))
                     .collect();
                 let (r, _, _) = self.reward(model, data, &candidate, baseline_ops)?;
                 scored.push((r, candidate));
@@ -168,8 +164,7 @@ impl AmcAgent {
             scored.sort_by(|a, b| b.0.total_cmp(&a.0));
             let elites = &scored[..self.config.elites];
             for (d, layer_mu) in mu.iter_mut().enumerate() {
-                let mean: f32 =
-                    elites.iter().map(|(_, c)| c[d]).sum::<f32>() / elites.len() as f32;
+                let mean: f32 = elites.iter().map(|(_, c)| c[d]).sum::<f32>() / elites.len() as f32;
                 let var: f32 = elites
                     .iter()
                     .map(|(_, c)| (c[d] - mean) * (c[d] - mean))
@@ -227,8 +222,12 @@ mod tests {
     fn search_is_deterministic() {
         let data = tiny_data();
         let model = plain20(4, 4).unwrap();
-        let a = AmcAgent::new(tiny_config(), 7).search(&model, &data).unwrap();
-        let b = AmcAgent::new(tiny_config(), 7).search(&model, &data).unwrap();
+        let a = AmcAgent::new(tiny_config(), 7)
+            .search(&model, &data)
+            .unwrap();
+        let b = AmcAgent::new(tiny_config(), 7)
+            .search(&model, &data)
+            .unwrap();
         assert_eq!(a.keep_ratios, b.keep_ratios);
         assert_eq!(a.accuracy, b.accuracy);
     }
@@ -237,7 +236,9 @@ mod tests {
     fn reward_history_is_monotone() {
         let data = tiny_data();
         let model = plain20(4, 4).unwrap();
-        let out = AmcAgent::new(tiny_config(), 9).search(&model, &data).unwrap();
+        let out = AmcAgent::new(tiny_config(), 9)
+            .search(&model, &data)
+            .unwrap();
         assert_eq!(out.reward_history.len(), 2);
         assert!(out.reward_history[1] >= out.reward_history[0]);
     }
@@ -246,7 +247,9 @@ mod tests {
     fn outcome_respects_bounds_and_costs() {
         let data = tiny_data();
         let model = plain20(4, 4).unwrap();
-        let out = AmcAgent::new(tiny_config(), 11).search(&model, &data).unwrap();
+        let out = AmcAgent::new(tiny_config(), 11)
+            .search(&model, &data)
+            .unwrap();
         assert_eq!(out.keep_ratios.len(), 19);
         assert!(out.keep_ratios.iter().all(|r| (0.2..=1.0).contains(r)));
         let baseline = NetworkCost::of_layers(&model.conv_shapes(12, 12));

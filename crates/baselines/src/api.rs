@@ -97,10 +97,7 @@ pub fn chained_cost(shapes: &[ConvShape], keep: &[usize]) -> NetworkCost {
 /// # Panics
 ///
 /// Panics when a ratio is outside `(0, 1]`.
-pub fn apply_keep_ratios(
-    model: &mut CnnModel,
-    ratios: &[f32],
-) -> Vec<(String, usize, usize)> {
+pub fn apply_keep_ratios(model: &mut CnnModel, ratios: &[f32]) -> Vec<(String, usize, usize)> {
     let mut report = Vec::new();
     for (i, cu) in model.conv_units_mut().into_iter().enumerate() {
         let ratio = ratios.get(i).copied().unwrap_or(1.0);

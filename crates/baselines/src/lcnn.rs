@@ -57,8 +57,10 @@ impl LcnnLayer {
         // k-means++ style seeding: random distinct starting filters.
         let mut order: Vec<usize> = (0..co).collect();
         rng.shuffle(&mut order);
-        let mut dictionary: Vec<Vec<f32>> =
-            order[..dict_size].iter().map(|&j| filters[j].clone()).collect();
+        let mut dictionary: Vec<Vec<f32>> = order[..dict_size]
+            .iter()
+            .map(|&j| filters[j].clone())
+            .collect();
         let mut assignments = vec![0usize; co];
         for _ in 0..10 {
             // Assign.
@@ -158,11 +160,7 @@ impl LcnnLayer {
 fn nearest(f: &[f32], dictionary: &[Vec<f32>]) -> usize {
     let mut best = (0usize, f32::INFINITY);
     for (d, entry) in dictionary.iter().enumerate() {
-        let dist: f32 = f
-            .iter()
-            .zip(entry)
-            .map(|(&a, &b)| (a - b) * (a - b))
-            .sum();
+        let dist: f32 = f.iter().zip(entry).map(|(&a, &b)| (a - b) * (a - b)).sum();
         if dist < best.1 {
             best = (d, dist);
         }
@@ -249,7 +247,11 @@ mod tests {
         // dictionary suffices.
         let mut w = Tensor::zeros(&[8, 1, 2, 2]);
         for j in 0..8 {
-            let proto = if j % 2 == 0 { [1.0, 2.0, 3.0, 4.0] } else { [-1.0, 0.5, 0.0, 2.0] };
+            let proto = if j % 2 == 0 {
+                [1.0, 2.0, 3.0, 4.0]
+            } else {
+                [-1.0, 0.5, 0.0, 2.0]
+            };
             let scale = 1.0 + j as f32 * 0.5;
             for (i, &p) in proto.iter().enumerate() {
                 w.data_mut()[j * 4 + i] = scale * p;
@@ -294,9 +296,9 @@ mod tests {
         let cost = compress_model(&mut model, 0.25, 16, 16, 9).unwrap();
         assert!(cost.macs < baseline.macs);
         // The model still runs.
-        use alf_nn::{Layer, Mode};
+        use alf_nn::{Layer, RunCtx};
         let y = model
-            .forward(&Tensor::zeros(&[1, 3, 16, 16]), Mode::Eval)
+            .forward(&Tensor::zeros(&[1, 3, 16, 16]), &mut RunCtx::eval())
             .unwrap();
         assert_eq!(y.dims(), &[1, 4]);
     }

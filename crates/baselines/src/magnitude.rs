@@ -21,7 +21,10 @@ use alf_tensor::Tensor;
 ///
 /// Panics if `sparsity` is outside `[0, 1]`.
 pub fn prune_weights(w: &mut Tensor, sparsity: f32) -> usize {
-    assert!((0.0..=1.0).contains(&sparsity), "sparsity {sparsity} ∉ [0,1]");
+    assert!(
+        (0.0..=1.0).contains(&sparsity),
+        "sparsity {sparsity} ∉ [0,1]"
+    );
     let n = w.len();
     let k = ((n as f32) * sparsity).round() as usize;
     if k == 0 {
@@ -92,7 +95,7 @@ pub fn prune_filters(model: &mut CnnModel, keep_ratio: f32) -> Vec<(String, usiz
 mod tests {
     use super::*;
     use alf_core::models::plain20;
-    use alf_nn::{Layer, Mode};
+    use alf_nn::{Layer, RunCtx};
     use alf_tensor::init::Init;
     use alf_tensor::rng::Rng;
 
@@ -141,7 +144,7 @@ mod tests {
         }
         // Forward still works; silenced channels output zero after BN.
         let y = model
-            .forward(&Tensor::ones(&[1, 3, 16, 16]), Mode::Eval)
+            .forward(&Tensor::ones(&[1, 3, 16, 16]), &mut RunCtx::eval())
             .unwrap();
         assert!(y.data().iter().all(|v| v.is_finite()));
     }

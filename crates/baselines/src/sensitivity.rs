@@ -38,9 +38,7 @@ impl LayerSensitivity {
             .iter()
             .filter(|(_, a)| *a >= dense - tolerance)
             .map(|(r, _)| *r)
-            .fold(None, |m: Option<f32>, r| {
-                Some(m.map_or(r, |mv| mv.min(r)))
-            })
+            .fold(None, |m: Option<f32>, r| Some(m.map_or(r, |mv| mv.min(r))))
     }
 }
 

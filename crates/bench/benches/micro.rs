@@ -1,16 +1,19 @@
 //! Criterion micro-benchmarks for the computational kernels underpinning
 //! the experiments: convolution, ALF block forward/backward, autoencoder
-//! steps, the mapping search and deployment stripping.
+//! steps, the mapping search, deployment stripping, and the `RunCtx`
+//! execution path (profiler overhead, evaluator replica reuse).
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
 use alf_core::block::{AlfBlock, AlfBlockConfig};
 use alf_core::models::{geometry, plain20_alf};
+use alf_core::train::{evaluate, Evaluator};
 use alf_core::{deploy, PruneSchedule, WeightAutoencoder};
+use alf_data::{Dataset, Split};
 use alf_hwmodel::{Accelerator, ConvWorkload, Dataflow, Mapper};
 use alf_nn::activation::ActivationKind;
-use alf_nn::{Conv2d, Layer, Mode};
+use alf_nn::{softmax_cross_entropy, Conv2d, Layer, RunCtx};
 use alf_tensor::init::Init;
 use alf_tensor::ops::{conv2d, matmul, matmul_sparse_lhs, reference, Conv2dSpec};
 use alf_tensor::rng::Rng;
@@ -73,11 +76,14 @@ fn bench_conv_backward(c: &mut Criterion) {
     let x = Tensor::randn(&[4, 16, 16, 16], Init::He, &mut rng);
     let conv = Conv2d::new(16, 16, 3, 1, 1, false, Init::He, &mut rng);
     c.bench_function("conv2d_backward_16x16x16_b4", |bench| {
+        // One ctx outside the timed closure: the shared arena stays warm so
+        // the loop measures the steady-state (zero-allocation) path.
+        let mut ctx = RunCtx::train();
         bench.iter_batched(
             || conv.clone(),
             |mut conv| {
-                let y = conv.forward(black_box(&x), Mode::Train).unwrap();
-                conv.backward(&y).unwrap()
+                let y = conv.forward(black_box(&x), &mut ctx).unwrap();
+                conv.backward(&y, &mut ctx).unwrap()
             },
             BatchSize::SmallInput,
         )
@@ -92,16 +98,18 @@ fn bench_alf_block_forward(c: &mut Criterion) {
     // The ALF-block overhead vs a standard convolution (code refresh +
     // expansion conv).
     c.bench_function("alf_block_forward_16x16x16_b4", |bench| {
+        let mut ctx = RunCtx::train();
         bench.iter_batched(
             || block.clone(),
-            |mut b| b.forward(black_box(&x), Mode::Train).unwrap(),
+            |mut b| b.forward(black_box(&x), &mut ctx).unwrap(),
             BatchSize::SmallInput,
         )
     });
     c.bench_function("standard_conv_forward_16x16x16_b4", |bench| {
+        let mut ctx = RunCtx::train();
         bench.iter_batched(
             || plain.clone(),
-            |mut conv| conv.forward(black_box(&x), Mode::Train).unwrap(),
+            |mut conv| conv.forward(black_box(&x), &mut ctx).unwrap(),
             BatchSize::SmallInput,
         )
     });
@@ -125,6 +133,54 @@ fn bench_autoencoder_step(c: &mut Criterion) {
             |mut ae| ae.step(black_box(&w), 1e-3, 0.5).unwrap(),
             BatchSize::SmallInput,
         )
+    });
+}
+
+fn bench_training_step(c: &mut Criterion) {
+    // Whole-model task-player step (forward + CE loss + backward) through
+    // the shared RunCtx, profiler off vs on. The off/on delta is the
+    // profiler's overhead budget: the acceptance bar is <2% per step.
+    let mut rng = Rng::new(6);
+    let mut model = plain20_alf(10, 8, AlfBlockConfig::paper_default(), 5).unwrap();
+    let x = Tensor::randn(&[8, 3, 32, 32], Init::He, &mut rng);
+    let labels: Vec<usize> = (0..8).map(|i| i % 10).collect();
+    let mut ctx = RunCtx::train();
+    let step = |model: &mut alf_core::CnnModel, ctx: &mut RunCtx| {
+        let logits = model.forward(black_box(&x), ctx).unwrap();
+        let (_, grad) = softmax_cross_entropy(&logits, &labels).unwrap();
+        model.backward(&grad, ctx).unwrap()
+    };
+    // Warm the arena so both variants measure steady state.
+    step(&mut model, &mut ctx);
+    c.bench_function("train_step_plain20_w8_b8_profile_off", |bench| {
+        bench.iter(|| step(&mut model, &mut ctx))
+    });
+    ctx.enable_profiler();
+    c.bench_function("train_step_plain20_w8_b8_profile_on", |bench| {
+        bench.iter(|| step(&mut model, &mut ctx))
+    });
+}
+
+fn bench_evaluator(c: &mut Criterion) {
+    // Test-set evaluation: persistent Evaluator replicas vs the
+    // clone-per-call compat wrapper. The reuse path only re-copies weights
+    // into existing thread slots, so per-call allocation drops from
+    // "whole model × threads" to a flat state copy in steady state.
+    let mut rng = Rng::new(7);
+    let n = 64;
+    let images = Tensor::randn(&[n * 3 * 32 * 32], Init::Rand, &mut rng)
+        .data()
+        .to_vec();
+    let labels: Vec<usize> = (0..n).map(|i| i % 10).collect();
+    let data = Dataset::from_parts(vec![], vec![], images, labels, 3, 32, 32, 10).unwrap();
+    let mut model = plain20_alf(10, 8, AlfBlockConfig::paper_default(), 5).unwrap();
+    c.bench_function("evaluate_reuse_slots_plain20_w8_n64", |bench| {
+        let mut ev = Evaluator::new();
+        ev.evaluate(&mut model, &data, Split::Test, 32).unwrap();
+        bench.iter(|| ev.evaluate(&mut model, &data, Split::Test, 32).unwrap())
+    });
+    c.bench_function("evaluate_clone_per_call_plain20_w8_n64", |bench| {
+        bench.iter(|| evaluate(&model, &data, Split::Test, 32).unwrap())
     });
 }
 
@@ -161,6 +217,8 @@ criterion_group!(
     bench_conv_backward,
     bench_alf_block_forward,
     bench_autoencoder_step,
+    bench_training_step,
+    bench_evaluator,
     bench_mapper_search,
     bench_deploy
 );

@@ -59,7 +59,10 @@ fn main() {
                 u.name.to_uppercase(),
                 eng(u.energy_dram),
                 eng(f.energy_dram),
-                format!("{:.0}%", 100.0 * (1.0 - f.energy_dram / u.energy_dram.max(1.0))),
+                format!(
+                    "{:.0}%",
+                    100.0 * (1.0 - f.energy_dram / u.energy_dram.max(1.0))
+                ),
                 eng(u.total_energy()),
                 eng(f.total_energy()),
             ]
@@ -67,7 +70,14 @@ fn main() {
         .collect();
     print_table(
         "fusion ablation: per-layer DRAM and total energy",
-        &["layer", "DRAM unfused", "DRAM fused", "DRAM cut", "E unfused", "E fused"],
+        &[
+            "layer",
+            "DRAM unfused",
+            "DRAM fused",
+            "DRAM cut",
+            "E unfused",
+            "E fused",
+        ],
         &rows,
     );
     let summarise = |label: &str, r: &NetworkReport| {

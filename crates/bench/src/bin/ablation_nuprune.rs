@@ -19,9 +19,18 @@ fn main() {
     println!("Ablation: νprune schedule ({} scale)", scale.label());
 
     let variants: [(&str, PruneSchedule); 3] = [
-        ("paper schedule (m=8, prmax=0.85)", PruneSchedule::paper_default()),
-        ("near-constant pressure (m=1, prmax=1.0)", PruneSchedule::new(1.0, 1.0)),
-        ("early cut-off (m=8, prmax=0.5)", PruneSchedule::new(8.0, 0.5)),
+        (
+            "paper schedule (m=8, prmax=0.85)",
+            PruneSchedule::paper_default(),
+        ),
+        (
+            "near-constant pressure (m=1, prmax=1.0)",
+            PruneSchedule::new(1.0, 1.0),
+        ),
+        (
+            "early cut-off (m=8, prmax=0.5)",
+            PruneSchedule::new(8.0, 0.5),
+        ),
     ];
     let mut rows = Vec::new();
     for (label, schedule) in variants {

@@ -13,7 +13,10 @@ fn main() {
     let scale = Scale::from_args();
     let cfg = CifarConfig::at(scale);
     let data = cfg.dataset(88).expect("dataset");
-    println!("Ablation: straight-through estimator ({} scale)", scale.label());
+    println!(
+        "Ablation: straight-through estimator ({} scale)",
+        scale.label()
+    );
 
     let mut rows = Vec::new();
     for (label, ste) in [("STE (paper, Eq. 5)", true), ("true chain gradient", false)] {
@@ -25,13 +28,21 @@ fn main() {
         rows.push(vec![
             label.to_string(),
             format!("{:.1}%", 100.0 * report.final_accuracy()),
-            format!("{:.3}", report.epochs.last().map_or(f32::NAN, |e| e.train_loss)),
+            format!(
+                "{:.3}",
+                report.epochs.last().map_or(f32::NAN, |e| e.train_loss)
+            ),
             format!("{:.0}%", 100.0 * report.final_remaining_filters()),
         ]);
     }
     print_table(
         "STE ablation: ALF Plain-20, identical seeds/hyper-parameters",
-        &["task gradient", "test acc", "final train loss", "remaining filters"],
+        &[
+            "task gradient",
+            "test acc",
+            "final train loss",
+            "remaining filters",
+        ],
         &rows,
     );
     println!("\nexpected: the STE run trains better — the chained gradient is mask-zeroised and encoder-mixed.");

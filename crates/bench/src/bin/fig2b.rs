@@ -16,8 +16,7 @@ fn main() {
         scale.label()
     );
     for sigma_inter in [ActivationKind::Identity, ActivationKind::Relu] {
-        let results =
-            explore_autoencoder(&setup, sigma_inter).expect("exploration failed");
+        let results = explore_autoencoder(&setup, sigma_inter).expect("exploration failed");
         let best = results
             .iter()
             .map(|r| r.mean())

@@ -42,10 +42,13 @@ fn main() {
     };
 
     let host_threads = std::thread::available_parallelism().map_or(1, |v| v.get());
-    println!("GEMM bench  scale={}  host-threads={host_threads}", scale.label());
     println!(
-        "{:<18} {:>10} {:>10} {:>8}   {}",
-        "shape", "ref GF/s", "blk GF/s", "speedup", "threads GF/s (scaling)"
+        "GEMM bench  scale={}  host-threads={host_threads}",
+        scale.label()
+    );
+    println!(
+        "{:<18} {:>10} {:>10} {:>8}   threads GF/s (scaling)",
+        "shape", "ref GF/s", "blk GF/s", "speedup"
     );
 
     let mut rng = Rng::new(0xa1f);
@@ -61,7 +64,18 @@ fn main() {
         let expect = reference::matmul(&a, &b).expect("reference matmul");
         let mut ws = Workspace::new();
         let mut c = vec![0.0f32; m * n];
-        gemm_into(&mut c, a.data(), false, b.data(), false, m, k, n, &mut ws, 1);
+        gemm_into(
+            &mut c,
+            a.data(),
+            false,
+            b.data(),
+            false,
+            m,
+            k,
+            n,
+            &mut ws,
+            1,
+        );
         assert_close(&c, expect.data(), m, k, n);
 
         let t_ref = time_median(|| {
@@ -173,7 +187,18 @@ fn bench_sparse(scale: Scale, rng: &mut Rng) -> String {
     let mut c = vec![0.0f32; m * n];
 
     let t_dense = time_median(|| {
-        gemm_into(&mut c, a.data(), false, b.data(), false, m, k, n, &mut ws, 1);
+        gemm_into(
+            &mut c,
+            a.data(),
+            false,
+            b.data(),
+            false,
+            m,
+            k,
+            n,
+            &mut ws,
+            1,
+        );
         std::hint::black_box(&c);
     });
     let t_sparse = time_median(|| {

@@ -9,7 +9,9 @@ use alf_bench::{print_table, CifarConfig, Scale};
 use alf_core::models::{geometry, resnet20, resnet20_alf};
 use alf_core::train::AlfTrainer;
 use alf_core::NetworkCost;
+use alf_data::Split;
 use alf_hwmodel::{Accelerator, ConvWorkload, Dataflow, Mapper, NetworkReport};
+use alf_nn::{softmax_cross_entropy, Layer, RunCtx};
 
 fn main() {
     let scale = Scale::from_args();
@@ -34,22 +36,35 @@ fn main() {
     )
     .expect("trainer");
     let alf_report = at.run(&data, cfg.epochs).expect("training");
-    let ratios: Vec<f32> = at
-        .into_model()
+    let mut model = at.into_model();
+    let ratios: Vec<f32> = model
         .filter_stats()
         .iter()
         .map(|(_, a, t)| *a as f32 / *t as f32)
         .collect();
 
+    // Measured per-layer cost: one profiled fwd+bwd batch through the
+    // trained ALF model via a RunCtx with the profiler attached.
+    eprintln!("profiling one training batch …");
+    let batch: Vec<usize> = (0..cfg.hyper.batch_size.min(data.len_of(Split::Train))).collect();
+    let (images, labels) = data.gather(Split::Train, &batch).expect("batch");
+    let mut ctx = RunCtx::train().with_profiler();
+    let logits = model.forward(&images, &mut ctx).expect("forward");
+    let (_, grad) = softmax_cross_entropy(&logits, &labels).expect("loss");
+    model.backward(&grad, &mut ctx).expect("backward");
+    let profile = ctx.report().expect("profiler was attached");
+
     // Theoretical metrics on the paper geometry.
     let paper_geometry = geometry::plain20_layers(32, 3);
     let baseline = NetworkCost::of_layers(&paper_geometry);
-    let alf_cost = NetworkCost::of_alf_layers(paper_geometry.iter().zip(
-        ratios
-            .iter()
-            .zip(&paper_geometry)
-            .map(|(&r, s)| ((s.c_out as f32 * r).round() as usize).max(1)),
-    ));
+    let alf_cost = NetworkCost::of_alf_layers(
+        paper_geometry.iter().zip(
+            ratios
+                .iter()
+                .zip(&paper_geometry)
+                .map(|(&r, s)| ((s.c_out as f32 * r).round() as usize).max(1)),
+        ),
+    );
     let (d_params, d_macs) = alf_cost.reduction_vs(&baseline);
 
     // Hardware metrics on the Eyeriss model.
@@ -99,4 +114,32 @@ fn main() {
         "\nremaining filters: {:.0}% (Fig. 2c paper range ≈ 36–40% at t = 1e-4)",
         100.0 * alf_report.final_remaining_filters()
     );
+
+    // Per-layer measured wall time next to the Eyeriss per-layer latency
+    // prediction (joined by conv-unit name; the hw columns are on the
+    // paper geometry, so compare shapes, not absolute scales).
+    let layer_rows: Vec<Vec<String>> = profile
+        .layers
+        .iter()
+        .map(|l| {
+            let hw = alf_hw.layers.iter().find(|r| r.name == l.name);
+            vec![
+                l.name.clone(),
+                format!("{:.3}", l.fwd_ns as f64 / 1e6),
+                format!("{:.3}", l.bwd_ns as f64 / 1e6),
+                format!("{:.1}", l.flops as f64 / 1e6),
+                hw.map_or_else(|| "—".into(), |r| format!("{:.0}", r.latency_cycles)),
+            ]
+        })
+        .collect();
+    print_table(
+        "Per-layer: measured (profiler) vs Eyeriss prediction",
+        &["layer", "fwd ms", "bwd ms", "MFLOPs", "hw cycles"],
+        &layer_rows,
+    );
+    println!(
+        "\narena high water: {:.2} MB",
+        profile.ws_high_water_bytes as f64 / 1e6
+    );
+    println!("\nper-layer profile JSON:\n{}", profile.to_json());
 }

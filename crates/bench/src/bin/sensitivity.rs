@@ -64,7 +64,9 @@ fn main() {
         .collect();
     print_table(
         "accuracy when pruning ONE layer to the given keep-ratio (others dense) | ALF kept",
-        &["layer", "keep .25", "keep .50", "keep .75", "keep 1.0", "ALF kept"],
+        &[
+            "layer", "keep .25", "keep .50", "keep .75", "keep 1.0", "ALF kept",
+        ],
         &rows,
     );
     println!(

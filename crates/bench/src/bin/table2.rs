@@ -106,19 +106,17 @@ fn main() {
         .iter()
         .map(|(_, active, total)| *active as f32 / *total as f32)
         .collect();
-    let alf_cost = NetworkCost::of_alf_layers(paper_geometry.iter().zip(
-        ratios
-            .iter()
-            .zip(&paper_geometry)
-            .map(|(&r, s)| ((s.c_out as f32 * r).round() as usize).max(1)),
-    ));
+    let alf_cost = NetworkCost::of_alf_layers(
+        paper_geometry.iter().zip(
+            ratios
+                .iter()
+                .zip(&paper_geometry)
+                .map(|(&r, s)| ((s.c_out as f32 * r).round() as usize).max(1)),
+        ),
+    );
 
     // --- report --------------------------------------------------------------
-    let row = |method: &str,
-               policy: &str,
-               cost: &NetworkCost,
-               acc: f32|
-     -> Vec<String> {
+    let row = |method: &str, policy: &str, cost: &NetworkCost, acc: f32| -> Vec<String> {
         let (dp, dm) = cost.reduction_vs(&baseline_cost);
         vec![
             method.into(),
@@ -129,8 +127,18 @@ fn main() {
         ]
     };
     let rows = vec![
-        row("Plain-20", "—", &baseline_cost, plain_report.final_accuracy()),
-        row("ResNet-20", "—", &baseline_cost, resnet_report.final_accuracy()),
+        row(
+            "Plain-20",
+            "—",
+            &baseline_cost,
+            plain_report.final_accuracy(),
+        ),
+        row(
+            "ResNet-20",
+            "—",
+            &baseline_cost,
+            resnet_report.final_accuracy(),
+        ),
         row("AMC", "RL-Agent", &amc_cost, amc_acc),
         row("FPGM", "Handcrafted", &fpgm_cost, fpgm_acc),
         row(

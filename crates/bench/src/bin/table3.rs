@@ -126,11 +126,11 @@ fn main() {
             .zip(main_keeps(&alf_ratios))
             .filter(|(s, _)| !s.name.ends_with("_ds")),
     ));
-    let amc_cost = with_fc(chained_cost(&resnet18.convs, &main_keeps(&amc_out.keep_ratios)));
-    let fpgm_cost = with_fc(chained_cost(
+    let amc_cost = with_fc(chained_cost(
         &resnet18.convs,
-        &main_keeps(&[fpgm_keep; 17]),
+        &main_keeps(&amc_out.keep_ratios),
     ));
+    let fpgm_cost = with_fc(chained_cost(&resnet18.convs, &main_keeps(&[fpgm_keep; 17])));
     let lcnn_cost = with_fc(lcnn_geometry_cost(&resnet18.convs, lcnn_ratio));
 
     // --- table ---------------------------------------------------------------

@@ -248,7 +248,10 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
         println!("{}", s.trim_end());
     };
     line(headers.iter().map(|h| h.to_string()).collect());
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+    );
     for row in rows {
         line(row.clone());
     }

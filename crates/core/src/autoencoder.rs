@@ -20,7 +20,9 @@
 use alf_nn::activation::ActivationKind;
 use alf_nn::ste;
 use alf_tensor::init::Init;
-use alf_tensor::ops::{matmul, matmul_at, matmul_bt};
+use alf_tensor::ops::{
+    matmul, matmul_at, matmul_at_ws, matmul_bt_ws, matmul_ws, with_thread_workspace, Workspace,
+};
 use alf_tensor::rng::Rng;
 use alf_tensor::{ShapeError, Tensor};
 
@@ -87,7 +89,10 @@ impl WeightAutoencoder {
         threshold: f32,
         rng: &mut Rng,
     ) -> Self {
-        assert!(c_in > 0 && c_out > 0 && kernel > 0, "zero-sized autoencoder");
+        assert!(
+            c_in > 0 && c_out > 0 && kernel > 0,
+            "zero-sized autoencoder"
+        );
         assert!(threshold >= 0.0, "negative clip threshold");
         Self {
             enc: Tensor::randn(&[c_out, c_out], init, rng),
@@ -177,9 +182,7 @@ impl WeightAutoencoder {
     }
 
     fn check_weight(&self, w: &Tensor) -> Result<()> {
-        if w.shape().rank() != 4 || w.dims()[0] != self.c_out
-            || w.len() != self.c_out * self.fan
-        {
+        if w.shape().rank() != 4 || w.dims()[0] != self.c_out || w.len() != self.c_out * self.fan {
             return Err(ShapeError::new(
                 "weight autoencoder",
                 format!(
@@ -272,15 +275,32 @@ impl WeightAutoencoder {
     /// # Errors
     ///
     /// Returns an error when `w` does not match the configured geometry.
-    #[allow(clippy::needless_range_loop)] // `j` addresses several row-parallel buffers
     pub fn step(&mut self, w: &Tensor, lr: f32, nu_prune: f32) -> Result<AeStats> {
+        with_thread_workspace(|ws| self.step_in(w, lr, nu_prune, ws))
+    }
+
+    /// [`Self::step`] with GEMM packing scratch drawn from a caller-supplied
+    /// arena — the path [`crate::AlfBlock`] uses so the autoencoder player
+    /// shares the training run's single [`Workspace`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `w` does not match the configured geometry.
+    #[allow(clippy::needless_range_loop)] // `j` addresses several row-parallel buffers
+    pub fn step_in(
+        &mut self,
+        w: &Tensor,
+        lr: f32,
+        nu_prune: f32,
+        ws: &mut Workspace,
+    ) -> Result<AeStats> {
         self.check_weight(w)?;
         let co = self.c_out;
         let fan = self.fan;
         let wmat = w.reshape(&[co, fan])?;
 
         // ---- forward --------------------------------------------------
-        let z = matmul_at(&self.enc, &wmat)?; // [Ccode, F]
+        let z = matmul_at_ws(&self.enc, &wmat, ws)?; // [Ccode, F]
         let pm = self.pruned_mask();
         // Zm = Z ⊙ mprune (row-wise), Wcode = σae(Zm)
         let mut code = z.clone();
@@ -290,7 +310,7 @@ impl WeightAutoencoder {
                 *v = self.sigma.apply(*v * m);
             }
         }
-        let y = matmul_at(&self.dec, &code)?; // [Co, F]
+        let y = matmul_at_ws(&self.dec, &code, ws)?; // [Co, F]
         let rec = self.sigma.apply_tensor(&y);
 
         let (l_rec, g_rec) = alf_nn::loss::mse_loss(&rec, &wmat)?;
@@ -300,9 +320,9 @@ impl WeightAutoencoder {
         // dL/dY = g_rec ⊙ σae'(rec)
         let g_y = g_rec.zip_map(&rec, |g, r| g * self.sigma.derivative_from_output(r))?;
         // Y = Wdecᵀ·Wcode ⇒ dL/dWdec = Wcode·g_yᵀ : [Ccode, Co]
-        let g_dec = matmul_bt(&code, &g_y)?;
+        let g_dec = matmul_bt_ws(&code, &g_y, ws)?;
         // dL/dWcode = Wdec·g_y : [Ccode, F]
-        let g_code = matmul(&self.dec, &g_y)?;
+        let g_code = matmul_ws(&self.dec, &g_y, ws)?;
         // dL/dZm = g_code ⊙ σae'(code)
         let g_zm = g_code.zip_map(&code, |g, c| g * self.sigma.derivative_from_output(c))?;
         // dL/dZ (for the encoder path) = g_zm ⊙ mprune, row-wise;
@@ -319,7 +339,7 @@ impl WeightAutoencoder {
             }
         }
         // Z = Wencᵀ·Wmat ⇒ dL/dWenc = Wmat·g_zᵀ : [Co, Ccode]
-        let g_enc = matmul_bt(&wmat, &g_z)?;
+        let g_enc = matmul_bt_ws(&wmat, &g_z, ws)?;
 
         // ---- update ---------------------------------------------------
         self.enc.axpy(-lr, &g_enc)?;

@@ -16,8 +16,9 @@
 
 use alf_nn::activation::{Activation, ActivationKind};
 use alf_nn::conv::Conv2d;
-use alf_nn::layer::{Layer, Mode, Param};
+use alf_nn::layer::{Layer, Param};
 use alf_nn::norm::BatchNorm2d;
+use alf_nn::RunCtx;
 use alf_tensor::init::Init;
 use alf_tensor::rng::Rng;
 use alf_tensor::Tensor;
@@ -83,12 +84,13 @@ impl Default for AlfBlockConfig {
 ///
 /// ```
 /// use alf_core::{AlfBlock, AlfBlockConfig};
-/// use alf_nn::{Layer, Mode};
+/// use alf_nn::{Layer, RunCtx};
 /// use alf_tensor::{rng::Rng, Tensor};
 ///
 /// # fn main() -> alf_core::Result<()> {
+/// let mut ctx = RunCtx::train();
 /// let mut block = AlfBlock::new(3, 16, 3, 1, 1, AlfBlockConfig::paper_default(), &mut Rng::new(0));
-/// let y = block.forward(&Tensor::zeros(&[2, 3, 8, 8]), Mode::Train)?;
+/// let y = block.forward(&Tensor::zeros(&[2, 3, 8, 8]), &mut ctx)?;
 /// assert_eq!(y.dims(), &[2, 16, 8, 8]); // expansion restores Co channels
 /// # Ok(())
 /// # }
@@ -142,8 +144,7 @@ impl AlfBlock {
         // pruning, whole output channels of that weight are zero, so the
         // conv's GEMM is told to compact the live rows instead of
         // multiplying zeros.
-        let mut code_conv =
-            Conv2d::new(c_in, c_out, kernel, stride, pad, false, Init::Zeros, rng);
+        let mut code_conv = Conv2d::new(c_in, c_out, kernel, stride, pad, false, Init::Zeros, rng);
         if config.mask_enabled {
             code_conv.set_sparse_weight_hint(true);
         }
@@ -227,29 +228,47 @@ impl AlfBlock {
         let nu = schedule.nu(self.ae.zero_fraction());
         self.ae.step(&self.w.value, lr, nu)
     }
+
+    /// [`Self::autoencoder_step`] with GEMM scratch drawn from the run's
+    /// shared arena — the path the trainer uses so both players reuse one
+    /// set of packing buffers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates autoencoder shape errors (cannot happen for a block
+    /// constructed through [`AlfBlock::new`]).
+    pub fn autoencoder_step_in(
+        &mut self,
+        lr: f32,
+        schedule: &PruneSchedule,
+        ctx: &mut RunCtx,
+    ) -> Result<AeStats> {
+        let nu = schedule.nu(self.ae.zero_fraction());
+        self.ae.step_in(&self.w.value, lr, nu, &mut ctx.ws)
+    }
 }
 
 impl Layer for AlfBlock {
-    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+    fn forward(&mut self, input: &Tensor, ctx: &mut RunCtx) -> Result<Tensor> {
         // Refresh the derived code weights from the current W / Wenc / M.
         let code = self.ae.code(&self.w.value)?;
         self.code_conv.set_weight(code)?;
         self.code_conv.zero_grads();
-        let mut x = self.code_conv.forward(input, mode)?;
-        x = self.inter_act.forward(&x, mode)?;
+        let mut x = self.code_conv.forward(input, ctx)?;
+        x = self.inter_act.forward(&x, ctx)?;
         if let Some(bn) = &mut self.inter_bn {
-            x = bn.forward(&x, mode)?;
+            x = bn.forward(&x, ctx)?;
         }
-        self.expansion.forward(&x, mode)
+        self.expansion.forward(&x, ctx)
     }
 
-    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
-        let mut g = self.expansion.backward(grad_output)?;
+    fn backward(&mut self, grad_output: &Tensor, ctx: &mut RunCtx) -> Result<Tensor> {
+        let mut g = self.expansion.backward(grad_output, ctx)?;
         if let Some(bn) = &mut self.inter_bn {
-            g = bn.backward(&g)?;
+            g = bn.backward(&g, ctx)?;
         }
-        g = self.inter_act.backward(&g)?;
-        let g_in = self.code_conv.backward(&g)?;
+        g = self.inter_act.backward(&g, ctx)?;
+        let g_in = self.code_conv.backward(&g, ctx)?;
         if self.config.ste {
             // Straight-through estimator (Eq. 5): the gradient computed for
             // Wcode is applied to W unchanged, skipping encoder, mask and
@@ -310,8 +329,9 @@ mod tests {
 
     #[test]
     fn forward_restores_channel_count() {
+        let mut ctx = RunCtx::train();
         let mut b = block(0);
-        let y = b.forward(&Tensor::zeros(&[1, 2, 6, 6]), Mode::Train).unwrap();
+        let y = b.forward(&Tensor::zeros(&[1, 2, 6, 6]), &mut ctx).unwrap();
         assert_eq!(y.dims(), &[1, 4, 6, 6]);
     }
 
@@ -326,7 +346,8 @@ mod tests {
             AlfBlockConfig::paper_default(),
             &mut Rng::new(1),
         );
-        let y = b.forward(&Tensor::zeros(&[1, 2, 8, 8]), Mode::Train).unwrap();
+        let mut ctx = RunCtx::train();
+        let y = b.forward(&Tensor::zeros(&[1, 2, 8, 8]), &mut ctx).unwrap();
         assert_eq!(y.dims(), &[1, 4, 4, 4]);
     }
 
@@ -343,9 +364,10 @@ mod tests {
         cfg.inter_bn = true;
         let mut b = AlfBlock::new(2, 4, 3, 1, 1, cfg, &mut Rng::new(3));
         assert_eq!(b.param_count(), 72 + 16 + 8);
-        let y = b.forward(&Tensor::zeros(&[2, 2, 5, 5]), Mode::Train).unwrap();
+        let mut ctx = RunCtx::train();
+        let y = b.forward(&Tensor::zeros(&[2, 2, 5, 5]), &mut ctx).unwrap();
         assert_eq!(y.dims(), &[2, 4, 5, 5]);
-        assert!(b.backward(&y).is_ok());
+        assert!(b.backward(&y, &mut ctx).is_ok());
     }
 
     #[test]
@@ -356,14 +378,16 @@ mod tests {
         let (a, n) = gradcheck::input_gradients(
             &x,
             |x| {
+                let mut ctx = RunCtx::train();
                 let mut b = base.clone();
-                let y = b.forward(x, Mode::Train)?;
+                let y = b.forward(x, &mut ctx)?;
                 Ok(0.5 * y.sq_norm())
             },
             |x| {
+                let mut ctx = RunCtx::train();
                 let mut b = base.clone();
-                let y = b.forward(x, Mode::Train)?;
-                b.backward(&y)
+                let y = b.forward(x, &mut ctx)?;
+                b.backward(&y, &mut ctx)
             },
         )
         .unwrap();
@@ -383,18 +407,20 @@ mod tests {
             &code0,
             |code| {
                 // Loss as a function of the code (bypassing the autoencoder).
+                let mut ctx = RunCtx::train();
                 let mut conv = base.code_conv.clone();
                 conv.set_weight(code.clone())?;
                 let mut exp = base.expansion.clone();
-                let h = conv.forward(&x, Mode::Train)?;
-                let y = exp.forward(&h, Mode::Train)?;
+                let h = conv.forward(&x, &mut ctx)?;
+                let y = exp.forward(&h, &mut ctx)?;
                 Ok(0.5 * y.sq_norm())
             },
             |_| {
                 // The implementation's W-gradient via the STE.
+                let mut ctx = RunCtx::train();
                 let mut b = base.clone();
-                let y = b.forward(&x, Mode::Train)?;
-                b.backward(&y)?;
+                let y = b.forward(&x, &mut ctx)?;
+                b.backward(&y, &mut ctx)?;
                 Ok(b.w.grad.clone())
             },
         )
@@ -409,11 +435,13 @@ mod tests {
         let mut b = AlfBlock::new(2, 4, 3, 1, 1, cfg, &mut Rng::new(8));
         let mut rng = Rng::new(9);
         let x = Tensor::randn(&[1, 2, 5, 5], Init::Rand, &mut rng);
-        let y_full = b.forward(&x, Mode::Eval).unwrap();
+        let mut ctx = RunCtx::eval();
+        let y_full = b.forward(&x, &mut ctx).unwrap();
         // Zero a channel via the public path: run the autoencoder with
         // sustained pressure until something clips.
         for _ in 0..5000 {
-            b.autoencoder_step(3e-3, &PruneSchedule::new(8.0, 0.95)).unwrap();
+            b.autoencoder_step(3e-3, &PruneSchedule::new(8.0, 0.95))
+                .unwrap();
             if b.active_filters() < b.total_filters() {
                 break;
             }
@@ -422,10 +450,14 @@ mod tests {
         let code = b.code().unwrap();
         let fan = 18;
         let pruned: Vec<usize> = (0..4)
-            .filter(|&j| code.data()[j * fan..(j + 1) * fan].iter().all(|&v| v == 0.0))
+            .filter(|&j| {
+                code.data()[j * fan..(j + 1) * fan]
+                    .iter()
+                    .all(|&v| v == 0.0)
+            })
             .collect();
         assert!(!pruned.is_empty());
-        let y = b.forward(&x, Mode::Eval).unwrap();
+        let y = b.forward(&x, &mut ctx).unwrap();
         assert_eq!(y.dims(), y_full.dims());
         assert!(y.data().iter().all(|v| v.is_finite()));
     }
@@ -443,15 +475,17 @@ mod tests {
 
     #[test]
     fn code_conv_weight_tracks_autoencoder() {
+        let mut ctx = RunCtx::train();
         let mut b = block(11);
         let x = Tensor::zeros(&[1, 2, 4, 4]);
-        b.forward(&x, Mode::Train).unwrap();
+        b.forward(&x, &mut ctx).unwrap();
         let w1 = b.code_conv.weight().clone();
         // Mutate the autoencoder, forward again: conv weight must change.
         for _ in 0..50 {
-            b.autoencoder_step(0.05, &PruneSchedule::paper_default()).unwrap();
+            b.autoencoder_step(0.05, &PruneSchedule::paper_default())
+                .unwrap();
         }
-        b.forward(&x, Mode::Train).unwrap();
+        b.forward(&x, &mut ctx).unwrap();
         assert_ne!(&w1, b.code_conv.weight());
     }
 }

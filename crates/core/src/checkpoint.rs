@@ -122,13 +122,13 @@ mod tests {
     use super::*;
     use crate::block::AlfBlockConfig;
     use crate::models::{plain20, plain20_alf, resnet20};
-    use alf_nn::Mode;
+    use alf_nn::RunCtx;
     use alf_tensor::init::Init;
     use alf_tensor::rng::Rng;
 
     fn probe_output(model: &mut CnnModel) -> Tensor {
         let x = Tensor::randn(&[2, 3, 12, 12], Init::Rand, &mut Rng::new(42));
-        model.forward(&x, Mode::Eval).expect("forward")
+        model.forward(&x, &mut RunCtx::eval()).expect("forward")
     }
 
     #[test]
@@ -148,7 +148,9 @@ mod tests {
     fn checkpoint_includes_autoencoder_state() {
         let mut a = plain20_alf(4, 4, AlfBlockConfig::paper_default(), 2).unwrap();
         // Mutate one block's mask, checkpoint, restore into a fresh model.
-        a.alf_blocks_mut()[0].autoencoder_mut().set_mask_value(0, 0.0);
+        a.alf_blocks_mut()[0]
+            .autoencoder_mut()
+            .set_mask_value(0, 0.0);
         let blob = save(&mut a);
         let mut b = plain20_alf(4, 4, AlfBlockConfig::paper_default(), 3).unwrap();
         load(&mut b, &blob).unwrap();

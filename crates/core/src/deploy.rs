@@ -76,7 +76,11 @@ fn strip_block(block: &AlfBlock) -> Result<(Conv2d, Conv2d)> {
     // Keep filters that are not identically zero; guarantee at least one
     // filter so downstream shapes stay valid even for a fully-pruned layer.
     let mut active: Vec<usize> = (0..co)
-        .filter(|&j| code.data()[j * fan..(j + 1) * fan].iter().any(|&v| v != 0.0))
+        .filter(|&j| {
+            code.data()[j * fan..(j + 1) * fan]
+                .iter()
+                .any(|&v| v != 0.0)
+        })
         .collect();
     if active.is_empty() {
         active.push(0);
@@ -199,7 +203,7 @@ mod tests {
     use crate::block::AlfBlockConfig;
     use crate::models::{plain20, plain20_alf, resnet20_alf};
     use crate::schedule::PruneSchedule;
-    use alf_nn::layer::{Layer, Mode};
+    use alf_nn::{Layer, RunCtx};
 
     fn pruned_model(seed: u64) -> CnnModel {
         let mut cfg = AlfBlockConfig::paper_default();
@@ -220,8 +224,8 @@ mod tests {
         let mut deployed = compress(&model).unwrap();
         let mut rng = Rng::new(2);
         let x = Tensor::randn(&[2, 3, 16, 16], Init::Rand, &mut rng);
-        let y_train_form = model.forward(&x, Mode::Eval).unwrap();
-        let y_deployed = deployed.forward(&x, Mode::Eval).unwrap();
+        let y_train_form = model.forward(&x, &mut RunCtx::eval()).unwrap();
+        let y_deployed = deployed.forward(&x, &mut RunCtx::eval()).unwrap();
         assert!(
             y_deployed.allclose(&y_train_form, 1e-4),
             "deployment changed the function"
@@ -288,8 +292,8 @@ mod tests {
         let mut deployed = compress(&model).unwrap();
         let mut rng = Rng::new(7);
         let x = Tensor::randn(&[1, 3, 16, 16], Init::Rand, &mut rng);
-        let a = model.forward(&x, Mode::Eval).unwrap();
-        let b = deployed.forward(&x, Mode::Eval).unwrap();
+        let a = model.forward(&x, &mut RunCtx::eval()).unwrap();
+        let b = deployed.forward(&x, &mut RunCtx::eval()).unwrap();
         assert!(a.allclose(&b, 1e-4));
     }
 

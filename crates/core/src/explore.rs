@@ -157,7 +157,11 @@ impl ConfigResult {
 
     /// Min–max spread across repeats (the paper's bar stretching).
     pub fn spread(&self) -> (f32, f32) {
-        let lo = self.accuracies.iter().copied().fold(f32::INFINITY, f32::min);
+        let lo = self
+            .accuracies
+            .iter()
+            .copied()
+            .fold(f32::INFINITY, f32::min);
         let hi = self
             .accuracies
             .iter()

@@ -142,13 +142,13 @@ impl NetworkCost {
     }
 
     /// Sums the ALF-compressed cost of `(layer, c_code)` pairs.
-    pub fn of_alf_layers<'a>(
-        layers: impl IntoIterator<Item = (&'a ConvShape, usize)>,
-    ) -> Self {
-        layers.into_iter().fold(Self::default(), |acc, (l, c)| Self {
-            params: acc.params + l.alf_params(c),
-            macs: acc.macs + l.alf_macs(c),
-        })
+    pub fn of_alf_layers<'a>(layers: impl IntoIterator<Item = (&'a ConvShape, usize)>) -> Self {
+        layers
+            .into_iter()
+            .fold(Self::default(), |acc, (l, c)| Self {
+                params: acc.params + l.alf_params(c),
+                macs: acc.macs + l.alf_macs(c),
+            })
     }
 
     /// OPs (`2·MACs`).
@@ -213,7 +213,11 @@ mod tests {
         let layers = geometry::plain20_layers(32, 3);
         let cost = NetworkCost::of_layers(&layers);
         assert_eq!(layers.len(), 19);
-        assert!((cost.params as f64 / 1e6 - 0.27).abs() < 0.01, "{}", cost.params);
+        assert!(
+            (cost.params as f64 / 1e6 - 0.27).abs() < 0.01,
+            "{}",
+            cost.params
+        );
         assert!(
             (cost.ops() as f64 / 1e6 - 81.1).abs() < 1.0,
             "{} MOPs",

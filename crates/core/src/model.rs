@@ -13,6 +13,7 @@ use alf_nn::layer::{Layer, Mode, Param};
 use alf_nn::linear::Linear;
 use alf_nn::norm::BatchNorm2d;
 use alf_nn::pool::{GlobalAvgPool, MaxPool2d};
+use alf_nn::{Pass, RunCtx};
 use alf_tensor::{ShapeError, Tensor};
 
 use crate::block::AlfBlock;
@@ -74,25 +75,27 @@ impl ConvKind {
             ConvKind::Deployed { code, .. } => code.spec(),
         }
     }
+}
 
-    fn forward(&mut self, x: &Tensor, mode: Mode) -> Result<Tensor> {
+impl Layer for ConvKind {
+    fn forward(&mut self, x: &Tensor, ctx: &mut RunCtx) -> Result<Tensor> {
         match self {
-            ConvKind::Standard(c) => c.forward(x, mode),
-            ConvKind::Alf(b) => b.forward(x, mode),
+            ConvKind::Standard(c) => c.forward(x, ctx),
+            ConvKind::Alf(b) => b.forward(x, ctx),
             ConvKind::Deployed { code, expansion } => {
-                let h = code.forward(x, mode)?;
-                expansion.forward(&h, mode)
+                let h = code.forward(x, ctx)?;
+                expansion.forward(&h, ctx)
             }
         }
     }
 
-    fn backward(&mut self, g: &Tensor) -> Result<Tensor> {
+    fn backward(&mut self, g: &Tensor, ctx: &mut RunCtx) -> Result<Tensor> {
         match self {
-            ConvKind::Standard(c) => c.backward(g),
-            ConvKind::Alf(b) => b.backward(g),
+            ConvKind::Standard(c) => c.backward(g, ctx),
+            ConvKind::Alf(b) => b.backward(g, ctx),
             ConvKind::Deployed { code, expansion } => {
-                let g = expansion.backward(g)?;
-                code.backward(&g)
+                let g = expansion.backward(g, ctx)?;
+                code.backward(&g, ctx)
             }
         }
     }
@@ -191,23 +194,39 @@ impl ConvUnit {
             self.bn.shift_mut().data_mut()[ch] = 0.0;
         }
     }
+}
 
-    fn forward(&mut self, x: &Tensor, mode: Mode) -> Result<Tensor> {
-        let mut h = self.conv.forward(x, mode)?;
-        h = self.bn.forward(&h, mode)?;
-        if let Some(act) = &mut self.act {
-            h = act.forward(&h, mode)?;
-        }
-        Ok(h)
+impl Layer for ConvUnit {
+    fn forward(&mut self, x: &Tensor, ctx: &mut RunCtx) -> Result<Tensor> {
+        // The unit scopes itself so profiles report the paper's `convXYZ`
+        // names rather than anonymous conv/BN/act fragments.
+        let token = ctx.scope_start();
+        let run = |this: &mut Self, ctx: &mut RunCtx| -> Result<Tensor> {
+            let mut h = this.conv.forward(x, ctx)?;
+            h = this.bn.forward(&h, ctx)?;
+            if let Some(act) = &mut this.act {
+                h = act.forward(&h, ctx)?;
+            }
+            Ok(h)
+        };
+        let out = run(self, ctx);
+        ctx.scope_end(token, &self.name, Pass::Forward);
+        out
     }
 
-    fn backward(&mut self, g: &Tensor) -> Result<Tensor> {
-        let mut g = g.clone();
-        if let Some(act) = &mut self.act {
-            g = act.backward(&g)?;
-        }
-        let g = self.bn.backward(&g)?;
-        self.conv.backward(&g)
+    fn backward(&mut self, g: &Tensor, ctx: &mut RunCtx) -> Result<Tensor> {
+        let token = ctx.scope_start();
+        let run = |this: &mut Self, ctx: &mut RunCtx| -> Result<Tensor> {
+            let mut g = g.clone();
+            if let Some(act) = &mut this.act {
+                g = act.backward(&g, ctx)?;
+            }
+            let g = this.bn.backward(&g, ctx)?;
+            this.conv.backward(&g, ctx)
+        };
+        let out = run(self, ctx);
+        ctx.scope_end(token, &self.name, Pass::Backward);
+        out
     }
 
     fn visit_params(&mut self, v: &mut dyn FnMut(&mut Param)) {
@@ -245,8 +264,10 @@ impl PadShortcut {
             input_dims: None,
         }
     }
+}
 
-    fn forward(&mut self, x: &Tensor, mode: Mode) -> Result<Tensor> {
+impl Layer for PadShortcut {
+    fn forward(&mut self, x: &Tensor, ctx: &mut RunCtx) -> Result<Tensor> {
         let (n, c, h, w) = match x.dims() {
             &[n, c, h, w] => (n, c, h, w),
             _ => {
@@ -274,14 +295,15 @@ impl PadShortcut {
                 }
             }
         }
-        self.input_dims = (mode == Mode::Train).then_some([n, c, h, w]);
+        ctx.count_bytes(4 * (x.len() + out.len()) as u64);
+        self.input_dims = (ctx.mode() == Mode::Train).then_some([n, c, h, w]);
         Ok(out)
     }
 
-    fn backward(&mut self, g: &Tensor) -> Result<Tensor> {
-        let [n, c, h, w] = self.input_dims.ok_or_else(|| {
-            ShapeError::new("pad_shortcut", "backward called before forward")
-        })?;
+    fn backward(&mut self, g: &Tensor, ctx: &mut RunCtx) -> Result<Tensor> {
+        let [n, c, h, w] = self
+            .input_dims
+            .ok_or_else(|| ShapeError::new("pad_shortcut", "backward called before forward"))?;
         let mut out = Tensor::zeros(&[n, c, h, w]);
         let (ho, wo) = (h.div_ceil(self.stride), w.div_ceil(self.stride));
         for b in 0..n {
@@ -294,6 +316,7 @@ impl PadShortcut {
                 }
             }
         }
+        ctx.count_bytes(4 * (g.len() + out.len()) as u64);
         Ok(out)
     }
 }
@@ -345,28 +368,30 @@ impl ResidualUnit {
             cached_skip: None,
         }
     }
+}
 
-    fn forward(&mut self, x: &Tensor, mode: Mode) -> Result<Tensor> {
+impl Layer for ResidualUnit {
+    fn forward(&mut self, x: &Tensor, ctx: &mut RunCtx) -> Result<Tensor> {
         let skip = match &mut self.shortcut {
-            Some(s) => s.forward(x, mode)?,
+            Some(s) => s.forward(x, ctx)?,
             None => x.clone(),
         };
-        let h = self.a.forward(x, mode)?;
-        let h = self.b.forward(&h, mode)?;
+        let h = self.a.forward(x, ctx)?;
+        let h = self.b.forward(&h, ctx)?;
         let sum = h.add(&skip)?;
-        self.cached_skip = (mode == Mode::Train).then_some(skip);
-        self.final_act.forward(&sum, mode)
+        self.cached_skip = (ctx.mode() == Mode::Train).then_some(skip);
+        self.final_act.forward(&sum, ctx)
     }
 
-    fn backward(&mut self, g: &Tensor) -> Result<Tensor> {
-        let g = self.final_act.backward(g)?;
+    fn backward(&mut self, g: &Tensor, ctx: &mut RunCtx) -> Result<Tensor> {
+        let g = self.final_act.backward(g, ctx)?;
         // The add fans the gradient out to both branches.
         let g_skip = match &mut self.shortcut {
-            Some(s) => s.backward(&g)?,
+            Some(s) => s.backward(&g, ctx)?,
             None => g.clone(),
         };
-        let g_main = self.b.backward(&g)?;
-        let g_main = self.a.backward(&g_main)?;
+        let g_main = self.b.backward(&g, ctx)?;
+        let g_main = self.a.backward(&g_main, ctx)?;
         g_main.add(&g_skip)
     }
 
@@ -407,20 +432,30 @@ impl FireUnit {
         self.expand1.conv().c_out() + self.expand3.conv().c_out()
     }
 
-    fn forward(&mut self, x: &Tensor, mode: Mode) -> Result<Tensor> {
-        let s = self.squeeze.forward(x, mode)?;
-        let a = self.expand1.forward(&s, mode)?;
-        let b = self.expand3.forward(&s, mode)?;
-        Ok(alf_tensor::ops::concat_channels(&a, &b)?)
+    pub(crate) fn conv_units(&self) -> [&ConvUnit; 3] {
+        [&self.squeeze, &self.expand1, &self.expand3]
     }
 
-    fn backward(&mut self, g: &Tensor) -> Result<Tensor> {
+    pub(crate) fn conv_units_mut(&mut self) -> [&mut ConvUnit; 3] {
+        [&mut self.squeeze, &mut self.expand1, &mut self.expand3]
+    }
+}
+
+impl Layer for FireUnit {
+    fn forward(&mut self, x: &Tensor, ctx: &mut RunCtx) -> Result<Tensor> {
+        let s = self.squeeze.forward(x, ctx)?;
+        let a = self.expand1.forward(&s, ctx)?;
+        let b = self.expand3.forward(&s, ctx)?;
+        alf_tensor::ops::concat_channels(&a, &b)
+    }
+
+    fn backward(&mut self, g: &Tensor, ctx: &mut RunCtx) -> Result<Tensor> {
         let c1 = self.expand1.conv().c_out();
         let (ga, gb) = alf_tensor::ops::split_channels(g, c1)?;
-        let gs_a = self.expand1.backward(&ga)?;
-        let gs_b = self.expand3.backward(&gb)?;
+        let gs_a = self.expand1.backward(&ga, ctx)?;
+        let gs_b = self.expand3.backward(&gb, ctx)?;
         let gs = gs_a.add(&gs_b)?;
-        self.squeeze.backward(&gs)
+        self.squeeze.backward(&gs, ctx)
     }
 
     fn visit_params(&mut self, v: &mut dyn FnMut(&mut Param)) {
@@ -433,14 +468,6 @@ impl FireUnit {
         self.squeeze.visit_state(v);
         self.expand1.visit_state(v);
         self.expand3.visit_state(v);
-    }
-
-    pub(crate) fn conv_units(&self) -> [&ConvUnit; 3] {
-        [&self.squeeze, &self.expand1, &self.expand3]
-    }
-
-    pub(crate) fn conv_units_mut(&mut self) -> [&mut ConvUnit; 3] {
-        [&mut self.squeeze, &mut self.expand1, &mut self.expand3]
     }
 }
 
@@ -462,6 +489,59 @@ pub enum Unit {
     Classifier(Linear),
 }
 
+impl Unit {
+    /// The single place that maps a `Unit` variant to its inner [`Layer`],
+    /// plus a profiling label for the anonymous (un-named) units. Named
+    /// units — everything built from [`ConvUnit`]s — scope themselves, so
+    /// they return `None` here.
+    fn inner_mut(&mut self) -> (&mut dyn Layer, Option<&'static str>) {
+        match self {
+            Unit::Conv(cu) => (cu, None),
+            Unit::Residual(r) => (r, None),
+            Unit::Fire(f) => (f, None),
+            Unit::MaxPool(mp) => (mp, Some("maxpool")),
+            Unit::GlobalPool(gp) => (gp, Some("global_pool")),
+            Unit::Classifier(fc) => (fc, Some("fc")),
+        }
+    }
+}
+
+impl Layer for Unit {
+    fn forward(&mut self, x: &Tensor, ctx: &mut RunCtx) -> Result<Tensor> {
+        let (layer, label) = self.inner_mut();
+        match label {
+            Some(name) => {
+                let token = ctx.scope_start();
+                let out = layer.forward(x, ctx);
+                ctx.scope_end(token, name, Pass::Forward);
+                out
+            }
+            None => layer.forward(x, ctx),
+        }
+    }
+
+    fn backward(&mut self, g: &Tensor, ctx: &mut RunCtx) -> Result<Tensor> {
+        let (layer, label) = self.inner_mut();
+        match label {
+            Some(name) => {
+                let token = ctx.scope_start();
+                let out = layer.backward(g, ctx);
+                ctx.scope_end(token, name, Pass::Backward);
+                out
+            }
+            None => layer.backward(g, ctx),
+        }
+    }
+
+    fn visit_params(&mut self, v: &mut dyn FnMut(&mut Param)) {
+        self.inner_mut().0.visit_params(v);
+    }
+
+    fn visit_state(&mut self, v: &mut dyn FnMut(&mut Tensor)) {
+        self.inner_mut().0.visit_state(v);
+    }
+}
+
 /// A CNN assembled from [`Unit`]s, trained by the two-player loop in
 /// [`crate::train`].
 ///
@@ -469,12 +549,13 @@ pub enum Unit {
 ///
 /// ```
 /// use alf_core::models::plain20;
-/// use alf_nn::{Layer, Mode};
+/// use alf_nn::{Layer, RunCtx};
 /// use alf_tensor::Tensor;
 ///
 /// # fn main() -> alf_core::Result<()> {
+/// let mut ctx = RunCtx::eval();
 /// let mut model = plain20(10, 8)?;
-/// let logits = model.forward(&Tensor::zeros(&[2, 3, 32, 32]), Mode::Eval)?;
+/// let logits = model.forward(&Tensor::zeros(&[2, 3, 32, 32]), &mut ctx)?;
 /// assert_eq!(logits.dims(), &[2, 10]);
 /// # Ok(())
 /// # }
@@ -689,57 +770,31 @@ impl CnnModel {
 }
 
 impl Layer for CnnModel {
-    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+    fn forward(&mut self, input: &Tensor, ctx: &mut RunCtx) -> Result<Tensor> {
         let mut x = input.clone();
         for unit in &mut self.units {
-            x = match unit {
-                Unit::Conv(cu) => cu.forward(&x, mode)?,
-                Unit::Residual(r) => r.forward(&x, mode)?,
-                Unit::Fire(f) => f.forward(&x, mode)?,
-                Unit::MaxPool(mp) => mp.forward(&x, mode)?,
-                Unit::GlobalPool(gp) => gp.forward(&x, mode)?,
-                Unit::Classifier(fc) => fc.forward(&x, mode)?,
-            };
+            x = unit.forward(&x, ctx)?;
         }
         Ok(x)
     }
 
-    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+    fn backward(&mut self, grad_output: &Tensor, ctx: &mut RunCtx) -> Result<Tensor> {
         let mut g = grad_output.clone();
         for unit in self.units.iter_mut().rev() {
-            g = match unit {
-                Unit::Conv(cu) => cu.backward(&g)?,
-                Unit::Residual(r) => r.backward(&g)?,
-                Unit::Fire(f) => f.backward(&g)?,
-                Unit::MaxPool(mp) => mp.backward(&g)?,
-                Unit::GlobalPool(gp) => gp.backward(&g)?,
-                Unit::Classifier(fc) => fc.backward(&g)?,
-            };
+            g = unit.backward(&g, ctx)?;
         }
         Ok(g)
     }
 
     fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
         for unit in &mut self.units {
-            match unit {
-                Unit::Conv(cu) => cu.visit_params(visitor),
-                Unit::Residual(r) => r.visit_params(visitor),
-                Unit::Fire(f) => f.visit_params(visitor),
-                Unit::Classifier(fc) => fc.visit_params(visitor),
-                Unit::MaxPool(_) | Unit::GlobalPool(_) => {}
-            }
+            unit.visit_params(visitor);
         }
     }
 
     fn visit_state(&mut self, visitor: &mut dyn FnMut(&mut Tensor)) {
         for unit in &mut self.units {
-            match unit {
-                Unit::Conv(cu) => cu.visit_state(visitor),
-                Unit::Residual(r) => r.visit_state(visitor),
-                Unit::Fire(f) => f.visit_state(visitor),
-                Unit::Classifier(fc) => fc.visit_state(visitor),
-                Unit::MaxPool(_) | Unit::GlobalPool(_) => {}
-            }
+            unit.visit_state(visitor);
         }
     }
 }
@@ -752,9 +807,10 @@ mod tests {
 
     #[test]
     fn pad_shortcut_subsamples_and_pads() {
+        let mut ctx = RunCtx::train();
         let mut s = PadShortcut::new(2, 4);
         let x = Tensor::from_fn(&[1, 2, 4, 4], |i| i as f32);
-        let y = s.forward(&x, Mode::Train).unwrap();
+        let y = s.forward(&x, &mut ctx).unwrap();
         assert_eq!(y.dims(), &[1, 4, 2, 2]);
         assert_eq!(y.at(&[0, 0, 0, 0]), x.at(&[0, 0, 0, 0]));
         assert_eq!(y.at(&[0, 0, 1, 1]), x.at(&[0, 0, 2, 2]));
@@ -764,11 +820,12 @@ mod tests {
     #[test]
     fn pad_shortcut_backward_is_adjoint() {
         let mut rng = Rng::new(0);
+        let mut ctx = RunCtx::train();
         let mut s = PadShortcut::new(2, 4);
         let x = Tensor::randn(&[2, 2, 4, 4], Init::Rand, &mut rng);
-        let y = s.forward(&x, Mode::Train).unwrap();
+        let y = s.forward(&x, &mut ctx).unwrap();
         let g = Tensor::randn(y.dims(), Init::Rand, &mut rng);
-        let gx = s.backward(&g).unwrap();
+        let gx = s.backward(&g, &mut ctx).unwrap();
         let lhs = y.dot(&g).unwrap();
         let rhs = x.dot(&gx).unwrap();
         assert!((lhs - rhs).abs() < 1e-4, "{lhs} vs {rhs}");
@@ -776,9 +833,10 @@ mod tests {
 
     #[test]
     fn pad_shortcut_rejects_shrinking() {
+        let mut ctx = RunCtx::eval();
         let mut s = PadShortcut::new(1, 2);
-        assert!(s.forward(&Tensor::zeros(&[1, 4, 2, 2]), Mode::Eval).is_err());
-        assert!(s.forward(&Tensor::zeros(&[4, 2, 2]), Mode::Eval).is_err());
+        assert!(s.forward(&Tensor::zeros(&[1, 4, 2, 2]), &mut ctx).is_err());
+        assert!(s.forward(&Tensor::zeros(&[4, 2, 2]), &mut ctx).is_err());
     }
 
     #[test]
@@ -798,9 +856,10 @@ mod tests {
             Some(PadShortcut::new(2, 8)),
         );
         let x = Tensor::randn(&[2, 4, 8, 8], Init::Rand, &mut rng);
-        let y = r.forward(&x, Mode::Train).unwrap();
+        let mut ctx = RunCtx::train();
+        let y = r.forward(&x, &mut ctx).unwrap();
         assert_eq!(y.dims(), &[2, 8, 4, 4]);
-        let gx = r.backward(&y).unwrap();
+        let gx = r.backward(&y, &mut ctx).unwrap();
         assert_eq!(gx.dims(), x.dims());
         assert!(gx.data().iter().all(|v| v.is_finite()));
     }

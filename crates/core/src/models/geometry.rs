@@ -182,12 +182,44 @@ pub fn googlenet_layers() -> ArchGeometry {
         ("5b", 832, 384, 192, 384, 48, 128, 128, 7),
     ];
     for (name, c_in, p1, r3, p3, r5, p5, pp, s) in modules {
-        convs.push(ConvShape::new(format!("inc{name}_1x1"), c_in, p1, 1, 1, s, s));
-        convs.push(ConvShape::new(format!("inc{name}_3x3r"), c_in, r3, 1, 1, s, s));
+        convs.push(ConvShape::new(
+            format!("inc{name}_1x1"),
+            c_in,
+            p1,
+            1,
+            1,
+            s,
+            s,
+        ));
+        convs.push(ConvShape::new(
+            format!("inc{name}_3x3r"),
+            c_in,
+            r3,
+            1,
+            1,
+            s,
+            s,
+        ));
         convs.push(ConvShape::new(format!("inc{name}_3x3"), r3, p3, 3, 1, s, s));
-        convs.push(ConvShape::new(format!("inc{name}_5x5r"), c_in, r5, 1, 1, s, s));
+        convs.push(ConvShape::new(
+            format!("inc{name}_5x5r"),
+            c_in,
+            r5,
+            1,
+            1,
+            s,
+            s,
+        ));
         convs.push(ConvShape::new(format!("inc{name}_5x5"), r5, p5, 5, 1, s, s));
-        convs.push(ConvShape::new(format!("inc{name}_pool"), c_in, pp, 1, 1, s, s));
+        convs.push(ConvShape::new(
+            format!("inc{name}_pool"),
+            c_in,
+            pp,
+            1,
+            1,
+            s,
+            s,
+        ));
     }
     ArchGeometry {
         name: "googlenet",
@@ -235,11 +267,8 @@ mod tests {
         // The declared c_in of each module must equal the concatenated
         // output of the previous one (1x1 + 3x3 + 5x5 + poolproj).
         let g = googlenet_layers();
-        let outs: Vec<(String, usize)> = g
-            .convs
-            .iter()
-            .map(|c| (c.name.clone(), c.c_out))
-            .collect();
+        let outs: Vec<(String, usize)> =
+            g.convs.iter().map(|c| (c.name.clone(), c.c_out)).collect();
         let module_out = |tag: &str| -> usize {
             outs.iter()
                 .filter(|(n, _)| {

@@ -128,7 +128,14 @@ fn cifar20(
 ///
 /// Propagates construction errors (cannot occur for valid arguments).
 pub fn plain20(num_classes: usize, width: usize) -> Result<CnnModel> {
-    cifar20("plain20", num_classes, width, false, ConvStyle::Standard, 20)
+    cifar20(
+        "plain20",
+        num_classes,
+        width,
+        false,
+        ConvStyle::Standard,
+        20,
+    )
 }
 
 /// Plain-20 with every convolution replaced by an ALF block.
@@ -159,7 +166,14 @@ pub fn plain20_alf(
 ///
 /// Propagates construction errors (cannot occur for valid arguments).
 pub fn resnet20(num_classes: usize, width: usize) -> Result<CnnModel> {
-    cifar20("resnet20", num_classes, width, true, ConvStyle::Standard, 21)
+    cifar20(
+        "resnet20",
+        num_classes,
+        width,
+        true,
+        ConvStyle::Standard,
+        21,
+    )
 }
 
 /// ResNet-20 with every convolution replaced by an ALF block.
@@ -191,7 +205,12 @@ pub fn resnet20_alf(
 /// # Errors
 ///
 /// Propagates construction errors (cannot occur for valid arguments).
-pub fn resnet18_small(num_classes: usize, width: usize, style: ConvStyle, seed: u64) -> Result<CnnModel> {
+pub fn resnet18_small(
+    num_classes: usize,
+    width: usize,
+    style: ConvStyle,
+    seed: u64,
+) -> Result<CnnModel> {
     let mut rng = Rng::new(seed);
     let mut units = Vec::new();
     units.push(Unit::Conv(ConvUnit::new(
@@ -214,8 +233,7 @@ pub fn resnet18_small(num_classes: usize, width: usize, style: ConvStyle, seed: 
                 style.build(c_out, c_out, 3, 1, 1, &mut rng),
                 None,
             );
-            let shortcut =
-                (c_in != c_out || stride != 1).then(|| PadShortcut::new(stride, c_out));
+            let shortcut = (c_in != c_out || stride != 1).then(|| PadShortcut::new(stride, c_out));
             units.push(Unit::Residual(ResidualUnit::new(a, b, shortcut)));
             c_in = c_out;
         }
@@ -294,7 +312,7 @@ pub fn squeezenet_small(
 mod tests {
     use super::*;
     use crate::metrics::NetworkCost;
-    use alf_nn::{Layer, Mode};
+    use alf_nn::{Layer, RunCtx};
     use alf_tensor::Tensor;
 
     #[test]
@@ -333,9 +351,9 @@ mod tests {
     fn plain20_forward_backward_smoke() {
         let mut model = plain20(4, 4).unwrap();
         let x = Tensor::zeros(&[2, 3, 16, 16]);
-        let y = model.forward(&x, Mode::Train).unwrap();
+        let y = model.forward(&x, &mut RunCtx::train()).unwrap();
         assert_eq!(y.dims(), &[2, 4]);
-        let g = model.backward(&y).unwrap();
+        let g = model.backward(&y, &mut RunCtx::train()).unwrap();
         assert_eq!(g.dims(), x.dims());
     }
 
@@ -343,9 +361,9 @@ mod tests {
     fn resnet20_forward_backward_smoke() {
         let mut model = resnet20(4, 4).unwrap();
         let x = Tensor::zeros(&[2, 3, 16, 16]);
-        let y = model.forward(&x, Mode::Train).unwrap();
+        let y = model.forward(&x, &mut RunCtx::train()).unwrap();
         assert_eq!(y.dims(), &[2, 4]);
-        model.backward(&y).unwrap();
+        model.backward(&y, &mut RunCtx::train()).unwrap();
     }
 
     #[test]
@@ -363,7 +381,7 @@ mod tests {
         let cfg = crate::block::AlfBlockConfig::paper_default();
         let mut model = plain20_alf(3, 4, cfg, 2).unwrap();
         let y = model
-            .forward(&Tensor::zeros(&[1, 3, 16, 16]), Mode::Eval)
+            .forward(&Tensor::zeros(&[1, 3, 16, 16]), &mut RunCtx::eval())
             .unwrap();
         assert_eq!(y.dims(), &[1, 3]);
     }
@@ -372,7 +390,7 @@ mod tests {
     fn resnet18_small_runs() {
         let mut model = resnet18_small(5, 4, ConvStyle::Standard, 3).unwrap();
         let y = model
-            .forward(&Tensor::zeros(&[1, 3, 32, 32]), Mode::Train)
+            .forward(&Tensor::zeros(&[1, 3, 32, 32]), &mut RunCtx::train())
             .unwrap();
         assert_eq!(y.dims(), &[1, 5]);
         assert_eq!(model.conv_shapes(64, 64).len(), 17);
@@ -382,9 +400,9 @@ mod tests {
     fn squeezenet_small_forward_backward() {
         let mut model = squeezenet_small(5, 4, ConvStyle::Standard, 9).unwrap();
         let x = Tensor::zeros(&[2, 3, 16, 16]);
-        let y = model.forward(&x, Mode::Train).unwrap();
+        let y = model.forward(&x, &mut RunCtx::train()).unwrap();
         assert_eq!(y.dims(), &[2, 5]);
-        let g = model.backward(&y).unwrap();
+        let g = model.backward(&y, &mut RunCtx::train()).unwrap();
         assert_eq!(g.dims(), x.dims());
         // conv1 + 4 fire modules × 3 convs.
         assert_eq!(model.conv_shapes(16, 16).len(), 13);
@@ -408,8 +426,8 @@ mod tests {
         let mut deployed = crate::deploy::compress(&model).unwrap();
         let mut rng = alf_tensor::rng::Rng::new(11);
         let x = Tensor::randn(&[1, 3, 16, 16], alf_tensor::init::Init::Rand, &mut rng);
-        let a = model.forward(&x, Mode::Eval).unwrap();
-        let b = deployed.forward(&x, Mode::Eval).unwrap();
+        let a = model.forward(&x, &mut RunCtx::eval()).unwrap();
+        let b = deployed.forward(&x, &mut RunCtx::eval()).unwrap();
         assert!(a.allclose(&b, 1e-4), "fire-module deployment must be exact");
     }
 
@@ -421,8 +439,8 @@ mod tests {
         crate::checkpoint::load(&mut b, &blob).unwrap();
         let x = Tensor::ones(&[1, 3, 8, 8]);
         assert_eq!(
-            a.forward(&x, Mode::Eval).unwrap(),
-            b.forward(&x, Mode::Eval).unwrap()
+            a.forward(&x, &mut RunCtx::eval()).unwrap(),
+            b.forward(&x, &mut RunCtx::eval()).unwrap()
         );
     }
 

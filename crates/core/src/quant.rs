@@ -153,7 +153,7 @@ pub fn fake_quantize_model(model: &mut CnnModel, bits: u8) -> Result<QuantReport
 mod tests {
     use super::*;
     use crate::models::plain20;
-    use alf_nn::Mode;
+    use alf_nn::RunCtx;
     use alf_tensor::init::Init;
     use alf_tensor::rng::Rng;
 
@@ -164,7 +164,11 @@ mod tests {
         let q = Quantizer::fit(&t, 8).unwrap();
         for &v in t.data() {
             let err = (q.round_trip(v) - v).abs();
-            assert!(err <= q.scale / 2.0 + 1e-7, "err {err} > step/2 {}", q.scale / 2.0);
+            assert!(
+                err <= q.scale / 2.0 + 1e-7,
+                "err {err} > step/2 {}",
+                q.scale / 2.0
+            );
         }
     }
 
@@ -212,9 +216,9 @@ mod tests {
     fn int8_model_output_stays_close_to_f32() {
         let mut model = plain20(4, 4).unwrap();
         let x = Tensor::randn(&[2, 3, 12, 12], Init::Rand, &mut Rng::new(2));
-        let y_f32 = model.forward(&x, Mode::Eval).unwrap();
+        let y_f32 = model.forward(&x, &mut RunCtx::eval()).unwrap();
         let report = fake_quantize_model(&mut model, 8).unwrap();
-        let y_q = model.forward(&x, Mode::Eval).unwrap();
+        let y_q = model.forward(&x, &mut RunCtx::eval()).unwrap();
         assert!(report.max_abs_error > 0.0);
         // Logit perturbation should be small relative to the logit scale.
         let diff = y_q.sub(&y_f32).unwrap().norm() / y_f32.norm().max(1e-6);
@@ -228,10 +232,7 @@ mod tests {
         // 8-bit weights halve the 16-bit footprint (plus tiny scale
         // overhead).
         assert!(report.footprint_bytes() < report.baseline_footprint_bytes());
-        assert!(
-            report.footprint_bytes() as f64
-                > 0.45 * report.baseline_footprint_bytes() as f64
-        );
+        assert!(report.footprint_bytes() as f64 > 0.45 * report.baseline_footprint_bytes() as f64);
         // 4-bit quarters it.
         let mut model = plain20(4, 4).unwrap();
         let r4 = fake_quantize_model(&mut model, 4).unwrap();

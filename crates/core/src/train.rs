@@ -11,10 +11,12 @@
 //!    on `Lae = Lrec + νprune·Lprune`, updating `Wenc`, `Wdec` and `M`.
 
 use alf_data::{Dataset, Split};
-use alf_nn::layer::{Layer, Mode};
-use alf_nn::loss::{accuracy, softmax_cross_entropy};
+use alf_nn::layer::Layer;
+use alf_nn::loss::{correct_count, softmax_cross_entropy};
 use alf_nn::optim::{LrSchedule, Sgd};
+use alf_nn::{ProfileReport, RunCtx};
 use alf_tensor::rng::Rng;
+use alf_tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
 use crate::model::CnnModel;
@@ -164,6 +166,10 @@ pub struct AlfTrainer {
     task_opt: Sgd,
     rng: Rng,
     epoch: usize,
+    // One execution context for the whole run: the arena reaches its
+    // steady state during the first batch and every later step reuses it.
+    ctx: RunCtx,
+    eval: Evaluator,
 }
 
 impl AlfTrainer {
@@ -181,7 +187,38 @@ impl AlfTrainer {
             task_opt,
             rng: Rng::new(seed ^ 0xa1f0_0000),
             epoch: 0,
+            ctx: RunCtx::train(),
+            eval: Evaluator::new(),
         })
+    }
+
+    /// Turns per-layer profiling on or off. While on, every training step
+    /// records per-layer wall time, FLOPs and bytes into the trainer's
+    /// [`RunCtx`]; read the result with [`AlfTrainer::profile_report`].
+    pub fn set_profile(&mut self, on: bool) {
+        if on {
+            self.ctx.enable_profiler();
+        } else {
+            self.ctx.take_profiler();
+        }
+    }
+
+    /// Whether per-layer profiling is currently enabled.
+    pub fn profiling(&self) -> bool {
+        self.ctx.profiling()
+    }
+
+    /// Snapshot of the per-layer profile accumulated so far (`None` unless
+    /// [`AlfTrainer::set_profile`] was switched on).
+    pub fn profile_report(&self) -> Option<ProfileReport> {
+        self.ctx.report()
+    }
+
+    /// The trainer's execution context (arena + profiler). Exposed so
+    /// tests can freeze the arena and benches can inspect its high-water
+    /// mark.
+    pub fn ctx_mut(&mut self) -> &mut RunCtx {
+        &mut self.ctx
     }
 
     /// The model being trained.
@@ -222,13 +259,11 @@ impl AlfTrainer {
     ///
     /// Propagates shape errors from the model or data pipeline.
     pub fn run_epoch(&mut self, data: &Dataset) -> Result<EpochStats> {
-        let lr = self
-            .hyper
-            .lr_schedule
-            .lr_at(self.hyper.task_lr, self.epoch);
+        let lr = self.hyper.lr_schedule.lr_at(self.hyper.task_lr, self.epoch);
         self.task_opt.set_lr(lr);
         let mut loss_sum = 0.0;
-        let mut acc_sum = 0.0;
+        let mut correct = 0usize;
+        let mut seen = 0usize;
         let mut l_rec_sum = 0.0;
         let mut batches = 0usize;
         let mut shuffle_rng = self.rng.split();
@@ -242,22 +277,24 @@ impl AlfTrainer {
             }
             // --- task player ---
             self.model.zero_grads();
-            let logits = self.model.forward(&images, Mode::Train)?;
+            let logits = self.model.forward(&images, &mut self.ctx)?;
             let (loss, grad) = softmax_cross_entropy(&logits, &labels)?;
-            acc_sum += accuracy(&logits, &labels)?;
-            self.model.backward(&grad)?;
+            correct += correct_count(&logits, &labels)?;
+            seen += labels.len();
+            self.model.backward(&grad, &mut self.ctx)?;
             self.task_opt.step_layer(&mut self.model);
             // --- autoencoder player ---
             let ae_lr = self.hyper.ae_lr;
             let schedule = self.hyper.prune_schedule;
             let mut block_l_rec = 0.0;
             let ae_steps = self.hyper.ae_steps_per_batch.max(1);
+            let ctx = &mut self.ctx;
             let blocks = self.model.alf_blocks_mut();
             let n_blocks = blocks.len();
             for block in blocks {
                 let mut last = 0.0;
                 for _ in 0..ae_steps {
-                    last = block.autoencoder_step(ae_lr, &schedule)?.l_rec;
+                    last = block.autoencoder_step_in(ae_lr, &schedule, ctx)?.l_rec;
                 }
                 block_l_rec += last;
             }
@@ -267,11 +304,13 @@ impl AlfTrainer {
             loss_sum += loss;
             batches += 1;
         }
-        let test_accuracy = evaluate(&self.model, data, Split::Test, self.hyper.batch_size)?;
+        let test_accuracy =
+            self.eval
+                .evaluate(&mut self.model, data, Split::Test, self.hyper.batch_size)?;
         let stats = EpochStats {
             epoch: self.epoch,
             train_loss: loss_sum / batches.max(1) as f32,
-            train_accuracy: acc_sum / batches.max(1) as f32,
+            train_accuracy: correct as f32 / seen.max(1) as f32,
             test_accuracy,
             remaining_filters: self.model.remaining_filter_fraction(),
             mean_l_rec: l_rec_sum / batches.max(1) as f32,
@@ -281,63 +320,153 @@ impl AlfTrainer {
     }
 }
 
-/// Evaluates classification accuracy of a model on a dataset split,
-/// fanning batches out over `crossbeam` scoped threads (each thread works
-/// on its own clone of the model).
+/// Parallel evaluator with persistent per-thread model replicas.
+///
+/// The seed's `evaluate` cloned the full model into every spawned thread on
+/// every call — an epoch loop paid `threads × params` heap traffic per
+/// evaluation. `Evaluator` clones each replica **once**, then refreshes it
+/// before each run by copying the source model's state tensors into the
+/// replica in place (re-cloning only if the architecture changed, e.g.
+/// after deployment surgery). Each replica keeps its own [`RunCtx`], so
+/// the per-thread arenas also stay warm across evaluations.
+#[derive(Debug, Default)]
+pub struct Evaluator {
+    slots: Vec<(CnnModel, RunCtx)>,
+    state: Vec<f32>,
+    shapes: Vec<Vec<usize>>,
+}
+
+impl Evaluator {
+    /// Creates an evaluator with no replicas; they are built lazily on the
+    /// first [`Evaluator::evaluate`] call.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live per-thread replicas (0 before the first evaluation).
+    pub fn replicas(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Evaluates classification accuracy of `model` on a dataset split,
+    /// fanning batches out over `crossbeam` scoped threads.
+    ///
+    /// `model` is only mutated through its state visitor (values are read,
+    /// not changed); the signature is `&mut` because the visitor API is
+    /// mutable-only.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the model or data pipeline.
+    pub fn evaluate(
+        &mut self,
+        model: &mut CnnModel,
+        data: &Dataset,
+        split: Split,
+        batch_size: usize,
+    ) -> Result<f32> {
+        let n = data.len_of(split);
+        if n == 0 {
+            return Ok(0.0);
+        }
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(n.div_ceil(batch_size.max(1)))
+            .max(1);
+        self.sync_slots(model, threads);
+        let chunk = n.div_ceil(threads);
+        let results = crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (t, slot) in self.slots.iter_mut().enumerate() {
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(n);
+                if lo >= hi {
+                    continue;
+                }
+                handles.push(scope.spawn(move |_| -> Result<(usize, usize)> {
+                    let (local, ctx) = slot;
+                    let mut correct = 0usize;
+                    let mut start = lo;
+                    while start < hi {
+                        let end = (start + batch_size.max(1)).min(hi);
+                        let idx: Vec<usize> = (start..end).collect();
+                        let (images, labels) = data.gather(split, &idx)?;
+                        let logits = local.forward(&images, ctx)?;
+                        correct += correct_count(&logits, &labels)?;
+                        start = end;
+                    }
+                    Ok((correct, hi - lo))
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("evaluation thread panicked"))
+                .collect::<Result<Vec<_>>>()
+        })
+        .expect("evaluation scope panicked")?;
+        let (correct, total) = results
+            .into_iter()
+            .fold((0usize, 0usize), |(c, t), (dc, dt)| (c + dc, t + dt));
+        Ok(correct as f32 / total.max(1) as f32)
+    }
+
+    /// Brings `threads` replicas up to date with `model`: in-place state
+    /// copy where shapes line up, full re-clone otherwise.
+    fn sync_slots(&mut self, model: &mut CnnModel, threads: usize) {
+        self.state.clear();
+        self.shapes.clear();
+        let (state, shapes) = (&mut self.state, &mut self.shapes);
+        model.visit_state(&mut |t: &mut Tensor| {
+            state.extend_from_slice(t.data());
+            shapes.push(t.dims().to_vec());
+        });
+        self.slots.truncate(threads);
+        for (replica, _) in &mut self.slots {
+            if !restore_state(replica, &self.state, &self.shapes) {
+                *replica = model.clone();
+            }
+        }
+        while self.slots.len() < threads {
+            self.slots.push((model.clone(), RunCtx::eval()));
+        }
+    }
+}
+
+/// Copies a flattened state snapshot into `model` in place. Returns
+/// `false` (leaving the model partially updated) when the snapshot does
+/// not match the model's structure — the caller re-clones in that case.
+fn restore_state(model: &mut CnnModel, state: &[f32], shapes: &[Vec<usize>]) -> bool {
+    let mut offset = 0usize;
+    let mut idx = 0usize;
+    let mut ok = true;
+    model.visit_state(&mut |t: &mut Tensor| {
+        let len = t.len();
+        match shapes.get(idx) {
+            Some(dims) if t.dims() == &dims[..] && offset + len <= state.len() => {
+                t.data_mut().copy_from_slice(&state[offset..offset + len]);
+                offset += len;
+            }
+            _ => ok = false,
+        }
+        idx += 1;
+    });
+    ok && idx == shapes.len() && offset == state.len()
+}
+
+/// Evaluates classification accuracy of a model on a dataset split.
+///
+/// Thin compatibility wrapper over [`Evaluator`] for callers holding only
+/// `&CnnModel`; it pays one model clone plus the per-thread replica clones
+/// every call. Loops that evaluate repeatedly should hold an [`Evaluator`]
+/// instead.
 ///
 /// # Errors
 ///
 /// Propagates shape errors from the model or data pipeline.
-pub fn evaluate(
-    model: &CnnModel,
-    data: &Dataset,
-    split: Split,
-    batch_size: usize,
-) -> Result<f32> {
-    let n = data.len_of(split);
-    if n == 0 {
-        return Ok(0.0);
-    }
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(n.div_ceil(batch_size.max(1)))
-        .max(1);
-    let chunk = n.div_ceil(threads);
-    let results = crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for t in 0..threads {
-            let lo = t * chunk;
-            let hi = ((t + 1) * chunk).min(n);
-            if lo >= hi {
-                continue;
-            }
-            handles.push(scope.spawn(move |_| -> Result<(usize, usize)> {
-                let mut local = model.clone();
-                let mut correct = 0usize;
-                let mut start = lo;
-                while start < hi {
-                    let end = (start + batch_size.max(1)).min(hi);
-                    let idx: Vec<usize> = (start..end).collect();
-                    let (images, labels) = data.gather(split, &idx)?;
-                    let logits = local.forward(&images, Mode::Eval)?;
-                    let acc = accuracy(&logits, &labels)?;
-                    correct += (acc * labels.len() as f32).round() as usize;
-                    start = end;
-                }
-                Ok((correct, hi - lo))
-            }));
-        }
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("evaluation thread panicked"))
-            .collect::<Result<Vec<_>>>()
-    })
-    .expect("evaluation scope panicked")?;
-    let (correct, total) = results
-        .into_iter()
-        .fold((0usize, 0usize), |(c, t), (dc, dt)| (c + dc, t + dt));
-    Ok(correct as f32 / total.max(1) as f32)
+pub fn evaluate(model: &CnnModel, data: &Dataset, split: Split, batch_size: usize) -> Result<f32> {
+    let mut scratch = model.clone();
+    Evaluator::new().evaluate(&mut scratch, data, split, batch_size)
 }
 
 #[cfg(test)]
@@ -433,6 +562,39 @@ mod tests {
         // Different batch size must not change the result.
         let c = evaluate(&model, &data, Split::Test, 5).unwrap();
         assert_eq!(a, c);
+    }
+
+    #[test]
+    fn evaluator_reuses_replicas_and_matches_wrapper() {
+        let data = small_data(7);
+        let mut model = plain20(4, 4).unwrap();
+        let mut ev = Evaluator::new();
+        let a = ev.evaluate(&mut model, &data, Split::Test, 8).unwrap();
+        let replicas = ev.replicas();
+        assert!(replicas > 0);
+        // Second run refreshes the same replicas in place.
+        let b = ev.evaluate(&mut model, &data, Split::Test, 8).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(ev.replicas(), replicas);
+        // The compat wrapper agrees.
+        let c = evaluate(&model, &data, Split::Test, 8).unwrap();
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn profiling_can_be_toggled_and_reports_layers() {
+        let data = small_data(8);
+        let model = plain20(4, 4).unwrap();
+        let mut trainer = AlfTrainer::new(model, quick_hyper(), 9).unwrap();
+        assert!(!trainer.profiling());
+        assert!(trainer.profile_report().is_none());
+        trainer.set_profile(true);
+        trainer.run(&data, 1).unwrap();
+        let report = trainer.profile_report().expect("profile enabled");
+        assert!(!report.layers.is_empty());
+        assert!(report.total_ns() > 0);
+        trainer.set_profile(false);
+        assert!(trainer.profile_report().is_none());
     }
 
     #[test]

@@ -99,15 +99,12 @@ impl Augment {
                         let sx0 = if flip { w - 1 - x } else { x } as isize;
                         let sy = y as isize - dy;
                         let sx = sx0 - dx * if flip { -1 } else { 1 };
-                        scratch[y * w + x] = if sy >= 0
-                            && sx >= 0
-                            && (sy as usize) < h
-                            && (sx as usize) < w
-                        {
-                            src[sy as usize * w + sx as usize]
-                        } else {
-                            0.0
-                        };
+                        scratch[y * w + x] =
+                            if sy >= 0 && sx >= 0 && (sy as usize) < h && (sx as usize) < w {
+                                src[sy as usize * w + sx as usize]
+                            } else {
+                                0.0
+                            };
                     }
                 }
                 let dst = &mut batch.data_mut()[base..base + plane];
@@ -172,7 +169,10 @@ mod tests {
             let mut b = Tensor::ones(&[1, 1, 4, 4]);
             policy.apply(&mut b, &mut rng).unwrap();
             let zeros = b.count_near_zero(0.0);
-            assert!(zeros == 0 || zeros.is_multiple_of(4) || zeros == 7, "zeros {zeros}");
+            assert!(
+                zeros == 0 || zeros.is_multiple_of(4) || zeros == 7,
+                "zeros {zeros}"
+            );
             if zeros > 0 {
                 seen_shifted = true;
             }

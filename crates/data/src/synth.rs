@@ -138,8 +138,7 @@ impl SynthVisionBuilder {
         let mut test_rng = rng.split();
         let (train_images, train_labels) =
             self.make_split(self.train_size, &templates, &mut train_rng);
-        let (test_images, test_labels) =
-            self.make_split(self.test_size, &templates, &mut test_rng);
+        let (test_images, test_labels) = self.make_split(self.test_size, &templates, &mut test_rng);
         Dataset::from_parts(
             train_images,
             train_labels,
@@ -219,8 +218,7 @@ impl SynthVisionBuilder {
                     for x in 0..s {
                         let sy = y as isize - dy;
                         let sx = x as isize - dx;
-                        let base = if sy >= 0 && sx >= 0 && (sy as usize) < s && (sx as usize) < s
-                        {
+                        let base = if sy >= 0 && sx >= 0 && (sy as usize) < s && (sx as usize) < s {
                             tpl[(c * s + sy as usize) * s + sx as usize]
                         } else {
                             0.0
@@ -256,8 +254,14 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let a = SynthVision::cifar_like(1).with_train_size(10).build().unwrap();
-        let b = SynthVision::cifar_like(2).with_train_size(10).build().unwrap();
+        let a = SynthVision::cifar_like(1)
+            .with_train_size(10)
+            .build()
+            .unwrap();
+        let b = SynthVision::cifar_like(2)
+            .with_train_size(10)
+            .build()
+            .unwrap();
         assert_ne!(a.images(Split::Train), b.images(Split::Train));
     }
 
@@ -277,8 +281,14 @@ mod tests {
 
     #[test]
     fn rejects_degenerate_configs() {
-        assert!(SynthVision::cifar_like(0).with_num_classes(0).build().is_err());
-        assert!(SynthVision::cifar_like(0).with_image_size(0).build().is_err());
+        assert!(SynthVision::cifar_like(0)
+            .with_num_classes(0)
+            .build()
+            .is_err());
+        assert!(SynthVision::cifar_like(0)
+            .with_image_size(0)
+            .build()
+            .is_err());
         assert!(SynthVision::cifar_like(0)
             .with_image_size(6)
             .with_max_shift(3)
@@ -310,9 +320,8 @@ mod tests {
             .unwrap();
         let pix: usize = d.image_dims().iter().product();
         let img = |i: usize| &d.images(Split::Train)[i * pix..(i + 1) * pix];
-        let dist = |a: &[f32], b: &[f32]| -> f32 {
-            a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
-        };
+        let dist =
+            |a: &[f32], b: &[f32]| -> f32 { a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum() };
         // Samples 0 and 4 share class 0; samples 0 and 1 differ.
         let intra = dist(img(0), img(4));
         let inter = dist(img(0), img(1));

@@ -70,7 +70,10 @@ mod tests {
         ];
         assert_eq!(
             labels.len(),
-            labels.iter().collect::<std::collections::HashSet<_>>().len()
+            labels
+                .iter()
+                .collect::<std::collections::HashSet<_>>()
+                .len()
         );
     }
 

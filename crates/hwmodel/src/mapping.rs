@@ -247,7 +247,9 @@ mod tests {
     fn legal_mapping_evaluates() {
         let m = legal_mapping();
         assert!(m.is_legal(&acc(), Dataflow::RowStationary, &conv()));
-        let cost = m.evaluate(&acc(), Dataflow::RowStationary, &conv()).unwrap();
+        let cost = m
+            .evaluate(&acc(), Dataflow::RowStationary, &conv())
+            .unwrap();
         assert!(cost.total_energy() > 0.0);
         assert!(cost.latency_cycles > 0.0);
         assert!((0.0..=1.0).contains(&cost.utilization));
@@ -256,7 +258,9 @@ mod tests {
     #[test]
     fn rf_energy_tracks_macs() {
         let m = legal_mapping();
-        let cost = m.evaluate(&acc(), Dataflow::RowStationary, &conv()).unwrap();
+        let cost = m
+            .evaluate(&acc(), Dataflow::RowStationary, &conv())
+            .unwrap();
         assert_eq!(cost.rf_accesses, conv().macs() as f64 * 3.0);
         assert_eq!(cost.energy_rf, cost.rf_accesses);
     }
@@ -266,7 +270,9 @@ mod tests {
         let mut m = legal_mapping();
         m.m_spatial = 8; // 8 × K(3) = 24 > 16 rows
         assert!(!m.is_legal(&acc(), Dataflow::RowStationary, &conv()));
-        assert!(m.evaluate(&acc(), Dataflow::RowStationary, &conv()).is_none());
+        assert!(m
+            .evaluate(&acc(), Dataflow::RowStationary, &conv())
+            .is_none());
     }
 
     #[test]
@@ -320,8 +326,7 @@ mod tests {
         };
         let cost = m.evaluate(&acc(), Dataflow::WeightStationary, &w).unwrap();
         // DRAM = inputs (1 m-pass) + weights (once) + outputs.
-        let expected =
-            (w.input_words() + w.weight_words() + w.output_words()) as f64;
+        let expected = (w.input_words() + w.weight_words() + w.output_words()) as f64;
         assert!((cost.dram_accesses - expected).abs() < 1.0);
     }
 
@@ -336,7 +341,9 @@ mod tests {
             c_spatial: 1,
         };
         let m_rs = legal_mapping();
-        let os = m_os.evaluate(&acc(), Dataflow::OutputStationary, &w).unwrap();
+        let os = m_os
+            .evaluate(&acc(), Dataflow::OutputStationary, &w)
+            .unwrap();
         let rs = m_rs.evaluate(&acc(), Dataflow::RowStationary, &w).unwrap();
         assert!(os.dram_accesses > rs.dram_accesses);
     }

@@ -92,8 +92,7 @@ impl NetworkReport {
                     // Utilisation of the pair: MAC-weighted mean.
                     let w_prev = (prev.macs - l.macs) as f64;
                     let w_new = l.macs as f64;
-                    prev.utilization = (prev.utilization * w_prev
-                        + l.utilization * w_new)
+                    prev.utilization = (prev.utilization * w_prev + l.utilization * w_new)
                         / (w_prev + w_new).max(1.0);
                 }
                 _ => out.push(LayerReport {
@@ -236,19 +235,18 @@ mod tests {
 
     #[test]
     fn merged_folds_plus_suffixed_rows() {
-        let r = report_of(&[("conv211+code", 16, 8), ("conv211+exp", 8, 16), ("conv212+code", 16, 16)]);
+        let r = report_of(&[
+            ("conv211+code", 16, 8),
+            ("conv211+exp", 8, 16),
+            ("conv212+code", 16, 16),
+        ]);
         let m = r.merged();
         assert_eq!(m.layers.len(), 2);
         assert_eq!(m.layers[0].name, "conv211");
-        assert_eq!(
-            m.layers[0].macs,
-            r.layers[0].macs + r.layers[1].macs
-        );
+        assert_eq!(m.layers[0].macs, r.layers[0].macs + r.layers[1].macs);
         assert!(
-            (m.layers[0].total_energy()
-                - r.layers[0].total_energy()
-                - r.layers[1].total_energy())
-            .abs()
+            (m.layers[0].total_energy() - r.layers[0].total_energy() - r.layers[1].total_energy())
+                .abs()
                 < 1e-9
         );
         assert_eq!(m.layers[1].name, "conv212");
@@ -282,19 +280,22 @@ mod tests {
     #[test]
     fn fused_pairs_trade_dram_for_buffer() {
         let mapper = Mapper::new(Accelerator::eyeriss(), Dataflow::RowStationary);
-        let code = ConvWorkload::from_shape(&ConvShape::new("conv211+code", 16, 6, 3, 1, 32, 32), 16);
+        let code =
+            ConvWorkload::from_shape(&ConvShape::new("conv211+code", 16, 6, 3, 1, 32, 32), 16);
         let exp = ConvWorkload::from_shape(&ConvShape::new("conv211+exp", 6, 16, 1, 1, 32, 32), 16);
         let unfused = NetworkReport::evaluate(&mapper, &[code.clone(), exp.clone()])
             .unwrap()
             .merged();
-        let fused =
-            NetworkReport::evaluate_fused_pairs(&mapper, &[(code, exp)]).unwrap();
+        let fused = NetworkReport::evaluate_fused_pairs(&mapper, &[(code, exp)]).unwrap();
         assert_eq!(fused.layers.len(), 1);
         assert_eq!(fused.layers[0].name, "conv211");
         let u = &unfused.layers[0];
         let f = &fused.layers[0];
         assert!(f.energy_dram < u.energy_dram, "fusion must cut DRAM energy");
-        assert!(f.energy_buffer > u.energy_buffer, "…by moving traffic to the buffer");
+        assert!(
+            f.energy_buffer > u.energy_buffer,
+            "…by moving traffic to the buffer"
+        );
         assert_eq!(f.energy_rf, u.energy_rf, "RF traffic unchanged");
         assert!(
             f.total_energy() < u.total_energy(),

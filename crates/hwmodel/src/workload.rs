@@ -156,11 +156,7 @@ pub fn alf_pair(shape: &ConvShape, c_code: usize, batch: usize) -> (ConvWorkload
 /// geometries and per-layer remaining-filter ratios (`ratio[i]` of layer
 /// `i`'s filters kept; missing entries default to fully dense). Layers
 /// come back as `+code`/`+exp` pairs, flattened in execution order.
-pub fn alf_network(
-    shapes: &[ConvShape],
-    ratios: &[f32],
-    batch: usize,
-) -> Vec<ConvWorkload> {
+pub fn alf_network(shapes: &[ConvShape], ratios: &[f32], batch: usize) -> Vec<ConvWorkload> {
     shapes
         .iter()
         .enumerate()

@@ -8,6 +8,7 @@
 
 use alf_tensor::Tensor;
 
+use crate::ctx::RunCtx;
 use crate::layer::{missing_cache, Layer, Mode};
 use crate::Result;
 
@@ -81,12 +82,13 @@ impl std::fmt::Display for ActivationKind {
 /// # Example
 ///
 /// ```
-/// use alf_nn::{Activation, ActivationKind, Layer, Mode};
+/// use alf_nn::{Activation, ActivationKind, Layer, RunCtx};
 /// use alf_tensor::Tensor;
 ///
 /// # fn main() -> alf_nn::Result<()> {
+/// let mut ctx = RunCtx::eval();
 /// let mut tanh = Activation::new(ActivationKind::Tanh);
-/// let y = tanh.forward(&Tensor::full(&[1], 100.0), Mode::Eval)?;
+/// let y = tanh.forward(&Tensor::full(&[1], 100.0), &mut ctx)?;
 /// assert!((y.data()[0] - 1.0).abs() < 1e-6);
 /// # Ok(())
 /// # }
@@ -110,17 +112,32 @@ impl Activation {
 }
 
 impl Layer for Activation {
-    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+    fn forward(&mut self, input: &Tensor, ctx: &mut RunCtx) -> Result<Tensor> {
         let out = self.kind.apply_tensor(input);
-        self.output = (mode == Mode::Train).then(|| out.clone());
+        ctx.count_flops(input.len() as u64);
+        ctx.count_bytes(4 * 2 * input.len() as u64);
+        if ctx.mode() == Mode::Train {
+            // Reuse the cached output tensor when the shape matches so the
+            // steady-state step stays allocation-free here.
+            match self.output.as_mut() {
+                Some(cached) if cached.dims() == out.dims() => {
+                    cached.data_mut().copy_from_slice(out.data());
+                }
+                _ => self.output = Some(out.clone()),
+            }
+        } else {
+            self.output = None;
+        }
         Ok(out)
     }
 
-    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+    fn backward(&mut self, grad_output: &Tensor, ctx: &mut RunCtx) -> Result<Tensor> {
         let out = self
             .output
             .as_ref()
             .ok_or_else(|| missing_cache("activation"))?;
+        ctx.count_flops(2 * grad_output.len() as u64);
+        ctx.count_bytes(4 * 3 * grad_output.len() as u64);
         grad_output.zip_map(out, |g, y| g * self.kind.derivative_from_output(y))
     }
 }
@@ -162,14 +179,16 @@ mod tests {
             let (a, n) = gradcheck::input_gradients(
                 &x,
                 |x| {
+                    let mut ctx = RunCtx::train();
                     let mut l = Activation::new(kind);
-                    let y = l.forward(x, Mode::Train)?;
+                    let y = l.forward(x, &mut ctx)?;
                     Ok(y.sum())
                 },
                 |x| {
+                    let mut ctx = RunCtx::train();
                     let mut l = Activation::new(kind);
-                    l.forward(x, Mode::Train)?;
-                    l.backward(&Tensor::ones(x.dims()))
+                    l.forward(x, &mut ctx)?;
+                    l.backward(&Tensor::ones(x.dims()), &mut ctx)
                 },
             )
             .unwrap();
@@ -184,13 +203,15 @@ mod tests {
         let (a, n) = gradcheck::input_gradients(
             &x,
             |x| {
+                let mut ctx = RunCtx::train();
                 let mut l = Activation::new(ActivationKind::Relu);
-                Ok(l.forward(x, Mode::Train)?.sum())
+                Ok(l.forward(x, &mut ctx)?.sum())
             },
             |x| {
+                let mut ctx = RunCtx::train();
                 let mut l = Activation::new(ActivationKind::Relu);
-                l.forward(x, Mode::Train)?;
-                l.backward(&Tensor::ones(x.dims()))
+                l.forward(x, &mut ctx)?;
+                l.backward(&Tensor::ones(x.dims()), &mut ctx)
             },
         )
         .unwrap();
@@ -199,8 +220,21 @@ mod tests {
 
     #[test]
     fn backward_requires_forward() {
+        let mut ctx = RunCtx::train();
         let mut l = Activation::new(ActivationKind::Relu);
-        assert!(l.backward(&Tensor::zeros(&[1])).is_err());
+        assert!(l.backward(&Tensor::zeros(&[1]), &mut ctx).is_err());
+    }
+
+    #[test]
+    fn cached_output_buffer_is_reused() {
+        let mut ctx = RunCtx::train();
+        let mut l = Activation::new(ActivationKind::Tanh);
+        let x = Tensor::full(&[2, 3], 0.5);
+        l.forward(&x, &mut ctx).unwrap();
+        let ptr_before = l.output.as_ref().unwrap().data().as_ptr();
+        l.forward(&x, &mut ctx).unwrap();
+        let ptr_after = l.output.as_ref().unwrap().data().as_ptr();
+        assert_eq!(ptr_before, ptr_after);
     }
 
     #[test]

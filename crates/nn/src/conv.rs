@@ -1,19 +1,21 @@
 //! 2-D convolution layer with GEMM forward and exact backward.
 //!
-//! The hot path is allocation-free after warm-up: the im2col column
-//! matrix, the GEMM packing panels, and every backward scratch matrix
-//! live in a per-layer [`Workspace`], so a steady-state training step
-//! allocates nothing beyond the output / input-gradient tensors the
-//! `Layer` API returns by value.
+//! The hot path is allocation-free after warm-up: the GEMM packing panels
+//! and every transient scratch matrix are drawn from the shared
+//! [`RunCtx`] workspace arena, while the im2col column matrix — which must
+//! survive from `forward` to `backward` — is a layer-owned buffer reused
+//! across steps. A steady-state training step therefore allocates nothing
+//! beyond the output / input-gradient tensors the `Layer` API returns by
+//! value.
 
 use alf_tensor::init::Init;
 use alf_tensor::ops::{
     auto_threads, col2im_into, conv2d, gemm_into, gemm_sparse_lhs_into, im2col_into, Conv2dSpec,
-    Workspace,
 };
 use alf_tensor::rng::Rng;
 use alf_tensor::{ShapeError, Tensor};
 
+use crate::ctx::RunCtx;
 use crate::layer::{missing_cache, Layer, Mode, Param};
 use crate::Result;
 
@@ -30,13 +32,14 @@ use crate::Result;
 /// # Example
 ///
 /// ```
-/// use alf_nn::{Conv2d, Layer, Mode};
+/// use alf_nn::{Conv2d, Layer, RunCtx};
 /// use alf_tensor::{init::Init, rng::Rng, Tensor};
 ///
 /// # fn main() -> alf_nn::Result<()> {
+/// let mut ctx = RunCtx::train();
 /// let mut conv = Conv2d::new(3, 8, 3, 1, 1, false, Init::He, &mut Rng::new(0));
 /// let x = Tensor::zeros(&[2, 3, 16, 16]);
-/// let y = conv.forward(&x, Mode::Train)?;
+/// let y = conv.forward(&x, &mut ctx)?;
 /// assert_eq!(y.dims(), &[2, 8, 16, 16]);
 /// # Ok(())
 /// # }
@@ -50,16 +53,16 @@ pub struct Conv2d {
     c_out: usize,
     sparse_weight_hint: bool,
     cache: Option<Cache>,
-    ws: Workspace,
+    /// Layer-owned im2col column matrix, reused across steps. It must
+    /// survive from `forward` to `backward`, so it cannot live in the
+    /// shared arena — every conv would fight over one slot name there.
+    cols: Vec<f32>,
 }
 
-/// Forward-pass state the backward pass consumes. The column matrix is
-/// held here (not in the workspace) between the passes so that cloning
-/// the layer clones live data; it is donated back to the workspace by the
-/// next forward pass.
+/// Forward-pass state the backward pass consumes (the column matrix itself
+/// lives in `Conv2d::cols` so that cloning the layer clones live data).
 #[derive(Debug, Clone)]
 struct Cache {
-    cols: Vec<f32>,
     input_dims: [usize; 4],
 }
 
@@ -93,7 +96,7 @@ impl Conv2d {
             c_out,
             sparse_weight_hint: false,
             cache: None,
-            ws: Workspace::new(),
+            cols: Vec::new(),
         }
     }
 
@@ -135,7 +138,10 @@ impl Conv2d {
     /// Returns an error when the new weight shape differs from the current
     /// one.
     pub fn set_weight(&mut self, weight: Tensor) -> Result<()> {
-        self.weight.value.shape().expect_same(weight.shape(), "set_weight")?;
+        self.weight
+            .value
+            .shape()
+            .expect_same(weight.shape(), "set_weight")?;
         self.weight.value = weight;
         Ok(())
     }
@@ -160,23 +166,10 @@ impl Conv2d {
     pub fn sparse_weight_hint(&self) -> bool {
         self.sparse_weight_hint
     }
-
-    /// The layer's scratch arena — exposed so tests and training
-    /// telemetry can check allocation behaviour
-    /// ([`Workspace::alloc_events`], [`Workspace::freeze`]).
-    pub fn workspace(&self) -> &Workspace {
-        &self.ws
-    }
-
-    /// Mutable access to the scratch arena (e.g. to freeze it after
-    /// warm-up so any stray per-step allocation trips a debug assertion).
-    pub fn workspace_mut(&mut self) -> &mut Workspace {
-        &mut self.ws
-    }
 }
 
 impl Layer for Conv2d {
-    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+    fn forward(&mut self, input: &Tensor, ctx: &mut RunCtx) -> Result<Tensor> {
         let dims = input.dims();
         if dims.len() != 4 || dims[1] != self.c_in {
             return Err(ShapeError::new(
@@ -194,27 +187,24 @@ impl Layer for Conv2d {
         let rows = ci * k * k;
         let ncols = n * ho * wo;
 
-        // A still-cached column matrix from a step whose backward never ran
-        // returns to the arena so the slot keeps its capacity.
-        if let Some(old) = self.cache.take() {
-            self.ws.give("cols", old.cols);
-        }
-        let mut cols = self.ws.take("cols", rows * ncols);
-        im2col_into(&mut cols, input, self.spec)?;
+        // The layer-owned column matrix reaches steady capacity after the
+        // first step; `resize` within capacity never reallocates.
+        self.cols.resize(rows * ncols, 0.0);
+        im2col_into(&mut self.cols, input, self.spec)?;
 
         // [co, ci·k²] × [ci·k², n·ho·wo] → [co, n·ho·wo]; the stored
         // [co, ci, k, k] weight is already row-major [co, ci·k²].
-        let mut prod = self.ws.take("prod", self.c_out * ncols);
+        let mut prod = ctx.ws.take("prod", self.c_out * ncols);
         let threads = auto_threads(self.c_out, rows, ncols);
         if self.sparse_weight_hint {
             gemm_sparse_lhs_into(
                 &mut prod,
                 self.weight.value.data(),
-                &cols,
+                &self.cols,
                 self.c_out,
                 rows,
                 ncols,
-                &mut self.ws,
+                &mut ctx.ws,
                 threads,
             );
         } else {
@@ -222,15 +212,17 @@ impl Layer for Conv2d {
                 &mut prod,
                 self.weight.value.data(),
                 false,
-                &cols,
+                &self.cols,
                 false,
                 self.c_out,
                 rows,
                 ncols,
-                &mut self.ws,
+                &mut ctx.ws,
                 threads,
             );
         }
+        ctx.count_flops(2 * (self.c_out * rows * ncols) as u64);
+        ctx.count_bytes(4 * (input.len() + self.weight.value.len() + self.c_out * ncols) as u64);
 
         // Rearrange [co, n·ho·wo] → [n, co, ho, wo], adding bias. This is
         // the only allocation of the steady-state forward pass.
@@ -247,21 +239,19 @@ impl Layer for Conv2d {
                 }
             }
         }
-        self.ws.give("prod", prod);
+        ctx.ws.give("prod", prod);
 
-        if mode == Mode::Train {
-            self.cache = Some(Cache {
-                cols,
+        self.cache = if ctx.mode() == Mode::Train {
+            Some(Cache {
                 input_dims: [n, ci, h, w],
-            });
+            })
         } else {
-            self.ws.give("cols", cols);
-            self.cache = None;
-        }
+            None
+        };
         Ok(out)
     }
 
-    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+    fn backward(&mut self, grad_output: &Tensor, ctx: &mut RunCtx) -> Result<Tensor> {
         let cache = self.cache.as_ref().ok_or_else(|| missing_cache("conv2d"))?;
         let [n, ci, h, w] = cache.input_dims;
         let (ho, wo) = self.spec.output_hw(h, w);
@@ -282,7 +272,7 @@ impl Layer for Conv2d {
 
         // Rearrange grad [n, co, ho, wo] → [co, n·ho·wo] to match the GEMM
         // layout.
-        let mut gmat = self.ws.take("gmat", self.c_out * ncols);
+        let mut gmat = ctx.ws.take("gmat", self.c_out * ncols);
         {
             let src = grad_output.data();
             for b in 0..n {
@@ -296,23 +286,23 @@ impl Layer for Conv2d {
 
         // grad_w = gmat · colsᵀ → [co, ci·k²], accumulated straight into the
         // [co, ci, k, k] grad buffer (same row-major data).
-        let mut gw = self.ws.take("gw", self.c_out * rows);
+        let mut gw = ctx.ws.take("gw", self.c_out * rows);
         gemm_into(
             &mut gw,
             &gmat,
             false,
-            &cache.cols,
+            &self.cols,
             true,
             self.c_out,
             ncols,
             rows,
-            &mut self.ws,
+            &mut ctx.ws,
             auto_threads(self.c_out, ncols, rows),
         );
         for (g, &v) in self.weight.grad.data_mut().iter_mut().zip(gw.iter()) {
             *g += v;
         }
-        self.ws.give("gw", gw);
+        ctx.ws.give("gw", gw);
 
         // grad_b = row sums of gmat.
         if let Some(bias) = &mut self.bias {
@@ -323,7 +313,7 @@ impl Layer for Conv2d {
         }
 
         // grad_x = col2im(Wᵀ_mat · gmat); Wᵀ is absorbed by GEMM packing.
-        let mut gcols = self.ws.take("gcols", rows * ncols);
+        let mut gcols = ctx.ws.take("gcols", rows * ncols);
         gemm_into(
             &mut gcols,
             self.weight.value.data(),
@@ -333,16 +323,20 @@ impl Layer for Conv2d {
             rows,
             self.c_out,
             ncols,
-            &mut self.ws,
+            &mut ctx.ws,
             auto_threads(rows, self.c_out, ncols),
         );
-        self.ws.give("gmat", gmat);
+        ctx.ws.give("gmat", gmat);
+        ctx.count_flops(4 * (self.c_out * rows * ncols) as u64);
+        ctx.count_bytes(
+            4 * (grad_output.len() + 2 * self.weight.value.len() + n * ci * h * w) as u64,
+        );
 
         // The input gradient is the only allocation of the steady-state
         // backward pass.
         let mut gx = Tensor::zeros(&[n, ci, h, w]);
         col2im_into(gx.data_mut(), &gcols, n, ci, h, w, self.spec)?;
-        self.ws.give("gcols", gcols);
+        ctx.ws.give("gcols", gcols);
         Ok(gx)
     }
 
@@ -381,56 +375,64 @@ mod tests {
 
     #[test]
     fn forward_shape() {
+        let mut ctx = RunCtx::eval();
         let mut conv = Conv2d::new(3, 8, 3, 2, 1, false, Init::He, &mut Rng::new(0));
         let y = conv
-            .forward(&Tensor::zeros(&[4, 3, 32, 32]), Mode::Eval)
+            .forward(&Tensor::zeros(&[4, 3, 32, 32]), &mut ctx)
             .unwrap();
         assert_eq!(y.dims(), &[4, 8, 16, 16]);
     }
 
     #[test]
     fn forward_matches_free_function() {
+        let mut ctx = RunCtx::eval();
         let mut rng = Rng::new(14);
         let mut conv = Conv2d::new(3, 5, 3, 2, 1, true, Init::Rand, &mut rng);
         let x = Tensor::randn(&[2, 3, 9, 9], Init::Rand, &mut rng);
-        let via_layer = conv.forward(&x, Mode::Eval).unwrap();
-        let via_free = conv2d(
-            &x,
-            conv.weight(),
-            Some(&Tensor::zeros(&[5])),
-            conv.spec(),
-        )
-        .unwrap();
+        let via_layer = conv.forward(&x, &mut ctx).unwrap();
+        let via_free = conv2d(&x, conv.weight(), Some(&Tensor::zeros(&[5])), conv.spec()).unwrap();
         assert!(via_layer.allclose(&via_free, 1e-5));
     }
 
     #[test]
     fn forward_validates_input() {
+        let mut ctx = RunCtx::eval();
         let mut conv = mk(0, false);
-        assert!(conv.forward(&Tensor::zeros(&[1, 3, 4, 4]), Mode::Eval).is_err());
-        assert!(conv.forward(&Tensor::zeros(&[2, 4, 4]), Mode::Eval).is_err());
+        assert!(conv
+            .forward(&Tensor::zeros(&[1, 3, 4, 4]), &mut ctx)
+            .is_err());
+        assert!(conv.forward(&Tensor::zeros(&[2, 4, 4]), &mut ctx).is_err());
     }
 
     #[test]
     fn backward_requires_forward() {
+        let mut ctx = RunCtx::train();
         let mut conv = mk(1, false);
-        assert!(conv.backward(&Tensor::zeros(&[1, 3, 4, 4])).is_err());
+        assert!(conv
+            .backward(&Tensor::zeros(&[1, 3, 4, 4]), &mut ctx)
+            .is_err());
     }
 
     #[test]
     fn backward_validates_grad_shape() {
+        let mut ctx = RunCtx::train();
         let mut conv = mk(2, false);
-        conv.forward(&Tensor::zeros(&[1, 2, 4, 4]), Mode::Train)
+        conv.forward(&Tensor::zeros(&[1, 2, 4, 4]), &mut ctx)
             .unwrap();
-        assert!(conv.backward(&Tensor::zeros(&[1, 3, 5, 5])).is_err());
+        assert!(conv
+            .backward(&Tensor::zeros(&[1, 3, 5, 5]), &mut ctx)
+            .is_err());
     }
 
     #[test]
     fn eval_mode_does_not_cache() {
+        let mut ctx = RunCtx::eval();
         let mut conv = mk(3, false);
-        conv.forward(&Tensor::zeros(&[1, 2, 4, 4]), Mode::Eval)
+        conv.forward(&Tensor::zeros(&[1, 2, 4, 4]), &mut ctx)
             .unwrap();
-        assert!(conv.backward(&Tensor::zeros(&[1, 3, 4, 4])).is_err());
+        assert!(conv
+            .backward(&Tensor::zeros(&[1, 3, 4, 4]), &mut ctx)
+            .is_err());
     }
 
     #[test]
@@ -441,14 +443,16 @@ mod tests {
         let (analytic, numeric) = gradcheck::input_gradients(
             &x,
             |conv_in| {
+                let mut ctx = RunCtx::train();
                 let mut c = conv.clone();
-                let y = c.forward(conv_in, Mode::Train)?;
+                let y = c.forward(conv_in, &mut ctx)?;
                 Ok(y.data().iter().map(|v| v * v).sum::<f32>() * 0.5)
             },
             |conv_in| {
+                let mut ctx = RunCtx::train();
                 let mut c = conv.clone();
-                let y = c.forward(conv_in, Mode::Train)?;
-                c.backward(&y) // d(0.5·Σy²)/dy = y
+                let y = c.forward(conv_in, &mut ctx)?;
+                c.backward(&y, &mut ctx) // d(0.5·Σy²)/dy = y
             },
         )
         .unwrap();
@@ -464,16 +468,18 @@ mod tests {
         let (analytic, numeric) = gradcheck::input_gradients(
             &w0,
             |w| {
+                let mut ctx = RunCtx::train();
                 let mut c = base.clone();
                 c.set_weight(w.clone())?;
-                let y = c.forward(&x, Mode::Train)?;
+                let y = c.forward(&x, &mut ctx)?;
                 Ok(y.data().iter().map(|v| v * v).sum::<f32>() * 0.5)
             },
             |w| {
+                let mut ctx = RunCtx::train();
                 let mut c = base.clone();
                 c.set_weight(w.clone())?;
-                let y = c.forward(&x, Mode::Train)?;
-                c.backward(&y)?;
+                let y = c.forward(&x, &mut ctx)?;
+                c.backward(&y, &mut ctx)?;
                 Ok(c.weight_grad().clone())
             },
         )
@@ -483,10 +489,12 @@ mod tests {
 
     #[test]
     fn bias_gradient_is_spatial_sum() {
+        let mut ctx = RunCtx::train();
         let mut conv = Conv2d::new(1, 1, 1, 1, 0, true, Init::Zeros, &mut Rng::new(9));
         let x = Tensor::ones(&[2, 1, 3, 3]);
-        conv.forward(&x, Mode::Train).unwrap();
-        conv.backward(&Tensor::ones(&[2, 1, 3, 3])).unwrap();
+        conv.forward(&x, &mut ctx).unwrap();
+        conv.backward(&Tensor::ones(&[2, 1, 3, 3]), &mut ctx)
+            .unwrap();
         let mut grads = Vec::new();
         conv.visit_params(&mut |p| grads.push(p.grad.clone()));
         // grads[1] is the bias: 2 samples × 9 pixels.
@@ -516,6 +524,7 @@ mod tests {
 
     #[test]
     fn sparse_hint_does_not_change_results() {
+        let mut ctx = RunCtx::train();
         let mut rng = Rng::new(15);
         let x = Tensor::randn(&[2, 2, 6, 6], Init::Rand, &mut rng);
         let mut dense = mk(16, false);
@@ -530,47 +539,92 @@ mod tests {
         sparse.set_sparse_weight_hint(true);
         assert!(sparse.sparse_weight_hint());
 
-        let yd = dense.forward(&x, Mode::Train).unwrap();
-        let ys = sparse.forward(&x, Mode::Train).unwrap();
+        let yd = dense.forward(&x, &mut ctx).unwrap();
+        let ys = sparse.forward(&x, &mut ctx).unwrap();
         assert!(yd.allclose(&ys, 1e-6));
-        let gd = dense.backward(&yd).unwrap();
-        let gs = sparse.backward(&ys).unwrap();
+        let gd = dense.backward(&yd, &mut ctx).unwrap();
+        let gs = sparse.backward(&ys, &mut ctx).unwrap();
         assert!(gd.allclose(&gs, 1e-5));
         assert!(dense.weight_grad().allclose(sparse.weight_grad(), 1e-4));
     }
 
     #[test]
     fn steady_state_step_is_workspace_allocation_free() {
+        let mut ctx = RunCtx::train();
         let mut rng = Rng::new(17);
         let x = Tensor::randn(&[2, 2, 8, 8], Init::Rand, &mut rng);
         let mut conv = mk(18, true);
-        // Warm up: first step grows every workspace slot to steady size.
+        // Warm up: first step grows every arena slot to steady size.
         for _ in 0..2 {
-            let y = conv.forward(&x, Mode::Train).unwrap();
-            conv.backward(&y).unwrap();
+            let y = conv.forward(&x, &mut ctx).unwrap();
+            conv.backward(&y, &mut ctx).unwrap();
         }
-        let warm = conv.workspace().alloc_events();
+        let warm = ctx.ws.alloc_events();
         // Freeze: further growth would trip a debug assertion too.
-        conv.workspace_mut().freeze();
+        ctx.ws.freeze();
         for _ in 0..5 {
-            let y = conv.forward(&x, Mode::Train).unwrap();
-            conv.backward(&y).unwrap();
+            let y = conv.forward(&x, &mut ctx).unwrap();
+            conv.backward(&y, &mut ctx).unwrap();
         }
-        assert_eq!(conv.workspace().alloc_events(), warm);
+        assert_eq!(ctx.ws.alloc_events(), warm);
     }
 
     #[test]
-    fn cloned_layer_rewarms_its_own_workspace() {
+    fn two_convs_share_one_arena_without_evictions() {
+        // Different-shaped convs drawing from the same RunCtx arena: slots
+        // settle at the max size and stay allocation-free afterwards.
+        let mut ctx = RunCtx::train();
+        let mut rng = Rng::new(21);
+        let mut a = Conv2d::new(2, 3, 3, 1, 1, true, Init::Rand, &mut rng);
+        let mut b = Conv2d::new(3, 4, 3, 2, 1, false, Init::Rand, &mut rng);
+        let x = Tensor::randn(&[2, 2, 8, 8], Init::Rand, &mut rng);
+        for _ in 0..2 {
+            let ya = a.forward(&x, &mut ctx).unwrap();
+            let yb = b.forward(&ya, &mut ctx).unwrap();
+            let gb = b.backward(&yb, &mut ctx).unwrap();
+            a.backward(&gb, &mut ctx).unwrap();
+        }
+        let warm = ctx.ws.alloc_events();
+        ctx.ws.freeze();
+        for _ in 0..3 {
+            let ya = a.forward(&x, &mut ctx).unwrap();
+            let yb = b.forward(&ya, &mut ctx).unwrap();
+            let gb = b.backward(&yb, &mut ctx).unwrap();
+            a.backward(&gb, &mut ctx).unwrap();
+        }
+        assert_eq!(ctx.ws.alloc_events(), warm);
+    }
+
+    #[test]
+    fn cloned_layer_keeps_cached_columns() {
+        let mut ctx = RunCtx::train();
         let mut rng = Rng::new(19);
         let x = Tensor::randn(&[1, 2, 5, 5], Init::Rand, &mut rng);
         let mut conv = mk(20, false);
-        let y = conv.forward(&x, Mode::Train).unwrap();
-        // Clone mid-step: the clone carries the cached column matrix but a
-        // fresh workspace, and must still produce the right gradients.
+        let y = conv.forward(&x, &mut ctx).unwrap();
+        // Clone mid-step: the clone carries the layer-owned column matrix
+        // and must produce the same gradients, even through a fresh ctx.
         let mut clone = conv.clone();
-        assert_eq!(clone.workspace().alloc_events(), 0);
-        let g_orig = conv.backward(&y).unwrap();
-        let g_clone = clone.backward(&y).unwrap();
+        let mut ctx2 = RunCtx::train();
+        let g_orig = conv.backward(&y, &mut ctx).unwrap();
+        let g_clone = clone.backward(&y, &mut ctx2).unwrap();
         assert_eq!(g_orig.data(), g_clone.data());
+    }
+
+    #[test]
+    fn profiler_counts_conv_flops() {
+        let mut ctx = RunCtx::train().with_profiler();
+        let mut conv = mk(22, false);
+        let x = Tensor::zeros(&[1, 2, 4, 4]);
+        let t = ctx.scope_start();
+        let y = conv.forward(&x, &mut ctx).unwrap();
+        ctx.scope_end(t, "conv", crate::ctx::Pass::Forward);
+        let t = ctx.scope_start();
+        conv.backward(&y, &mut ctx).unwrap();
+        ctx.scope_end(t, "conv", crate::ctx::Pass::Backward);
+        let report = ctx.report().unwrap();
+        let l = report.layer("conv").unwrap();
+        assert!(l.flops > 0);
+        assert!(l.bytes > 0);
     }
 }

@@ -3,6 +3,7 @@
 use alf_tensor::rng::Rng;
 use alf_tensor::Tensor;
 
+use crate::ctx::RunCtx;
 use crate::layer::{missing_cache, Layer, Mode};
 use crate::Result;
 
@@ -14,13 +15,14 @@ use crate::Result;
 /// # Example
 ///
 /// ```
-/// use alf_nn::{dropout::Dropout, Layer, Mode};
+/// use alf_nn::{dropout::Dropout, Layer, RunCtx};
 /// use alf_tensor::Tensor;
 ///
 /// # fn main() -> alf_nn::Result<()> {
+/// let mut ctx = RunCtx::eval();
 /// let mut drop = Dropout::new(0.5, 7);
 /// let x = Tensor::ones(&[4, 4]);
-/// let eval = drop.forward(&x, Mode::Eval)?;
+/// let eval = drop.forward(&x, &mut ctx)?;
 /// assert_eq!(eval, x); // identity at evaluation time
 /// # Ok(())
 /// # }
@@ -54,21 +56,31 @@ impl Dropout {
 }
 
 impl Layer for Dropout {
-    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
-        match mode {
+    fn forward(&mut self, input: &Tensor, ctx: &mut RunCtx) -> Result<Tensor> {
+        match ctx.mode() {
             Mode::Eval => {
                 self.mask = None;
                 Ok(input.clone())
             }
             Mode::Train => {
                 let keep = 1.0 - self.p;
-                let mask = Tensor::from_fn(input.dims(), |_| {
-                    if self.rng.next_f32() < self.p {
+                // Refill the previous mask in place when the shape matches,
+                // keeping the steady-state step allocation-free. The RNG
+                // stream is identical either way (one draw per element, in
+                // order).
+                let mut mask = match self.mask.take() {
+                    Some(m) if m.dims() == input.dims() => m,
+                    _ => Tensor::zeros(input.dims()),
+                };
+                for v in mask.data_mut() {
+                    *v = if self.rng.next_f32() < self.p {
                         0.0
                     } else {
                         1.0 / keep
-                    }
-                });
+                    };
+                }
+                ctx.count_flops(input.len() as u64);
+                ctx.count_bytes(4 * 2 * input.len() as u64);
                 let out = input.mul(&mask)?;
                 self.mask = Some(mask);
                 Ok(out)
@@ -76,8 +88,9 @@ impl Layer for Dropout {
         }
     }
 
-    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+    fn backward(&mut self, grad_output: &Tensor, ctx: &mut RunCtx) -> Result<Tensor> {
         let mask = self.mask.as_ref().ok_or_else(|| missing_cache("dropout"))?;
+        ctx.count_flops(grad_output.len() as u64);
         grad_output.mul(mask)
     }
 }
@@ -88,16 +101,18 @@ mod tests {
 
     #[test]
     fn eval_is_identity() {
+        let mut ctx = RunCtx::eval();
         let mut d = Dropout::new(0.9, 0);
         let x = Tensor::from_fn(&[3, 3], |i| i as f32);
-        assert_eq!(d.forward(&x, Mode::Eval).unwrap(), x);
+        assert_eq!(d.forward(&x, &mut ctx).unwrap(), x);
     }
 
     #[test]
     fn train_preserves_expectation() {
+        let mut ctx = RunCtx::train();
         let mut d = Dropout::new(0.3, 1);
         let x = Tensor::ones(&[10_000]);
-        let y = d.forward(&x, Mode::Train).unwrap();
+        let y = d.forward(&x, &mut ctx).unwrap();
         // E[y] = 1; the mean over 10k elements should be close.
         assert!((y.mean() - 1.0).abs() < 0.05, "mean {}", y.mean());
         // Roughly 30% of elements dropped.
@@ -107,10 +122,11 @@ mod tests {
 
     #[test]
     fn backward_uses_same_mask() {
+        let mut ctx = RunCtx::train();
         let mut d = Dropout::new(0.5, 2);
         let x = Tensor::ones(&[64]);
-        let y = d.forward(&x, Mode::Train).unwrap();
-        let g = d.backward(&Tensor::ones(&[64])).unwrap();
+        let y = d.forward(&x, &mut ctx).unwrap();
+        let g = d.backward(&Tensor::ones(&[64]), &mut ctx).unwrap();
         // Where the forward pass dropped, the gradient is zero; where it
         // kept, the gradient equals the scale factor.
         for (yo, go) in y.data().iter().zip(g.data()) {
@@ -120,19 +136,22 @@ mod tests {
 
     #[test]
     fn backward_requires_forward() {
+        let mut ctx = RunCtx::train();
         let mut d = Dropout::new(0.5, 3);
-        assert!(d.backward(&Tensor::zeros(&[1])).is_err());
+        assert!(d.backward(&Tensor::zeros(&[1]), &mut ctx).is_err());
         // Eval forward clears the mask too.
-        d.forward(&Tensor::zeros(&[1]), Mode::Train).unwrap();
-        d.forward(&Tensor::zeros(&[1]), Mode::Eval).unwrap();
-        assert!(d.backward(&Tensor::zeros(&[1])).is_err());
+        d.forward(&Tensor::zeros(&[1]), &mut ctx).unwrap();
+        ctx.set_mode(Mode::Eval);
+        d.forward(&Tensor::zeros(&[1]), &mut ctx).unwrap();
+        assert!(d.backward(&Tensor::zeros(&[1]), &mut ctx).is_err());
     }
 
     #[test]
     fn zero_probability_is_identity_in_train() {
+        let mut ctx = RunCtx::train();
         let mut d = Dropout::new(0.0, 4);
         let x = Tensor::from_fn(&[8], |i| i as f32);
-        assert_eq!(d.forward(&x, Mode::Train).unwrap(), x);
+        assert_eq!(d.forward(&x, &mut ctx).unwrap(), x);
     }
 
     #[test]
@@ -144,8 +163,9 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let run = |seed| {
+            let mut ctx = RunCtx::train();
             let mut d = Dropout::new(0.5, seed);
-            d.forward(&Tensor::ones(&[32]), Mode::Train).unwrap()
+            d.forward(&Tensor::ones(&[32]), &mut ctx).unwrap()
         };
         assert_eq!(run(9), run(9));
         assert_ne!(run(9), run(10));

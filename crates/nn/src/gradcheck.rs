@@ -108,8 +108,7 @@ mod tests {
     #[test]
     fn quadratic_gradient_checks() {
         let x = Tensor::from_vec(vec![0.3, -1.2, 2.0], &[3]).unwrap();
-        let (a, n) =
-            input_gradients(&x, |x| Ok(x.sq_norm() * 0.5), |x| Ok(x.clone())).unwrap();
+        let (a, n) = input_gradients(&x, |x| Ok(x.sq_norm() * 0.5), |x| Ok(x.clone())).unwrap();
         assert_close(&a, &n, 1e-2);
     }
 

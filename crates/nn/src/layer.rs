@@ -2,6 +2,7 @@
 
 use alf_tensor::Tensor;
 
+use crate::ctx::RunCtx;
 use crate::Result;
 
 /// Forward-pass mode.
@@ -48,23 +49,27 @@ impl Param {
 
 /// A differentiable layer.
 ///
-/// The contract is the classic cache-and-replay scheme: `forward(Train)`
-/// must store whatever `backward` will need; `backward` consumes the
-/// gradient w.r.t. the layer output, accumulates parameter gradients into
-/// its [`Param`]s and returns the gradient w.r.t. the layer input.
+/// The contract is the classic cache-and-replay scheme: a forward pass in
+/// [`Mode::Train`] must store whatever `backward` will need; `backward`
+/// consumes the gradient w.r.t. the layer output, accumulates parameter
+/// gradients into its [`Param`]s and returns the gradient w.r.t. the layer
+/// input. Both passes receive a [`RunCtx`] carrying the mode, the shared
+/// scratch arena and the optional profiler — see [`crate::ctx`] for the
+/// ownership rules.
 ///
 /// # Example
 ///
 /// ```
-/// use alf_nn::{Activation, ActivationKind, Layer, Mode};
+/// use alf_nn::{Activation, ActivationKind, Layer, RunCtx};
 /// use alf_tensor::Tensor;
 ///
 /// # fn main() -> alf_nn::Result<()> {
+/// let mut ctx = RunCtx::train();
 /// let mut relu = Activation::new(ActivationKind::Relu);
 /// let x = Tensor::from_vec(vec![-1.0, 2.0], &[1, 2])?;
-/// let y = relu.forward(&x, Mode::Train)?;
+/// let y = relu.forward(&x, &mut ctx)?;
 /// assert_eq!(y.data(), &[0.0, 2.0]);
-/// let gx = relu.backward(&Tensor::ones(&[1, 2]))?;
+/// let gx = relu.backward(&Tensor::ones(&[1, 2]), &mut ctx)?;
 /// assert_eq!(gx.data(), &[0.0, 1.0]);
 /// # Ok(())
 /// # }
@@ -75,7 +80,7 @@ pub trait Layer: std::fmt::Debug {
     /// # Errors
     ///
     /// Returns an error when the input shape is incompatible.
-    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor>;
+    fn forward(&mut self, input: &Tensor, ctx: &mut RunCtx) -> Result<Tensor>;
 
     /// Propagates `grad_output` back to the input, accumulating parameter
     /// gradients.
@@ -83,7 +88,7 @@ pub trait Layer: std::fmt::Debug {
     /// # Errors
     ///
     /// Returns an error when no forward pass was cached or shapes mismatch.
-    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor>;
+    fn backward(&mut self, grad_output: &Tensor, ctx: &mut RunCtx) -> Result<Tensor>;
 
     /// Visits every trainable parameter in a stable order.
     ///
@@ -143,10 +148,10 @@ mod tests {
         #[derive(Debug)]
         struct Null;
         impl Layer for Null {
-            fn forward(&mut self, input: &Tensor, _: Mode) -> Result<Tensor> {
+            fn forward(&mut self, input: &Tensor, _: &mut RunCtx) -> Result<Tensor> {
                 Ok(input.clone())
             }
-            fn backward(&mut self, g: &Tensor) -> Result<Tensor> {
+            fn backward(&mut self, g: &Tensor, _: &mut RunCtx) -> Result<Tensor> {
                 Ok(g.clone())
             }
         }

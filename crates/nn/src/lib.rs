@@ -5,6 +5,9 @@
 //! [`alf_tensor`]:
 //!
 //! * [`layer::Layer`] — the forward/backward/param-visitor contract.
+//! * [`ctx::RunCtx`] — the per-run execution context every `forward`/
+//!   `backward` call receives: the [`layer::Mode`], the shared scratch
+//!   arena all layers draw from, and an optional per-layer profiler.
 //! * [`conv::Conv2d`], [`linear::Linear`], [`norm::BatchNorm2d`],
 //!   [`activation`] layers, [`pool`] layers and a [`seq::Sequential`]
 //!   container.
@@ -27,6 +30,7 @@
 
 pub mod activation;
 pub mod conv;
+pub mod ctx;
 pub mod dropout;
 pub mod gradcheck;
 pub mod layer;
@@ -40,9 +44,10 @@ pub mod ste;
 
 pub use activation::{Activation, ActivationKind};
 pub use conv::Conv2d;
+pub use ctx::{LayerProfile, Pass, ProfileReport, Profiler, RunCtx};
 pub use layer::{Layer, Mode, Param};
 pub use linear::Linear;
-pub use loss::{mse_loss, softmax_cross_entropy};
+pub use loss::{correct_count, mse_loss, softmax_cross_entropy};
 pub use norm::BatchNorm2d;
 pub use optim::{Adam, LrSchedule, Sgd};
 pub use seq::Sequential;

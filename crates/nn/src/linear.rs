@@ -1,24 +1,31 @@
 //! Fully-connected layer (the classifier head of every model in the zoo).
 
 use alf_tensor::init::Init;
-use alf_tensor::ops::{matmul, matmul_at, matmul_bt};
+use alf_tensor::ops::{auto_threads, gemm_into};
 use alf_tensor::rng::Rng;
 use alf_tensor::{ShapeError, Tensor};
 
+use crate::ctx::RunCtx;
 use crate::layer::{missing_cache, Layer, Mode, Param};
 use crate::Result;
 
 /// Affine layer `y = x·Wᵀ + b` with `x: [n, in]`, `W: [out, in]`.
 ///
+/// All three products (forward, weight gradient, input gradient) run
+/// through the blocked GEMM with packing scratch drawn from the shared
+/// [`RunCtx`] arena, so a steady-state step allocates only the returned
+/// tensors.
+///
 /// # Example
 ///
 /// ```
-/// use alf_nn::{Layer, Linear, Mode};
+/// use alf_nn::{Layer, Linear, RunCtx};
 /// use alf_tensor::{init::Init, rng::Rng, Tensor};
 ///
 /// # fn main() -> alf_nn::Result<()> {
+/// let mut ctx = RunCtx::eval();
 /// let mut fc = Linear::new(64, 10, Init::Xavier, &mut Rng::new(0));
-/// let y = fc.forward(&Tensor::zeros(&[4, 64]), Mode::Eval)?;
+/// let y = fc.forward(&Tensor::zeros(&[4, 64]), &mut ctx)?;
 /// assert_eq!(y.dims(), &[4, 10]);
 /// # Ok(())
 /// # }
@@ -57,7 +64,7 @@ impl Linear {
 }
 
 impl Layer for Linear {
-    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+    fn forward(&mut self, input: &Tensor, ctx: &mut RunCtx) -> Result<Tensor> {
         if input.shape().rank() != 2 || input.dims()[1] != self.in_features() {
             return Err(ShapeError::new(
                 "linear",
@@ -68,18 +75,32 @@ impl Layer for Linear {
                 ),
             ));
         }
-        // y = x · Wᵀ
-        let mut out = matmul_bt(input, &self.weight.value)?;
-        let bd = self.bias.value.data().to_vec();
-        let cols = out.dims()[1];
+        let (n, in_f, out_f) = (input.dims()[0], self.in_features(), self.out_features());
+        // y = x · Wᵀ; the transpose is absorbed by GEMM packing.
+        let mut out = Tensor::zeros(&[n, out_f]);
+        gemm_into(
+            out.data_mut(),
+            input.data(),
+            false,
+            self.weight.value.data(),
+            true,
+            n,
+            in_f,
+            out_f,
+            &mut ctx.ws,
+            auto_threads(n, in_f, out_f),
+        );
+        let bd = self.bias.value.data();
         for (i, v) in out.data_mut().iter_mut().enumerate() {
-            *v += bd[i % cols];
+            *v += bd[i % out_f];
         }
-        self.input = (mode == Mode::Train).then(|| input.clone());
+        ctx.count_flops(2 * (n * in_f * out_f) as u64);
+        ctx.count_bytes(4 * (input.len() + self.weight.value.len() + n * out_f) as u64);
+        self.input = (ctx.mode() == Mode::Train).then(|| input.clone());
         Ok(out)
     }
 
-    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+    fn backward(&mut self, grad_output: &Tensor, ctx: &mut RunCtx) -> Result<Tensor> {
         let input = self.input.as_ref().ok_or_else(|| missing_cache("linear"))?;
         if grad_output.dims() != [input.dims()[0], self.out_features()] {
             return Err(ShapeError::new(
@@ -87,18 +108,50 @@ impl Layer for Linear {
                 format!("grad {}", grad_output.shape()),
             ));
         }
-        // grad_W = gᵀ · x  → [out, in]
-        let gw = matmul_at(grad_output, input)?;
-        self.weight.grad.axpy(1.0, &gw)?;
+        let (n, in_f, out_f) = (input.dims()[0], self.in_features(), self.out_features());
+        // grad_W = gᵀ · x → [out, in], staged in the arena then accumulated.
+        let mut gw = ctx.ws.take("lin_gw", out_f * in_f);
+        gemm_into(
+            &mut gw,
+            grad_output.data(),
+            true,
+            input.data(),
+            false,
+            out_f,
+            n,
+            in_f,
+            &mut ctx.ws,
+            auto_threads(out_f, n, in_f),
+        );
+        for (g, &v) in self.weight.grad.data_mut().iter_mut().zip(gw.iter()) {
+            *g += v;
+        }
+        ctx.ws.give("lin_gw", gw);
         // grad_b = column sums of g.
-        let (n, out_f) = (grad_output.dims()[0], grad_output.dims()[1]);
         for i in 0..n {
             for j in 0..out_f {
                 self.bias.grad.data_mut()[j] += grad_output.data()[i * out_f + j];
             }
         }
         // grad_x = g · W
-        matmul(grad_output, &self.weight.value)
+        let mut gx = Tensor::zeros(&[n, in_f]);
+        gemm_into(
+            gx.data_mut(),
+            grad_output.data(),
+            false,
+            self.weight.value.data(),
+            false,
+            n,
+            out_f,
+            in_f,
+            &mut ctx.ws,
+            auto_threads(n, out_f, in_f),
+        );
+        ctx.count_flops(4 * (n * in_f * out_f) as u64);
+        ctx.count_bytes(
+            4 * (grad_output.len() + input.len() + 2 * self.weight.value.len() + n * in_f) as u64,
+        );
+        Ok(gx)
     }
 
     fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
@@ -114,11 +167,12 @@ mod tests {
 
     #[test]
     fn forward_affine() {
+        let mut ctx = RunCtx::eval();
         let mut fc = Linear::new(2, 2, Init::Zeros, &mut Rng::new(0));
         let y = fc
             .forward(
                 &Tensor::from_vec(vec![1.0, 2.0], &[1, 2]).unwrap(),
-                Mode::Eval,
+                &mut ctx,
             )
             .unwrap();
         assert_eq!(y.data(), &[0.0, 0.0]);
@@ -126,9 +180,10 @@ mod tests {
 
     #[test]
     fn rejects_bad_input() {
+        let mut ctx = RunCtx::eval();
         let mut fc = Linear::new(4, 2, Init::Zeros, &mut Rng::new(0));
-        assert!(fc.forward(&Tensor::zeros(&[1, 3]), Mode::Eval).is_err());
-        assert!(fc.forward(&Tensor::zeros(&[4]), Mode::Eval).is_err());
+        assert!(fc.forward(&Tensor::zeros(&[1, 3]), &mut ctx).is_err());
+        assert!(fc.forward(&Tensor::zeros(&[4]), &mut ctx).is_err());
     }
 
     #[test]
@@ -139,14 +194,16 @@ mod tests {
         let (a, n) = gradcheck::input_gradients(
             &x,
             |x| {
+                let mut ctx = RunCtx::train();
                 let mut l = base.clone();
-                let y = l.forward(x, Mode::Train)?;
+                let y = l.forward(x, &mut ctx)?;
                 Ok(0.5 * y.sq_norm())
             },
             |x| {
+                let mut ctx = RunCtx::train();
                 let mut l = base.clone();
-                let y = l.forward(x, Mode::Train)?;
-                l.backward(&y)
+                let y = l.forward(x, &mut ctx)?;
+                l.backward(&y, &mut ctx)
             },
         )
         .unwrap();
@@ -162,16 +219,18 @@ mod tests {
         let (a, n) = gradcheck::input_gradients(
             &w0,
             |w| {
+                let mut ctx = RunCtx::train();
                 let mut l = base.clone();
                 l.weight.value = w.clone();
-                let y = l.forward(&x, Mode::Train)?;
+                let y = l.forward(&x, &mut ctx)?;
                 Ok(0.5 * y.sq_norm())
             },
             |w| {
+                let mut ctx = RunCtx::train();
                 let mut l = base.clone();
                 l.weight.value = w.clone();
-                let y = l.forward(&x, Mode::Train)?;
-                l.backward(&y)?;
+                let y = l.forward(&x, &mut ctx)?;
+                l.backward(&y, &mut ctx)?;
                 Ok(l.weight.grad.clone())
             },
         )
@@ -181,8 +240,9 @@ mod tests {
 
     #[test]
     fn backward_requires_forward() {
+        let mut ctx = RunCtx::train();
         let mut fc = Linear::new(2, 2, Init::Zeros, &mut Rng::new(0));
-        assert!(fc.backward(&Tensor::zeros(&[1, 2])).is_err());
+        assert!(fc.backward(&Tensor::zeros(&[1, 2]), &mut ctx).is_err());
     }
 
     #[test]

@@ -71,27 +71,30 @@ pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> Result<(f32, 
     Ok((total / n as f32, grad))
 }
 
-/// Classification accuracy of a batch of logits: fraction of rows whose
-/// argmax equals the label.
+/// Number of rows whose argmax equals the label, as an exact integer.
+///
+/// Aggregating correct counts as `usize` avoids the lossy round-trip of
+/// multiplying a per-batch accuracy back by the batch size in `f32`, which
+/// can drift by whole samples over a large evaluation set.
 ///
 /// # Errors
 ///
 /// Returns an error on shape/label mismatches (same contract as
 /// [`softmax_cross_entropy`]).
 #[allow(clippy::needless_range_loop)] // index `i` addresses two parallel buffers
-pub fn accuracy(logits: &Tensor, labels: &[usize]) -> Result<f32> {
+pub fn correct_count(logits: &Tensor, labels: &[usize]) -> Result<usize> {
     let (n, c) = match logits.dims() {
         &[n, c] => (n, c),
         _ => {
             return Err(ShapeError::new(
-                "accuracy",
+                "correct_count",
                 format!("logits {} not rank 2", logits.shape()),
             ))
         }
     };
     if labels.len() != n || n == 0 {
         return Err(ShapeError::new(
-            "accuracy",
+            "correct_count",
             format!("{} labels for batch of {n}", labels.len()),
         ));
     }
@@ -113,7 +116,18 @@ pub fn accuracy(logits: &Tensor, labels: &[usize]) -> Result<f32> {
             correct += 1;
         }
     }
-    Ok(correct as f32 / n as f32)
+    Ok(correct)
+}
+
+/// Classification accuracy of a batch of logits: fraction of rows whose
+/// argmax equals the label.
+///
+/// # Errors
+///
+/// Returns an error on shape/label mismatches (same contract as
+/// [`softmax_cross_entropy`]).
+pub fn accuracy(logits: &Tensor, labels: &[usize]) -> Result<f32> {
+    Ok(correct_count(logits, labels)? as f32 / labels.len() as f32)
 }
 
 /// Mean squared error between a prediction and a target of equal shape.
@@ -190,10 +204,11 @@ mod tests {
 
     #[test]
     fn accuracy_counts_argmax_hits() {
-        let logits =
-            Tensor::from_vec(vec![1.0, 2.0, 0.0, 5.0, 1.0, 1.0], &[2, 3]).unwrap();
+        let logits = Tensor::from_vec(vec![1.0, 2.0, 0.0, 5.0, 1.0, 1.0], &[2, 3]).unwrap();
         assert_eq!(accuracy(&logits, &[1, 0]).unwrap(), 1.0);
         assert_eq!(accuracy(&logits, &[0, 0]).unwrap(), 0.5);
+        assert_eq!(correct_count(&logits, &[1, 0]).unwrap(), 2);
+        assert_eq!(correct_count(&logits, &[0, 1]).unwrap(), 0);
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use alf_tensor::{ShapeError, Tensor};
 
+use crate::ctx::RunCtx;
 use crate::layer::{missing_cache, Layer, Mode, Param};
 use crate::Result;
 
@@ -16,12 +17,13 @@ use crate::Result;
 /// # Example
 ///
 /// ```
-/// use alf_nn::{BatchNorm2d, Layer, Mode};
+/// use alf_nn::{BatchNorm2d, Layer, RunCtx};
 /// use alf_tensor::Tensor;
 ///
 /// # fn main() -> alf_nn::Result<()> {
+/// let mut ctx = RunCtx::train();
 /// let mut bn = BatchNorm2d::new(3);
-/// let y = bn.forward(&Tensor::ones(&[2, 3, 4, 4]), Mode::Train)?;
+/// let y = bn.forward(&Tensor::ones(&[2, 3, 4, 4]), &mut ctx)?;
 /// assert_eq!(y.dims(), &[2, 3, 4, 4]);
 /// # Ok(())
 /// # }
@@ -107,15 +109,23 @@ impl BatchNorm2d {
 
 impl Layer for BatchNorm2d {
     #[allow(clippy::needless_range_loop)] // `ch` addresses several per-channel buffers
-    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+    fn forward(&mut self, input: &Tensor, ctx: &mut RunCtx) -> Result<Tensor> {
         let (n, c, h, w) = self.check_input(input)?;
         let m = (n * h * w) as f32;
         let hw = h * w;
         let mut out = Tensor::zeros(input.dims());
-        match mode {
+        ctx.count_flops(10 * input.len() as u64);
+        ctx.count_bytes(4 * 3 * input.len() as u64);
+        match ctx.mode() {
             Mode::Train => {
-                let mut xhat = Tensor::zeros(input.dims());
-                let mut inv_stds = vec![0.0; c];
+                // Reuse the previous step's cache buffers when the shape
+                // matches — every element is overwritten below, so steady
+                // state allocates nothing here.
+                let (mut xhat, mut inv_stds) = match self.cache.take() {
+                    Some(cache) if cache.xhat.dims() == input.dims() => (cache.xhat, cache.inv_std),
+                    _ => (Tensor::zeros(input.dims()), vec![0.0; c]),
+                };
+                inv_stds.resize(c, 0.0);
                 for ch in 0..c {
                     let mut mean = 0.0;
                     for b in 0..n {
@@ -169,11 +179,13 @@ impl Layer for BatchNorm2d {
         Ok(out)
     }
 
-    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+    fn backward(&mut self, grad_output: &Tensor, ctx: &mut RunCtx) -> Result<Tensor> {
         let cache = self
             .cache
             .as_ref()
             .ok_or_else(|| missing_cache("batchnorm2d"))?;
+        ctx.count_flops(12 * grad_output.len() as u64);
+        ctx.count_bytes(4 * 3 * grad_output.len() as u64);
         let (n, c, h, w) = self.check_input(grad_output)?;
         cache
             .xhat
@@ -233,10 +245,11 @@ mod tests {
 
     #[test]
     fn train_output_is_normalised() {
+        let mut ctx = RunCtx::train();
         let mut rng = Rng::new(0);
         let x = Tensor::randn(&[4, 2, 5, 5], Init::He, &mut rng);
         let mut bn = BatchNorm2d::new(2);
-        let y = bn.forward(&x, Mode::Train).unwrap();
+        let y = bn.forward(&x, &mut ctx).unwrap();
         // Per-channel mean ≈ 0, var ≈ 1.
         let hw = 25;
         for ch in 0..2 {
@@ -254,22 +267,44 @@ mod tests {
 
     #[test]
     fn eval_uses_running_stats() {
+        let mut ctx = RunCtx::train();
         let mut bn = BatchNorm2d::new(1);
         // Feed constant batches so running stats converge to (5, 0).
         let x = Tensor::full(&[2, 1, 3, 3], 5.0);
         for _ in 0..200 {
-            bn.forward(&x, Mode::Train).unwrap();
+            bn.forward(&x, &mut ctx).unwrap();
         }
-        let y = bn.forward(&x, Mode::Eval).unwrap();
+        ctx.set_mode(Mode::Eval);
+        let y = bn.forward(&x, &mut ctx).unwrap();
         // (5 - ~5) / sqrt(~0 + eps) ≈ 0.
-        assert!(y.data().iter().all(|v| v.abs() < 0.05), "{:?}", &y.data()[..3]);
+        assert!(
+            y.data().iter().all(|v| v.abs() < 0.05),
+            "{:?}",
+            &y.data()[..3]
+        );
     }
 
     #[test]
     fn rejects_wrong_channel_count() {
+        let mut ctx = RunCtx::train();
         let mut bn = BatchNorm2d::new(3);
-        assert!(bn.forward(&Tensor::zeros(&[1, 2, 4, 4]), Mode::Train).is_err());
-        assert!(bn.forward(&Tensor::zeros(&[2, 4]), Mode::Train).is_err());
+        assert!(bn.forward(&Tensor::zeros(&[1, 2, 4, 4]), &mut ctx).is_err());
+        assert!(bn.forward(&Tensor::zeros(&[2, 4]), &mut ctx).is_err());
+    }
+
+    #[test]
+    fn steady_state_reuses_cache_buffers() {
+        let mut ctx = RunCtx::train();
+        let mut rng = Rng::new(3);
+        let x = Tensor::randn(&[2, 2, 4, 4], Init::He, &mut rng);
+        let mut bn = BatchNorm2d::new(2);
+        let y = bn.forward(&x, &mut ctx).unwrap();
+        bn.backward(&y, &mut ctx).unwrap();
+        let ptr_before = bn.cache.as_ref().unwrap().xhat.data().as_ptr();
+        let y = bn.forward(&x, &mut ctx).unwrap();
+        bn.backward(&y, &mut ctx).unwrap();
+        let ptr_after = bn.cache.as_ref().unwrap().xhat.data().as_ptr();
+        assert_eq!(ptr_before, ptr_after, "xhat buffer was reallocated");
     }
 
     #[test]
@@ -287,15 +322,17 @@ mod tests {
         let (a, n) = gradcheck::input_gradients(
             &x,
             |x| {
+                let mut ctx = RunCtx::train();
                 let mut bn = base.clone();
-                let y = bn.forward(x, Mode::Train)?;
+                let y = bn.forward(x, &mut ctx)?;
                 let d = y.sub(&target)?;
                 Ok(0.5 * d.sq_norm())
             },
             |x| {
+                let mut ctx = RunCtx::train();
                 let mut bn = base.clone();
-                let y = bn.forward(x, Mode::Train)?;
-                bn.backward(&y.sub(&target)?)
+                let y = bn.forward(x, &mut ctx)?;
+                bn.backward(&y.sub(&target)?, &mut ctx)
             },
         )
         .unwrap();
@@ -304,11 +341,12 @@ mod tests {
 
     #[test]
     fn gamma_beta_gradients() {
+        let mut ctx = RunCtx::train();
         let mut rng = Rng::new(2);
         let x = Tensor::randn(&[2, 1, 4, 4], Init::He, &mut rng);
         let mut bn = BatchNorm2d::new(1);
-        let y = bn.forward(&x, Mode::Train).unwrap();
-        bn.backward(&Tensor::ones(y.dims())).unwrap();
+        let y = bn.forward(&x, &mut ctx).unwrap();
+        bn.backward(&Tensor::ones(y.dims()), &mut ctx).unwrap();
         // dβ = Σ dy = 32; dγ = Σ xhat ≈ 0 (normalised).
         assert!((bn.beta.grad.data()[0] - 32.0).abs() < 1e-3);
         assert!(bn.gamma.grad.data()[0].abs() < 1e-3);
@@ -316,8 +354,11 @@ mod tests {
 
     #[test]
     fn backward_requires_forward() {
+        let mut ctx = RunCtx::train();
         let mut bn = BatchNorm2d::new(1);
-        assert!(bn.backward(&Tensor::zeros(&[1, 1, 2, 2])).is_err());
+        assert!(bn
+            .backward(&Tensor::zeros(&[1, 1, 2, 2]), &mut ctx)
+            .is_err());
     }
 
     #[test]

@@ -35,9 +35,7 @@ impl LrSchedule {
     pub fn lr_at(&self, base: f32, epoch: usize) -> f32 {
         match *self {
             LrSchedule::Constant => base,
-            LrSchedule::Step { every, gamma } => {
-                base * gamma.powi((epoch / every.max(1)) as i32)
-            }
+            LrSchedule::Step { every, gamma } => base * gamma.powi((epoch / every.max(1)) as i32),
             LrSchedule::Cosine { total, floor } => {
                 if total == 0 {
                     return base;
@@ -133,11 +131,7 @@ impl Sgd {
             "parameter shape changed between optimizer steps"
         );
         let decay = if param.decay { self.weight_decay } else { 0.0 };
-        let (vd, gd, wd) = (
-            vel.data_mut(),
-            param.grad.data(),
-            param.value.data_mut(),
-        );
+        let (vd, gd, wd) = (vel.data_mut(), param.grad.data(), param.value.data_mut());
         for i in 0..wd.len() {
             let g = gd[i] + decay * wd[i];
             vd[i] = self.momentum * vd[i] + g;

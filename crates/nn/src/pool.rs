@@ -3,6 +3,7 @@
 
 use alf_tensor::{ShapeError, Tensor};
 
+use crate::ctx::RunCtx;
 use crate::layer::{missing_cache, Layer, Mode};
 use crate::Result;
 
@@ -11,12 +12,13 @@ use crate::Result;
 /// # Example
 ///
 /// ```
-/// use alf_nn::{pool::GlobalAvgPool, Layer, Mode};
+/// use alf_nn::{pool::GlobalAvgPool, Layer, RunCtx};
 /// use alf_tensor::Tensor;
 ///
 /// # fn main() -> alf_nn::Result<()> {
+/// let mut ctx = RunCtx::eval();
 /// let mut gap = GlobalAvgPool::new();
-/// let y = gap.forward(&Tensor::full(&[1, 2, 4, 4], 3.0), Mode::Eval)?;
+/// let y = gap.forward(&Tensor::full(&[1, 2, 4, 4], 3.0), &mut ctx)?;
 /// assert_eq!(y.data(), &[3.0, 3.0]);
 /// # Ok(())
 /// # }
@@ -34,7 +36,7 @@ impl GlobalAvgPool {
 }
 
 impl Layer for GlobalAvgPool {
-    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+    fn forward(&mut self, input: &Tensor, ctx: &mut RunCtx) -> Result<Tensor> {
         let [n, c, h, w] = rank4("global_avg_pool", input)?;
         let hw = (h * w) as f32;
         let mut out = Tensor::zeros(&[n, c]);
@@ -44,14 +46,18 @@ impl Layer for GlobalAvgPool {
                 out.data_mut()[b * c + ch] = plane.iter().sum::<f32>() / hw;
             }
         }
-        self.input_dims = (mode == Mode::Train).then_some([n, c, h, w]);
+        ctx.count_flops(input.len() as u64);
+        ctx.count_bytes(4 * (input.len() + n * c) as u64);
+        self.input_dims = (ctx.mode() == Mode::Train).then_some([n, c, h, w]);
         Ok(out)
     }
 
-    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+    fn backward(&mut self, grad_output: &Tensor, ctx: &mut RunCtx) -> Result<Tensor> {
         let [n, c, h, w] = self
             .input_dims
             .ok_or_else(|| missing_cache("global_avg_pool"))?;
+        ctx.count_flops((n * c * h * w) as u64);
+        ctx.count_bytes(4 * (n * c * h * w + n * c) as u64);
         if grad_output.dims() != [n, c] {
             return Err(ShapeError::new(
                 "global_avg_pool backward",
@@ -63,9 +69,7 @@ impl Layer for GlobalAvgPool {
         for b in 0..n {
             for ch in 0..c {
                 let g = grad_output.data()[b * c + ch] / hw;
-                for v in
-                    &mut grad_in.data_mut()[(b * c + ch) * h * w..(b * c + ch + 1) * h * w]
-                {
+                for v in &mut grad_in.data_mut()[(b * c + ch) * h * w..(b * c + ch + 1) * h * w] {
                     *v = g;
                 }
             }
@@ -80,6 +84,9 @@ impl Layer for GlobalAvgPool {
 pub struct MaxPool2d {
     window: usize,
     argmax: Option<(Vec<usize>, [usize; 4])>,
+    /// Retired argmax buffer, kept so consecutive training steps reuse
+    /// one allocation instead of growing a fresh `Vec` each forward.
+    spare: Vec<usize>,
 }
 
 impl MaxPool2d {
@@ -93,6 +100,7 @@ impl MaxPool2d {
         Self {
             window,
             argmax: None,
+            spare: Vec::new(),
         }
     }
 
@@ -103,7 +111,7 @@ impl MaxPool2d {
 }
 
 impl Layer for MaxPool2d {
-    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+    fn forward(&mut self, input: &Tensor, ctx: &mut RunCtx) -> Result<Tensor> {
         let [n, c, h, w] = rank4("max_pool2d", input)?;
         let k = self.window;
         if h < k || w < k {
@@ -114,7 +122,11 @@ impl Layer for MaxPool2d {
         }
         let (ho, wo) = (h / k, w / k);
         let mut out = Tensor::zeros(&[n, c, ho, wo]);
-        let mut argmax = vec![0usize; n * c * ho * wo];
+        let mut argmax = match self.argmax.take() {
+            Some((buf, _)) => buf,
+            None => std::mem::take(&mut self.spare),
+        };
+        argmax.resize(n * c * ho * wo, 0);
         for b in 0..n {
             for ch in 0..c {
                 let plane = &input.data()[(b * c + ch) * h * w..(b * c + ch + 1) * h * w];
@@ -138,15 +150,23 @@ impl Layer for MaxPool2d {
                 }
             }
         }
-        self.argmax = (mode == Mode::Train).then_some((argmax, [n, c, h, w]));
+        ctx.count_flops(input.len() as u64);
+        ctx.count_bytes(4 * (input.len() + n * c * ho * wo) as u64);
+        if ctx.mode() == Mode::Train {
+            self.argmax = Some((argmax, [n, c, h, w]));
+        } else {
+            self.spare = argmax;
+        }
         Ok(out)
     }
 
-    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+    fn backward(&mut self, grad_output: &Tensor, ctx: &mut RunCtx) -> Result<Tensor> {
         let (argmax, [n, c, h, w]) = self
             .argmax
             .as_ref()
             .ok_or_else(|| missing_cache("max_pool2d"))?;
+        ctx.count_flops((n * c * h * w) as u64);
+        ctx.count_bytes(4 * (n * c * h * w) as u64);
         let k = self.window;
         let (ho, wo) = (h / k, w / k);
         if grad_output.dims() != [*n, *c, ho, wo] {
@@ -197,7 +217,7 @@ impl AvgPool2d {
 }
 
 impl Layer for AvgPool2d {
-    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+    fn forward(&mut self, input: &Tensor, ctx: &mut RunCtx) -> Result<Tensor> {
         let [n, c, h, w] = rank4("avg_pool2d", input)?;
         let k = self.window;
         if h < k || w < k {
@@ -225,14 +245,16 @@ impl Layer for AvgPool2d {
                 }
             }
         }
-        self.input_dims = (mode == Mode::Train).then_some([n, c, h, w]);
+        ctx.count_flops(input.len() as u64);
+        ctx.count_bytes(4 * (input.len() + n * c * ho * wo) as u64);
+        self.input_dims = (ctx.mode() == Mode::Train).then_some([n, c, h, w]);
         Ok(out)
     }
 
-    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
-        let [n, c, h, w] = self
-            .input_dims
-            .ok_or_else(|| missing_cache("avg_pool2d"))?;
+    fn backward(&mut self, grad_output: &Tensor, ctx: &mut RunCtx) -> Result<Tensor> {
+        let [n, c, h, w] = self.input_dims.ok_or_else(|| missing_cache("avg_pool2d"))?;
+        ctx.count_flops((n * c * h * w) as u64);
+        ctx.count_bytes(4 * (n * c * h * w) as u64);
         let k = self.window;
         let (ho, wo) = (h / k, w / k);
         if grad_output.dims() != [n, c, ho, wo] {
@@ -275,7 +297,7 @@ impl Flatten {
 }
 
 impl Layer for Flatten {
-    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+    fn forward(&mut self, input: &Tensor, ctx: &mut RunCtx) -> Result<Tensor> {
         if input.shape().rank() < 2 {
             return Err(ShapeError::new(
                 "flatten",
@@ -284,11 +306,11 @@ impl Layer for Flatten {
         }
         let n = input.dims()[0];
         let rest = input.len() / n;
-        self.input_dims = (mode == Mode::Train).then(|| input.dims().to_vec());
+        self.input_dims = (ctx.mode() == Mode::Train).then(|| input.dims().to_vec());
         input.reshape(&[n, rest])
     }
 
-    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+    fn backward(&mut self, grad_output: &Tensor, _ctx: &mut RunCtx) -> Result<Tensor> {
         let dims = self
             .input_dims
             .as_ref()
@@ -316,19 +338,21 @@ mod tests {
 
     #[test]
     fn gap_averages_planes() {
+        let mut ctx = RunCtx::eval();
         let x = Tensor::from_fn(&[1, 1, 2, 2], |i| i as f32);
         let mut gap = GlobalAvgPool::new();
-        let y = gap.forward(&x, Mode::Eval).unwrap();
+        let y = gap.forward(&x, &mut ctx).unwrap();
         assert_eq!(y.data(), &[1.5]);
     }
 
     #[test]
     fn gap_backward_spreads_uniformly() {
+        let mut ctx = RunCtx::train();
         let mut gap = GlobalAvgPool::new();
-        gap.forward(&Tensor::zeros(&[1, 1, 2, 2]), Mode::Train)
+        gap.forward(&Tensor::zeros(&[1, 1, 2, 2]), &mut ctx)
             .unwrap();
         let g = gap
-            .backward(&Tensor::from_vec(vec![4.0], &[1, 1]).unwrap())
+            .backward(&Tensor::from_vec(vec![4.0], &[1, 1]).unwrap(), &mut ctx)
             .unwrap();
         assert_eq!(g.data(), &[1.0, 1.0, 1.0, 1.0]);
     }
@@ -340,14 +364,16 @@ mod tests {
         let (a, n) = gradcheck::input_gradients(
             &x,
             |x| {
+                let mut ctx = RunCtx::train();
                 let mut l = GlobalAvgPool::new();
-                let y = l.forward(x, Mode::Train)?;
+                let y = l.forward(x, &mut ctx)?;
                 Ok(0.5 * y.sq_norm())
             },
             |x| {
+                let mut ctx = RunCtx::train();
                 let mut l = GlobalAvgPool::new();
-                let y = l.forward(x, Mode::Train)?;
-                l.backward(&y)
+                let y = l.forward(x, &mut ctx)?;
+                l.backward(&y, &mut ctx)
             },
         )
         .unwrap();
@@ -356,30 +382,53 @@ mod tests {
 
     #[test]
     fn maxpool_selects_max() {
+        let mut ctx = RunCtx::train();
         let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]).unwrap();
         let mut mp = MaxPool2d::new(2);
-        let y = mp.forward(&x, Mode::Train).unwrap();
+        let y = mp.forward(&x, &mut ctx).unwrap();
         assert_eq!(y.data(), &[4.0]);
         let g = mp
-            .backward(&Tensor::from_vec(vec![1.0], &[1, 1, 1, 1]).unwrap())
+            .backward(
+                &Tensor::from_vec(vec![1.0], &[1, 1, 1, 1]).unwrap(),
+                &mut ctx,
+            )
             .unwrap();
         assert_eq!(g.data(), &[0.0, 0.0, 0.0, 1.0]);
     }
 
     #[test]
     fn maxpool_rejects_small_input() {
+        let mut ctx = RunCtx::eval();
         let mut mp = MaxPool2d::new(3);
-        assert!(mp.forward(&Tensor::zeros(&[1, 1, 2, 2]), Mode::Eval).is_err());
+        assert!(mp.forward(&Tensor::zeros(&[1, 1, 2, 2]), &mut ctx).is_err());
+    }
+
+    #[test]
+    fn maxpool_reuses_argmax_buffer() {
+        let mut ctx = RunCtx::train();
+        let x = Tensor::from_fn(&[2, 2, 4, 4], |i| i as f32);
+        let mut mp = MaxPool2d::new(2);
+        let y = mp.forward(&x, &mut ctx).unwrap();
+        mp.backward(&y, &mut ctx).unwrap();
+        let ptr_before = mp.argmax.as_ref().unwrap().0.as_ptr();
+        let y = mp.forward(&x, &mut ctx).unwrap();
+        mp.backward(&y, &mut ctx).unwrap();
+        let ptr_after = mp.argmax.as_ref().unwrap().0.as_ptr();
+        assert_eq!(ptr_before, ptr_after, "argmax buffer was reallocated");
     }
 
     #[test]
     fn avgpool_averages_windows() {
+        let mut ctx = RunCtx::train();
         let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]).unwrap();
         let mut ap = AvgPool2d::new(2);
-        let y = ap.forward(&x, Mode::Train).unwrap();
+        let y = ap.forward(&x, &mut ctx).unwrap();
         assert_eq!(y.data(), &[2.5]);
         let g = ap
-            .backward(&Tensor::from_vec(vec![4.0], &[1, 1, 1, 1]).unwrap())
+            .backward(
+                &Tensor::from_vec(vec![4.0], &[1, 1, 1, 1]).unwrap(),
+                &mut ctx,
+            )
             .unwrap();
         assert_eq!(g.data(), &[1.0, 1.0, 1.0, 1.0]);
     }
@@ -391,14 +440,16 @@ mod tests {
         let (a, n) = gradcheck::input_gradients(
             &x,
             |x| {
+                let mut ctx = RunCtx::train();
                 let mut l = AvgPool2d::new(2);
-                let y = l.forward(x, Mode::Train)?;
+                let y = l.forward(x, &mut ctx)?;
                 Ok(0.5 * y.sq_norm())
             },
             |x| {
+                let mut ctx = RunCtx::train();
                 let mut l = AvgPool2d::new(2);
-                let y = l.forward(x, Mode::Train)?;
-                l.backward(&y)
+                let y = l.forward(x, &mut ctx)?;
+                l.backward(&y, &mut ctx)
             },
         )
         .unwrap();
@@ -407,26 +458,37 @@ mod tests {
 
     #[test]
     fn avgpool_rejects_small_input() {
+        let mut ctx = RunCtx::eval();
         let mut ap = AvgPool2d::new(3);
-        assert!(ap.forward(&Tensor::zeros(&[1, 1, 2, 2]), Mode::Eval).is_err());
-        assert!(ap.backward(&Tensor::zeros(&[1, 1, 1, 1])).is_err());
+        assert!(ap.forward(&Tensor::zeros(&[1, 1, 2, 2]), &mut ctx).is_err());
+        assert!(ap
+            .backward(&Tensor::zeros(&[1, 1, 1, 1]), &mut ctx)
+            .is_err());
     }
 
     #[test]
     fn flatten_round_trips() {
+        let mut ctx = RunCtx::train();
         let x = Tensor::from_fn(&[2, 3, 2, 2], |i| i as f32);
         let mut fl = Flatten::new();
-        let y = fl.forward(&x, Mode::Train).unwrap();
+        let y = fl.forward(&x, &mut ctx).unwrap();
         assert_eq!(y.dims(), &[2, 12]);
-        let g = fl.backward(&y).unwrap();
+        let g = fl.backward(&y, &mut ctx).unwrap();
         assert_eq!(g.dims(), x.dims());
         assert_eq!(g.data(), x.data());
     }
 
     #[test]
     fn backward_requires_forward() {
-        assert!(GlobalAvgPool::new().backward(&Tensor::zeros(&[1, 1])).is_err());
-        assert!(MaxPool2d::new(2).backward(&Tensor::zeros(&[1, 1, 1, 1])).is_err());
-        assert!(Flatten::new().backward(&Tensor::zeros(&[1, 1])).is_err());
+        let mut ctx = RunCtx::train();
+        assert!(GlobalAvgPool::new()
+            .backward(&Tensor::zeros(&[1, 1]), &mut ctx)
+            .is_err());
+        assert!(MaxPool2d::new(2)
+            .backward(&Tensor::zeros(&[1, 1, 1, 1]), &mut ctx)
+            .is_err());
+        assert!(Flatten::new()
+            .backward(&Tensor::zeros(&[1, 1]), &mut ctx)
+            .is_err());
     }
 }

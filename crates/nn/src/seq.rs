@@ -2,7 +2,8 @@
 
 use alf_tensor::Tensor;
 
-use crate::layer::{Layer, Mode};
+use crate::ctx::RunCtx;
+use crate::layer::Layer;
 use crate::Result;
 
 /// A chain of boxed layers executed in order; backward runs in reverse.
@@ -10,16 +11,17 @@ use crate::Result;
 /// # Example
 ///
 /// ```
-/// use alf_nn::{Activation, ActivationKind, Layer, Linear, Mode, Sequential};
+/// use alf_nn::{Activation, ActivationKind, Layer, Linear, RunCtx, Sequential};
 /// use alf_tensor::{init::Init, rng::Rng, Tensor};
 ///
 /// # fn main() -> alf_nn::Result<()> {
+/// let mut ctx = RunCtx::eval();
 /// let mut rng = Rng::new(0);
 /// let mut mlp = Sequential::new();
 /// mlp.push(Linear::new(4, 8, Init::He, &mut rng));
 /// mlp.push(Activation::new(ActivationKind::Relu));
 /// mlp.push(Linear::new(8, 2, Init::Xavier, &mut rng));
-/// let y = mlp.forward(&Tensor::zeros(&[3, 4]), Mode::Eval)?;
+/// let y = mlp.forward(&Tensor::zeros(&[3, 4]), &mut ctx)?;
 /// assert_eq!(y.dims(), &[3, 2]);
 /// # Ok(())
 /// # }
@@ -62,18 +64,18 @@ impl Sequential {
 }
 
 impl Layer for Sequential {
-    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+    fn forward(&mut self, input: &Tensor, ctx: &mut RunCtx) -> Result<Tensor> {
         let mut x = input.clone();
         for layer in &mut self.layers {
-            x = layer.forward(&x, mode)?;
+            x = layer.forward(&x, ctx)?;
         }
         Ok(x)
     }
 
-    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+    fn backward(&mut self, grad_output: &Tensor, ctx: &mut RunCtx) -> Result<Tensor> {
         let mut g = grad_output.clone();
         for layer in self.layers.iter_mut().rev() {
-            g = layer.backward(&g)?;
+            g = layer.backward(&g, ctx)?;
         }
         Ok(g)
     }
@@ -108,7 +110,8 @@ mod tests {
         let mut s = Sequential::new();
         assert!(s.is_empty());
         let x = Tensor::from_fn(&[2, 2], |i| i as f32);
-        assert_eq!(s.forward(&x, Mode::Eval).unwrap(), x);
+        let mut ctx = RunCtx::eval();
+        assert_eq!(s.forward(&x, &mut ctx).unwrap(), x);
     }
 
     #[test]
@@ -116,7 +119,8 @@ mod tests {
         let mut s = mlp(0);
         assert_eq!(s.len(), 3);
         assert_eq!(s.param_count(), 3 * 5 + 5 + 5 * 2 + 2);
-        let y = s.forward(&Tensor::zeros(&[4, 3]), Mode::Eval).unwrap();
+        let mut ctx = RunCtx::eval();
+        let y = s.forward(&Tensor::zeros(&[4, 3]), &mut ctx).unwrap();
         assert_eq!(y.dims(), &[4, 2]);
     }
 
@@ -127,14 +131,16 @@ mod tests {
         let (a, n) = gradcheck::input_gradients(
             &x,
             |x| {
+                let mut ctx = RunCtx::train();
                 let mut s = mlp(1);
-                let y = s.forward(x, Mode::Train)?;
+                let y = s.forward(x, &mut ctx)?;
                 Ok(0.5 * y.sq_norm())
             },
             |x| {
+                let mut ctx = RunCtx::train();
                 let mut s = mlp(1);
-                let y = s.forward(x, Mode::Train)?;
-                s.backward(&y)
+                let y = s.forward(x, &mut ctx)?;
+                s.backward(&y, &mut ctx)
             },
         )
         .unwrap();
@@ -143,9 +149,10 @@ mod tests {
 
     #[test]
     fn zero_grads_clears_all() {
+        let mut ctx = RunCtx::train();
         let mut s = mlp(2);
-        let y = s.forward(&Tensor::ones(&[1, 3]), Mode::Train).unwrap();
-        s.backward(&y).unwrap();
+        let y = s.forward(&Tensor::ones(&[1, 3]), &mut ctx).unwrap();
+        s.backward(&y, &mut ctx).unwrap();
         let mut any_nonzero = false;
         s.visit_params(&mut |p| any_nonzero |= p.grad.sq_norm() > 0.0);
         assert!(any_nonzero);

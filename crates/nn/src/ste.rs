@@ -107,12 +107,9 @@ mod tests {
     fn l1_subgradient_matches_finite_difference_away_from_zero() {
         use crate::gradcheck;
         let m = Tensor::from_vec(vec![0.7, -1.2, 0.4], &[3]).unwrap();
-        let (a, n) = gradcheck::input_gradients(
-            &m,
-            |m| Ok(m.mean_abs()),
-            |m| Ok(l1_subgradient(m)),
-        )
-        .unwrap();
+        let (a, n) =
+            gradcheck::input_gradients(&m, |m| Ok(m.mean_abs()), |m| Ok(l1_subgradient(m)))
+                .unwrap();
         gradcheck::assert_close(&a, &n, 1e-2);
     }
 

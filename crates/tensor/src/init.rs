@@ -112,7 +112,12 @@ mod tests {
         let w = Tensor::randn(&[64, 64, 3, 3], Init::He, &mut rng);
         let expected_std = (2.0f32 / (64.0 * 9.0)).sqrt();
         let mean = w.mean();
-        let var = w.data().iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / w.len() as f32;
+        let var = w
+            .data()
+            .iter()
+            .map(|x| (x - mean) * (x - mean))
+            .sum::<f32>()
+            / w.len() as f32;
         assert!(mean.abs() < 0.002, "mean {mean}");
         assert!(
             (var.sqrt() - expected_std).abs() / expected_std < 0.05,

@@ -58,7 +58,10 @@ pub fn conv_output_hw(h: usize, w: usize, k: usize, stride: usize, pad: usize) -
         h + 2 * pad >= k && w + 2 * pad >= k,
         "padded input {h}x{w} (+{pad}) smaller than kernel {k}"
     );
-    ((h + 2 * pad - k) / stride + 1, (w + 2 * pad - k) / stride + 1)
+    (
+        (h + 2 * pad - k) / stride + 1,
+        (w + 2 * pad - k) / stride + 1,
+    )
 }
 
 /// Unfolds an `NCHW` input into the column matrix used by GEMM convolution.
@@ -98,7 +101,12 @@ pub fn im2col_into(dst: &mut [f32], input: &Tensor, spec: Conv2dSpec) -> Result<
     if dst.len() != rows * cols {
         return Err(ShapeError::new(
             "im2col_into",
-            format!("buffer has {} elements, expected {}x{}", dst.len(), rows, cols),
+            format!(
+                "buffer has {} elements, expected {}x{}",
+                dst.len(),
+                rows,
+                cols
+            ),
         ));
     }
     dst.fill(0.0);
@@ -153,7 +161,12 @@ pub fn col2im(
     if cols.dims() != expected {
         return Err(ShapeError::new(
             "col2im",
-            format!("got {}, expected [{}x{}]", cols.shape(), expected[0], expected[1]),
+            format!(
+                "got {}, expected [{}x{}]",
+                cols.shape(),
+                expected[0],
+                expected[1]
+            ),
         ));
     }
     let mut out = Tensor::zeros(&[n, ci, h, w]);
@@ -376,7 +389,10 @@ mod tests {
             let wt = Tensor::randn(&[co, ci, k, k], Init::Rand, &mut rng);
             let fast = conv2d(&x, &wt, None, spec).unwrap();
             let slow = conv_reference(&x, &wt, spec);
-            assert!(fast.allclose(&slow, 1e-4), "case {n} {ci} {co} {h} {k} {s} {p}");
+            assert!(
+                fast.allclose(&slow, 1e-4),
+                "case {n} {ci} {co} {h} {k} {s} {p}"
+            );
         }
     }
 
@@ -473,8 +489,7 @@ mod tests {
                 for c in 0..3 {
                     for p in 0..16 {
                         let (py, px) = (p / 4, p % 4);
-                        *e.at_mut(&[0, o, py, px]) +=
-                            wt.at(&[o, c, 0, 0]) * x.at(&[0, c, py, px]);
+                        *e.at_mut(&[0, o, py, px]) += wt.at(&[o, c, 0, 0]) * x.at(&[0, c, py, px]);
                     }
                 }
             }

@@ -111,6 +111,7 @@ fn thread_override() -> Option<usize> {
 /// # Panics
 ///
 /// Panics when a buffer length disagrees with the stated dimensions.
+#[allow(clippy::too_many_arguments)] // mirrors the BLAS gemm signature
 pub fn gemm_into(
     c: &mut [f32],
     a: &[f32],
@@ -152,7 +153,20 @@ pub fn gemm_into(
             pack_b(&mut bpack, b, tb, k, n, pc, kc, jc, nc);
             if threads == 1 {
                 process_rows(
-                    c, 0, m, a, ta, m, k, n, jc, nc, pc, kc, &bpack, &mut apack_all,
+                    c,
+                    0,
+                    m,
+                    a,
+                    ta,
+                    m,
+                    k,
+                    n,
+                    jc,
+                    nc,
+                    pc,
+                    kc,
+                    &bpack,
+                    &mut apack_all,
                 );
             } else {
                 let bref = &bpack;
@@ -167,8 +181,8 @@ pub fn gemm_into(
                                 let row0 = t * rows_per_chunk;
                                 let mrows = c_chunk.len() / n;
                                 process_rows(
-                                    c_chunk, row0, mrows, a, ta, m, k, n, jc, nc, pc, kc,
-                                    bref, apack,
+                                    c_chunk, row0, mrows, a, ta, m, k, n, jc, nc, pc, kc, bref,
+                                    apack,
                                 );
                             })
                         })
@@ -225,14 +239,7 @@ fn process_rows(
                 microkernel_into(apanel, bpanel, &mut c_rows[coff..cend], n);
             } else {
                 let cend = coff + (rlim - 1) * n + clim;
-                microkernel_into_clipped(
-                    apanel,
-                    bpanel,
-                    &mut c_rows[coff..cend],
-                    n,
-                    rlim,
-                    clim,
-                );
+                microkernel_into_clipped(apanel, bpanel, &mut c_rows[coff..cend], n, rlim, clim);
             }
         }
     }
@@ -320,6 +327,7 @@ fn pack_b(
 /// # Panics
 ///
 /// Panics when a buffer length disagrees with the stated dimensions.
+#[allow(clippy::too_many_arguments)] // mirrors the BLAS gemm signature
 pub fn gemm_sparse_lhs_into(
     c: &mut [f32],
     a: &[f32],
@@ -412,11 +420,20 @@ mod tests {
             let a = Tensor::randn(&[m, k], Init::Rand, &mut rng);
             let b = Tensor::randn(&[k, n], Init::Rand, &mut rng);
             let expect = reference::matmul(&a, &b).unwrap();
-            assert!(run(&a, false, &b, false, 1).allclose(&expect, 1e-4), "{m}x{k}x{n}");
+            assert!(
+                run(&a, false, &b, false, 1).allclose(&expect, 1e-4),
+                "{m}x{k}x{n}"
+            );
             let at = a.transpose2().unwrap();
-            assert!(run(&at, true, &b, false, 1).allclose(&expect, 1e-4), "ta {m}x{k}x{n}");
+            assert!(
+                run(&at, true, &b, false, 1).allclose(&expect, 1e-4),
+                "ta {m}x{k}x{n}"
+            );
             let bt = b.transpose2().unwrap();
-            assert!(run(&a, false, &bt, true, 1).allclose(&expect, 1e-4), "tb {m}x{k}x{n}");
+            assert!(
+                run(&a, false, &bt, true, 1).allclose(&expect, 1e-4),
+                "tb {m}x{k}x{n}"
+            );
             assert!(
                 run(&at, true, &bt, true, 1).allclose(&expect, 1e-4),
                 "ta+tb {m}x{k}x{n}"
@@ -454,7 +471,18 @@ mod tests {
         let b = Tensor::eye(4);
         let mut ws = Workspace::new();
         let mut c = vec![42.0f32; 16];
-        gemm_into(&mut c, a.data(), false, b.data(), false, 4, 4, 4, &mut ws, 1);
+        gemm_into(
+            &mut c,
+            a.data(),
+            false,
+            b.data(),
+            false,
+            4,
+            4,
+            4,
+            &mut ws,
+            1,
+        );
         assert_eq!(c, vec![1.0; 16]);
     }
 
@@ -465,11 +493,33 @@ mod tests {
         let b = Tensor::randn(&[40, 33], Init::Rand, &mut rng);
         let mut ws = Workspace::new();
         let mut c = vec![0.0f32; 65 * 33];
-        gemm_into(&mut c, a.data(), false, b.data(), false, 65, 40, 33, &mut ws, 1);
+        gemm_into(
+            &mut c,
+            a.data(),
+            false,
+            b.data(),
+            false,
+            65,
+            40,
+            33,
+            &mut ws,
+            1,
+        );
         let warm = ws.alloc_events();
         ws.freeze();
         for _ in 0..5 {
-            gemm_into(&mut c, a.data(), false, b.data(), false, 65, 40, 33, &mut ws, 1);
+            gemm_into(
+                &mut c,
+                a.data(),
+                false,
+                b.data(),
+                false,
+                65,
+                40,
+                33,
+                &mut ws,
+                1,
+            );
         }
         assert_eq!(ws.alloc_events(), warm);
     }
@@ -507,7 +557,9 @@ mod tests {
         let mut ws = Workspace::new();
         let mut c = vec![0.0f32; 80];
         gemm_sparse_lhs_into(&mut c, a.data(), b.data(), 10, 6, 8, &mut ws, 1);
-        assert!(Tensor::from_vec(c, &[10, 8]).unwrap().allclose(&expect, 1e-4));
+        assert!(Tensor::from_vec(c, &[10, 8])
+            .unwrap()
+            .allclose(&expect, 1e-4));
     }
 
     #[test]

@@ -1,7 +1,7 @@
 use crate::{ShapeError, Tensor};
 
 use super::gemm::{auto_threads, gemm_into, gemm_sparse_lhs_into};
-use super::workspace::with_thread_workspace;
+use super::workspace::{with_thread_workspace, Workspace};
 
 /// Dense matrix product `C = A · B` for rank-2 tensors.
 ///
@@ -137,6 +137,81 @@ pub fn matmul_sparse_lhs(a: &Tensor, b: &Tensor) -> Result<Tensor, ShapeError> {
     Ok(out)
 }
 
+/// [`matmul`] drawing packing scratch from a caller-supplied arena
+/// instead of the calling thread's workspace.
+///
+/// Callers that run many products per step (the ALF autoencoder player)
+/// route them all through one arena so the whole step reuses a single set
+/// of packing buffers — and so a frozen arena can *prove* the steady state
+/// allocates nothing.
+///
+/// # Errors
+///
+/// Returns an error unless `A` is `[m, k]` and `B` is `[k, n]`.
+pub fn matmul_ws(a: &Tensor, b: &Tensor, ws: &mut Workspace) -> Result<Tensor, ShapeError> {
+    let (m, k, n) = dims_for("matmul", a, b, false, false)?;
+    let mut out = Tensor::zeros(&[m, n]);
+    gemm_into(
+        out.data_mut(),
+        a.data(),
+        false,
+        b.data(),
+        false,
+        m,
+        k,
+        n,
+        ws,
+        auto_threads(m, k, n),
+    );
+    Ok(out)
+}
+
+/// [`matmul_at`] drawing packing scratch from a caller-supplied arena.
+///
+/// # Errors
+///
+/// Returns an error unless `A` is `[k, m]` and `B` is `[k, n]`.
+pub fn matmul_at_ws(a: &Tensor, b: &Tensor, ws: &mut Workspace) -> Result<Tensor, ShapeError> {
+    let (m, k, n) = dims_for("matmul_at", a, b, true, false)?;
+    let mut out = Tensor::zeros(&[m, n]);
+    gemm_into(
+        out.data_mut(),
+        a.data(),
+        true,
+        b.data(),
+        false,
+        m,
+        k,
+        n,
+        ws,
+        auto_threads(m, k, n),
+    );
+    Ok(out)
+}
+
+/// [`matmul_bt`] drawing packing scratch from a caller-supplied arena.
+///
+/// # Errors
+///
+/// Returns an error unless `A` is `[m, k]` and `B` is `[n, k]`.
+pub fn matmul_bt_ws(a: &Tensor, b: &Tensor, ws: &mut Workspace) -> Result<Tensor, ShapeError> {
+    let (m, k, n) = dims_for("matmul_bt", a, b, false, true)?;
+    let mut out = Tensor::zeros(&[m, n]);
+    gemm_into(
+        out.data_mut(),
+        a.data(),
+        false,
+        b.data(),
+        true,
+        m,
+        k,
+        n,
+        ws,
+        auto_threads(m, k, n),
+    );
+    Ok(out)
+}
+
 pub(crate) fn dims_for(
     op: &str,
     a: &Tensor,
@@ -147,7 +222,11 @@ pub(crate) fn dims_for(
     if a.shape().rank() != 2 || b.shape().rank() != 2 {
         return Err(ShapeError::new(
             op,
-            format!("expected rank-2 operands, got {} and {}", a.shape(), b.shape()),
+            format!(
+                "expected rank-2 operands, got {} and {}",
+                a.shape(),
+                b.shape()
+            ),
         ));
     }
     let (m, ka) = if ta {

@@ -28,9 +28,9 @@ pub mod reference;
 mod workspace;
 
 pub use channels::{concat_channels, split_channels};
-pub use conv::{
-    col2im, col2im_into, conv2d, conv_output_hw, im2col, im2col_into, Conv2dSpec,
-};
+pub use conv::{col2im, col2im_into, conv2d, conv_output_hw, im2col, im2col_into, Conv2dSpec};
 pub use gemm::{auto_threads, gemm_into, gemm_sparse_lhs_into};
-pub use matmul::{matmul, matmul_at, matmul_bt, matmul_sparse_lhs};
+pub use matmul::{
+    matmul, matmul_at, matmul_at_ws, matmul_bt, matmul_bt_ws, matmul_sparse_lhs, matmul_ws,
+};
 pub use workspace::{with_thread_workspace, Workspace};

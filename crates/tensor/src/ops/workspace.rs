@@ -51,12 +51,17 @@ pub struct Workspace {
 struct Slot {
     name: &'static str,
     buf: Vec<f32>,
+    /// Largest capacity ever observed for this slot, in elements. The
+    /// buffer itself is moved out while in use, so the high-water mark
+    /// must be recorded here rather than read off `buf`.
+    cap: usize,
 }
 
 #[derive(Debug)]
 struct IdxSlot {
     name: &'static str,
     buf: Vec<usize>,
+    cap: usize,
 }
 
 impl Workspace {
@@ -81,6 +86,7 @@ impl Workspace {
                 self.slots.push(Slot {
                     name,
                     buf: Vec::with_capacity(len),
+                    cap: 0,
                 });
                 self.slots.len() - 1
             }
@@ -91,6 +97,7 @@ impl Workspace {
             buf.reserve(len - buf.len());
         }
         buf.resize(len, 0.0);
+        self.slots[idx].cap = self.slots[idx].cap.max(buf.capacity());
         buf
     }
 
@@ -101,10 +108,14 @@ impl Workspace {
     /// but a fresh workspace, donate them back on its first step.
     pub fn give(&mut self, name: &'static str, buf: Vec<f32>) {
         match self.slots.iter_mut().find(|s| s.name == name) {
-            Some(slot) => slot.buf = buf,
+            Some(slot) => {
+                slot.cap = slot.cap.max(buf.capacity());
+                slot.buf = buf;
+            }
             None => {
                 self.note_alloc(name, buf.capacity());
-                self.slots.push(Slot { name, buf });
+                let cap = buf.capacity();
+                self.slots.push(Slot { name, buf, cap });
             }
         }
     }
@@ -120,6 +131,7 @@ impl Workspace {
                 self.idx_slots.push(IdxSlot {
                     name,
                     buf: Vec::with_capacity(cap),
+                    cap: 0,
                 });
                 self.idx_slots.len() - 1
             }
@@ -130,6 +142,7 @@ impl Workspace {
             self.note_grow(name, buf.capacity(), cap);
             buf.reserve(cap);
         }
+        self.idx_slots[idx].cap = self.idx_slots[idx].cap.max(buf.capacity());
         buf
     }
 
@@ -137,10 +150,14 @@ impl Workspace {
     /// [`Workspace::give`].
     pub fn give_idx(&mut self, name: &'static str, buf: Vec<usize>) {
         match self.idx_slots.iter_mut().find(|s| s.name == name) {
-            Some(slot) => slot.buf = buf,
+            Some(slot) => {
+                slot.cap = slot.cap.max(buf.capacity());
+                slot.buf = buf;
+            }
             None => {
                 self.note_alloc(name, buf.capacity());
-                self.idx_slots.push(IdxSlot { name, buf });
+                let cap = buf.capacity();
+                self.idx_slots.push(IdxSlot { name, buf, cap });
             }
         }
     }
@@ -149,6 +166,17 @@ impl Workspace {
     /// since construction.
     pub fn alloc_events(&self) -> u64 {
         self.alloc_events
+    }
+
+    /// High-water mark of the arena in bytes: the sum over all slots of
+    /// the largest capacity each has ever reached. Buffers move out of the
+    /// arena while in use, so this is tracked per slot rather than summed
+    /// from resident buffers; it is what the profiler reports as scratch
+    /// footprint.
+    pub fn high_water_bytes(&self) -> usize {
+        let f32s: usize = self.slots.iter().map(|s| s.cap).sum();
+        let idxs: usize = self.idx_slots.iter().map(|s| s.cap).sum();
+        f32s * std::mem::size_of::<f32>() + idxs * std::mem::size_of::<usize>()
     }
 
     /// Marks the workspace as warmed up: any further buffer growth trips
@@ -303,6 +331,22 @@ mod tests {
         assert!(r.is_empty());
         ws.give_idx("rows", r);
         assert_eq!(ws.alloc_events(), events);
+    }
+
+    #[test]
+    fn high_water_tracks_peak_capacity() {
+        let mut ws = Workspace::new();
+        assert_eq!(ws.high_water_bytes(), 0);
+        let b = ws.take("x", 100);
+        // Live buffers count even while taken out.
+        assert!(ws.high_water_bytes() >= 100 * 4);
+        ws.give("x", b);
+        let b = ws.take("x", 10); // shrinking never lowers the mark
+        ws.give("x", b);
+        assert!(ws.high_water_bytes() >= 100 * 4);
+        let r = ws.take_idx("rows", 8);
+        ws.give_idx("rows", r);
+        assert!(ws.high_water_bytes() >= 100 * 4 + 8 * std::mem::size_of::<usize>());
     }
 
     #[test]

@@ -220,7 +220,11 @@ impl Tensor {
     /// # Errors
     ///
     /// Returns an error when shapes differ.
-    pub fn zip_map(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Result<Tensor, ShapeError> {
+    pub fn zip_map(
+        &self,
+        other: &Tensor,
+        f: impl Fn(f32, f32) -> f32,
+    ) -> Result<Tensor, ShapeError> {
         self.shape.expect_same(&other.shape, "zip_map")?;
         Ok(Tensor {
             shape: self.shape.clone(),

@@ -10,7 +10,7 @@ use alf::core::models::{resnet20, resnet20_alf};
 use alf::core::train::{evaluate, AlfHyper, AlfTrainer};
 use alf::core::{deploy, NetworkCost};
 use alf::data::{Split, SynthVision};
-use alf::nn::{Layer, LrSchedule, Mode};
+use alf::nn::{Layer, LrSchedule, RunCtx};
 use alf::tensor::init::Init;
 use alf::tensor::rng::Rng;
 use alf::tensor::Tensor;
@@ -54,8 +54,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut deployed = deploy::compress(&alf)?;
     let mut alf_eval = alf.clone();
     let probe = Tensor::randn(&[4, 3, 16, 16], Init::Rand, &mut Rng::new(9));
-    let y_train_form = alf_eval.forward(&probe, Mode::Eval)?;
-    let y_deployed = deployed.forward(&probe, Mode::Eval)?;
+    let mut ctx = RunCtx::eval();
+    let y_train_form = alf_eval.forward(&probe, &mut ctx)?;
+    let y_deployed = deployed.forward(&probe, &mut ctx)?;
     assert!(
         y_deployed.allclose(&y_train_form, 1e-4),
         "deployment must not change the function"
@@ -66,7 +67,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let vanilla_cost = NetworkCost::of_layers(&vanilla.conv_shapes(16, 16));
     let alf_cost = deploy::cost(&deployed, 16, 16);
     let (dp, dm) = alf_cost.reduction_vs(&vanilla_cost);
-    println!("\n{:<22}{:>10}{:>12}{:>10}", "model", "params", "MACs", "acc");
+    println!(
+        "\n{:<22}{:>10}{:>12}{:>10}",
+        "model", "params", "MACs", "acc"
+    );
     println!(
         "{:<22}{:>10}{:>12}{:>9.1}%",
         "resnet20",

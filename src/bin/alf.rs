@@ -12,7 +12,7 @@
 use std::process::ExitCode;
 
 use alf::core::block::AlfBlockConfig;
-use alf::core::models::{plain20, plain20_alf, resnet20, resnet20_alf, geometry};
+use alf::core::models::{geometry, plain20, plain20_alf, resnet20, resnet20_alf};
 use alf::core::train::{evaluate, AlfHyper, AlfTrainer};
 use alf::core::{checkpoint, deploy, CnnModel, NetworkCost};
 use alf::data::{Dataset, Split, SynthVision};
@@ -75,7 +75,13 @@ fn usage() -> &'static str {
      \u{20}          [--remaining F]"
 }
 
-fn build_model(name: &str, classes: usize, width: usize, threshold: f32, seed: u64) -> Result<CnnModel, String> {
+fn build_model(
+    name: &str,
+    classes: usize,
+    width: usize,
+    threshold: f32,
+    seed: u64,
+) -> Result<CnnModel, String> {
     let block = AlfBlockConfig {
         threshold,
         ..AlfBlockConfig::paper_default()
@@ -134,9 +140,7 @@ fn cmd_train(args: &Args) -> Result<(), String> {
         );
     }
     model = trainer.into_model();
-    let out = args
-        .get("out")
-        .ok_or("--out FILE is required for train")?;
+    let out = args.get("out").ok_or("--out FILE is required for train")?;
     let blob = checkpoint::save(&mut model);
     std::fs::write(out, &blob).map_err(|e| format!("writing {out}: {e}"))?;
     println!("saved checkpoint to {out} ({} bytes)", blob.len());
@@ -203,7 +207,10 @@ fn cmd_summary(args: &Args) -> Result<(), String> {
         )?,
     };
     let [_, h, w] = data.image_dims();
-    print!("{}", alf::core::summary::summarize(&mut model, h, w).to_text());
+    print!(
+        "{}",
+        alf::core::summary::summarize(&mut model, h, w).to_text()
+    );
     Ok(())
 }
 
@@ -266,7 +273,11 @@ fn cmd_hwmap(args: &Args) -> Result<(), String> {
     for l in &report.layers {
         println!(
             "{:<12} {:<11.3e} {:<11.3e} {:<11.3e} {:<11.3e} {:.0}%",
-            l.name, l.energy_rf, l.energy_buffer, l.energy_dram, l.latency_cycles,
+            l.name,
+            l.energy_rf,
+            l.energy_buffer,
+            l.energy_dram,
+            l.latency_cycles,
             100.0 * l.utilization
         );
     }

@@ -31,8 +31,7 @@ fn trained_reference(seed: u64) -> alf::core::CnnModel {
         lr_schedule: LrSchedule::Constant,
         ..AlfHyper::default()
     };
-    let mut trainer =
-        AlfTrainer::new(plain20(4, 6).expect("model"), hyper, seed).expect("trainer");
+    let mut trainer = AlfTrainer::new(plain20(4, 6).expect("model"), hyper, seed).expect("trainer");
     trainer.run(&data(seed), 8).expect("training");
     trainer.into_model()
 }
@@ -173,11 +172,15 @@ fn deployment_is_idempotent() {
     let once = deploy::compress(&model).expect("deploy");
     let mut twice = deploy::compress(&once).expect("deploy");
     let mut once_m = once.clone();
-    use alf::nn::{Layer, Mode};
-    let x = Tensor::randn(&[1, 3, 12, 12], alf::tensor::init::Init::Rand, &mut Rng::new(8));
+    use alf::nn::{Layer, RunCtx};
+    let x = Tensor::randn(
+        &[1, 3, 12, 12],
+        alf::tensor::init::Init::Rand,
+        &mut Rng::new(8),
+    );
     assert_eq!(
-        once_m.forward(&x, Mode::Eval).expect("fwd"),
-        twice.forward(&x, Mode::Eval).expect("fwd")
+        once_m.forward(&x, &mut RunCtx::eval()).expect("fwd"),
+        twice.forward(&x, &mut RunCtx::eval()).expect("fwd")
     );
     assert_eq!(deploy::cost(&once, 12, 12), deploy::cost(&twice, 12, 12));
 }

@@ -8,7 +8,7 @@ use alf::core::train::{evaluate, AlfHyper, AlfTrainer};
 use alf::core::{deploy, NetworkCost};
 use alf::data::{Split, SynthVision};
 use alf::hwmodel::{Accelerator, ConvWorkload, Dataflow, Mapper, NetworkReport};
-use alf::nn::{Layer, LrSchedule, Mode};
+use alf::nn::{Layer, LrSchedule, RunCtx};
 use alf::tensor::init::Init;
 use alf::tensor::rng::Rng;
 use alf::tensor::Tensor;
@@ -62,8 +62,12 @@ fn full_pipeline_train_prune_deploy_map() {
     let mut deployed = deploy::compress(&trained).expect("deploy");
     let mut original = trained.clone();
     let probe = Tensor::randn(&[2, 3, 12, 12], Init::Rand, &mut Rng::new(3));
-    let a = original.forward(&probe, Mode::Eval).expect("forward");
-    let b = deployed.forward(&probe, Mode::Eval).expect("forward");
+    let a = original
+        .forward(&probe, &mut RunCtx::eval())
+        .expect("forward");
+    let b = deployed
+        .forward(&probe, &mut RunCtx::eval())
+        .expect("forward");
     assert!(a.allclose(&b, 1e-4), "deployment changed the function");
 
     // Deployed accuracy equals the training-form accuracy.
@@ -112,8 +116,8 @@ fn full_pipeline_train_prune_deploy_map() {
 fn vanilla_and_alf_share_training_infrastructure() {
     let data = quick_data(4);
     // The same trainer handles models with zero ALF blocks.
-    let mut vanilla = AlfTrainer::new(plain20(4, 6).expect("model"), quick_hyper(), 5)
-        .expect("trainer");
+    let mut vanilla =
+        AlfTrainer::new(plain20(4, 6).expect("model"), quick_hyper(), 5).expect("trainer");
     let r = vanilla.run(&data, 2).expect("training");
     assert_eq!(r.epochs.len(), 2);
     assert_eq!(r.final_remaining_filters(), 1.0);

@@ -22,7 +22,10 @@ fn table2_vanilla_row_matches_paper_tolerances() {
     let cost = NetworkCost::of_layers(&layers);
     let params_m = cost.params as f64 / 1e6;
     let mops = cost.ops() as f64 / 1e6;
-    assert!((params_m - 0.27).abs() < 0.005, "params {params_m} M vs 0.27 M");
+    assert!(
+        (params_m - 0.27).abs() < 0.005,
+        "params {params_m} M vs 0.27 M"
+    );
     assert!((mops - 81.1).abs() < 0.5, "{mops} MOPs vs 81.1 MOPs");
 }
 
@@ -40,7 +43,12 @@ fn table3_static_rows_match_paper_within_five_percent() {
         let dp = (arch.params() as f64 - paper_params).abs() / paper_params;
         let dops = (arch.ops() as f64 - paper_ops).abs() / paper_ops;
         assert!(dp < 0.07, "{}: params off by {:.1}%", arch.name, 100.0 * dp);
-        assert!(dops < 0.07, "{}: OPs off by {:.1}%", arch.name, 100.0 * dops);
+        assert!(
+            dops < 0.07,
+            "{}: OPs off by {:.1}%",
+            arch.name,
+            100.0 * dops
+        );
     }
 }
 

@@ -1,0 +1,176 @@
+//! Integration tests for the `RunCtx` execution path: steady-state
+//! allocation behaviour of a whole ALF training step, per-layer profiler
+//! coverage, and gradient fidelity with the profiler attached.
+
+use alf::core::block::{AlfBlock, AlfBlockConfig};
+use alf::core::model::{CnnModel, ConvKind, ConvUnit, Unit};
+use alf::core::models::plain20_alf;
+use alf::core::PruneSchedule;
+use alf::nn::loss::softmax_cross_entropy;
+use alf::nn::pool::GlobalAvgPool;
+use alf::nn::{gradcheck, ActivationKind, Layer, Linear, RunCtx};
+use alf::tensor::init::Init;
+use alf::tensor::rng::Rng;
+use alf::tensor::Tensor;
+
+fn batch(rng: &mut Rng, n: usize) -> (Tensor, Vec<usize>) {
+    let x = Tensor::randn(&[n, 3, 8, 8], Init::Rand, rng);
+    let labels = (0..n).map(|i| i % 10).collect();
+    (x, labels)
+}
+
+/// One full ALF training step: task player forward + CE loss + backward,
+/// then one autoencoder-player step per block, all drawing scratch from
+/// the shared arena of `ctx`.
+fn alf_step(model: &mut alf::core::CnnModel, x: &Tensor, labels: &[usize], ctx: &mut RunCtx) {
+    let logits = model.forward(x, ctx).unwrap();
+    let (_, grad) = softmax_cross_entropy(&logits, labels).unwrap();
+    model.backward(&grad, ctx).unwrap();
+    let schedule = PruneSchedule::paper_default();
+    for block in model.alf_blocks_mut() {
+        block.autoencoder_step_in(5e-3, &schedule, ctx).unwrap();
+    }
+}
+
+#[test]
+fn plain20_alf_training_step_is_allocation_free_in_steady_state() {
+    let mut rng = Rng::new(11);
+    let mut model = plain20_alf(10, 4, AlfBlockConfig::paper_default(), 1).unwrap();
+    let (x, labels) = batch(&mut rng, 4);
+    let mut ctx = RunCtx::train();
+
+    // Warm the arena: the first steps create and size every scratch slot.
+    for _ in 0..2 {
+        alf_step(&mut model, &x, &labels, &mut ctx);
+    }
+
+    // Freeze: further slot creation or growth trips a debug assertion
+    // inside the workspace, and we additionally assert the event counter
+    // stays put across whole steps.
+    let warm_events = ctx.ws.alloc_events();
+    ctx.ws.freeze();
+    for _ in 0..2 {
+        alf_step(&mut model, &x, &labels, &mut ctx);
+    }
+    ctx.ws.thaw();
+    assert_eq!(
+        ctx.ws.alloc_events(),
+        warm_events,
+        "steady-state ALF step grew the shared arena"
+    );
+    assert!(ctx.ws.high_water_bytes() > 0);
+}
+
+#[test]
+fn profiler_covers_every_plain20_layer_with_nonzero_flops() {
+    let mut rng = Rng::new(12);
+    let mut model = plain20_alf(10, 4, AlfBlockConfig::paper_default(), 2).unwrap();
+    let (x, labels) = batch(&mut rng, 2);
+    let mut ctx = RunCtx::train().with_profiler();
+    let logits = model.forward(&x, &mut ctx).unwrap();
+    let (_, grad) = softmax_cross_entropy(&logits, &labels).unwrap();
+    model.backward(&grad, &mut ctx).unwrap();
+
+    let report = ctx.report().unwrap();
+    // Plain-20: the stem, 3 stages × 3 blocks × 2 convs, global pooling
+    // and the classifier — every one must show up, with real flops and
+    // both passes counted.
+    let mut expected = vec!["conv1".to_string()];
+    for stage in 0..3 {
+        for block in 0..3 {
+            for idx in 0..2 {
+                expected.push(format!("conv{}{}{}", stage + 2, block + 1, idx + 1));
+            }
+        }
+    }
+    expected.push("global_pool".to_string());
+    expected.push("fc".to_string());
+    for name in &expected {
+        let layer = report
+            .layer(name)
+            .unwrap_or_else(|| panic!("layer {name} missing from profile"));
+        assert!(layer.flops > 0, "layer {name} recorded zero flops");
+        assert_eq!(layer.fwd_calls, 1, "layer {name} forward not scoped");
+        assert_eq!(layer.bwd_calls, 1, "layer {name} backward not scoped");
+    }
+    assert_eq!(
+        report.layers.len(),
+        expected.len(),
+        "unexpected extra scopes: {:?}",
+        report.layers.iter().map(|l| &l.name).collect::<Vec<_>>()
+    );
+    assert!(report.total_ns() > 0);
+    assert!(!report.to_json().is_empty());
+}
+
+#[test]
+fn gradients_are_identical_with_profiler_on_and_off() {
+    let mut rng = Rng::new(13);
+    let (x, labels) = batch(&mut rng, 2);
+    let run = |profile: bool| {
+        let mut model = plain20_alf(10, 4, AlfBlockConfig::paper_default(), 3).unwrap();
+        let mut ctx = RunCtx::train();
+        if profile {
+            ctx.enable_profiler();
+        }
+        let logits = model.forward(&x, &mut ctx).unwrap();
+        let (_, grad) = softmax_cross_entropy(&logits, &labels).unwrap();
+        model.backward(&grad, &mut ctx).unwrap();
+        let mut grads = Vec::new();
+        model.visit_params(&mut |p| grads.extend_from_slice(p.grad.data()));
+        grads
+    };
+    let plain = run(false);
+    let profiled = run(true);
+    assert_eq!(plain.len(), profiled.len());
+    // Bitwise: profiling must observe the computation, never perturb it.
+    assert!(
+        plain
+            .iter()
+            .zip(&profiled)
+            .all(|(a, b)| a.to_bits() == b.to_bits()),
+        "profiler changed the numerics"
+    );
+}
+
+#[test]
+fn model_input_gradients_pass_gradcheck_through_runctx() {
+    // A full Plain-20 is too deep for f32 central differences (the stacked
+    // BN+ReLU amplification swamps the numeric estimate on the seed code
+    // too), so check a shallow ALF model end-to-end through the CnnModel
+    // dispatch: ALF conv unit → BN → ReLU → global pool → classifier.
+    let mut rng = Rng::new(14);
+    let ae_block = AlfBlock::new(3, 4, 3, 1, 1, AlfBlockConfig::paper_default(), &mut rng);
+    let units = vec![
+        Unit::Conv(ConvUnit::new(
+            "c1",
+            ConvKind::Alf(ae_block),
+            Some(ActivationKind::Relu),
+        )),
+        Unit::GlobalPool(GlobalAvgPool::new()),
+        Unit::Classifier(Linear::new(4, 10, Init::Xavier, &mut rng)),
+    ];
+    let base = CnnModel::from_units("tiny-alf", units, 10).unwrap();
+    let x = Tensor::randn(&[2, 3, 8, 8], Init::Rand, &mut rng);
+    let labels = [3usize, 1];
+    let (a, n) = gradcheck::input_gradients(
+        &x,
+        |x| {
+            let mut model = base.clone();
+            let mut ctx = RunCtx::train();
+            let logits = model.forward(x, &mut ctx)?;
+            Ok(softmax_cross_entropy(&logits, &labels)?.0)
+        },
+        |x| {
+            let mut model = base.clone();
+            let mut ctx = RunCtx::train();
+            let logits = model.forward(x, &mut ctx)?;
+            let (_, grad) = softmax_cross_entropy(&logits, &labels)?;
+            model.backward(&grad, &mut ctx)
+        },
+    )
+    .unwrap();
+    // Looser than the per-layer unit gradchecks: this asserts the
+    // composed dispatch is wired correctly, not kernel-level precision.
+    gradcheck::assert_close(&a, &n, 5e-2);
+}

@@ -192,15 +192,15 @@ proptest! {
     fn checkpoint_round_trips_for_any_width(width in 2usize..6, seed in 0u64..100) {
         use alf::core::checkpoint;
         use alf::core::models::plain20;
-        use alf::nn::{Layer, Mode};
+        use alf::nn::{Layer, RunCtx};
         let mut a = plain20(3, width).unwrap();
         let blob = checkpoint::save(&mut a);
         let mut b = plain20(3, width).unwrap();
         checkpoint::load(&mut b, &blob).unwrap();
         let x = Tensor::randn(&[1, 3, 8, 8], Init::Rand, &mut Rng::new(seed));
         prop_assert_eq!(
-            a.forward(&x, Mode::Eval).unwrap(),
-            b.forward(&x, Mode::Eval).unwrap()
+            a.forward(&x, &mut RunCtx::eval()).unwrap(),
+            b.forward(&x, &mut RunCtx::eval()).unwrap()
         );
     }
 

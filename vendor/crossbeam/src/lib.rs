@@ -98,6 +98,6 @@ mod tests {
             let h = scope.spawn(|_| panic!("boom"));
             h.join().is_err()
         });
-        assert_eq!(r.unwrap(), true);
+        assert!(r.unwrap());
     }
 }
