@@ -173,11 +173,11 @@ fn bench_evaluator(c: &mut Criterion) {
         .to_vec();
     let labels: Vec<usize> = (0..n).map(|i| i % 10).collect();
     let data = Dataset::from_parts(vec![], vec![], images, labels, 3, 32, 32, 10).unwrap();
-    let mut model = plain20_alf(10, 8, AlfBlockConfig::paper_default(), 5).unwrap();
+    let model = plain20_alf(10, 8, AlfBlockConfig::paper_default(), 5).unwrap();
     c.bench_function("evaluate_reuse_slots_plain20_w8_n64", |bench| {
         let mut ev = Evaluator::new();
-        ev.evaluate(&mut model, &data, Split::Test, 32).unwrap();
-        bench.iter(|| ev.evaluate(&mut model, &data, Split::Test, 32).unwrap())
+        ev.evaluate(&model, &data, Split::Test, 32).unwrap();
+        bench.iter(|| ev.evaluate(&model, &data, Split::Test, 32).unwrap())
     });
     c.bench_function("evaluate_clone_per_call_plain20_w8_n64", |bench| {
         bench.iter(|| evaluate(&model, &data, Split::Test, 32).unwrap())

@@ -1,0 +1,268 @@
+//! Serving throughput benchmark: compressed vs uncompressed Plain-20.
+//!
+//! Builds a Plain-20 ALF model, clips 70% of every block's mask entries
+//! (the serving cost depends only on the resulting sparsity, not on how
+//! training produced it), and serves the same open-loop synthetic load
+//! against two forms of the network:
+//!
+//! * **uncompressed** — the training-form ALF model (full `Co`-filter
+//!   convolutions through the masked code), and
+//! * **compressed** — `deploy::compress` output (stripped code conv +
+//!   1×1 expansion).
+//!
+//! The offered rate is fixed at 1.5× the faster server's measured
+//! capacity, so both runs are saturated and completed-throughput reflects
+//! service capacity. Results go to stdout as a table and to
+//! `BENCH_serve.json` (throughput in img/s, p50/p95/p99 latency, mean
+//! batch occupancy, rejection counts).
+//!
+//! `--smoke` (default; ~3 s) **gates**: the process exits nonzero when
+//! the compressed model does not serve strictly more images per second
+//! than the uncompressed one. `--paper` serves the full 32×32/10-class
+//! geometry for longer windows.
+
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+use alf_bench::Scale;
+use alf_core::block::AlfBlockConfig;
+use alf_core::deploy;
+use alf_core::model::CnnModel;
+use alf_core::models::plain20_alf;
+use alf_serve::{ServeConfig, Server, ServerStats};
+use alf_tensor::init::Init;
+use alf_tensor::rng::Rng;
+use alf_tensor::Tensor;
+
+/// Fraction of each ALF block's filters clipped before deployment.
+const PRUNED_FRACTION: f64 = 0.7;
+
+struct Params {
+    classes: usize,
+    width: usize,
+    image: usize,
+    workers: usize,
+    max_batch: usize,
+    queue_depth: usize,
+    probe: Duration,
+    run: Duration,
+}
+
+fn params(scale: Scale) -> Params {
+    match scale {
+        Scale::Smoke => Params {
+            classes: 4,
+            width: 8,
+            image: 16,
+            workers: 2,
+            max_batch: 8,
+            queue_depth: 64,
+            probe: Duration::from_millis(300),
+            run: Duration::from_millis(900),
+        },
+        Scale::Paper => Params {
+            classes: 10,
+            width: 16,
+            image: 32,
+            workers: 4,
+            max_batch: 16,
+            queue_depth: 256,
+            probe: Duration::from_millis(500),
+            run: Duration::from_secs(5),
+        },
+    }
+}
+
+struct RunResult {
+    throughput: f64,
+    stats: ServerStats,
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let p = params(scale);
+    let host_threads = std::thread::available_parallelism().map_or(1, |v| v.get());
+    println!(
+        "serve bench  scale={}  host-threads={host_threads}  image=3x{}x{}  classes={}",
+        scale.label(),
+        p.image,
+        p.image,
+        p.classes
+    );
+
+    // --- the two model forms ---
+    let mut alf = plain20_alf(p.classes, p.width, AlfBlockConfig::paper_default(), 42)
+        .expect("build plain20-alf");
+    clip_masks(&mut alf, PRUNED_FRACTION);
+    let deployed = deploy::compress(&alf).expect("compress");
+    println!(
+        "pruned {:.0}% of code filters (remaining {:.0}%)",
+        100.0 * PRUNED_FRACTION,
+        100.0 * alf.remaining_filter_fraction()
+    );
+
+    let serve_cfg = ServeConfig {
+        workers: p.workers,
+        max_batch: p.max_batch,
+        max_wait: Duration::from_millis(1),
+        queue_depth: p.queue_depth,
+        ..ServeConfig::new(3, p.image, p.image)
+    };
+
+    let mut rng = Rng::new(7);
+    let pool: Vec<Tensor> = (0..64)
+        .map(|_| Tensor::randn(&[3, p.image, p.image], Init::Rand, &mut rng))
+        .collect();
+
+    // --- capacity probe (closed loop), then one shared offered rate ---
+    let cap_alf = probe_capacity(&alf, &serve_cfg, &pool, p.probe);
+    let cap_dep = probe_capacity(&deployed, &serve_cfg, &pool, p.probe);
+    let offered = 1.5 * cap_alf.max(cap_dep);
+    println!(
+        "capacity probe: uncompressed {cap_alf:.0} img/s, compressed {cap_dep:.0} img/s \
+         -> offered load {offered:.0} img/s"
+    );
+
+    // --- measured open-loop runs ---
+    let runs = [
+        ("plain20-alf (uncompressed)", &alf),
+        ("deployed-plain20-alf (compressed)", &deployed),
+    ];
+    let mut results = Vec::new();
+    println!(
+        "{:<36} {:>12} {:>9} {:>9} {:>9} {:>10} {:>9}",
+        "model", "img/s", "p50 ms", "p95 ms", "p99 ms", "occupancy", "rejected"
+    );
+    for (name, model) in runs {
+        let r = run_open_loop(model, &serve_cfg, &pool, offered, p.run);
+        println!(
+            "{:<36} {:>12.1} {:>9.3} {:>9.3} {:>9.3} {:>10.2} {:>9}",
+            name,
+            r.throughput,
+            r.stats.p50_ms,
+            r.stats.p95_ms,
+            r.stats.p99_ms,
+            r.stats.mean_batch_occupancy,
+            r.stats.rejected(),
+        );
+        results.push((name, r));
+    }
+
+    let speedup = results[1].1.throughput / results[0].1.throughput;
+    let rows: Vec<String> = results
+        .iter()
+        .map(|(name, r)| {
+            format!(
+                "{{\"model\":\"{name}\",\"throughput_img_s\":{:.2},\"stats\":{}}}",
+                r.throughput,
+                r.stats.to_json()
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\"bench\":\"serve\",\"scale\":\"{}\",\"host_threads\":{host_threads},\
+         \"config\":{{\"workers\":{},\"max_batch\":{},\"max_wait_ms\":1.0,\
+         \"queue_depth\":{},\"image\":[3,{},{}],\"classes\":{},\
+         \"pruned_fraction\":{PRUNED_FRACTION}}},\
+         \"offered_rate_img_s\":{offered:.2},\"runs\":[{}],\"speedup\":{speedup:.3}}}\n",
+        scale.label(),
+        p.workers,
+        p.max_batch,
+        p.queue_depth,
+        p.image,
+        p.image,
+        p.classes,
+        rows.join(",")
+    );
+    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+    println!("\ncompression speedup: {speedup:.2}x\nwrote BENCH_serve.json");
+
+    // Gate: deploy::compress must improve serving throughput.
+    if speedup <= 1.0 {
+        eprintln!(
+            "FAIL: compressed model served {speedup:.2}x the uncompressed throughput \
+             (expected > 1.0x)"
+        );
+        std::process::exit(1);
+    }
+}
+
+/// Clips the trailing `fraction` of every ALF block's mask entries so the
+/// code has exact zero filters for `deploy::compress` to strip.
+fn clip_masks(model: &mut CnnModel, fraction: f64) {
+    for block in model.alf_blocks_mut() {
+        let co = block.autoencoder().mask().len();
+        let keep = (((1.0 - fraction) * co as f64).ceil() as usize).clamp(1, co);
+        for j in keep..co {
+            block.autoencoder_mut().set_mask_value(j, 0.0);
+        }
+    }
+}
+
+/// Closed-loop capacity estimate: keep the pipeline full, count
+/// completions per second.
+fn probe_capacity(model: &CnnModel, cfg: &ServeConfig, pool: &[Tensor], duration: Duration) -> f64 {
+    let server = Server::start(model, cfg.clone()).expect("start probe server");
+    let inflight_target = (cfg.workers * cfg.max_batch * 2).min(cfg.queue_depth);
+    let mut inflight = VecDeque::new();
+    let mut submitted = 0usize;
+    let mut completed = 0u64;
+    let start = Instant::now();
+    while start.elapsed() < duration {
+        while inflight.len() < inflight_target {
+            match server.submit(pool[submitted % pool.len()].clone()) {
+                Ok(pending) => inflight.push_back(pending),
+                Err(_) => break,
+            }
+            submitted += 1;
+        }
+        if let Some(pending) = inflight.pop_front() {
+            pending.wait().expect("probe request failed");
+            completed += 1;
+        }
+    }
+    let elapsed = start.elapsed();
+    for pending in inflight {
+        let _ = pending.wait();
+    }
+    server.shutdown();
+    completed as f64 / elapsed.as_secs_f64()
+}
+
+/// Open-loop run at a fixed offered rate: requests arrive on schedule
+/// regardless of completions; the bounded queue sheds overload as typed
+/// rejections. Throughput is completions over the full window including
+/// the drain tail.
+fn run_open_loop(
+    model: &CnnModel,
+    cfg: &ServeConfig,
+    pool: &[Tensor],
+    rate_per_s: f64,
+    duration: Duration,
+) -> RunResult {
+    let server = Server::start(model, cfg.clone()).expect("start server");
+    let mut pendings = Vec::new();
+    let mut produced = 0u64;
+    let start = Instant::now();
+    while start.elapsed() < duration {
+        let due = (start.elapsed().as_secs_f64() * rate_per_s) as u64;
+        while produced < due {
+            let image = pool[(produced as usize) % pool.len()].clone();
+            if let Ok(pending) = server.submit(image) {
+                pendings.push(pending);
+            }
+            produced += 1;
+        }
+        std::thread::sleep(Duration::from_micros(200));
+    }
+    for pending in pendings {
+        pending.wait().expect("request failed");
+    }
+    let elapsed = start.elapsed();
+    server.shutdown();
+    let stats = server.stats();
+    RunResult {
+        throughput: stats.completed as f64 / elapsed.as_secs_f64(),
+        stats,
+    }
+}

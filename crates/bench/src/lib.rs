@@ -35,14 +35,27 @@ pub enum Scale {
 }
 
 impl Scale {
-    /// Parses `--scale {smoke|paper}` from `std::env::args`; defaults to
-    /// smoke.
+    /// Parses the scale from `std::env::args`: either `--scale
+    /// {smoke|paper}` or the bare shorthands `--smoke` / `--paper`.
+    /// Defaults to smoke.
     ///
     /// # Panics
     ///
-    /// Panics with a usage message on an unknown scale value.
+    /// Panics with a usage message on an unknown scale value or when both
+    /// shorthands are given.
     pub fn from_args() -> Self {
         let args: Vec<String> = std::env::args().collect();
+        let smoke_flag = args.iter().any(|a| a == "--smoke");
+        let paper_flag = args.iter().any(|a| a == "--paper");
+        if smoke_flag && paper_flag {
+            panic!("--smoke and --paper are mutually exclusive");
+        }
+        if smoke_flag {
+            return Scale::Smoke;
+        }
+        if paper_flag {
+            return Scale::Paper;
+        }
         match args
             .iter()
             .position(|a| a == "--scale")

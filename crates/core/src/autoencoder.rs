@@ -151,6 +151,14 @@ impl WeightAutoencoder {
         visitor(&mut self.mask);
     }
 
+    /// Read-only counterpart of [`WeightAutoencoder::visit_state`] — same
+    /// tensors, same order, through `&self`.
+    pub fn visit_state_ref(&self, visitor: &mut dyn FnMut(&Tensor)) {
+        visitor(&self.enc);
+        visitor(&self.dec);
+        visitor(&self.mask);
+    }
+
     /// Clipped mask `Mprune = 1{|m| > t}·m` (all-ones when the mask is
     /// disabled).
     pub fn pruned_mask(&self) -> Tensor {

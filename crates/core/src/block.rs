@@ -297,6 +297,14 @@ impl Layer for AlfBlock {
         self.expansion.visit_params(visitor);
     }
 
+    fn visit_params_ref(&self, visitor: &mut dyn FnMut(&Param)) {
+        visitor(&self.w);
+        if let Some(bn) = &self.inter_bn {
+            bn.visit_params_ref(visitor);
+        }
+        self.expansion.visit_params_ref(visitor);
+    }
+
     fn visit_state(&mut self, visitor: &mut dyn FnMut(&mut Tensor)) {
         // Checkpoints must capture both players: W plus the autoencoder's
         // Wenc/Wdec/M (the code conv's weight is derived and excluded).
@@ -306,6 +314,15 @@ impl Layer for AlfBlock {
             bn.visit_state(visitor);
         }
         self.expansion.visit_state(visitor);
+    }
+
+    fn visit_state_ref(&self, visitor: &mut dyn FnMut(&Tensor)) {
+        visitor(&self.w.value);
+        self.ae.visit_state_ref(visitor);
+        if let Some(bn) = &self.inter_bn {
+            bn.visit_state_ref(visitor);
+        }
+        self.expansion.visit_state_ref(visitor);
     }
 }
 

@@ -19,6 +19,11 @@ const MAGIC: &[u8; 8] = b"ALFCKPT1";
 
 /// Serialises the model's persistent state.
 ///
+/// Reads the model through the read-only state visitor
+/// ([`Layer::visit_state_ref`]), so a model that is merely borrowed —
+/// e.g. one being served by worker threads, snapshotted for a hot swap —
+/// can be checkpointed without exclusive access.
+///
 /// # Example
 ///
 /// ```
@@ -26,30 +31,28 @@ const MAGIC: &[u8; 8] = b"ALFCKPT1";
 /// use alf_core::checkpoint;
 ///
 /// # fn main() -> alf_core::Result<()> {
-/// let mut model = plain20(10, 4)?;
-/// let blob = checkpoint::save(&mut model);
+/// let model = plain20(10, 4)?;
+/// let blob = checkpoint::save(&model);
 /// let mut clone = plain20(10, 4)?;
 /// checkpoint::load(&mut clone, &blob)?;
 /// # Ok(())
 /// # }
 /// ```
-pub fn save(model: &mut CnnModel) -> Bytes {
-    let mut tensors: Vec<(Vec<usize>, Vec<f32>)> = Vec::new();
-    model.visit_state(&mut |t: &mut Tensor| {
-        tensors.push((t.dims().to_vec(), t.data().to_vec()));
-    });
+pub fn save(model: &CnnModel) -> Bytes {
+    let mut count = 0u32;
+    model.visit_state_ref(&mut |_| count += 1);
     let mut buf = BytesMut::new();
     buf.put_slice(MAGIC);
-    buf.put_u32_le(tensors.len() as u32);
-    for (dims, data) in tensors {
-        buf.put_u32_le(dims.len() as u32);
-        for d in dims {
+    buf.put_u32_le(count);
+    model.visit_state_ref(&mut |t: &Tensor| {
+        buf.put_u32_le(t.dims().len() as u32);
+        for &d in t.dims() {
             buf.put_u32_le(d as u32);
         }
-        for v in data {
+        for &v in t.data() {
             buf.put_f32_le(v);
         }
-    }
+    });
     buf.freeze()
 }
 
@@ -57,8 +60,9 @@ pub fn save(model: &mut CnnModel) -> Bytes {
 ///
 /// # Errors
 ///
-/// Returns an error when the blob is malformed, truncated, or its tensor
-/// structure does not exactly match the model's.
+/// Returns an error when the blob is malformed, truncated, carries bytes
+/// past the last tensor, or its tensor structure does not exactly match
+/// the model's.
 pub fn load(model: &mut CnnModel, blob: &[u8]) -> Result<()> {
     let mut bytes = Bytes::copy_from_slice(blob);
     let fail = |detail: String| ShapeError::new("checkpoint", detail);
@@ -90,6 +94,15 @@ pub fn load(model: &mut CnnModel, blob: &[u8]) -> Result<()> {
         }
         let data: Vec<f32> = (0..len).map(|_| bytes.get_f32_le()).collect();
         tensors.push(Tensor::from_vec(data, &dims)?);
+    }
+    // A well-formed blob ends exactly at the last tensor; trailing bytes
+    // mean the blob was produced by something else (or corrupted in a way
+    // the per-tensor checks cannot see), so reject loudly.
+    if bytes.remaining() > 0 {
+        return Err(fail(format!(
+            "{} trailing bytes after the last tensor",
+            bytes.remaining()
+        )));
     }
     // First pass: validate the structure without touching the model.
     let mut expected: Vec<Vec<usize>> = Vec::new();
@@ -134,7 +147,7 @@ mod tests {
     #[test]
     fn round_trip_restores_outputs_exactly() {
         let mut original = plain20_alf(4, 4, AlfBlockConfig::paper_default(), 1).unwrap();
-        let blob = save(&mut original);
+        let blob = save(&original);
         let before = probe_output(&mut original);
         // A freshly-initialised model with a different seed…
         let mut restored = plain20_alf(4, 4, AlfBlockConfig::paper_default(), 999).unwrap();
@@ -151,7 +164,7 @@ mod tests {
         a.alf_blocks_mut()[0]
             .autoencoder_mut()
             .set_mask_value(0, 0.0);
-        let blob = save(&mut a);
+        let blob = save(&a);
         let mut b = plain20_alf(4, 4, AlfBlockConfig::paper_default(), 3).unwrap();
         load(&mut b, &blob).unwrap();
         assert_eq!(b.alf_blocks_mut()[0].autoencoder().mask().data()[0], 0.0);
@@ -160,8 +173,8 @@ mod tests {
 
     #[test]
     fn mismatched_architecture_is_rejected() {
-        let mut small = plain20(4, 4).unwrap();
-        let blob = save(&mut small);
+        let small = plain20(4, 4).unwrap();
+        let blob = save(&small);
         let mut wide = plain20(4, 8).unwrap();
         assert!(load(&mut wide, &blob).is_err());
         // Vanilla vs ALF differ in state structure too.
@@ -177,7 +190,7 @@ mod tests {
     #[test]
     fn corrupted_blobs_are_rejected() {
         let mut model = plain20(4, 4).unwrap();
-        let blob = save(&mut model);
+        let blob = save(&model);
         assert!(load(&mut model, b"garbage").is_err());
         assert!(load(&mut model, &blob[..blob.len() / 2]).is_err());
         let mut bad_magic = blob.to_vec();
@@ -189,9 +202,53 @@ mod tests {
     fn failed_load_leaves_model_untouched() {
         let mut model = plain20(4, 4).unwrap();
         let before = probe_output(&mut model);
-        let mut other = plain20(4, 8).unwrap();
-        let blob = save(&mut other);
+        let other = plain20(4, 8).unwrap();
+        let blob = save(&other);
         assert!(load(&mut model, &blob).is_err());
         assert_eq!(probe_output(&mut model), before);
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut model = plain20_alf(4, 4, AlfBlockConfig::paper_default(), 5).unwrap();
+        let blob = save(&model);
+        // A structurally-valid blob followed by garbage must not load,
+        // for any amount of garbage (1 byte up to a whole extra tensor).
+        for extra in [1usize, 3, 4, 64] {
+            let mut padded = blob.to_vec();
+            padded.resize(padded.len() + extra, 0xAB);
+            let err = load(&mut model, &padded).unwrap_err();
+            assert!(
+                err.to_string().contains("trailing bytes"),
+                "unexpected error for {extra} extra bytes: {err}"
+            );
+        }
+        // The untouched blob still loads.
+        assert!(load(&mut model, &blob).is_ok());
+    }
+
+    #[test]
+    fn read_only_save_agrees_with_mut_visitor() {
+        // `save` reads through `visit_state_ref`; the load path walks
+        // `visit_state`. The two visitor orders are contractually
+        // identical — compare them tensor by tensor over a model that
+        // exercises every unit kind with state (conv, ALF block, BN,
+        // residual, classifier).
+        let mut model = resnet20(4, 4).unwrap();
+        let mut via_mut: Vec<(Vec<usize>, Vec<f32>)> = Vec::new();
+        model.visit_state(&mut |t: &mut Tensor| {
+            via_mut.push((t.dims().to_vec(), t.data().to_vec()));
+        });
+        let mut via_ref: Vec<(Vec<usize>, Vec<f32>)> = Vec::new();
+        model.visit_state_ref(&mut |t: &Tensor| {
+            via_ref.push((t.dims().to_vec(), t.data().to_vec()));
+        });
+        assert_eq!(via_mut, via_ref);
+        // Same for the parameter visitors (order and identity).
+        let mut params_mut = Vec::new();
+        model.visit_params(&mut |p| params_mut.push(p.value.data().to_vec()));
+        let mut params_ref = Vec::new();
+        model.visit_params_ref(&mut |p| params_ref.push(p.value.data().to_vec()));
+        assert_eq!(params_mut, params_ref);
     }
 }

@@ -111,6 +111,17 @@ impl Layer for ConvKind {
         }
     }
 
+    fn visit_params_ref(&self, v: &mut dyn FnMut(&Param)) {
+        match self {
+            ConvKind::Standard(c) => c.visit_params_ref(v),
+            ConvKind::Alf(b) => b.visit_params_ref(v),
+            ConvKind::Deployed { code, expansion } => {
+                code.visit_params_ref(v);
+                expansion.visit_params_ref(v);
+            }
+        }
+    }
+
     fn visit_state(&mut self, v: &mut dyn FnMut(&mut Tensor)) {
         match self {
             ConvKind::Standard(c) => c.visit_state(v),
@@ -118,6 +129,17 @@ impl Layer for ConvKind {
             ConvKind::Deployed { code, expansion } => {
                 code.visit_state(v);
                 expansion.visit_state(v);
+            }
+        }
+    }
+
+    fn visit_state_ref(&self, v: &mut dyn FnMut(&Tensor)) {
+        match self {
+            ConvKind::Standard(c) => c.visit_state_ref(v),
+            ConvKind::Alf(b) => b.visit_state_ref(v),
+            ConvKind::Deployed { code, expansion } => {
+                code.visit_state_ref(v);
+                expansion.visit_state_ref(v);
             }
         }
     }
@@ -234,9 +256,19 @@ impl Layer for ConvUnit {
         self.bn.visit_params(v);
     }
 
+    fn visit_params_ref(&self, v: &mut dyn FnMut(&Param)) {
+        self.conv.visit_params_ref(v);
+        self.bn.visit_params_ref(v);
+    }
+
     fn visit_state(&mut self, v: &mut dyn FnMut(&mut Tensor)) {
         self.conv.visit_state(v);
         self.bn.visit_state(v);
+    }
+
+    fn visit_state_ref(&self, v: &mut dyn FnMut(&Tensor)) {
+        self.conv.visit_state_ref(v);
+        self.bn.visit_state_ref(v);
     }
 }
 
@@ -400,9 +432,19 @@ impl Layer for ResidualUnit {
         self.b.visit_params(v);
     }
 
+    fn visit_params_ref(&self, v: &mut dyn FnMut(&Param)) {
+        self.a.visit_params_ref(v);
+        self.b.visit_params_ref(v);
+    }
+
     fn visit_state(&mut self, v: &mut dyn FnMut(&mut Tensor)) {
         self.a.visit_state(v);
         self.b.visit_state(v);
+    }
+
+    fn visit_state_ref(&self, v: &mut dyn FnMut(&Tensor)) {
+        self.a.visit_state_ref(v);
+        self.b.visit_state_ref(v);
     }
 }
 
@@ -464,10 +506,22 @@ impl Layer for FireUnit {
         self.expand3.visit_params(v);
     }
 
+    fn visit_params_ref(&self, v: &mut dyn FnMut(&Param)) {
+        self.squeeze.visit_params_ref(v);
+        self.expand1.visit_params_ref(v);
+        self.expand3.visit_params_ref(v);
+    }
+
     fn visit_state(&mut self, v: &mut dyn FnMut(&mut Tensor)) {
         self.squeeze.visit_state(v);
         self.expand1.visit_state(v);
         self.expand3.visit_state(v);
+    }
+
+    fn visit_state_ref(&self, v: &mut dyn FnMut(&Tensor)) {
+        self.squeeze.visit_state_ref(v);
+        self.expand1.visit_state_ref(v);
+        self.expand3.visit_state_ref(v);
     }
 }
 
@@ -504,6 +558,19 @@ impl Unit {
             Unit::Classifier(fc) => (fc, Some("fc")),
         }
     }
+
+    /// Shared-borrow counterpart of [`Unit::inner_mut`] for the read-only
+    /// visitors.
+    fn inner(&self) -> &dyn Layer {
+        match self {
+            Unit::Conv(cu) => cu,
+            Unit::Residual(r) => r,
+            Unit::Fire(f) => f,
+            Unit::MaxPool(mp) => mp,
+            Unit::GlobalPool(gp) => gp,
+            Unit::Classifier(fc) => fc,
+        }
+    }
 }
 
 impl Layer for Unit {
@@ -537,8 +604,16 @@ impl Layer for Unit {
         self.inner_mut().0.visit_params(v);
     }
 
+    fn visit_params_ref(&self, v: &mut dyn FnMut(&Param)) {
+        self.inner().visit_params_ref(v);
+    }
+
     fn visit_state(&mut self, v: &mut dyn FnMut(&mut Tensor)) {
         self.inner_mut().0.visit_state(v);
+    }
+
+    fn visit_state_ref(&self, v: &mut dyn FnMut(&Tensor)) {
+        self.inner().visit_state_ref(v);
     }
 }
 
@@ -792,9 +867,21 @@ impl Layer for CnnModel {
         }
     }
 
+    fn visit_params_ref(&self, visitor: &mut dyn FnMut(&Param)) {
+        for unit in &self.units {
+            unit.visit_params_ref(visitor);
+        }
+    }
+
     fn visit_state(&mut self, visitor: &mut dyn FnMut(&mut Tensor)) {
         for unit in &mut self.units {
             unit.visit_state(visitor);
+        }
+    }
+
+    fn visit_state_ref(&self, visitor: &mut dyn FnMut(&Tensor)) {
+        for unit in &self.units {
+            unit.visit_state_ref(visitor);
         }
     }
 }

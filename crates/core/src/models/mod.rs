@@ -434,7 +434,7 @@ mod tests {
     #[test]
     fn squeezenet_small_checkpoints() {
         let mut a = squeezenet_small(4, 4, ConvStyle::Standard, 12).unwrap();
-        let blob = crate::checkpoint::save(&mut a);
+        let blob = crate::checkpoint::save(&a);
         let mut b = squeezenet_small(4, 4, ConvStyle::Standard, 99).unwrap();
         crate::checkpoint::load(&mut b, &blob).unwrap();
         let x = Tensor::ones(&[1, 3, 8, 8]);

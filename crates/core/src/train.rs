@@ -306,7 +306,7 @@ impl AlfTrainer {
         }
         let test_accuracy =
             self.eval
-                .evaluate(&mut self.model, data, Split::Test, self.hyper.batch_size)?;
+                .evaluate(&self.model, data, Split::Test, self.hyper.batch_size)?;
         let stats = EpochStats {
             epoch: self.epoch,
             train_loss: loss_sum / batches.max(1) as f32,
@@ -351,16 +351,16 @@ impl Evaluator {
     /// Evaluates classification accuracy of `model` on a dataset split,
     /// fanning batches out over `crossbeam` scoped threads.
     ///
-    /// `model` is only mutated through its state visitor (values are read,
-    /// not changed); the signature is `&mut` because the visitor API is
-    /// mutable-only.
+    /// The source model is only read (through [`Layer::visit_state_ref`]),
+    /// so callers holding a shared borrow — e.g. a serving loop evaluating
+    /// the live model — can evaluate without cloning.
     ///
     /// # Errors
     ///
     /// Propagates shape errors from the model or data pipeline.
     pub fn evaluate(
         &mut self,
-        model: &mut CnnModel,
+        model: &CnnModel,
         data: &Dataset,
         split: Split,
         batch_size: usize,
@@ -413,11 +413,11 @@ impl Evaluator {
 
     /// Brings `threads` replicas up to date with `model`: in-place state
     /// copy where shapes line up, full re-clone otherwise.
-    fn sync_slots(&mut self, model: &mut CnnModel, threads: usize) {
+    fn sync_slots(&mut self, model: &CnnModel, threads: usize) {
         self.state.clear();
         self.shapes.clear();
         let (state, shapes) = (&mut self.state, &mut self.shapes);
-        model.visit_state(&mut |t: &mut Tensor| {
+        model.visit_state_ref(&mut |t: &Tensor| {
             state.extend_from_slice(t.data());
             shapes.push(t.dims().to_vec());
         });
@@ -456,17 +456,15 @@ fn restore_state(model: &mut CnnModel, state: &[f32], shapes: &[Vec<usize>]) -> 
 
 /// Evaluates classification accuracy of a model on a dataset split.
 ///
-/// Thin compatibility wrapper over [`Evaluator`] for callers holding only
-/// `&CnnModel`; it pays one model clone plus the per-thread replica clones
-/// every call. Loops that evaluate repeatedly should hold an [`Evaluator`]
-/// instead.
+/// Thin compatibility wrapper over [`Evaluator`] for one-shot callers; it
+/// pays the per-thread replica clones every call. Loops that evaluate
+/// repeatedly should hold an [`Evaluator`] instead.
 ///
 /// # Errors
 ///
 /// Propagates shape errors from the model or data pipeline.
 pub fn evaluate(model: &CnnModel, data: &Dataset, split: Split, batch_size: usize) -> Result<f32> {
-    let mut scratch = model.clone();
-    Evaluator::new().evaluate(&mut scratch, data, split, batch_size)
+    Evaluator::new().evaluate(model, data, split, batch_size)
 }
 
 #[cfg(test)]
@@ -567,13 +565,13 @@ mod tests {
     #[test]
     fn evaluator_reuses_replicas_and_matches_wrapper() {
         let data = small_data(7);
-        let mut model = plain20(4, 4).unwrap();
+        let model = plain20(4, 4).unwrap();
         let mut ev = Evaluator::new();
-        let a = ev.evaluate(&mut model, &data, Split::Test, 8).unwrap();
+        let a = ev.evaluate(&model, &data, Split::Test, 8).unwrap();
         let replicas = ev.replicas();
         assert!(replicas > 0);
         // Second run refreshes the same replicas in place.
-        let b = ev.evaluate(&mut model, &data, Split::Test, 8).unwrap();
+        let b = ev.evaluate(&model, &data, Split::Test, 8).unwrap();
         assert_eq!(a, b);
         assert_eq!(ev.replicas(), replicas);
         // The compat wrapper agrees.

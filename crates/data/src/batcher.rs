@@ -138,4 +138,57 @@ mod tests {
         let d = data();
         assert_eq!(d.batches(Split::Test, 0, None).batch_count(), 5);
     }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+
+            /// `size_hint` stays exact at every step of consumption and
+            /// agrees with `batch_count`, including a short final batch and
+            /// `batch_size > len` (single short batch).
+            #[test]
+            fn size_hint_and_batch_count_agree(
+                len in 1usize..24,
+                batch_size in 1usize..32,
+                seed in 0u64..1000,
+            ) {
+                let d = SynthVision::cifar_like(seed)
+                    .with_train_size(len)
+                    .with_test_size(1)
+                    .with_image_size(4)
+                    .with_max_shift(1)
+                    .build()
+                    .unwrap();
+                let mut it = d.batches(Split::Train, batch_size, None);
+                let expected_total = len.div_ceil(batch_size);
+                prop_assert_eq!(it.batch_count(), expected_total);
+                prop_assert_eq!(it.len(), expected_total);
+
+                let mut yielded = 0usize;
+                let mut samples = 0usize;
+                loop {
+                    let remaining = expected_total - yielded;
+                    prop_assert_eq!(it.size_hint(), (remaining, Some(remaining)));
+                    let Some(batch) = it.next() else { break };
+                    let (x, labels) = batch.unwrap();
+                    prop_assert_eq!(x.dims()[0], labels.len());
+                    yielded += 1;
+                    samples += labels.len();
+                    // Only the final batch may be short.
+                    if yielded < expected_total {
+                        prop_assert_eq!(labels.len(), batch_size);
+                    } else {
+                        let tail = len - (expected_total - 1) * batch_size;
+                        prop_assert_eq!(labels.len(), tail);
+                    }
+                }
+                prop_assert_eq!(yielded, expected_total);
+                prop_assert_eq!(samples, len);
+                prop_assert_eq!(it.size_hint(), (0, Some(0)));
+            }
+        }
+    }
 }

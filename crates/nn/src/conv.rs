@@ -346,6 +346,13 @@ impl Layer for Conv2d {
             visitor(b);
         }
     }
+
+    fn visit_params_ref(&self, visitor: &mut dyn FnMut(&Param)) {
+        visitor(&self.weight);
+        if let Some(b) = &self.bias {
+            visitor(b);
+        }
+    }
 }
 
 /// Computes the output of a fixed (non-trainable) convolution; a thin

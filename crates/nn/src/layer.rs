@@ -97,6 +97,17 @@ pub trait Layer: std::fmt::Debug {
         let _ = visitor;
     }
 
+    /// Read-only counterpart of [`Layer::visit_params`]: visits the same
+    /// parameters in the same order without requiring `&mut self`. This is
+    /// what lets checkpointing and replica synchronisation read a model
+    /// that is only borrowed immutably (e.g. a model concurrently served
+    /// by worker threads). Layers that override `visit_params` must
+    /// override this too — the two orders are contractually identical,
+    /// which `tests` assert model-wide.
+    fn visit_params_ref(&self, visitor: &mut dyn FnMut(&Param)) {
+        let _ = visitor;
+    }
+
     /// Zeroes all parameter gradients.
     fn zero_grads(&mut self) {
         self.visit_params(&mut |p| p.zero_grad());
@@ -108,6 +119,13 @@ pub trait Layer: std::fmt::Debug {
     /// checkpointing uses; layers with extra buffers must override it.
     fn visit_state(&mut self, visitor: &mut dyn FnMut(&mut Tensor)) {
         self.visit_params(&mut |p| visitor(&mut p.value));
+    }
+
+    /// Read-only counterpart of [`Layer::visit_state`]: the same tensors in
+    /// the same order through `&self`. Layers that override `visit_state`
+    /// (extra non-parameter buffers) must override this too.
+    fn visit_state_ref(&self, visitor: &mut dyn FnMut(&Tensor)) {
+        self.visit_params_ref(&mut |p| visitor(&p.value));
     }
 
     /// Number of trainable scalars in this layer.

@@ -158,6 +158,11 @@ impl Layer for Linear {
         visitor(&mut self.weight);
         visitor(&mut self.bias);
     }
+
+    fn visit_params_ref(&self, visitor: &mut dyn FnMut(&Param)) {
+        visitor(&self.weight);
+        visitor(&self.bias);
+    }
 }
 
 #[cfg(test)]

@@ -228,11 +228,23 @@ impl Layer for BatchNorm2d {
         visitor(&mut self.beta);
     }
 
+    fn visit_params_ref(&self, visitor: &mut dyn FnMut(&Param)) {
+        visitor(&self.gamma);
+        visitor(&self.beta);
+    }
+
     fn visit_state(&mut self, visitor: &mut dyn FnMut(&mut Tensor)) {
         visitor(&mut self.gamma.value);
         visitor(&mut self.beta.value);
         visitor(&mut self.running_mean);
         visitor(&mut self.running_var);
+    }
+
+    fn visit_state_ref(&self, visitor: &mut dyn FnMut(&Tensor)) {
+        visitor(&self.gamma.value);
+        visitor(&self.beta.value);
+        visitor(&self.running_mean);
+        visitor(&self.running_var);
     }
 }
 

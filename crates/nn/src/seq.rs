@@ -85,6 +85,12 @@ impl Layer for Sequential {
             layer.visit_params(visitor);
         }
     }
+
+    fn visit_params_ref(&self, visitor: &mut dyn FnMut(&crate::Param)) {
+        for layer in &self.layers {
+            layer.visit_params_ref(visitor);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,112 @@
+//! Batched inference serving for deployed ALF models.
+//!
+//! The paper's deployment story ends with [`alf_core::deploy::compress`]
+//! producing a dense `code conv → 1×1 expansion` network; this crate is
+//! the runtime that actually serves it. A [`Server`] accepts single-image
+//! classification requests on a bounded submission queue, coalesces them
+//! into dynamic micro-batches (flushing on `max_batch` or `max_wait`,
+//! whichever comes first) and fans the batches out to a pool of worker
+//! threads. Each worker owns a long-lived `(model, RunCtx)` [`Replica`],
+//! so after warm-up the per-batch arena traffic is zero — the same
+//! steady-state contract the training hot loop enforces in
+//! `tests/profiling.rs`.
+//!
+//! ```text
+//! submit() ──► bounded queue ──► micro-batcher ──► worker replicas
+//!    │              │                                   │
+//!    │         Overloaded /                        Prediction per
+//!    │         ShuttingDown                        request (Pending)
+//!    └── Pending ◄──────────────────────────────────────┘
+//! ```
+//!
+//! Operational features:
+//!
+//! * **Admission control.** The queue depth is bounded; a submit against a
+//!   full queue gets a typed [`ServeError::Overloaded`] rejection instead
+//!   of unbounded latency.
+//! * **Graceful shutdown.** [`Server::shutdown`] stops admissions, drains
+//!   every queued and in-flight request, and joins the workers; requests
+//!   arriving during the drain are rejected with
+//!   [`ServeError::ShuttingDown`] — nothing is silently dropped.
+//! * **Hot model swap.** [`Server::swap_checkpoint`] validates a new
+//!   checkpoint blob against a staging replica and then lets every worker
+//!   reload it *between* batches; requests in flight during the swap are
+//!   still answered.
+//! * **Observability.** [`Server::stats`] snapshots request counters, a
+//!   batch-size histogram and p50/p95/p99 latency from a fixed-bucket
+//!   log-scale histogram; the hot path touches only `Instant`.
+//!
+//! # Example
+//!
+//! ```
+//! use alf_core::models::plain20;
+//! use alf_serve::{ServeConfig, Server};
+//! use alf_tensor::Tensor;
+//!
+//! # fn main() -> alf_serve::Result<()> {
+//! let model = plain20(4, 4).expect("model");
+//! let server = Server::start(&model, ServeConfig::new(3, 12, 12))?;
+//! let pending = server.submit(Tensor::zeros(&[3, 12, 12]))?;
+//! let prediction = pending.wait()?;
+//! assert!(prediction.class < 4);
+//! server.shutdown();
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod replica;
+mod server;
+mod stats;
+
+pub use replica::{Prediction, Replica};
+pub use server::{Pending, ServeConfig, Server};
+pub use stats::{LatencyHistogram, ServerStats};
+
+use std::fmt;
+
+/// Typed serving failures. Rejections ([`ServeError::Overloaded`],
+/// [`ServeError::ShuttingDown`]) are part of the protocol — a caller that
+/// receives one knows its request was never enqueued.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The submission queue was full; the request was not admitted.
+    Overloaded {
+        /// The configured queue bound that was hit.
+        queue_depth: usize,
+    },
+    /// The server is draining (or already stopped); the request was not
+    /// admitted.
+    ShuttingDown,
+    /// The request (or configuration) is malformed — e.g. wrong image
+    /// dimensions.
+    BadRequest(String),
+    /// A hot-swap blob failed validation; the serving model is unchanged.
+    BadCheckpoint(String),
+    /// A model forward failed while serving a batch.
+    Internal(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Overloaded { queue_depth } => {
+                write!(
+                    f,
+                    "submission queue full ({queue_depth} waiting); retry later"
+                )
+            }
+            ServeError::ShuttingDown => write!(f, "server is shutting down; request rejected"),
+            ServeError::BadRequest(detail) => write!(f, "bad request: {detail}"),
+            ServeError::BadCheckpoint(detail) => write!(f, "bad checkpoint: {detail}"),
+            ServeError::Internal(detail) => write!(f, "internal serving error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, ServeError>;

@@ -1,0 +1,682 @@
+//! The serving engine: bounded admission queue, worker-side dynamic
+//! micro-batching, hot checkpoint swap and graceful drain.
+//!
+//! Concurrency layout (std primitives only — the vendored `crossbeam`
+//! carries just scoped threads, which long-lived workers cannot use):
+//!
+//! * One `Mutex<QueueState>` + `Condvar` carries requests and the drain
+//!   flag. Workers coalesce batches *pull-side*: the worker that pops the
+//!   first request keeps popping until `max_batch` or until
+//!   `first.enqueued + max_wait` passes (waiting on the condvar with a
+//!   timeout in between), so batching adds no dedicated batcher thread
+//!   and no per-request wakeup churn.
+//! * Hot swap is a versioned blob behind its own mutex: `swap_checkpoint`
+//!   validates against a staging replica, then publishes the blob with a
+//!   bumped version (`AtomicU64`, release). Workers compare the version
+//!   before every batch (acquire) and reload between batches — in-flight
+//!   requests always run on a consistent model.
+//! * Per-request responses travel through a oneshot `ResponseSlot`
+//!   (`Mutex<Option<..>>` + `Condvar`) handed back to the caller as a
+//!   [`Pending`].
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use alf_core::checkpoint;
+use alf_core::model::CnnModel;
+use alf_tensor::Tensor;
+
+use crate::replica::{Prediction, Replica};
+use crate::stats::{LatencyHistogram, ServerStats};
+use crate::{Result, ServeError};
+
+/// Serving configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Worker threads, each owning one model replica.
+    pub workers: usize,
+    /// Largest micro-batch a worker will coalesce.
+    pub max_batch: usize,
+    /// Longest a request waits for batch-mates before its batch flushes.
+    pub max_wait: Duration,
+    /// Admission bound: submissions beyond this many queued requests are
+    /// rejected with [`ServeError::Overloaded`].
+    pub queue_depth: usize,
+    /// Image channels.
+    pub channels: usize,
+    /// Image height.
+    pub height: usize,
+    /// Image width.
+    pub width: usize,
+    /// Run each replica at `max_batch` and at 1 before serving, so the
+    /// arenas reach steady state ahead of the first real request.
+    pub prewarm: bool,
+}
+
+impl ServeConfig {
+    /// Defaults for a `[channels, height, width]` input geometry: 2
+    /// workers, batches of up to 8, 2 ms batching window, 64-deep queue,
+    /// prewarm on.
+    pub fn new(channels: usize, height: usize, width: usize) -> Self {
+        Self {
+            workers: 2,
+            max_batch: 8,
+            max_wait: Duration::from_millis(2),
+            queue_depth: 64,
+            channels,
+            height,
+            width,
+            prewarm: true,
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        let bad = |what: &str| Err(ServeError::BadRequest(format!("config: {what}")));
+        if self.workers == 0 {
+            return bad("workers must be >= 1");
+        }
+        if self.max_batch == 0 {
+            return bad("max_batch must be >= 1");
+        }
+        if self.queue_depth == 0 {
+            return bad("queue_depth must be >= 1");
+        }
+        if self.channels == 0 || self.height == 0 || self.width == 0 {
+            return bad("image dims must be non-zero");
+        }
+        Ok(())
+    }
+}
+
+#[derive(Debug, Default)]
+struct ResponseSlot {
+    result: Mutex<Option<Result<Prediction>>>,
+    cv: Condvar,
+}
+
+impl ResponseSlot {
+    fn fill(&self, r: Result<Prediction>) {
+        *self.result.lock().expect("response slot poisoned") = Some(r);
+        self.cv.notify_all();
+    }
+}
+
+/// Handle to an admitted request; resolves to the prediction once its
+/// batch has been served (or to the batch's error).
+#[derive(Debug)]
+pub struct Pending {
+    slot: Arc<ResponseSlot>,
+}
+
+impl Pending {
+    /// Blocks until the request is answered.
+    ///
+    /// # Errors
+    ///
+    /// Returns the serving error of this request's batch, if any.
+    pub fn wait(self) -> Result<Prediction> {
+        let mut guard = self.slot.result.lock().expect("response slot poisoned");
+        loop {
+            if let Some(r) = guard.take() {
+                return r;
+            }
+            guard = self.slot.cv.wait(guard).expect("response slot poisoned");
+        }
+    }
+}
+
+#[derive(Debug)]
+struct QueuedRequest {
+    image: Tensor,
+    enqueued: Instant,
+    slot: Arc<ResponseSlot>,
+}
+
+#[derive(Debug, Default)]
+struct QueueState {
+    items: VecDeque<QueuedRequest>,
+    draining: bool,
+}
+
+#[derive(Debug)]
+struct SwapState {
+    /// Architecture validator: a blob must load here before workers see it.
+    staging: CnnModel,
+    blob: Arc<Vec<u8>>,
+    version: u64,
+}
+
+#[derive(Debug, Default)]
+struct Hists {
+    latency: LatencyHistogram,
+    batch: Vec<u64>,
+    occupancy_sum: u64,
+}
+
+#[derive(Debug)]
+struct Shared {
+    cfg: ServeConfig,
+    queue: Mutex<QueueState>,
+    queue_cv: Condvar,
+    swap: Mutex<SwapState>,
+    swap_version: AtomicU64,
+    freeze: AtomicBool,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    rejected_overloaded: AtomicU64,
+    rejected_shutdown: AtomicU64,
+    swaps: AtomicU64,
+    batches: AtomicU64,
+    hists: Mutex<Hists>,
+    /// Per-worker cumulative arena allocation-event counters, published
+    /// after every batch; tests sum them across a frozen window to assert
+    /// the zero-allocation steady state.
+    worker_alloc_events: Vec<AtomicU64>,
+}
+
+/// A running inference server. See the crate docs for the architecture.
+#[derive(Debug)]
+pub struct Server {
+    shared: Arc<Shared>,
+    handles: Mutex<Option<Vec<JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Validates the configuration, builds one prewarmed replica per
+    /// worker from `model`, and starts the worker pool.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadRequest`] for an invalid configuration or a model
+    /// that rejects the configured geometry.
+    pub fn start(model: &CnnModel, cfg: ServeConfig) -> Result<Self> {
+        cfg.validate()?;
+        let dims = [cfg.channels, cfg.height, cfg.width];
+        let mut replicas = Vec::with_capacity(cfg.workers);
+        for _ in 0..cfg.workers {
+            let mut replica = Replica::new(model.clone(), dims)?;
+            if cfg.prewarm {
+                replica.prewarm(cfg.max_batch)?;
+            }
+            replicas.push(replica);
+        }
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(QueueState::default()),
+            queue_cv: Condvar::new(),
+            swap: Mutex::new(SwapState {
+                staging: model.clone(),
+                blob: Arc::new(Vec::new()),
+                version: 0,
+            }),
+            swap_version: AtomicU64::new(0),
+            freeze: AtomicBool::new(false),
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            rejected_overloaded: AtomicU64::new(0),
+            rejected_shutdown: AtomicU64::new(0),
+            swaps: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            hists: Mutex::new(Hists {
+                latency: LatencyHistogram::new(),
+                batch: vec![0; cfg.max_batch + 1],
+                occupancy_sum: 0,
+            }),
+            worker_alloc_events: (0..cfg.workers).map(|_| AtomicU64::new(0)).collect(),
+            cfg,
+        });
+        let handles = replicas
+            .into_iter()
+            .enumerate()
+            .map(|(i, replica)| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("alf-serve-{i}"))
+                    .spawn(move || worker_loop(i, replica, shared))
+                    .expect("spawn serving worker")
+            })
+            .collect();
+        Ok(Self {
+            shared,
+            handles: Mutex::new(Some(handles)),
+        })
+    }
+
+    /// The configuration this server was started with.
+    pub fn config(&self) -> &ServeConfig {
+        &self.shared.cfg
+    }
+
+    /// Submits one `[C, H, W]` image for classification.
+    ///
+    /// # Errors
+    ///
+    /// * [`ServeError::BadRequest`] — wrong image geometry (not counted as
+    ///   a queue rejection; the request was never a queue candidate).
+    /// * [`ServeError::Overloaded`] — the queue is at `queue_depth`.
+    /// * [`ServeError::ShuttingDown`] — the server is draining.
+    pub fn submit(&self, image: Tensor) -> Result<Pending> {
+        let cfg = &self.shared.cfg;
+        let want = [cfg.channels, cfg.height, cfg.width];
+        if image.dims() != want {
+            return Err(ServeError::BadRequest(format!(
+                "expected {:?} image, got {:?}",
+                want,
+                image.dims()
+            )));
+        }
+        let slot = Arc::new(ResponseSlot::default());
+        {
+            let mut queue = self.shared.queue.lock().expect("queue poisoned");
+            if queue.draining {
+                self.shared
+                    .rejected_shutdown
+                    .fetch_add(1, Ordering::Relaxed);
+                return Err(ServeError::ShuttingDown);
+            }
+            if queue.items.len() >= cfg.queue_depth {
+                self.shared
+                    .rejected_overloaded
+                    .fetch_add(1, Ordering::Relaxed);
+                return Err(ServeError::Overloaded {
+                    queue_depth: cfg.queue_depth,
+                });
+            }
+            queue.items.push_back(QueuedRequest {
+                image,
+                enqueued: Instant::now(),
+                slot: Arc::clone(&slot),
+            });
+        }
+        self.shared.queue_cv.notify_one();
+        self.shared.submitted.fetch_add(1, Ordering::Relaxed);
+        Ok(Pending { slot })
+    }
+
+    /// Validates `blob` against the staging replica and, on success,
+    /// publishes it; every worker reloads it before its next batch. No
+    /// queued or in-flight request is dropped by a swap.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadCheckpoint`] when the blob is malformed or does
+    /// not match the serving architecture; the serving model is unchanged.
+    pub fn swap_checkpoint(&self, blob: &[u8]) -> Result<()> {
+        let mut swap = self.shared.swap.lock().expect("swap state poisoned");
+        checkpoint::load(&mut swap.staging, blob)
+            .map_err(|e| ServeError::BadCheckpoint(e.to_string()))?;
+        swap.blob = Arc::new(blob.to_vec());
+        swap.version += 1;
+        self.shared
+            .swap_version
+            .store(swap.version, Ordering::Release);
+        drop(swap);
+        self.shared.swaps.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Hot-swaps to the state of `model` (same architecture) by
+    /// serialising it through the read-only state visitor — the source
+    /// model only needs a shared borrow, so a trainer can push its live
+    /// model into the server without handing over `&mut`.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Server::swap_checkpoint`].
+    pub fn swap_model(&self, model: &CnnModel) -> Result<()> {
+        self.swap_checkpoint(&checkpoint::save(model))
+    }
+
+    /// Stops admissions, serves every already-admitted request, then joins
+    /// the workers. Idempotent; concurrent callers after the first return
+    /// once the drain they observe is complete.
+    pub fn shutdown(&self) {
+        {
+            let mut queue = self.shared.queue.lock().expect("queue poisoned");
+            queue.draining = true;
+        }
+        self.shared.queue_cv.notify_all();
+        let handles = self.handles.lock().expect("handles poisoned").take();
+        if let Some(handles) = handles {
+            for h in handles {
+                let _ = h.join();
+            }
+        }
+    }
+
+    /// Point-in-time statistics snapshot.
+    pub fn stats(&self) -> ServerStats {
+        let hists = self.shared.hists.lock().expect("hists poisoned");
+        let batches = self.shared.batches.load(Ordering::Relaxed);
+        ServerStats {
+            submitted: self.shared.submitted.load(Ordering::Relaxed),
+            completed: self.shared.completed.load(Ordering::Relaxed),
+            rejected_overloaded: self.shared.rejected_overloaded.load(Ordering::Relaxed),
+            rejected_shutdown: self.shared.rejected_shutdown.load(Ordering::Relaxed),
+            swaps: self.shared.swaps.load(Ordering::Relaxed),
+            batches,
+            batch_histogram: hists.batch.clone(),
+            mean_batch_occupancy: if batches > 0 {
+                hists.occupancy_sum as f64 / batches as f64
+            } else {
+                0.0
+            },
+            p50_ms: hists.latency.quantile_ms(0.50),
+            p95_ms: hists.latency.quantile_ms(0.95),
+            p99_ms: hists.latency.quantile_ms(0.99),
+        }
+    }
+
+    /// Asks every worker to freeze (or thaw) its arena before its next
+    /// batch. With prewarm on, a frozen steady state must not allocate —
+    /// growth trips the arena's debug assertion and bumps the counters
+    /// read by [`Server::arena_alloc_events`].
+    pub fn freeze_arenas(&self, on: bool) {
+        self.shared.freeze.store(on, Ordering::Release);
+    }
+
+    /// Sum of all workers' cumulative arena allocation-event counters
+    /// (published after each batch). Constant across a window ⇒ no arena
+    /// allocation happened in that window.
+    pub fn arena_alloc_events(&self) -> u64 {
+        self.shared
+            .worker_alloc_events
+            .iter()
+            .map(|a| a.load(Ordering::Acquire))
+            .sum()
+    }
+
+    /// Requests currently waiting in the submission queue.
+    pub fn queue_len(&self) -> usize {
+        self.shared
+            .queue
+            .lock()
+            .expect("queue poisoned")
+            .items
+            .len()
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(index: usize, mut replica: Replica, shared: Arc<Shared>) {
+    let cfg = &shared.cfg;
+    let mut seen_version = 0u64;
+    let mut frozen = false;
+    // Publish the post-prewarm baseline so `arena_alloc_events` reads the
+    // same value whether or not this worker has served a batch yet.
+    shared.worker_alloc_events[index].store(replica.ctx().ws.alloc_events(), Ordering::Release);
+    loop {
+        // ---- coalesce one micro-batch (pull-side batching) ----
+        let mut batch: Vec<QueuedRequest> = Vec::with_capacity(cfg.max_batch);
+        {
+            let mut queue = shared.queue.lock().expect("queue poisoned");
+            loop {
+                if let Some(first) = queue.items.pop_front() {
+                    batch.push(first);
+                    break;
+                }
+                if queue.draining {
+                    return; // queue empty + draining ⇒ done
+                }
+                queue = shared.queue_cv.wait(queue).expect("queue poisoned");
+            }
+            let deadline = batch[0].enqueued + cfg.max_wait;
+            while batch.len() < cfg.max_batch {
+                if let Some(next) = queue.items.pop_front() {
+                    batch.push(next);
+                    continue;
+                }
+                if queue.draining {
+                    break; // flush immediately during drain
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (guard, _timeout) = shared
+                    .queue_cv
+                    .wait_timeout(queue, deadline - now)
+                    .expect("queue poisoned");
+                queue = guard;
+            }
+            // A coalescing wait may have consumed a wakeup aimed at an
+            // idle sibling; if work remains, pass the baton.
+            if !queue.items.is_empty() {
+                shared.queue_cv.notify_one();
+            }
+        }
+
+        // ---- apply a pending hot swap between batches ----
+        if shared.swap_version.load(Ordering::Acquire) != seen_version {
+            let swap = shared.swap.lock().expect("swap state poisoned");
+            // The staging replica already validated this blob; a failure
+            // here would mean this replica diverged from staging, in which
+            // case we keep serving the old weights rather than die.
+            let _ = replica.load_checkpoint(&swap.blob);
+            seen_version = swap.version;
+        }
+
+        // ---- honour freeze/thaw requests outside the serving path ----
+        let want_freeze = shared.freeze.load(Ordering::Acquire);
+        if want_freeze != frozen {
+            if want_freeze {
+                replica.ctx_mut().ws.freeze();
+            } else {
+                replica.ctx_mut().ws.thaw();
+            }
+            frozen = want_freeze;
+        }
+
+        // ---- serve the batch ----
+        let images: Vec<&Tensor> = batch.iter().map(|r| &r.image).collect();
+        let outcome = replica.run_batch(&images);
+        drop(images);
+        shared.worker_alloc_events[index].store(replica.ctx().ws.alloc_events(), Ordering::Release);
+        match outcome {
+            Ok(predictions) => {
+                let n = batch.len();
+                shared.batches.fetch_add(1, Ordering::Relaxed);
+                shared.completed.fetch_add(n as u64, Ordering::Relaxed);
+                {
+                    let mut hists = shared.hists.lock().expect("hists poisoned");
+                    hists.batch[n] += 1;
+                    hists.occupancy_sum += n as u64;
+                    for request in &batch {
+                        hists.latency.record(request.enqueued.elapsed());
+                    }
+                }
+                for (request, prediction) in batch.into_iter().zip(predictions) {
+                    request.slot.fill(Ok(prediction));
+                }
+            }
+            Err(e) => {
+                // Every request of a failed batch is answered with the
+                // error — "answered or explicitly rejected", never lost.
+                shared
+                    .completed
+                    .fetch_add(batch.len() as u64, Ordering::Relaxed);
+                for request in batch {
+                    request.slot.fill(Err(e.clone()));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alf_core::models::plain20;
+    use alf_nn::layer::Layer;
+
+    fn tiny_config() -> ServeConfig {
+        ServeConfig {
+            workers: 2,
+            max_batch: 4,
+            max_wait: Duration::from_millis(1),
+            queue_depth: 32,
+            prewarm: true,
+            ..ServeConfig::new(3, 12, 12)
+        }
+    }
+
+    fn image(seed: usize) -> Tensor {
+        Tensor::from_fn(&[3, 12, 12], move |i| ((i + seed) % 13) as f32 * 0.1)
+    }
+
+    #[test]
+    fn config_validation_catches_zeroes() {
+        let model = plain20(4, 4).unwrap();
+        for broken in [
+            ServeConfig {
+                workers: 0,
+                ..tiny_config()
+            },
+            ServeConfig {
+                max_batch: 0,
+                ..tiny_config()
+            },
+            ServeConfig {
+                queue_depth: 0,
+                ..tiny_config()
+            },
+            ServeConfig {
+                channels: 0,
+                ..tiny_config()
+            },
+        ] {
+            assert!(matches!(
+                Server::start(&model, broken),
+                Err(ServeError::BadRequest(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn serves_requests_and_counts_them() {
+        let model = plain20(4, 4).unwrap();
+        let server = Server::start(&model, tiny_config()).unwrap();
+        let pendings: Vec<Pending> = (0..10).map(|i| server.submit(image(i)).unwrap()).collect();
+        for p in pendings {
+            let prediction = p.wait().unwrap();
+            assert!(prediction.class < 4);
+            assert_eq!(prediction.logits.dims(), &[4]);
+        }
+        server.shutdown();
+        let stats = server.stats();
+        assert_eq!(stats.submitted, 10);
+        assert_eq!(stats.completed, 10);
+        assert_eq!(stats.rejected(), 0);
+        assert!(stats.batches >= 1);
+        let histogrammed: u64 = stats.batch_histogram.iter().sum();
+        assert_eq!(histogrammed, stats.batches);
+        assert!(stats.mean_batch_occupancy >= 1.0);
+        assert!(stats.p50_ms > 0.0 && stats.p50_ms <= stats.p99_ms);
+    }
+
+    #[test]
+    fn wrong_geometry_is_rejected_before_queueing() {
+        let model = plain20(4, 4).unwrap();
+        let server = Server::start(&model, tiny_config()).unwrap();
+        let err = server.submit(Tensor::zeros(&[3, 8, 8])).unwrap_err();
+        assert!(matches!(err, ServeError::BadRequest(_)));
+        assert_eq!(server.stats().submitted, 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_rejects_late_submits() {
+        let model = plain20(4, 4).unwrap();
+        let server = Server::start(&model, tiny_config()).unwrap();
+        let pending = server.submit(image(0)).unwrap();
+        server.shutdown();
+        server.shutdown(); // second call is a no-op
+        assert!(pending.wait().is_ok(), "queued request served during drain");
+        assert_eq!(
+            server.submit(image(1)).unwrap_err(),
+            ServeError::ShuttingDown
+        );
+        assert_eq!(server.stats().rejected_shutdown, 1);
+    }
+
+    #[test]
+    fn overload_rejection_is_typed_and_counted() {
+        let model = plain20(4, 4).unwrap();
+        // One worker with a long batching window and a tiny queue: fill
+        // the in-flight batch, then the queue, then watch rejections.
+        let cfg = ServeConfig {
+            workers: 1,
+            max_batch: 1,
+            max_wait: Duration::from_millis(50),
+            queue_depth: 2,
+            ..tiny_config()
+        };
+        let server = Server::start(&model, cfg).unwrap();
+        let mut pendings = Vec::new();
+        let mut overloaded = 0usize;
+        for i in 0..64 {
+            match server.submit(image(i)) {
+                Ok(p) => pendings.push(p),
+                Err(ServeError::Overloaded { queue_depth }) => {
+                    assert_eq!(queue_depth, 2);
+                    overloaded += 1;
+                }
+                Err(other) => panic!("unexpected rejection {other}"),
+            }
+        }
+        assert!(overloaded > 0, "queue never filled");
+        for p in pendings {
+            p.wait().unwrap();
+        }
+        server.shutdown();
+        let stats = server.stats();
+        assert_eq!(stats.rejected_overloaded, overloaded as u64);
+        assert_eq!(stats.submitted + stats.rejected(), 64);
+        assert_eq!(stats.completed, stats.submitted);
+    }
+
+    #[test]
+    fn swap_rejects_garbage_and_mismatched_architectures() {
+        let model = plain20(4, 4).unwrap();
+        let server = Server::start(&model, tiny_config()).unwrap();
+        assert!(matches!(
+            server.swap_checkpoint(b"not a checkpoint"),
+            Err(ServeError::BadCheckpoint(_))
+        ));
+        let wide = plain20(4, 8).unwrap();
+        assert!(matches!(
+            server.swap_model(&wide),
+            Err(ServeError::BadCheckpoint(_))
+        ));
+        assert_eq!(server.stats().swaps, 0);
+        // Serving still works on the original weights.
+        assert!(server.submit(image(3)).unwrap().wait().is_ok());
+        server.shutdown();
+    }
+
+    #[test]
+    fn hot_swap_changes_answers_without_dropping_requests() {
+        let model = plain20(4, 4).unwrap();
+        let server = Server::start(&model, tiny_config()).unwrap();
+        let probe = image(5);
+        let before = server.submit(probe.clone()).unwrap().wait().unwrap();
+        let mut swapped = plain20(4, 4).unwrap();
+        swapped.visit_params(&mut |p| {
+            for v in p.value.data_mut() {
+                *v += 0.1;
+            }
+        });
+        server.swap_model(&swapped).unwrap();
+        let after = server.submit(probe).unwrap().wait().unwrap();
+        assert_ne!(before.logits, after.logits);
+        assert_eq!(server.stats().swaps, 1);
+        server.shutdown();
+    }
+}

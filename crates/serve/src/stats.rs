@@ -1,0 +1,222 @@
+//! Serving observability: a fixed-bucket latency histogram and the
+//! [`ServerStats`] snapshot assembled from it.
+
+use std::time::Duration;
+
+/// Sub-buckets per octave. Quarter-octave resolution bounds the relative
+/// quantile error at `2^(1/4) − 1 ≈ 19%` of the reported value.
+const SUB_BUCKETS: usize = 4;
+/// Octaves covered, starting at 1 µs; the last bucket is a catch-all for
+/// anything slower than `1 µs · 2^30 ≈ 18 min`.
+const OCTAVES: usize = 30;
+const BUCKETS: usize = SUB_BUCKETS * OCTAVES;
+
+/// Fixed-bucket, log-scale latency histogram.
+///
+/// The bucket layout is decided at compile time, so [`record`] is a
+/// branch, a `log2` and two increments — no allocation, no syscalls. That
+/// keeps it safe to call from the serving hot path, where the only clock
+/// source is `Instant`.
+///
+/// [`record`]: LatencyHistogram::record
+///
+/// # Example
+///
+/// ```
+/// use alf_serve::LatencyHistogram;
+/// use std::time::Duration;
+///
+/// let mut h = LatencyHistogram::new();
+/// for ms in [1u64, 2, 3, 100] {
+///     h.record(Duration::from_millis(ms));
+/// }
+/// assert_eq!(h.total(), 4);
+/// assert!(h.quantile_ms(0.5) >= 2.0);
+/// assert!(h.quantile_ms(1.0) >= 100.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl LatencyHistogram {
+    /// Empty histogram. The bucket vector is the only allocation this type
+    /// ever makes.
+    pub fn new() -> Self {
+        Self {
+            counts: vec![0; BUCKETS],
+            total: 0,
+        }
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, latency: Duration) {
+        let ns = latency.as_nanos().min(u128::from(u64::MAX)) as u64;
+        self.counts[Self::bucket(ns)] += 1;
+        self.total += 1;
+    }
+
+    /// Number of recorded samples.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile sample, in
+    /// milliseconds (0.0 for an empty histogram). `q` is clamped to
+    /// `[0, 1]`.
+    pub fn quantile_ms(&self, q: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Self::upper_bound_ns(i) / 1e6;
+            }
+        }
+        Self::upper_bound_ns(BUCKETS - 1) / 1e6
+    }
+
+    fn bucket(ns: u64) -> usize {
+        if ns <= 1_000 {
+            return 0;
+        }
+        let octaves = (ns as f64 / 1_000.0).log2();
+        ((octaves * SUB_BUCKETS as f64) as usize).min(BUCKETS - 1)
+    }
+
+    fn upper_bound_ns(bucket: usize) -> f64 {
+        1_000.0 * 2f64.powf((bucket + 1) as f64 / SUB_BUCKETS as f64)
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Point-in-time snapshot of a [`Server`](crate::Server)'s counters and
+/// distributions. Counters are monotone; a snapshot taken after
+/// [`shutdown`](crate::Server::shutdown) is final.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerStats {
+    /// Requests admitted to the queue.
+    pub submitted: u64,
+    /// Requests answered with a prediction (or a per-batch error).
+    pub completed: u64,
+    /// Requests rejected because the queue was full.
+    pub rejected_overloaded: u64,
+    /// Requests rejected because the server was draining.
+    pub rejected_shutdown: u64,
+    /// Successful hot swaps applied so far.
+    pub swaps: u64,
+    /// Micro-batches executed.
+    pub batches: u64,
+    /// `batch_histogram[n]` = number of batches carrying exactly `n`
+    /// requests; index 0 is unused (batches are never empty).
+    pub batch_histogram: Vec<u64>,
+    /// Mean requests per executed batch (0.0 before the first batch).
+    pub mean_batch_occupancy: f64,
+    /// Median queue-to-response latency, milliseconds.
+    pub p50_ms: f64,
+    /// 95th-percentile latency, milliseconds.
+    pub p95_ms: f64,
+    /// 99th-percentile latency, milliseconds.
+    pub p99_ms: f64,
+}
+
+impl ServerStats {
+    /// Total typed rejections (overload + shutdown).
+    pub fn rejected(&self) -> u64 {
+        self.rejected_overloaded + self.rejected_shutdown
+    }
+
+    /// One JSON object (hand-rolled — the workspace is offline and carries
+    /// no JSON dependency).
+    pub fn to_json(&self) -> String {
+        let hist: Vec<String> = self.batch_histogram.iter().map(u64::to_string).collect();
+        format!(
+            "{{\"submitted\":{},\"completed\":{},\"rejected_overloaded\":{},\
+             \"rejected_shutdown\":{},\"swaps\":{},\"batches\":{},\
+             \"batch_histogram\":[{}],\"mean_batch_occupancy\":{:.4},\
+             \"p50_ms\":{:.4},\"p95_ms\":{:.4},\"p99_ms\":{:.4}}}",
+            self.submitted,
+            self.completed,
+            self.rejected_overloaded,
+            self.rejected_shutdown,
+            self.swaps,
+            self.batches,
+            hist.join(","),
+            self.mean_batch_occupancy,
+            self.p50_ms,
+            self.p95_ms,
+            self.p99_ms,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.quantile_ms(0.5), 0.0);
+        assert_eq!(h.quantile_ms(0.99), 0.0);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bracket_samples() {
+        let mut h = LatencyHistogram::new();
+        for ms in 1..=100u64 {
+            h.record(Duration::from_millis(ms));
+        }
+        let p50 = h.quantile_ms(0.50);
+        let p95 = h.quantile_ms(0.95);
+        let p99 = h.quantile_ms(0.99);
+        assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+        // The reported bound must sit within one bucket (≤ 19%) above the
+        // exact quantile and never below it.
+        assert!((50.0..=60.0).contains(&p50), "p50 {p50}");
+        assert!((95.0..=114.0).contains(&p95), "p95 {p95}");
+        assert!((99.0..=119.0).contains(&p99), "p99 {p99}");
+    }
+
+    #[test]
+    fn extreme_samples_stay_in_range() {
+        let mut h = LatencyHistogram::new();
+        h.record(Duration::from_nanos(1));
+        h.record(Duration::from_secs(100_000));
+        assert_eq!(h.total(), 2);
+        assert!(h.quantile_ms(0.0) > 0.0);
+        assert!(h.quantile_ms(1.0).is_finite());
+    }
+
+    #[test]
+    fn stats_json_contains_counters() {
+        let stats = ServerStats {
+            submitted: 10,
+            completed: 8,
+            rejected_overloaded: 1,
+            rejected_shutdown: 1,
+            swaps: 2,
+            batches: 3,
+            batch_histogram: vec![0, 1, 2],
+            mean_batch_occupancy: 2.67,
+            p50_ms: 1.5,
+            p95_ms: 3.0,
+            p99_ms: 4.0,
+        };
+        assert_eq!(stats.rejected(), 2);
+        let json = stats.to_json();
+        assert!(json.contains("\"submitted\":10"));
+        assert!(json.contains("\"batch_histogram\":[0,1,2]"));
+        assert!(json.contains("\"p99_ms\":4.0000"));
+    }
+}

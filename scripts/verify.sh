@@ -10,6 +10,12 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+# The serving benchmark gates that deploy::compress improves serving
+# throughput and that the server neither deadlocks nor panics under
+# open-loop load; the timeout turns a hang into a hard failure.
+echo "==> serve_bench --smoke"
+timeout 300 cargo run --release -q -p alf-bench --bin serve_bench -- --smoke
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

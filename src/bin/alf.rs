@@ -141,7 +141,7 @@ fn cmd_train(args: &Args) -> Result<(), String> {
     }
     model = trainer.into_model();
     let out = args.get("out").ok_or("--out FILE is required for train")?;
-    let blob = checkpoint::save(&mut model);
+    let blob = checkpoint::save(&model);
     std::fs::write(out, &blob).map_err(|e| format!("writing {out}: {e}"))?;
     println!("saved checkpoint to {out} ({} bytes)", blob.len());
     Ok(())

@@ -10,6 +10,7 @@
 //! * [`core`] — the ALF technique: blocks, two-player training, deployment.
 //! * [`baselines`] — magnitude / FPGM / AMC-style / LCNN compression baselines.
 //! * [`hwmodel`] — the Eyeriss-like accelerator model with mapping search.
+//! * [`serve`] — batched inference serving for deployed models.
 //!
 //! # Quickstart
 //!
@@ -35,4 +36,5 @@ pub use alf_core as core;
 pub use alf_data as data;
 pub use alf_hwmodel as hwmodel;
 pub use alf_nn as nn;
+pub use alf_serve as serve;
 pub use alf_tensor as tensor;

@@ -194,7 +194,7 @@ proptest! {
         use alf::core::models::plain20;
         use alf::nn::{Layer, RunCtx};
         let mut a = plain20(3, width).unwrap();
-        let blob = checkpoint::save(&mut a);
+        let blob = checkpoint::save(&a);
         let mut b = plain20(3, width).unwrap();
         checkpoint::load(&mut b, &blob).unwrap();
         let x = Tensor::randn(&[1, 3, 8, 8], Init::Rand, &mut Rng::new(seed));
