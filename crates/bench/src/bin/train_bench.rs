@@ -1,0 +1,204 @@
+//! Data-parallel training benchmark and determinism gate.
+//!
+//! Trains the same Plain-20 ALF model from the same seeds twice — once
+//! with a single worker, once with four — through one epoch of the
+//! two-player game, then:
+//!
+//! * **gates determinism** (always): the two runs' full state vectors
+//!   must be bitwise identical, and a run killed mid-epoch and resumed
+//!   from its checkpoint at yet another worker count must land on the
+//!   same state bitwise;
+//! * **gates speedup** (only when the host has ≥ 2 cores): the 4-worker
+//!   run must process at least 1.5× the images per second of the
+//!   1-worker run at smoke scale.
+//!
+//! Results go to stdout as a table and to `BENCH_train.json`
+//! (throughput per worker count, speedup, whether each gate was
+//! enforced and its outcome). `--smoke` (default, a few seconds) uses a
+//! reduced geometry; `--paper` trains the full 32×32/10-class model.
+
+use std::time::Instant;
+
+use alf_bench::Scale;
+use alf_core::block::AlfBlockConfig;
+use alf_core::models::plain20_alf;
+use alf_core::AlfHyper;
+use alf_data::{Dataset, SynthVision};
+use alf_dp::{DpConfig, DpTrainer};
+use alf_nn::LrSchedule;
+
+/// Worker count of the parallel run; the speedup gate threshold.
+const PAR_WORKERS: usize = 4;
+const MIN_SPEEDUP: f64 = 1.5;
+const DATA_SEED: u64 = 33;
+const MODEL_SEED: u64 = 42;
+
+struct Params {
+    classes: usize,
+    width: usize,
+    image: usize,
+    train: usize,
+    test: usize,
+    batch: usize,
+}
+
+fn params(scale: Scale) -> Params {
+    match scale {
+        Scale::Smoke => Params {
+            classes: 4,
+            width: 8,
+            image: 16,
+            train: 128,
+            test: 32,
+            batch: 16,
+        },
+        Scale::Paper => Params {
+            classes: 10,
+            width: 16,
+            image: 32,
+            train: 512,
+            test: 128,
+            batch: 64,
+        },
+    }
+}
+
+fn build_data(p: &Params) -> Dataset {
+    SynthVision::cifar_like(DATA_SEED)
+        .with_image_size(p.image)
+        .with_max_shift(2)
+        .with_num_classes(p.classes)
+        .with_train_size(p.train)
+        .with_test_size(p.test)
+        .with_noise(0.05)
+        .build()
+        .expect("build synthetic dataset")
+}
+
+fn config(p: &Params, threads: usize) -> DpConfig {
+    DpConfig::new(
+        AlfHyper {
+            task_lr: 0.05,
+            batch_size: p.batch,
+            lr_schedule: LrSchedule::Constant,
+            ..AlfHyper::default()
+        },
+        DATA_SEED,
+    )
+    .with_threads(threads)
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let p = params(scale);
+    let host_cores = std::thread::available_parallelism().map_or(1, |v| v.get());
+    let steps = p.train / p.batch;
+    println!(
+        "train bench  scale={}  host-cores={host_cores}  image=3x{}x{}  classes={}  \
+         batch={}  steps={steps}",
+        scale.label(),
+        p.image,
+        p.image,
+        p.classes,
+        p.batch,
+    );
+
+    let data = build_data(&p);
+    let model = plain20_alf(
+        p.classes,
+        p.width,
+        AlfBlockConfig::paper_default(),
+        MODEL_SEED,
+    )
+    .expect("build plain20-alf");
+
+    // --- timed runs: identical trajectory, different worker counts ---
+    println!(
+        "{:<10} {:>12} {:>12} {:>12}",
+        "workers", "elapsed s", "img/s", "final loss"
+    );
+    let mut throughputs = Vec::new();
+    let mut states = Vec::new();
+    for threads in [1usize, PAR_WORKERS] {
+        let mut trainer =
+            DpTrainer::new(model.clone(), config(&p, threads)).expect("build trainer");
+        let start = Instant::now();
+        let epochs = trainer.run_steps(&data, steps).expect("train");
+        let elapsed = start.elapsed().as_secs_f64();
+        let throughput = (steps * p.batch) as f64 / elapsed;
+        println!(
+            "{threads:<10} {elapsed:>12.2} {throughput:>12.1} {:>12.4}",
+            epochs.last().map_or(f32::NAN, |e| e.train_loss),
+        );
+        throughputs.push(throughput);
+        states.push(trainer.state_vector());
+    }
+    let deterministic = states[0] == states[1];
+    let speedup = throughputs[1] / throughputs[0];
+
+    // --- kill/resume: checkpoint mid-epoch, resume at 2 workers ---
+    let kill_at = steps / 2;
+    let mut victim = DpTrainer::new(model.clone(), config(&p, PAR_WORKERS)).expect("build victim");
+    victim.run_steps(&data, kill_at).expect("train victim");
+    let blob = victim.checkpoint();
+    drop(victim);
+    let fresh = plain20_alf(
+        p.classes,
+        p.width,
+        AlfBlockConfig::paper_default(),
+        MODEL_SEED + 1,
+    )
+    .expect("build fresh model");
+    let mut resumed = DpTrainer::resume(fresh, config(&p, 2), &blob).expect("resume");
+    resumed
+        .run_steps(&data, steps - kill_at)
+        .expect("finish resumed run");
+    let resume_bitwise = resumed.state_vector() == states[0];
+
+    let speedup_gate = host_cores >= 2;
+    let json = format!(
+        "{{\"bench\":\"train\",\"scale\":\"{}\",\"host_cores\":{host_cores},\
+         \"config\":{{\"image\":[3,{},{}],\"classes\":{},\"width\":{},\"batch\":{},\
+         \"steps\":{steps},\"checkpoint_bytes\":{}}},\
+         \"workers\":[1,{PAR_WORKERS}],\
+         \"throughput_img_s\":[{:.2},{:.2}],\"speedup\":{speedup:.3},\
+         \"deterministic\":{deterministic},\"resume_bitwise\":{resume_bitwise},\
+         \"speedup_gate_enforced\":{speedup_gate}}}\n",
+        scale.label(),
+        p.image,
+        p.image,
+        p.classes,
+        p.width,
+        p.batch,
+        blob.len(),
+        throughputs[0],
+        throughputs[1],
+    );
+    std::fs::write("BENCH_train.json", &json).expect("write BENCH_train.json");
+    println!(
+        "\nspeedup {speedup:.2}x  deterministic={deterministic}  \
+         resume_bitwise={resume_bitwise}\nwrote BENCH_train.json"
+    );
+
+    // Gates. Determinism and resume fidelity hold on any host; the
+    // speedup gate needs real parallelism to be meaningful.
+    let mut failed = false;
+    if !deterministic {
+        eprintln!("FAIL: 1-worker and {PAR_WORKERS}-worker runs diverged bitwise");
+        failed = true;
+    }
+    if !resume_bitwise {
+        eprintln!("FAIL: resumed run diverged bitwise from the uninterrupted run");
+        failed = true;
+    }
+    if speedup_gate && scale == Scale::Smoke && speedup < MIN_SPEEDUP {
+        eprintln!(
+            "FAIL: {PAR_WORKERS}-worker speedup {speedup:.2}x below the {MIN_SPEEDUP}x gate \
+             on a {host_cores}-core host"
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

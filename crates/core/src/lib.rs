@@ -44,7 +44,7 @@ pub use block::{AlfBlock, AlfBlockConfig};
 pub use metrics::{ConvShape, NetworkCost};
 pub use model::{CnnModel, ConvKind};
 pub use schedule::PruneSchedule;
-pub use train::{AlfHyper, AlfTrainer, EpochStats, TrainReport};
+pub use train::{AlfHyper, AlfTrainer, EpochStats, Evaluator, StateSnapshot, TrainReport};
 
 /// Crate-wide result alias.
 pub type Result<T> = alf_tensor::Result<T>;

@@ -320,6 +320,84 @@ impl AlfTrainer {
     }
 }
 
+/// Resolves a worker-thread count from the standard three-level knob:
+/// an explicit constructor argument wins, then a positive integer in the
+/// `env_var` environment variable, then the host's available parallelism.
+///
+/// The same discipline as `ALF_GEMM_THREADS` in `alf-tensor`: thread
+/// counts never change results (every threaded path in this workspace is
+/// bitwise deterministic), so the knob is purely about resource control.
+/// Used by [`Evaluator`] (`ALF_EVAL_THREADS`) and the `alf-dp` training
+/// engine (`ALF_DP_THREADS`).
+pub fn resolve_threads(explicit: Option<usize>, env_var: &str) -> usize {
+    if let Some(n) = explicit {
+        return n.max(1);
+    }
+    if let Some(n) = std::env::var(env_var)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+    {
+        return n;
+    }
+    std::thread::available_parallelism().map_or(1, |p| p.get())
+}
+
+/// A flattened copy of a model's state tensors, used to refresh long-lived
+/// model replicas in place instead of re-cloning them.
+///
+/// This is the weight-sync half of the replica pattern shared by
+/// [`Evaluator`], `alf-serve`'s worker pool and `alf-dp`'s training
+/// workers: capture the source model once per round through the read-only
+/// visitor, then copy the flat buffer into each replica. Capture reuses
+/// the snapshot's allocation, so the steady-state cost is one memcpy per
+/// replica.
+#[derive(Debug, Default, Clone)]
+pub struct StateSnapshot {
+    state: Vec<f32>,
+    shapes: Vec<Vec<usize>>,
+}
+
+impl StateSnapshot {
+    /// Creates an empty snapshot.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Re-captures `model`'s state tensors, reusing the buffers.
+    pub fn capture(&mut self, model: &CnnModel) {
+        self.state.clear();
+        self.shapes.clear();
+        let (state, shapes) = (&mut self.state, &mut self.shapes);
+        model.visit_state_ref(&mut |t: &Tensor| {
+            state.extend_from_slice(t.data());
+            shapes.push(t.dims().to_vec());
+        });
+    }
+
+    /// Copies the snapshot into `model` in place. Returns `false` (leaving
+    /// the model partially updated) when the snapshot does not match the
+    /// model's structure — the caller re-clones in that case.
+    pub fn restore(&self, model: &mut CnnModel) -> bool {
+        let mut offset = 0usize;
+        let mut idx = 0usize;
+        let mut ok = true;
+        model.visit_state(&mut |t: &mut Tensor| {
+            let len = t.len();
+            match self.shapes.get(idx) {
+                Some(dims) if t.dims() == &dims[..] && offset + len <= self.state.len() => {
+                    t.data_mut()
+                        .copy_from_slice(&self.state[offset..offset + len]);
+                    offset += len;
+                }
+                _ => ok = false,
+            }
+            idx += 1;
+        });
+        ok && idx == self.shapes.len() && offset == self.state.len()
+    }
+}
+
 /// Parallel evaluator with persistent per-thread model replicas.
 ///
 /// The seed's `evaluate` cloned the full model into every spawned thread on
@@ -329,11 +407,15 @@ impl AlfTrainer {
 /// replica in place (re-cloning only if the architecture changed, e.g.
 /// after deployment surgery). Each replica keeps its own [`RunCtx`], so
 /// the per-thread arenas also stay warm across evaluations.
+///
+/// The worker count follows [`resolve_threads`]: an explicit
+/// [`Evaluator::with_threads`] value, else `ALF_EVAL_THREADS`, else the
+/// host's available parallelism. Accuracy never depends on the choice.
 #[derive(Debug, Default)]
 pub struct Evaluator {
     slots: Vec<(CnnModel, RunCtx)>,
-    state: Vec<f32>,
-    shapes: Vec<Vec<usize>>,
+    snapshot: StateSnapshot,
+    threads: Option<usize>,
 }
 
 impl Evaluator {
@@ -341,6 +423,15 @@ impl Evaluator {
     /// first [`Evaluator::evaluate`] call.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an evaluator pinned to `threads` workers (clamped to at
+    /// least 1), overriding both `ALF_EVAL_THREADS` and the host default.
+    pub fn with_threads(threads: usize) -> Self {
+        Self {
+            threads: Some(threads.max(1)),
+            ..Self::default()
+        }
     }
 
     /// Number of live per-thread replicas (0 before the first evaluation).
@@ -369,9 +460,7 @@ impl Evaluator {
         if n == 0 {
             return Ok(0.0);
         }
-        let threads = std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1)
+        let threads = resolve_threads(self.threads, "ALF_EVAL_THREADS")
             .min(n.div_ceil(batch_size.max(1)))
             .max(1);
         self.sync_slots(model, threads);
@@ -414,16 +503,10 @@ impl Evaluator {
     /// Brings `threads` replicas up to date with `model`: in-place state
     /// copy where shapes line up, full re-clone otherwise.
     fn sync_slots(&mut self, model: &CnnModel, threads: usize) {
-        self.state.clear();
-        self.shapes.clear();
-        let (state, shapes) = (&mut self.state, &mut self.shapes);
-        model.visit_state_ref(&mut |t: &Tensor| {
-            state.extend_from_slice(t.data());
-            shapes.push(t.dims().to_vec());
-        });
+        self.snapshot.capture(model);
         self.slots.truncate(threads);
         for (replica, _) in &mut self.slots {
-            if !restore_state(replica, &self.state, &self.shapes) {
+            if !self.snapshot.restore(replica) {
                 *replica = model.clone();
             }
         }
@@ -431,27 +514,6 @@ impl Evaluator {
             self.slots.push((model.clone(), RunCtx::eval()));
         }
     }
-}
-
-/// Copies a flattened state snapshot into `model` in place. Returns
-/// `false` (leaving the model partially updated) when the snapshot does
-/// not match the model's structure — the caller re-clones in that case.
-fn restore_state(model: &mut CnnModel, state: &[f32], shapes: &[Vec<usize>]) -> bool {
-    let mut offset = 0usize;
-    let mut idx = 0usize;
-    let mut ok = true;
-    model.visit_state(&mut |t: &mut Tensor| {
-        let len = t.len();
-        match shapes.get(idx) {
-            Some(dims) if t.dims() == &dims[..] && offset + len <= state.len() => {
-                t.data_mut().copy_from_slice(&state[offset..offset + len]);
-                offset += len;
-            }
-            _ => ok = false,
-        }
-        idx += 1;
-    });
-    ok && idx == shapes.len() && offset == state.len()
 }
 
 /// Evaluates classification accuracy of a model on a dataset split.
@@ -577,6 +639,46 @@ mod tests {
         // The compat wrapper agrees.
         let c = evaluate(&model, &data, Split::Test, 8).unwrap();
         assert_eq!(a, c);
+    }
+
+    #[test]
+    fn evaluator_thread_count_does_not_change_accuracy() {
+        let data = small_data(12);
+        let model = plain20(4, 4).unwrap();
+        let base = evaluate(&model, &data, Split::Test, 8).unwrap();
+        for threads in [1usize, 2, 3, 7] {
+            let mut ev = Evaluator::with_threads(threads);
+            let acc = ev.evaluate(&model, &data, Split::Test, 8).unwrap();
+            assert_eq!(acc, base, "accuracy changed at {threads} threads");
+            assert!(ev.replicas() <= threads);
+        }
+    }
+
+    #[test]
+    fn resolve_threads_precedence() {
+        // Explicit wins regardless of environment; zero clamps to one.
+        assert_eq!(resolve_threads(Some(3), "ALF_TEST_THREADS_UNSET"), 3);
+        assert_eq!(resolve_threads(Some(0), "ALF_TEST_THREADS_UNSET"), 1);
+        // With neither explicit nor env the host default applies (≥ 1).
+        assert!(resolve_threads(None, "ALF_TEST_THREADS_UNSET") >= 1);
+    }
+
+    #[test]
+    fn state_snapshot_round_trips_and_rejects_mismatch() {
+        let model = plain20(4, 4).unwrap();
+        let mut snap = StateSnapshot::new();
+        snap.capture(&model);
+        // Restore into a differently-seeded same-architecture model.
+        let mut other = plain20(4, 4).unwrap();
+        assert!(snap.restore(&mut other));
+        let mut a = Vec::new();
+        model.visit_state_ref(&mut |t: &Tensor| a.extend_from_slice(t.data()));
+        let mut b = Vec::new();
+        other.visit_state_ref(&mut |t: &Tensor| b.extend_from_slice(t.data()));
+        assert_eq!(a, b);
+        // A different architecture is refused.
+        let mut wide = plain20(4, 8).unwrap();
+        assert!(!snap.restore(&mut wide));
     }
 
     #[test]

@@ -1,0 +1,121 @@
+//! Fault tolerance: a run killed at an arbitrary step and resumed from
+//! its checkpoint must reproduce the weights of an uninterrupted run
+//! bitwise — the checkpoint carries model state, SGD momentum, the
+//! νprune schedule and the epoch/step/data-seed position, so nothing of
+//! the trajectory lives outside the blob.
+
+use alf_core::block::AlfBlockConfig;
+use alf_core::models::{plain20, plain20_alf};
+use alf_core::AlfHyper;
+use alf_data::{Dataset, SynthVision};
+use alf_dp::{DpConfig, DpTrainer};
+use alf_nn::LrSchedule;
+
+fn small_data(seed: u64) -> Dataset {
+    SynthVision::cifar_like(seed)
+        .with_image_size(12)
+        .with_max_shift(1)
+        .with_num_classes(4)
+        .with_train_size(36)
+        .with_test_size(12)
+        .with_noise(0.05)
+        .build()
+        .unwrap()
+}
+
+fn config(threads: usize, data_seed: u64) -> DpConfig {
+    DpConfig::new(
+        AlfHyper {
+            task_lr: 0.05,
+            batch_size: 6,
+            lr_schedule: LrSchedule::Constant,
+            ..AlfHyper::default()
+        },
+        data_seed,
+    )
+    .with_threads(threads)
+}
+
+/// Kill at every step k of a 10-step run (6 steps per epoch, so the
+/// range covers killing before, at and after the epoch boundary),
+/// resume from the checkpoint into a *differently initialised* model of
+/// the same architecture, and finish the run: the final weights must be
+/// bitwise identical to the uninterrupted run's.
+#[test]
+fn kill_at_any_step_and_resume_reproduces_the_run() {
+    const STEPS: usize = 10;
+    let data = small_data(21);
+    let model = plain20_alf(4, 4, AlfBlockConfig::paper_default(), 5).unwrap();
+
+    let mut uninterrupted = DpTrainer::new(model.clone(), config(2, 21)).unwrap();
+    uninterrupted.run_steps(&data, STEPS).unwrap();
+    let reference = uninterrupted.state_vector();
+
+    for k in [1usize, 5, 6, 9] {
+        let mut first = DpTrainer::new(model.clone(), config(2, 21)).unwrap();
+        first.run_steps(&data, k).unwrap();
+        let blob = first.checkpoint();
+        drop(first); // the "kill"
+
+        // A fresh model with a different init seed: every weight the
+        // resumed run trains must come from the blob, not from `new`.
+        let fresh = plain20_alf(4, 4, AlfBlockConfig::paper_default(), 999).unwrap();
+        let mut resumed = DpTrainer::resume(fresh, config(2, 21), &blob).unwrap();
+        assert_eq!(
+            (resumed.epoch() as usize * 6 + resumed.step() as usize),
+            k,
+            "checkpoint did not preserve the trajectory position"
+        );
+        resumed.run_steps(&data, STEPS - k).unwrap();
+        assert_eq!(
+            resumed.state_vector(),
+            reference,
+            "resume at step {k} diverged from the uninterrupted run"
+        );
+    }
+}
+
+/// The worker count of the resumed run is independent of the original
+/// run's: a 1-worker run killed mid-epoch and resumed at 7 workers
+/// still lands on the uninterrupted weights bitwise.
+#[test]
+fn resume_with_a_different_worker_count_is_bitwise_identical() {
+    let data = small_data(22);
+    let model = plain20(4, 4).unwrap();
+
+    let mut uninterrupted = DpTrainer::new(model.clone(), config(1, 22)).unwrap();
+    uninterrupted.run_steps(&data, 8).unwrap();
+
+    let mut first = DpTrainer::new(model.clone(), config(1, 22)).unwrap();
+    first.run_steps(&data, 3).unwrap();
+    let blob = first.checkpoint();
+    drop(first);
+
+    let fresh = plain20(4, 4).unwrap();
+    let mut resumed = DpTrainer::resume(fresh, config(7, 22), &blob).unwrap();
+    resumed.run_steps(&data, 5).unwrap();
+    assert_eq!(resumed.state_vector(), uninterrupted.state_vector());
+}
+
+/// A checkpoint taken exactly at an epoch boundary restores to the
+/// start of the next epoch and replays its reshuffle correctly.
+#[test]
+fn resume_at_an_epoch_boundary() {
+    let data = small_data(23);
+    let model = plain20(4, 4).unwrap();
+
+    let mut uninterrupted = DpTrainer::new(model.clone(), config(2, 23)).unwrap();
+    uninterrupted.run_steps(&data, 9).unwrap();
+
+    let mut first = DpTrainer::new(model, config(2, 23)).unwrap();
+    let stats = first.run_steps(&data, 6).unwrap();
+    assert_eq!(stats.len(), 1, "6 steps should complete the 6-step epoch");
+    let blob = first.checkpoint();
+    drop(first);
+
+    let fresh = plain20(4, 4).unwrap();
+    let mut resumed = DpTrainer::resume(fresh, config(2, 23), &blob).unwrap();
+    assert_eq!((resumed.epoch(), resumed.step()), (1, 0));
+    resumed.run_steps(&data, 3).unwrap();
+    assert_eq!(resumed.state_vector(), uninterrupted.state_vector());
+}

@@ -66,6 +66,7 @@ pub struct RunCtx {
     /// hooks on `ctx` itself.
     pub ws: Workspace,
     profiler: Option<Profiler>,
+    freeze_norm: bool,
 }
 
 impl RunCtx {
@@ -75,6 +76,7 @@ impl RunCtx {
             mode,
             ws: Workspace::new(),
             profiler: None,
+            freeze_norm: false,
         }
     }
 
@@ -102,6 +104,28 @@ impl RunCtx {
     /// Whether the context is in training mode.
     pub fn is_train(&self) -> bool {
         self.mode == Mode::Train
+    }
+
+    /// Whether normalisation layers should *freeze* their statistics in
+    /// training mode: normalise with the tracked running statistics
+    /// (exactly as evaluation does) instead of batch statistics, and
+    /// leave the running statistics untouched. Gradients then treat the
+    /// statistics as constants.
+    ///
+    /// This is the knob behind `alf-dp`'s per-sample workers: batch
+    /// statistics over a single-sample shard would make the normalisation
+    /// (and so the whole run) depend on the shard layout, while frozen
+    /// statistics are a pure function of the synced weights. Off by
+    /// default; ignored in [`Mode::Eval`] (eval always uses running
+    /// statistics).
+    pub fn freeze_norm(&self) -> bool {
+        self.freeze_norm
+    }
+
+    /// Turns frozen-statistics normalisation on or off (see
+    /// [`RunCtx::freeze_norm`]).
+    pub fn set_freeze_norm(&mut self, on: bool) {
+        self.freeze_norm = on;
     }
 
     /// Builder-style: enables profiling and returns the context.

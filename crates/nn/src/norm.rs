@@ -43,6 +43,9 @@ pub struct BatchNorm2d {
 struct Cache {
     xhat: Tensor,
     inv_std: Vec<f32>,
+    /// Whether the statistics were frozen (running stats used as
+    /// constants): selects the fixed-statistics gradient in backward.
+    frozen: bool,
 }
 
 impl BatchNorm2d {
@@ -117,6 +120,36 @@ impl Layer for BatchNorm2d {
         ctx.count_flops(10 * input.len() as u64);
         ctx.count_bytes(4 * 3 * input.len() as u64);
         match ctx.mode() {
+            Mode::Train if ctx.freeze_norm() => {
+                // Frozen statistics: normalise with the running stats —
+                // bitwise the same normalisation evaluation applies — and
+                // leave them untouched. Caches xhat for the
+                // fixed-statistics gradient.
+                let (mut xhat, mut inv_stds) = match self.cache.take() {
+                    Some(cache) if cache.xhat.dims() == input.dims() => (cache.xhat, cache.inv_std),
+                    _ => (Tensor::zeros(input.dims()), vec![0.0; c]),
+                };
+                inv_stds.resize(c, 0.0);
+                for ch in 0..c {
+                    let mean = self.running_mean.data()[ch];
+                    let inv_std = 1.0 / (self.running_var.data()[ch] + self.eps).sqrt();
+                    inv_stds[ch] = inv_std;
+                    let (g, bta) = (self.gamma.value.data()[ch], self.beta.value.data()[ch]);
+                    for b in 0..n {
+                        let base = (b * c + ch) * hw;
+                        for i in 0..hw {
+                            let xh = (input.data()[base + i] - mean) * inv_std;
+                            xhat.data_mut()[base + i] = xh;
+                            out.data_mut()[base + i] = g * xh + bta;
+                        }
+                    }
+                }
+                self.cache = Some(Cache {
+                    xhat,
+                    inv_std: inv_stds,
+                    frozen: true,
+                });
+            }
             Mode::Train => {
                 // Reuse the previous step's cache buffers when the shape
                 // matches — every element is overwritten below, so steady
@@ -158,6 +191,7 @@ impl Layer for BatchNorm2d {
                 self.cache = Some(Cache {
                     xhat,
                     inv_std: inv_stds,
+                    frozen: false,
                 });
             }
             Mode::Eval => {
@@ -210,13 +244,24 @@ impl Layer for BatchNorm2d {
             }
             self.gamma.grad.data_mut()[ch] += sum_dy_xhat;
             self.beta.grad.data_mut()[ch] += sum_dy;
-            for b in 0..n {
-                let base = (b * c + ch) * hw;
-                for i in 0..hw {
-                    let dy = grad_output.data()[base + i];
-                    let xh = cache.xhat.data()[base + i];
-                    grad_in.data_mut()[base + i] =
-                        g * inv_std / m * (m * dy - sum_dy - xh * sum_dy_xhat);
+            if cache.frozen {
+                // Statistics were constants in forward, so the input
+                // gradient is the plain affine one.
+                for b in 0..n {
+                    let base = (b * c + ch) * hw;
+                    for i in 0..hw {
+                        grad_in.data_mut()[base + i] = g * inv_std * grad_output.data()[base + i];
+                    }
+                }
+            } else {
+                for b in 0..n {
+                    let base = (b * c + ch) * hw;
+                    for i in 0..hw {
+                        let dy = grad_output.data()[base + i];
+                        let xh = cache.xhat.data()[base + i];
+                        grad_in.data_mut()[base + i] =
+                            g * inv_std / m * (m * dy - sum_dy - xh * sum_dy_xhat);
+                    }
                 }
             }
         }
@@ -294,6 +339,49 @@ mod tests {
             "{:?}",
             &y.data()[..3]
         );
+    }
+
+    #[test]
+    fn frozen_norm_matches_eval_and_keeps_stats() {
+        let mut rng = Rng::new(7);
+        let x = Tensor::randn(&[3, 2, 4, 4], Init::He, &mut rng);
+        let mut bn = BatchNorm2d::new(2);
+        // Give the running stats a non-trivial value first.
+        let mut ctx = RunCtx::train();
+        bn.forward(&x, &mut ctx).unwrap();
+        let mean_before = bn.running_mean().data().to_vec();
+        let var_before = bn.running_var().data().to_vec();
+        // Frozen train forward normalises exactly like eval…
+        ctx.set_freeze_norm(true);
+        let frozen = bn.forward(&x, &mut ctx).unwrap();
+        let eval = bn.forward(&x, &mut RunCtx::eval()).unwrap();
+        assert_eq!(frozen.data(), eval.data());
+        // …and leaves the running statistics untouched.
+        assert_eq!(bn.running_mean().data(), &mean_before[..]);
+        assert_eq!(bn.running_var().data(), &var_before[..]);
+    }
+
+    #[test]
+    fn frozen_backward_supports_training_and_uses_fixed_stats() {
+        let mut rng = Rng::new(8);
+        let x = Tensor::randn(&[2, 1, 3, 3], Init::He, &mut rng);
+        let mut bn = BatchNorm2d::new(1);
+        // Non-trivial running stats and gamma.
+        bn.running_mean = Tensor::from_vec(vec![0.3], &[1]).unwrap();
+        bn.running_var = Tensor::from_vec(vec![2.0], &[1]).unwrap();
+        bn.gamma.value = Tensor::from_vec(vec![1.5], &[1]).unwrap();
+        let mut ctx = RunCtx::train();
+        ctx.set_freeze_norm(true);
+        bn.forward(&x, &mut ctx).unwrap();
+        let dy = Tensor::full(&[2, 1, 3, 3], 0.5);
+        let dx = bn.backward(&dy, &mut ctx).unwrap();
+        // With frozen stats the input gradient is γ·inv_std·dy elementwise.
+        let inv_std = 1.0 / (2.0f32 + 1e-5).sqrt();
+        for &g in dx.data() {
+            assert!((g - 1.5 * inv_std * 0.5).abs() < 1e-6, "{g}");
+        }
+        // Parameter gradients still accumulate (β gets Σdy = 9).
+        assert!((bn.beta.grad.data()[0] - 9.0).abs() < 1e-4);
     }
 
     #[test]

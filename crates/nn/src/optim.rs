@@ -110,6 +110,25 @@ impl Sgd {
         self.cursor = 0;
     }
 
+    /// The momentum (velocity) buffers in parameter-visit order — the
+    /// optimizer state a trainer checkpoint must carry for a resumed run
+    /// to continue the same trajectory. Empty before the first step.
+    pub fn velocities(&self) -> &[Tensor] {
+        &self.velocities
+    }
+
+    /// Replaces the momentum buffers (restoring from a checkpoint).
+    ///
+    /// An empty vector resets the optimizer to a fresh state; buffers are
+    /// then lazily re-created on the next step. Shapes are re-validated
+    /// against their parameters on the next [`Sgd::update`], which panics
+    /// on mismatch — checkpoint loaders should validate against the model
+    /// before calling this (see `alf_core::checkpoint::load_trainer`).
+    pub fn set_velocities(&mut self, velocities: Vec<Tensor>) {
+        self.velocities = velocities;
+        self.cursor = 0;
+    }
+
     /// Applies one SGD update to a parameter and advances the cursor.
     ///
     /// With momentum `μ`, decay `λ` and learning rate `η`:
@@ -139,11 +158,75 @@ impl Sgd {
         }
     }
 
+    /// [`Sgd::update`] with the gradient supplied externally instead of
+    /// read from `param.grad` — the gradient-accumulation entry point used
+    /// by the data-parallel engine, whose reduced gradient lives in one
+    /// flat buffer rather than in the model's per-parameter `grad` fields.
+    ///
+    /// Performs bit-for-bit the same arithmetic as [`Sgd::update`], so a
+    /// flat step over a layer is bitwise interchangeable with a regular
+    /// one given equal gradients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grad` does not match the parameter's length, or if the
+    /// parameter shape changed between steps.
+    pub fn update_from(&mut self, param: &mut Param, grad: &[f32]) {
+        let slot = self.cursor;
+        self.cursor += 1;
+        if self.velocities.len() <= slot {
+            self.velocities.push(Tensor::zeros(param.value.dims()));
+        }
+        let vel = &mut self.velocities[slot];
+        assert_eq!(
+            vel.dims(),
+            param.value.dims(),
+            "parameter shape changed between optimizer steps"
+        );
+        assert_eq!(grad.len(), param.value.len(), "gradient length mismatch");
+        let decay = if param.decay { self.weight_decay } else { 0.0 };
+        let (vd, wd) = (vel.data_mut(), param.value.data_mut());
+        for i in 0..wd.len() {
+            let g = grad[i] + decay * wd[i];
+            vd[i] = self.momentum * vd[i] + g;
+            wd[i] -= self.lr * vd[i];
+        }
+    }
+
     /// Convenience: runs a full step over a layer — `begin_step`, visit all
     /// params, update each.
     pub fn step_layer(&mut self, layer: &mut dyn crate::Layer) {
         self.begin_step();
         layer.visit_params(&mut |p| self.update(p));
+    }
+
+    /// Runs a full step over a layer with gradients taken from `flat` — the
+    /// concatenation of every parameter's gradient in visit order (the
+    /// layout produced by flattening `visit_params_ref` grads, and by the
+    /// data-parallel all-reduce).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flat` is not exactly the total parameter count.
+    pub fn step_layer_from_flat(&mut self, layer: &mut dyn crate::Layer, flat: &[f32]) {
+        self.begin_step();
+        let mut offset = 0usize;
+        layer.visit_params(&mut |p| {
+            let n = p.value.len();
+            assert!(
+                offset + n <= flat.len(),
+                "flat gradient too short: {} < {}",
+                flat.len(),
+                offset + n
+            );
+            self.update_from(p, &flat[offset..offset + n]);
+            offset += n;
+        });
+        assert_eq!(
+            offset,
+            flat.len(),
+            "flat gradient longer than the layer's parameters"
+        );
     }
 }
 
@@ -337,6 +420,79 @@ mod tests {
         }
         // Symmetric trajectories prove the slots didn't cross.
         assert!((a.value.data()[0] + b.value.data()[0]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn flat_step_is_bitwise_identical_to_regular_step() {
+        use crate::linear::Linear;
+        use crate::Layer;
+        use alf_tensor::init::Init;
+        use alf_tensor::rng::Rng;
+        let mut rng = Rng::new(3);
+        let mut a = Linear::new(4, 3, Init::Rand, &mut rng);
+        let mut b = a.clone();
+        // Fill grads with distinct values and capture the flat layout.
+        let mut flat = Vec::new();
+        let mut i = 0f32;
+        a.visit_params(&mut |p| {
+            for g in p.grad.data_mut() {
+                *g = (i * 0.37).sin();
+                i += 1.0;
+            }
+            flat.extend_from_slice(p.grad.data());
+        });
+        let mut opt_a = Sgd::new(0.1, 0.9, 1e-2);
+        let mut opt_b = opt_a.clone();
+        // Two steps so momentum buffers participate.
+        for _ in 0..2 {
+            opt_a.step_layer(&mut a);
+            opt_b.step_layer_from_flat(&mut b, &flat);
+        }
+        let mut wa = Vec::new();
+        a.visit_params_ref(&mut |p| wa.extend_from_slice(p.value.data()));
+        let mut wb = Vec::new();
+        b.visit_params_ref(&mut |p| wb.extend_from_slice(p.value.data()));
+        assert_eq!(wa, wb);
+        // Velocities agree too (the checkpointable optimizer state).
+        assert_eq!(opt_a.velocities(), opt_b.velocities());
+    }
+
+    #[test]
+    fn velocities_round_trip_resumes_the_trajectory() {
+        let mut p_full = param_with_grad(1.0, 1.0, false);
+        let mut opt_full = Sgd::new(0.1, 0.9, 0.0);
+        // Reference: three consecutive steps.
+        for _ in 0..3 {
+            p_full.grad = Tensor::full(&[1], 1.0);
+            opt_full.begin_step();
+            opt_full.update(&mut p_full);
+        }
+        // Interrupted: one step, save velocities + weights, restore into a
+        // fresh optimizer, run the remaining two steps.
+        let mut p = param_with_grad(1.0, 1.0, false);
+        let mut opt = Sgd::new(0.1, 0.9, 0.0);
+        opt.begin_step();
+        opt.update(&mut p);
+        let saved = opt.velocities().to_vec();
+        let mut resumed = Sgd::new(0.1, 0.9, 0.0);
+        resumed.set_velocities(saved);
+        for _ in 0..2 {
+            p.grad = Tensor::full(&[1], 1.0);
+            resumed.begin_step();
+            resumed.update(&mut p);
+        }
+        assert_eq!(p.value.data(), p_full.value.data());
+        assert_eq!(resumed.velocities(), opt_full.velocities());
+    }
+
+    #[test]
+    #[should_panic(expected = "flat gradient")]
+    fn flat_step_rejects_wrong_length() {
+        use crate::linear::Linear;
+        use alf_tensor::init::Init;
+        use alf_tensor::rng::Rng;
+        let mut fc = Linear::new(2, 2, Init::Rand, &mut Rng::new(0));
+        Sgd::new(0.1, 0.0, 0.0).step_layer_from_flat(&mut fc, &[0.0; 3]);
     }
 
     #[test]

@@ -16,6 +16,18 @@ cargo test -q
 echo "==> serve_bench --smoke"
 timeout 300 cargo run --release -q -p alf-bench --bin serve_bench -- --smoke
 
+# The training benchmark gates that data-parallel training is bitwise
+# independent of the worker count and that a killed run resumes from its
+# checkpoint bitwise identically (plus a >=1.5x 4-worker speedup gate on
+# multi-core hosts); the timeout turns a hang into a hard failure.
+echo "==> train_bench --smoke"
+timeout 300 cargo run --release -q -p alf-bench --bin train_bench -- --smoke
+
+# The kill/resume suite in release mode: checkpoints taken at every
+# phase of an epoch must restore the exact trajectory.
+echo "==> alf-dp resume tests (release)"
+timeout 300 cargo test --release -q -p alf-dp --test resume
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

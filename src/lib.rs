@@ -11,6 +11,7 @@
 //! * [`baselines`] — magnitude / FPGM / AMC-style / LCNN compression baselines.
 //! * [`hwmodel`] — the Eyeriss-like accelerator model with mapping search.
 //! * [`serve`] — batched inference serving for deployed models.
+//! * [`dp`] — deterministic data-parallel training with checkpoint/resume.
 //!
 //! # Quickstart
 //!
@@ -34,6 +35,7 @@
 pub use alf_baselines as baselines;
 pub use alf_core as core;
 pub use alf_data as data;
+pub use alf_dp as dp;
 pub use alf_hwmodel as hwmodel;
 pub use alf_nn as nn;
 pub use alf_serve as serve;

@@ -63,6 +63,17 @@ pub trait Buf {
     fn get_f32_le(&mut self) -> f32 {
         f32::from_bits(self.get_u32_le())
     }
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when fewer than 8 bytes remain.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut raw = [0u8; 8];
+        self.copy_to_slice(&mut raw);
+        u64::from_le_bytes(raw)
+    }
 }
 
 /// Write side: sequential byte appends.
@@ -78,6 +89,11 @@ pub trait BufMut {
     /// Appends a little-endian `f32`.
     fn put_f32_le(&mut self, v: f32) {
         self.put_u32_le(v.to_bits());
+    }
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
     }
 }
 
