@@ -16,6 +16,7 @@
 use std::time::{Duration, Instant};
 
 use alf_bench::Scale;
+use alf_obs::json::JsonWriter;
 use alf_tensor::init::Init;
 use alf_tensor::ops::{gemm_into, gemm_sparse_lhs_into, reference, Workspace};
 use alf_tensor::rng::Rng;
@@ -52,7 +53,13 @@ fn main() {
     );
 
     let mut rng = Rng::new(0xa1f);
-    let mut rows_json = Vec::new();
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.field_str("bench", "gemm");
+    w.field_str("scale", scale.label());
+    w.field_u64("host_threads", host_threads as u64);
+    w.key("shapes");
+    w.begin_array();
     let mut gate_speedup = f64::NAN;
 
     for &(m, k, n) in &shapes {
@@ -125,35 +132,34 @@ fn main() {
             scaling.join("  ")
         );
 
-        let threads_json: Vec<String> = per_thread
-            .iter()
-            .map(|&(th, t)| {
-                format!(
-                    "{{\"threads\":{th},\"ms\":{:.4},\"gflops\":{:.3},\"scaling\":{:.3}}}",
-                    t.as_secs_f64() * 1e3,
-                    gf(t),
-                    t_blk1.as_secs_f64() / t.as_secs_f64()
-                )
-            })
-            .collect();
-        rows_json.push(format!(
-            "{{\"m\":{m},\"k\":{k},\"n\":{n},\"reference_ms\":{:.4},\"reference_gflops\":{:.3},\"blocked_1t_ms\":{:.4},\"blocked_1t_gflops\":{:.3},\"speedup_1t\":{:.3},\"threads\":[{}]}}",
-            t_ref.as_secs_f64() * 1e3,
-            gf(t_ref),
-            t_blk1.as_secs_f64() * 1e3,
-            gf(t_blk1),
-            speedup,
-            threads_json.join(",")
-        ));
+        w.begin_object();
+        w.field_u64("m", m as u64);
+        w.field_u64("k", k as u64);
+        w.field_u64("n", n as u64);
+        w.field_f64("reference_ms", t_ref.as_secs_f64() * 1e3);
+        w.field_f64("reference_gflops", gf(t_ref));
+        w.field_f64("blocked_1t_ms", t_blk1.as_secs_f64() * 1e3);
+        w.field_f64("blocked_1t_gflops", gf(t_blk1));
+        w.field_f64("speedup_1t", speedup);
+        w.key("threads");
+        w.begin_array();
+        for &(th, t) in &per_thread {
+            w.begin_object();
+            w.field_u64("threads", th as u64);
+            w.field_f64("ms", t.as_secs_f64() * 1e3);
+            w.field_f64("gflops", gf(t));
+            w.field_f64("scaling", t_blk1.as_secs_f64() / t.as_secs_f64());
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
     }
+    w.end_array();
 
-    let sparse_json = bench_sparse(scale, &mut rng);
-
-    let json = format!(
-        "{{\"bench\":\"gemm\",\"scale\":\"{}\",\"host_threads\":{host_threads},\"shapes\":[{}],{sparse_json}}}\n",
-        scale.label(),
-        rows_json.join(",")
-    );
+    bench_sparse(scale, &mut rng, &mut w);
+    w.end_object();
+    let mut json = w.finish();
+    json.push('\n');
     std::fs::write("BENCH_gemm.json", &json).expect("write BENCH_gemm.json");
     println!("\nwrote BENCH_gemm.json");
 
@@ -169,9 +175,9 @@ fn main() {
 }
 
 /// Dense vs sparse-LHS on a masked-`Wcode`-shaped product (half the LHS
-/// rows zeroed, as mid-training pruning produces). Returns the JSON
-/// fragment for the report.
-fn bench_sparse(scale: Scale, rng: &mut Rng) -> String {
+/// rows zeroed, as mid-training pruning produces). Writes the
+/// `sparse_lhs` field of the open report object.
+fn bench_sparse(scale: Scale, rng: &mut Rng, w: &mut JsonWriter) {
     let (m, k, n) = match scale {
         Scale::Smoke => (64, 288, 2048),
         Scale::Paper => (128, 1152, 8192),
@@ -212,12 +218,16 @@ fn bench_sparse(scale: Scale, rng: &mut Rng) -> String {
         t_sparse.as_secs_f64() * 1e3,
         speedup
     );
-    format!(
-        "\"sparse_lhs\":{{\"m\":{m},\"k\":{k},\"n\":{n},\"zero_row_fraction\":0.5,\"dense_ms\":{:.4},\"sparse_ms\":{:.4},\"speedup\":{:.3}}}",
-        t_dense.as_secs_f64() * 1e3,
-        t_sparse.as_secs_f64() * 1e3,
-        speedup
-    )
+    w.key("sparse_lhs");
+    w.begin_object();
+    w.field_u64("m", m as u64);
+    w.field_u64("k", k as u64);
+    w.field_u64("n", n as u64);
+    w.field_f64("zero_row_fraction", 0.5);
+    w.field_f64("dense_ms", t_dense.as_secs_f64() * 1e3);
+    w.field_f64("sparse_ms", t_sparse.as_secs_f64() * 1e3);
+    w.field_f64("speedup", speedup);
+    w.end_object();
 }
 
 /// Median wall-clock of repeated runs: one warm-up, then up to

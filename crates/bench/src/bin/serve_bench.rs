@@ -29,6 +29,7 @@ use alf_core::block::AlfBlockConfig;
 use alf_core::deploy;
 use alf_core::model::CnnModel;
 use alf_core::models::plain20_alf;
+use alf_obs::json::JsonWriter;
 use alf_serve::{ServeConfig, Server, ServerStats};
 use alf_tensor::init::Init;
 use alf_tensor::rng::Rng;
@@ -149,31 +150,37 @@ fn main() {
     }
 
     let speedup = results[1].1.throughput / results[0].1.throughput;
-    let rows: Vec<String> = results
-        .iter()
-        .map(|(name, r)| {
-            format!(
-                "{{\"model\":\"{name}\",\"throughput_img_s\":{:.2},\"stats\":{}}}",
-                r.throughput,
-                r.stats.to_json()
-            )
-        })
-        .collect();
-    let json = format!(
-        "{{\"bench\":\"serve\",\"scale\":\"{}\",\"host_threads\":{host_threads},\
-         \"config\":{{\"workers\":{},\"max_batch\":{},\"max_wait_ms\":1.0,\
-         \"queue_depth\":{},\"image\":[3,{},{}],\"classes\":{},\
-         \"pruned_fraction\":{PRUNED_FRACTION}}},\
-         \"offered_rate_img_s\":{offered:.2},\"runs\":[{}],\"speedup\":{speedup:.3}}}\n",
-        scale.label(),
-        p.workers,
-        p.max_batch,
-        p.queue_depth,
-        p.image,
-        p.image,
-        p.classes,
-        rows.join(",")
-    );
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.field_str("bench", "serve");
+    w.field_str("scale", scale.label());
+    w.field_u64("host_threads", host_threads as u64);
+    w.key("config");
+    w.begin_object();
+    w.field_u64("workers", p.workers as u64);
+    w.field_u64("max_batch", p.max_batch as u64);
+    w.field_f64("max_wait_ms", 1.0);
+    w.field_u64("queue_depth", p.queue_depth as u64);
+    w.field_u64s("image", [3, p.image as u64, p.image as u64]);
+    w.field_u64("classes", p.classes as u64);
+    w.field_f64("pruned_fraction", PRUNED_FRACTION);
+    w.end_object();
+    w.field_f64("offered_rate_img_s", offered);
+    w.key("runs");
+    w.begin_array();
+    for (name, r) in &results {
+        w.begin_object();
+        w.field_str("model", name);
+        w.field_f64("throughput_img_s", r.throughput);
+        w.key("stats");
+        r.stats.write_json(&mut w);
+        w.end_object();
+    }
+    w.end_array();
+    w.field_f64("speedup", speedup);
+    w.end_object();
+    let mut json = w.finish();
+    json.push('\n');
     std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
     println!("\ncompression speedup: {speedup:.2}x\nwrote BENCH_serve.json");
 

@@ -10,7 +10,11 @@
 //!   same state bitwise;
 //! * **gates speedup** (only when the host has ≥ 2 cores): the 4-worker
 //!   run must process at least 1.5× the images per second of the
-//!   1-worker run at smoke scale.
+//!   1-worker run at smoke scale;
+//! * **gates telemetry** (smoke scale): a third 1-worker run with JSONL
+//!   telemetry streaming into an in-memory sink must land on the same
+//!   state bitwise (telemetry is read-only) and stay within noise of the
+//!   telemetry-off run's wall time.
 //!
 //! Results go to stdout as a table and to `BENCH_train.json`
 //! (throughput per worker count, speedup, whether each gate was
@@ -26,10 +30,19 @@ use alf_core::AlfHyper;
 use alf_data::{Dataset, SynthVision};
 use alf_dp::{DpConfig, DpTrainer};
 use alf_nn::LrSchedule;
+use alf_obs::events::MemorySink;
+use alf_obs::json::JsonWriter;
 
 /// Worker count of the parallel run; the speedup gate threshold.
 const PAR_WORKERS: usize = 4;
 const MIN_SPEEDUP: f64 = 1.5;
+/// Telemetry-on wall time may exceed telemetry-off by at most this factor.
+/// Generous by design: the real cost is one JSONL line per step against a
+/// multi-millisecond training step, but smoke-scale timings on a loaded
+/// 1-core host swing ±25% run to run; the gate exists to catch
+/// pathological regressions (per-field allocation, serialisation inside
+/// the step's arithmetic), not to measure the sub-1% steady-state cost.
+const MAX_TELEMETRY_OVERHEAD: f64 = 1.5;
 const DATA_SEED: u64 = 33;
 const MODEL_SEED: u64 = 42;
 
@@ -118,6 +131,7 @@ fn main() {
         "workers", "elapsed s", "img/s", "final loss"
     );
     let mut throughputs = Vec::new();
+    let mut elapsed_by_workers = Vec::new();
     let mut states = Vec::new();
     for threads in [1usize, PAR_WORKERS] {
         let mut trainer =
@@ -131,10 +145,26 @@ fn main() {
             epochs.last().map_or(f32::NAN, |e| e.train_loss),
         );
         throughputs.push(throughput);
+        elapsed_by_workers.push(elapsed);
         states.push(trainer.state_vector());
     }
     let deterministic = states[0] == states[1];
     let speedup = throughputs[1] / throughputs[0];
+
+    // --- telemetry: same 1-worker trajectory with a live event stream ---
+    let (sink, events) = MemorySink::bounded(steps + 8);
+    let mut telemetered = DpTrainer::new(model.clone(), config(&p, 1)).expect("build trainer");
+    telemetered.set_telemetry_sink(Box::new(sink));
+    let start = Instant::now();
+    telemetered.run_steps(&data, steps).expect("train");
+    let telemetry_elapsed = start.elapsed().as_secs_f64();
+    let telemetry_bitwise = telemetered.state_vector() == states[0];
+    let telemetry_overhead = telemetry_elapsed / elapsed_by_workers[0];
+    let step_events = events
+        .lines()
+        .iter()
+        .filter(|l| l.contains("\"event\":\"train.step\""))
+        .count();
 
     // --- kill/resume: checkpoint mid-epoch, resume at 2 workers ---
     let kill_at = steps / 2;
@@ -156,32 +186,43 @@ fn main() {
     let resume_bitwise = resumed.state_vector() == states[0];
 
     let speedup_gate = host_cores >= 2;
-    let json = format!(
-        "{{\"bench\":\"train\",\"scale\":\"{}\",\"host_cores\":{host_cores},\
-         \"config\":{{\"image\":[3,{},{}],\"classes\":{},\"width\":{},\"batch\":{},\
-         \"steps\":{steps},\"checkpoint_bytes\":{}}},\
-         \"workers\":[1,{PAR_WORKERS}],\
-         \"throughput_img_s\":[{:.2},{:.2}],\"speedup\":{speedup:.3},\
-         \"deterministic\":{deterministic},\"resume_bitwise\":{resume_bitwise},\
-         \"speedup_gate_enforced\":{speedup_gate}}}\n",
-        scale.label(),
-        p.image,
-        p.image,
-        p.classes,
-        p.width,
-        p.batch,
-        blob.len(),
-        throughputs[0],
-        throughputs[1],
-    );
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.field_str("bench", "train");
+    w.field_str("scale", scale.label());
+    w.field_u64("host_cores", host_cores as u64);
+    w.key("config");
+    w.begin_object();
+    w.field_u64s("image", [3, p.image as u64, p.image as u64]);
+    w.field_u64("classes", p.classes as u64);
+    w.field_u64("width", p.width as u64);
+    w.field_u64("batch", p.batch as u64);
+    w.field_u64("steps", steps as u64);
+    w.field_u64("checkpoint_bytes", blob.len() as u64);
+    w.end_object();
+    w.field_u64s("workers", [1, PAR_WORKERS as u64]);
+    w.field_f64s("throughput_img_s", throughputs.iter().copied());
+    w.field_f64("speedup", speedup);
+    w.field_bool("deterministic", deterministic);
+    w.field_bool("resume_bitwise", resume_bitwise);
+    w.field_bool("speedup_gate_enforced", speedup_gate);
+    w.field_f64("telemetry_overhead", telemetry_overhead);
+    w.field_bool("telemetry_bitwise", telemetry_bitwise);
+    w.field_u64("telemetry_step_events", step_events as u64);
+    w.end_object();
+    let mut json = w.finish();
+    json.push('\n');
     std::fs::write("BENCH_train.json", &json).expect("write BENCH_train.json");
     println!(
         "\nspeedup {speedup:.2}x  deterministic={deterministic}  \
-         resume_bitwise={resume_bitwise}\nwrote BENCH_train.json"
+         resume_bitwise={resume_bitwise}  telemetry_overhead={telemetry_overhead:.2}x  \
+         telemetry_bitwise={telemetry_bitwise}\nwrote BENCH_train.json"
     );
 
-    // Gates. Determinism and resume fidelity hold on any host; the
-    // speedup gate needs real parallelism to be meaningful.
+    // Gates. Determinism, resume fidelity and telemetry read-only-ness
+    // hold on any host; the speedup gate needs real parallelism to be
+    // meaningful, and the telemetry-overhead gate needs smoke scale's
+    // fixed geometry.
     let mut failed = false;
     if !deterministic {
         eprintln!("FAIL: 1-worker and {PAR_WORKERS}-worker runs diverged bitwise");
@@ -191,10 +232,25 @@ fn main() {
         eprintln!("FAIL: resumed run diverged bitwise from the uninterrupted run");
         failed = true;
     }
+    if !telemetry_bitwise {
+        eprintln!("FAIL: telemetry-on run diverged bitwise from the telemetry-off run");
+        failed = true;
+    }
+    if step_events < steps {
+        eprintln!("FAIL: telemetry stream has {step_events} train.step events, expected {steps}");
+        failed = true;
+    }
     if speedup_gate && scale == Scale::Smoke && speedup < MIN_SPEEDUP {
         eprintln!(
             "FAIL: {PAR_WORKERS}-worker speedup {speedup:.2}x below the {MIN_SPEEDUP}x gate \
              on a {host_cores}-core host"
+        );
+        failed = true;
+    }
+    if scale == Scale::Smoke && telemetry_overhead > MAX_TELEMETRY_OVERHEAD {
+        eprintln!(
+            "FAIL: telemetry overhead {telemetry_overhead:.2}x above the \
+             {MAX_TELEMETRY_OVERHEAD}x gate"
         );
         failed = true;
     }

@@ -727,6 +727,38 @@ impl CnnModel {
         out
     }
 
+    /// All ALF blocks in network order (read-only) — the hook telemetry
+    /// consumers use to size per-block signal arrays.
+    pub fn alf_blocks(&self) -> Vec<&AlfBlock> {
+        let mut out = Vec::new();
+        for unit in &self.units {
+            match unit {
+                Unit::Conv(cu) => {
+                    if let ConvKind::Alf(b) = cu.conv() {
+                        out.push(b);
+                    }
+                }
+                Unit::Residual(r) => {
+                    if let ConvKind::Alf(b) = r.a.conv() {
+                        out.push(b);
+                    }
+                    if let ConvKind::Alf(b) = r.b.conv() {
+                        out.push(b);
+                    }
+                }
+                Unit::Fire(f) => {
+                    for cu in f.conv_units() {
+                        if let ConvKind::Alf(b) = cu.conv() {
+                            out.push(b);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
     /// Iterates over all ALF blocks (in network order) mutably — the hook
     /// the autoencoder player uses.
     pub fn alf_blocks_mut(&mut self) -> Vec<&mut AlfBlock> {

@@ -15,10 +15,12 @@ use alf_nn::layer::Layer;
 use alf_nn::loss::{correct_count, softmax_cross_entropy};
 use alf_nn::optim::{LrSchedule, Sgd};
 use alf_nn::{ProfileReport, RunCtx};
+use alf_obs::events::{EventLog, TelemetrySink};
 use alf_tensor::rng::Rng;
 use alf_tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
+use crate::autoencoder::AeStats;
 use crate::model::CnnModel;
 use crate::schedule::PruneSchedule;
 use crate::Result;
@@ -170,6 +172,11 @@ pub struct AlfTrainer {
     // steady state during the first batch and every later step reuses it.
     ctx: RunCtx,
     eval: Evaluator,
+    // Per-step JSONL telemetry; disabled (one branch per step) by default.
+    telemetry: EventLog,
+    // Reused per-step buffer for the autoencoder players' stats, filled
+    // only while telemetry is enabled.
+    ae_stats_buf: Vec<AeStats>,
 }
 
 impl AlfTrainer {
@@ -189,7 +196,28 @@ impl AlfTrainer {
             epoch: 0,
             ctx: RunCtx::train(),
             eval: Evaluator::new(),
+            telemetry: EventLog::disabled(),
+            ae_stats_buf: Vec::new(),
         })
+    }
+
+    /// Streams per-step and per-epoch telemetry (`train.step` /
+    /// `train.epoch` JSONL events) into `sink`. Telemetry is read-only —
+    /// it observes losses and mask statistics the step already computed —
+    /// so enabling it never changes trained weights.
+    pub fn set_telemetry_sink(&mut self, sink: Box<dyn TelemetrySink>) {
+        self.telemetry = EventLog::new(sink);
+    }
+
+    /// Disables telemetry (the default), restoring the one-branch-per-step
+    /// off path.
+    pub fn clear_telemetry(&mut self) {
+        self.telemetry = EventLog::disabled();
+    }
+
+    /// The trainer's event log (e.g. to flush the sink mid-run).
+    pub fn telemetry_mut(&mut self) -> &mut EventLog {
+        &mut self.telemetry
     }
 
     /// Turns per-layer profiling on or off. While on, every training step
@@ -288,18 +316,40 @@ impl AlfTrainer {
             let schedule = self.hyper.prune_schedule;
             let mut block_l_rec = 0.0;
             let ae_steps = self.hyper.ae_steps_per_batch.max(1);
+            // Stats are collected (read-only) only while telemetry is on;
+            // the arithmetic of the step itself is identical either way.
+            let collect = self.telemetry.is_enabled();
+            let ae_stats = &mut self.ae_stats_buf;
+            ae_stats.clear();
             let ctx = &mut self.ctx;
             let blocks = self.model.alf_blocks_mut();
             let n_blocks = blocks.len();
             for block in blocks {
-                let mut last = 0.0;
+                let mut last = None;
                 for _ in 0..ae_steps {
-                    last = block.autoencoder_step_in(ae_lr, &schedule, ctx)?.l_rec;
+                    last = Some(block.autoencoder_step_in(ae_lr, &schedule, ctx)?);
                 }
-                block_l_rec += last;
+                let last = last.expect("ae_steps >= 1");
+                block_l_rec += last.l_rec;
+                if collect {
+                    ae_stats.push(last);
+                }
             }
             if n_blocks > 0 {
                 l_rec_sum += block_l_rec / n_blocks as f32;
+            }
+            if let Some(mut ev) = self.telemetry.event("train.step") {
+                ev.field_u64("epoch", self.epoch as u64);
+                ev.field_u64("step", batches as u64);
+                ev.field_f32("task_loss", loss);
+                ev.field_f32("lr", lr);
+                ev.field_f32s("l_rec", self.ae_stats_buf.iter().map(|s| s.l_rec));
+                ev.field_f32s("l_prune", self.ae_stats_buf.iter().map(|s| s.l_prune));
+                ev.field_f32s("nu_prune", self.ae_stats_buf.iter().map(|s| s.nu_prune));
+                ev.field_f32s(
+                    "mask_occupancy",
+                    self.ae_stats_buf.iter().map(|s| 1.0 - s.zero_fraction),
+                );
             }
             loss_sum += loss;
             batches += 1;
@@ -315,33 +365,25 @@ impl AlfTrainer {
             remaining_filters: self.model.remaining_filter_fraction(),
             mean_l_rec: l_rec_sum / batches.max(1) as f32,
         };
+        if let Some(mut ev) = self.telemetry.event("train.epoch") {
+            ev.field_u64("epoch", stats.epoch as u64);
+            ev.field_f32("train_loss", stats.train_loss);
+            ev.field_f32("train_accuracy", stats.train_accuracy);
+            ev.field_f32("test_accuracy", stats.test_accuracy);
+            ev.field_f32("remaining_filters", stats.remaining_filters);
+            ev.field_f32("mean_l_rec", stats.mean_l_rec);
+        }
+        self.telemetry.flush();
         self.epoch += 1;
         Ok(stats)
     }
 }
 
-/// Resolves a worker-thread count from the standard three-level knob:
-/// an explicit constructor argument wins, then a positive integer in the
-/// `env_var` environment variable, then the host's available parallelism.
-///
-/// The same discipline as `ALF_GEMM_THREADS` in `alf-tensor`: thread
-/// counts never change results (every threaded path in this workspace is
-/// bitwise deterministic), so the knob is purely about resource control.
-/// Used by [`Evaluator`] (`ALF_EVAL_THREADS`) and the `alf-dp` training
-/// engine (`ALF_DP_THREADS`).
-pub fn resolve_threads(explicit: Option<usize>, env_var: &str) -> usize {
-    if let Some(n) = explicit {
-        return n.max(1);
-    }
-    if let Some(n) = std::env::var(env_var)
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
-        .filter(|&n| n >= 1)
-    {
-        return n;
-    }
-    std::thread::available_parallelism().map_or(1, |p| p.get())
-}
+// `resolve_threads` moved to `alf_obs::runtime` so `ALF_GEMM_THREADS`,
+// `ALF_EVAL_THREADS` and `ALF_DP_THREADS` all route through one parser;
+// re-exported here to keep the old `core::train::resolve_threads` path
+// compiling.
+pub use alf_obs::runtime::resolve_threads;
 
 /// A flattened copy of a model's state tensors, used to refresh long-lived
 /// model replicas in place instead of re-cloning them.

@@ -2,6 +2,7 @@
 
 use alf_core::checkpoint::{self, TrainerState};
 use alf_core::train::resolve_threads;
+use alf_core::AeStats;
 use alf_core::{AlfHyper, CnnModel, EpochStats, Evaluator, StateSnapshot, TrainReport};
 use alf_data::plan::{shard_range, EpochPlan};
 use alf_data::{Dataset, Split};
@@ -9,6 +10,7 @@ use alf_nn::layer::Layer;
 use alf_nn::loss::{correct_count, softmax_cross_entropy};
 use alf_nn::optim::Sgd;
 use alf_nn::RunCtx;
+use alf_obs::events::{EventLog, TelemetrySink};
 use alf_tensor::rng::Rng;
 use alf_tensor::{ShapeError, Tensor};
 use bytes::Bytes;
@@ -148,6 +150,8 @@ pub struct DpTrainer {
     seen: usize,
     l_rec_sum: f64,
     batches_done: usize,
+    // Per-step JSONL telemetry; disabled (one branch per step) by default.
+    telemetry: EventLog,
 }
 
 impl DpTrainer {
@@ -189,7 +193,28 @@ impl DpTrainer {
             seen: 0,
             l_rec_sum: 0.0,
             batches_done: 0,
+            telemetry: EventLog::disabled(),
         })
+    }
+
+    /// Streams per-step and per-epoch telemetry (`train.step` /
+    /// `train.epoch` JSONL events) into `sink`. Telemetry is read-only —
+    /// it observes losses, gradient norms and mask statistics the step
+    /// already computed — so enabling it never changes trained weights
+    /// (asserted bitwise in `tests/telemetry.rs`).
+    pub fn set_telemetry_sink(&mut self, sink: Box<dyn TelemetrySink>) {
+        self.telemetry = EventLog::new(sink);
+    }
+
+    /// Disables telemetry (the default), restoring the one-branch-per-step
+    /// off path.
+    pub fn clear_telemetry(&mut self) {
+        self.telemetry = EventLog::disabled();
+    }
+
+    /// The trainer's event log (e.g. to flush the sink mid-run).
+    pub fn telemetry_mut(&mut self) -> &mut EventLog {
+        &mut self.telemetry
     }
 
     /// Restores a trainer from a checkpoint blob
@@ -435,19 +460,27 @@ impl DpTrainer {
         for g in self.leaves[0].iter_mut() {
             *g *= inv_b;
         }
-        if let Some(max_norm) = self.config.max_grad_norm {
+        let grad_norm = if self.config.max_grad_norm.is_some() || self.telemetry.is_enabled() {
             // Deterministic left fold over the reduced gradient; the clip
             // depends only on the reduced values, never on shard layout.
+            // (With clipping off this runs only for telemetry, and is
+            // read-only either way.)
             let mut sq = 0.0f32;
             for &g in self.leaves[0].iter() {
                 sq += g * g;
             }
-            let norm = sq.sqrt();
-            if norm > max_norm {
-                let scale = max_norm / norm;
+            sq.sqrt()
+        } else {
+            0.0
+        };
+        let mut post_clip_norm = grad_norm;
+        if let Some(max_norm) = self.config.max_grad_norm {
+            if grad_norm > max_norm {
+                let scale = max_norm / grad_norm;
                 for g in self.leaves[0].iter_mut() {
                     *g *= scale;
                 }
+                post_clip_norm = max_norm;
             }
         }
         let lr = self
@@ -460,7 +493,7 @@ impl DpTrainer {
             .step_layer_from_flat(&mut self.model, &self.leaves[0]);
 
         // --- autoencoder player: one block per worker ---
-        self.ae_player_step(threads)?;
+        let ae_stats = self.ae_player_step(threads)?;
 
         // Loss statistics in fixed slot order (f64 so the accumulation is
         // well-conditioned; still a deterministic left fold).
@@ -475,6 +508,22 @@ impl DpTrainer {
             .sum::<usize>();
         self.seen += b;
         self.batches_done += 1;
+        if let Some(mut ev) = self.telemetry.event("train.step") {
+            ev.field_u64("epoch", self.epoch);
+            ev.field_u64("step", self.step);
+            ev.field_f32("task_loss", (batch_loss / b as f64) as f32);
+            ev.field_f32("lr", lr);
+            ev.field_f32("grad_norm", grad_norm);
+            ev.field_f32("grad_norm_clipped", post_clip_norm);
+            ev.field_u64("workers", threads as u64);
+            ev.field_f32s("l_rec", ae_stats.iter().map(|s| s.l_rec));
+            ev.field_f32s("l_prune", ae_stats.iter().map(|s| s.l_prune));
+            ev.field_f32s("nu_prune", ae_stats.iter().map(|s| s.nu_prune));
+            ev.field_f32s(
+                "mask_occupancy",
+                ae_stats.iter().map(|s| 1.0 - s.zero_fraction),
+            );
+        }
         self.step += 1;
 
         if self.step as usize == plan.num_batches() {
@@ -489,6 +538,15 @@ impl DpTrainer {
                 remaining_filters: self.model.remaining_filter_fraction(),
                 mean_l_rec: (self.l_rec_sum / self.batches_done.max(1) as f64) as f32,
             };
+            if let Some(mut ev) = self.telemetry.event("train.epoch") {
+                ev.field_u64("epoch", stats.epoch as u64);
+                ev.field_f32("train_loss", stats.train_loss);
+                ev.field_f32("train_accuracy", stats.train_accuracy);
+                ev.field_f32("test_accuracy", stats.test_accuracy);
+                ev.field_f32("remaining_filters", stats.remaining_filters);
+                ev.field_f32("mean_l_rec", stats.mean_l_rec);
+            }
+            self.telemetry.flush();
             self.epoch += 1;
             self.step = 0;
             return Ok(Some(stats));
@@ -500,14 +558,18 @@ impl DpTrainer {
     /// distributed block-per-worker. Blocks are mutually independent, so
     /// parallelising across them cannot change any block's arithmetic;
     /// reconstruction losses are folded in block order on the master.
-    fn ae_player_step(&mut self, threads: usize) -> Result<()> {
+    ///
+    /// Returns each block's final [`AeStats`] in block order (empty when
+    /// the model has no ALF blocks) — read-only observations for the
+    /// telemetry stream.
+    fn ae_player_step(&mut self, threads: usize) -> Result<Vec<AeStats>> {
         let ae_lr = self.config.hyper.ae_lr;
         let schedule = self.config.hyper.prune_schedule;
         let ae_steps = self.config.hyper.ae_steps_per_batch.max(1);
         let blocks = self.model.alf_blocks_mut();
         let n_blocks = blocks.len();
         if n_blocks == 0 {
-            return Ok(());
+            return Ok(Vec::new());
         }
         let ae_threads = threads.min(n_blocks).max(1);
         while self.ae_ctxs.len() < ae_threads {
@@ -525,17 +587,17 @@ impl DpTrainer {
             chunks.reverse();
         }
         let ctxs = &mut self.ae_ctxs[..ae_threads];
-        let losses = crossbeam::thread::scope(|scope| {
+        let stats = crossbeam::thread::scope(|scope| {
             let mut handles = Vec::new();
             for (chunk, ctx) in chunks.into_iter().zip(ctxs.iter_mut()) {
-                handles.push(scope.spawn(move |_| -> Result<Vec<f32>> {
+                handles.push(scope.spawn(move |_| -> Result<Vec<AeStats>> {
                     let mut out = Vec::with_capacity(chunk.len());
                     for block in chunk {
-                        let mut last = 0.0;
+                        let mut last = None;
                         for _ in 0..ae_steps {
-                            last = block.autoencoder_step_in(ae_lr, &schedule, ctx)?.l_rec;
+                            last = Some(block.autoencoder_step_in(ae_lr, &schedule, ctx)?);
                         }
-                        out.push(last);
+                        out.push(last.expect("ae_steps >= 1"));
                     }
                     Ok(out)
                 }));
@@ -546,14 +608,16 @@ impl DpTrainer {
                 .collect::<Result<Vec<_>>>()
         })
         .expect("ae scope panicked")?;
+        // Fold the losses in block order (chunks are consecutive block
+        // ranges), bitwise identical to the pre-telemetry scalar fold.
         let mut block_l_rec = 0.0f64;
-        for chunk_losses in &losses {
-            for &l in chunk_losses {
-                block_l_rec += f64::from(l);
+        for chunk_stats in &stats {
+            for s in chunk_stats {
+                block_l_rec += f64::from(s.l_rec);
             }
         }
         self.l_rec_sum += block_l_rec / n_blocks as f64;
-        Ok(())
+        Ok(stats.into_iter().flatten().collect())
     }
 
     /// Brings `threads` worker replicas up to date with the master:

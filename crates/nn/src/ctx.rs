@@ -27,6 +27,8 @@
 
 use std::time::Instant;
 
+use alf_obs::json::JsonWriter;
+use alf_obs::metrics::MetricsRegistry;
 use alf_tensor::ops::Workspace;
 
 use crate::layer::Mode;
@@ -302,12 +304,24 @@ impl LayerProfile {
         self.fwd_ns + self.bwd_ns
     }
 
+    /// Writes this layer as one JSON object into `w`.
+    pub fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_object();
+        w.field_str("name", &self.name);
+        w.field_u64("fwd_ns", self.fwd_ns);
+        w.field_u64("bwd_ns", self.bwd_ns);
+        w.field_u64("fwd_calls", self.fwd_calls);
+        w.field_u64("bwd_calls", self.bwd_calls);
+        w.field_u64("flops", self.flops);
+        w.field_u64("bytes", self.bytes);
+        w.end_object();
+    }
+
     /// One JSON object for this layer.
     pub fn to_json(&self) -> String {
-        format!(
-            "{{\"name\":\"{}\",\"fwd_ns\":{},\"bwd_ns\":{},\"fwd_calls\":{},\"bwd_calls\":{},\"flops\":{},\"bytes\":{}}}",
-            self.name, self.fwd_ns, self.bwd_ns, self.fwd_calls, self.bwd_calls, self.flops, self.bytes
-        )
+        let mut w = JsonWriter::new();
+        self.write_json(&mut w);
+        w.finish()
     }
 }
 
@@ -331,15 +345,50 @@ impl ProfileReport {
         self.layers.iter().map(LayerProfile::total_ns).sum()
     }
 
-    /// Serialises the whole report as a JSON object (hand-rolled — the
-    /// workspace is offline and carries no JSON dependency).
+    /// Writes the whole report as one JSON object into `w`.
+    pub fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_object();
+        w.field_u64("ws_high_water_bytes", self.ws_high_water_bytes as u64);
+        w.key("layers");
+        w.begin_array();
+        for l in &self.layers {
+            l.write_json(w);
+        }
+        w.end_array();
+        w.end_object();
+    }
+
+    /// Serialises the whole report as a JSON object through the shared
+    /// workspace writer (`alf_obs::json`).
     pub fn to_json(&self) -> String {
-        let layers: Vec<String> = self.layers.iter().map(LayerProfile::to_json).collect();
-        format!(
-            "{{\"ws_high_water_bytes\":{},\"layers\":[{}]}}",
-            self.ws_high_water_bytes,
-            layers.join(",")
-        )
+        let mut w = JsonWriter::new();
+        self.write_json(&mut w);
+        w.finish()
+    }
+
+    /// Exports the report into `registry` as gauges, one per layer and
+    /// measurement (`profile.<layer>.fwd_ns`, `.bwd_ns`, `.flops`,
+    /// `.bytes`) plus `profile.ws_high_water_bytes`, so profiler snapshots
+    /// travel through the same [`MetricsRegistry`] surface as server and
+    /// trainer metrics.
+    pub fn export_into(&self, registry: &MetricsRegistry) {
+        for l in &self.layers {
+            registry
+                .gauge(&format!("profile.{}.fwd_ns", l.name))
+                .set(l.fwd_ns as f64);
+            registry
+                .gauge(&format!("profile.{}.bwd_ns", l.name))
+                .set(l.bwd_ns as f64);
+            registry
+                .gauge(&format!("profile.{}.flops", l.name))
+                .set(l.flops as f64);
+            registry
+                .gauge(&format!("profile.{}.bytes", l.name))
+                .set(l.bytes as f64);
+        }
+        registry
+            .gauge("profile.ws_high_water_bytes")
+            .set(self.ws_high_water_bytes as f64);
     }
 
     /// Renders a fixed-width text table of per-layer measurements.
@@ -458,6 +507,21 @@ mod tests {
         assert!(json.contains("\"ws_high_water_bytes\""));
         let table = ctx.report().unwrap().table();
         assert!(table.contains("conv1"));
+    }
+
+    #[test]
+    fn report_exports_gauges_into_registry() {
+        let mut ctx = RunCtx::train().with_profiler();
+        let t = ctx.scope_start();
+        ctx.count_flops(7);
+        ctx.count_bytes(32);
+        ctx.scope_end(t, "conv1", Pass::Forward);
+        let registry = MetricsRegistry::new();
+        ctx.report().unwrap().export_into(&registry);
+        let snap = registry.snapshot();
+        assert_eq!(snap.gauge("profile.conv1.flops"), Some(7.0));
+        assert_eq!(snap.gauge("profile.conv1.bytes"), Some(32.0));
+        assert!(snap.gauge("profile.ws_high_water_bytes").is_some());
     }
 
     #[test]

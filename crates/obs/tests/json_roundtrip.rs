@@ -1,0 +1,382 @@
+//! Property test: any document written through [`JsonWriter`] parses back
+//! to the same value through an independent recursive-descent JSON reader
+//! defined in this file.
+//!
+//! The generator covers the full scalar surface (strings with quotes,
+//! backslashes, control characters and non-ASCII; extreme integers;
+//! subnormal / negative-zero / non-finite floats) and nests objects and
+//! arrays to a bounded depth. The checker is deliberately strict: it
+//! accepts exactly the RFC 8259 grammar, rejects trailing garbage, and
+//! decodes escapes independently of [`alf_obs::json::json_escape`].
+
+use alf_obs::json::JsonWriter;
+use proptest::prelude::*;
+
+/// Model of a JSON document: what we ask the writer to produce.
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Null,
+    Bool(bool),
+    /// A number, held as the exact token the writer must emit.
+    Num(String),
+    Str(String),
+    Arr(Vec<Value>),
+    Obj(Vec<(String, Value)>),
+}
+
+// ---- generator ---------------------------------------------------------
+
+/// Splitmix64 step; the proptest stub hands us one seed per case and the
+/// document is derived from it deterministically.
+fn next(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Random string biased toward characters that stress the escaper.
+fn gen_string(state: &mut u64) -> String {
+    let len = (next(state) % 12) as usize;
+    let mut s = String::new();
+    for _ in 0..len {
+        match next(state) % 8 {
+            0 => s.push('"'),
+            1 => s.push('\\'),
+            2 => s.push(char::from_u32((next(state) % 0x20) as u32).unwrap()),
+            3 => s.push('é'),
+            4 => s.push('\u{1F600}'),
+            5 => s.push('\u{7f}'), // DEL: not a JSON control, passes through
+            _ => s.push(char::from_u32(0x20 + (next(state) % 0x5e) as u32).unwrap()),
+        }
+    }
+    s
+}
+
+/// Random float whose emitted token we can predict: finite values emit
+/// their shortest `Display` form, non-finite emit `null`.
+fn gen_f64(state: &mut u64) -> f64 {
+    match next(state) % 8 {
+        0 => f64::NAN,
+        1 => f64::INFINITY,
+        2 => f64::NEG_INFINITY,
+        3 => -0.0,
+        4 => f64::MIN_POSITIVE,
+        5 => f64::from_bits(next(state) % (1 << 52)), // subnormal-ish
+        _ => (next(state) as f64 / u64::MAX as f64 - 0.5) * 1e6,
+    }
+}
+
+fn gen_value(state: &mut u64, depth: usize) -> Value {
+    let container_ok = depth < 3;
+    match next(state) % if container_ok { 8 } else { 6 } {
+        0 => Value::Null,
+        1 => Value::Bool(next(state).is_multiple_of(2)),
+        2 => {
+            let v = next(state);
+            Value::Num(v.to_string())
+        }
+        3 => {
+            let v = next(state) as i64;
+            Value::Num(v.to_string())
+        }
+        4 => {
+            let v = gen_f64(state);
+            if v.is_finite() {
+                Value::Num(format!("{v}"))
+            } else {
+                Value::Null
+            }
+        }
+        5 => Value::Str(gen_string(state)),
+        6 => {
+            let n = (next(state) % 4) as usize;
+            Value::Arr((0..n).map(|_| gen_value(state, depth + 1)).collect())
+        }
+        _ => {
+            let n = (next(state) % 4) as usize;
+            Value::Obj(
+                (0..n)
+                    .map(|_| (gen_string(state), gen_value(state, depth + 1)))
+                    .collect(),
+            )
+        }
+    }
+}
+
+/// Writes the model through the API under test. Numbers are re-parsed from
+/// their token so every numeric entry point (`value_u64`, `value_i64`,
+/// `value_f64`) gets exercised on the tokens it produced.
+fn write_value(w: &mut JsonWriter, v: &Value) {
+    match v {
+        Value::Null => w.value_null(),
+        Value::Bool(b) => w.value_bool(*b),
+        Value::Num(tok) => {
+            // Integer entry points only when they reproduce the exact
+            // token ("-0" must go through the float path).
+            if let Ok(u) = tok.parse::<u64>().map(|u| (u, u.to_string() == *tok)) {
+                if u.1 {
+                    w.value_u64(u.0);
+                    return;
+                }
+            }
+            if let Ok(i) = tok.parse::<i64>().map(|i| (i, i.to_string() == *tok)) {
+                if i.1 {
+                    w.value_i64(i.0);
+                    return;
+                }
+            }
+            w.value_f64(tok.parse::<f64>().expect("numeric token"));
+        }
+        Value::Str(s) => w.value_str(s),
+        Value::Arr(items) => {
+            w.begin_array();
+            for item in items {
+                write_value(w, item);
+            }
+            w.end_array();
+        }
+        Value::Obj(fields) => {
+            w.begin_object();
+            for (k, item) in fields {
+                w.key(k);
+                write_value(w, item);
+            }
+            w.end_object();
+        }
+    }
+}
+
+// ---- recursive-descent checker -----------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Self {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn eat_lit(&mut self, lit: &str) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(format!("expected `{lit}` at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        match self.peek() {
+            Some(b'n') => self.eat_lit("null").map(|()| Value::Null),
+            Some(b't') => self.eat_lit("true").map(|()| Value::Bool(true)),
+            Some(b'f') => self.eat_lit("false").map(|()| Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!("unexpected {other:?} at byte {}", self.pos)),
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let int_start = self.pos;
+        while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.pos == int_start {
+            return Err(format!("empty integer part at byte {start}"));
+        }
+        // RFC 8259: no leading zeros on a multi-digit integer part.
+        if self.bytes[int_start] == b'0' && self.pos - int_start > 1 {
+            return Err(format!("leading zero at byte {int_start}"));
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            let frac_start = self.pos;
+            while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+            if self.pos == frac_start {
+                return Err(format!("empty fraction at byte {frac_start}"));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            let exp_start = self.pos;
+            while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+            if self.pos == exp_start {
+                return Err(format!("empty exponent at byte {exp_start}"));
+            }
+        }
+        let tok = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        Ok(Value::Num(tok.to_string()))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let rest = std::str::from_utf8(&self.bytes[self.pos..]).map_err(|e| e.to_string())?;
+            let mut chars = rest.char_indices();
+            let (_, c) = chars.next().ok_or("unterminated string")?;
+            self.pos += c.len_utf8();
+            match c {
+                '"' => return Ok(out),
+                '\\' => {
+                    let esc = self.bytes.get(self.pos).copied().ok_or("dangling escape")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or("truncated \\u escape")?;
+                            self.pos += 4;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            // The writer only \u-escapes C0 controls, which
+                            // are never surrogate halves.
+                            out.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                        }
+                        other => return Err(format!("bad escape \\{}", other as char)),
+                    }
+                }
+                c if (c as u32) < 0x20 => {
+                    return Err(format!("raw control {:#x} in string", c as u32));
+                }
+                c => out.push(c),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                other => return Err(format!("expected , or ] but found {other:?}")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.eat(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(fields));
+        }
+        loop {
+            let key = self.string()?;
+            self.eat(b':')?;
+            fields.push((key, self.value()?));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                other => return Err(format!("expected , or }} but found {other:?}")),
+            }
+        }
+    }
+
+    /// Parses one complete document and rejects trailing bytes.
+    fn document(mut self) -> Result<Value, String> {
+        let v = self.value()?;
+        if self.pos != self.bytes.len() {
+            return Err(format!(
+                "trailing garbage at byte {}: {:?}",
+                self.pos,
+                &self.bytes[self.pos..]
+            ));
+        }
+        Ok(v)
+    }
+}
+
+// ---- properties --------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn written_documents_parse_back_identically(seed in 0u64..u64::MAX) {
+        let mut state = seed;
+        let model = gen_value(&mut state, 0);
+        let mut w = JsonWriter::new();
+        write_value(&mut w, &model);
+        let text = w.finish();
+        let parsed = Parser::new(&text).document();
+        prop_assert_eq!(parsed.as_ref(), Ok(&model), "document: {}", text);
+    }
+
+    #[test]
+    fn float_tokens_reparse_to_the_same_bits(seed in 0u64..u64::MAX) {
+        let mut state = seed;
+        for _ in 0..16 {
+            let v = gen_f64(&mut state);
+            let mut w = JsonWriter::new();
+            w.value_f64(v);
+            let text = w.finish();
+            if v.is_finite() {
+                let back: f64 = text.parse().map_err(|e| {
+                    TestCaseError::fail(format!("`{text}` does not reparse: {e}"))
+                })?;
+                prop_assert_eq!(back.to_bits(), v.to_bits(), "token {}", text);
+            } else {
+                prop_assert_eq!(text.as_str(), "null");
+            }
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Concurrency test: eight threads hammer one [`MetricsRegistry`] —
+//! racing get-or-create on shared names, incrementing counters and
+//! recording into a shared histogram — and the final snapshot must hold
+//! the exact totals (atomics lose nothing, and re-registration hands
+//! every thread the same cells).
+
+use std::sync::Arc;
+
+use alf_obs::metrics::{HistogramSpec, MetricsRegistry};
+
+const THREADS: usize = 8;
+const OPS_PER_THREAD: u64 = 10_000;
+
+#[test]
+fn eight_threads_produce_exact_totals() {
+    let registry = MetricsRegistry::new();
+    let barrier = Arc::new(std::sync::Barrier::new(THREADS));
+
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let registry = registry.clone();
+            let barrier = Arc::clone(&barrier);
+            scope.spawn(move || {
+                // Every thread resolves the same names itself, so the
+                // get-or-create path races for real.
+                let shared = registry.counter("test.shared");
+                let own = registry.counter(&format!("test.thread{t}"));
+                let gauge = registry.gauge(&format!("test.gauge{t}"));
+                let hist = registry.histogram("test.hist", HistogramSpec::latency_ns());
+                barrier.wait();
+                for i in 0..OPS_PER_THREAD {
+                    shared.inc();
+                    own.add(2);
+                    gauge.set(i as f64);
+                    // Spread records across buckets; exact placement does
+                    // not matter, only that none are lost.
+                    hist.record(1 + (t as u64 * OPS_PER_THREAD + i) % 1_000_000);
+                }
+            });
+        }
+    });
+
+    let snap = registry.snapshot();
+    let total = THREADS as u64 * OPS_PER_THREAD;
+    assert_eq!(snap.counter("test.shared"), Some(total));
+    for t in 0..THREADS {
+        assert_eq!(
+            snap.counter(&format!("test.thread{t}")),
+            Some(2 * OPS_PER_THREAD)
+        );
+        assert_eq!(
+            snap.gauge(&format!("test.gauge{t}")),
+            Some((OPS_PER_THREAD - 1) as f64)
+        );
+    }
+    let hist = snap.histogram("test.hist").expect("histogram registered");
+    assert_eq!(hist.total, total);
+    assert_eq!(hist.counts.iter().sum::<u64>(), total);
+}
+
+#[test]
+fn racing_registration_returns_the_same_cells() {
+    let registry = MetricsRegistry::new();
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let registry = registry.clone();
+            scope.spawn(move || {
+                for _ in 0..1_000 {
+                    registry.counter("race.counter").inc();
+                    registry
+                        .histogram("race.hist", HistogramSpec::latency_ns())
+                        .record(42);
+                }
+            });
+        }
+    });
+    let snap = registry.snapshot();
+    let total = THREADS as u64 * 1_000;
+    assert_eq!(snap.counter("race.counter"), Some(total));
+    assert_eq!(
+        snap.histogram("race.hist").expect("registered").total,
+        total
+    );
+}

@@ -27,6 +27,7 @@ use std::time::{Duration, Instant};
 
 use alf_core::checkpoint;
 use alf_core::model::CnnModel;
+use alf_obs::metrics::{Counter, Gauge, HistogramSpec, MetricsRegistry};
 use alf_tensor::Tensor;
 
 use crate::replica::{Prediction, Replica};
@@ -149,9 +150,11 @@ struct SwapState {
     version: u64,
 }
 
+/// The exact batch-size distribution (`batch[n]` = batches of exactly `n`
+/// requests) keeps linear buckets behind a short mutex; everything else in
+/// [`Shared`] is a lock-free registry instrument.
 #[derive(Debug, Default)]
 struct Hists {
-    latency: LatencyHistogram,
     batch: Vec<u64>,
     occupancy_sum: u64,
 }
@@ -164,12 +167,17 @@ struct Shared {
     swap: Mutex<SwapState>,
     swap_version: AtomicU64,
     freeze: AtomicBool,
-    submitted: AtomicU64,
-    completed: AtomicU64,
-    rejected_overloaded: AtomicU64,
-    rejected_shutdown: AtomicU64,
-    swaps: AtomicU64,
-    batches: AtomicU64,
+    /// The registry all serving instruments live in (`serve.*` names);
+    /// shared with the caller through [`Server::registry`].
+    registry: MetricsRegistry,
+    submitted: Counter,
+    completed: Counter,
+    rejected_overloaded: Counter,
+    rejected_shutdown: Counter,
+    swaps: Counter,
+    batches: Counter,
+    queue_len: Gauge,
+    latency: LatencyHistogram,
     hists: Mutex<Hists>,
     /// Per-worker cumulative arena allocation-event counters, published
     /// after every batch; tests sum them across a frozen window to assert
@@ -193,6 +201,24 @@ impl Server {
     /// [`ServeError::BadRequest`] for an invalid configuration or a model
     /// that rejects the configured geometry.
     pub fn start(model: &CnnModel, cfg: ServeConfig) -> Result<Self> {
+        Self::start_with_registry(model, cfg, MetricsRegistry::new())
+    }
+
+    /// Like [`Server::start`], but registers the serving instruments
+    /// (`serve.submitted`, `serve.completed`, `serve.rejected_*`,
+    /// `serve.swaps`, `serve.batches`, `serve.queue_len`,
+    /// `serve.latency_ns`) in the caller's `registry`, so one registry
+    /// snapshot can cover serving alongside training and profiling
+    /// metrics.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Server::start`].
+    pub fn start_with_registry(
+        model: &CnnModel,
+        cfg: ServeConfig,
+        registry: MetricsRegistry,
+    ) -> Result<Self> {
         cfg.validate()?;
         let dims = [cfg.channels, cfg.height, cfg.width];
         let mut replicas = Vec::with_capacity(cfg.workers);
@@ -213,14 +239,18 @@ impl Server {
             }),
             swap_version: AtomicU64::new(0),
             freeze: AtomicBool::new(false),
-            submitted: AtomicU64::new(0),
-            completed: AtomicU64::new(0),
-            rejected_overloaded: AtomicU64::new(0),
-            rejected_shutdown: AtomicU64::new(0),
-            swaps: AtomicU64::new(0),
-            batches: AtomicU64::new(0),
+            submitted: registry.counter("serve.submitted"),
+            completed: registry.counter("serve.completed"),
+            rejected_overloaded: registry.counter("serve.rejected_overloaded"),
+            rejected_shutdown: registry.counter("serve.rejected_shutdown"),
+            swaps: registry.counter("serve.swaps"),
+            batches: registry.counter("serve.batches"),
+            queue_len: registry.gauge("serve.queue_len"),
+            latency: LatencyHistogram::from_shared(
+                registry.histogram("serve.latency_ns", HistogramSpec::latency_ns()),
+            ),
+            registry,
             hists: Mutex::new(Hists {
-                latency: LatencyHistogram::new(),
                 batch: vec![0; cfg.max_batch + 1],
                 occupancy_sum: 0,
             }),
@@ -271,15 +301,11 @@ impl Server {
         {
             let mut queue = self.shared.queue.lock().expect("queue poisoned");
             if queue.draining {
-                self.shared
-                    .rejected_shutdown
-                    .fetch_add(1, Ordering::Relaxed);
+                self.shared.rejected_shutdown.inc();
                 return Err(ServeError::ShuttingDown);
             }
             if queue.items.len() >= cfg.queue_depth {
-                self.shared
-                    .rejected_overloaded
-                    .fetch_add(1, Ordering::Relaxed);
+                self.shared.rejected_overloaded.inc();
                 return Err(ServeError::Overloaded {
                     queue_depth: cfg.queue_depth,
                 });
@@ -289,9 +315,10 @@ impl Server {
                 enqueued: Instant::now(),
                 slot: Arc::clone(&slot),
             });
+            self.shared.queue_len.set(queue.items.len() as f64);
         }
         self.shared.queue_cv.notify_one();
-        self.shared.submitted.fetch_add(1, Ordering::Relaxed);
+        self.shared.submitted.inc();
         Ok(Pending { slot })
     }
 
@@ -313,7 +340,7 @@ impl Server {
             .swap_version
             .store(swap.version, Ordering::Release);
         drop(swap);
-        self.shared.swaps.fetch_add(1, Ordering::Relaxed);
+        self.shared.swaps.inc();
         Ok(())
     }
 
@@ -346,16 +373,23 @@ impl Server {
         }
     }
 
+    /// The metrics registry the serving instruments live in. With
+    /// [`Server::start_with_registry`] this is the caller's registry;
+    /// otherwise a private one created at start.
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.shared.registry
+    }
+
     /// Point-in-time statistics snapshot.
     pub fn stats(&self) -> ServerStats {
         let hists = self.shared.hists.lock().expect("hists poisoned");
-        let batches = self.shared.batches.load(Ordering::Relaxed);
+        let batches = self.shared.batches.get();
         ServerStats {
-            submitted: self.shared.submitted.load(Ordering::Relaxed),
-            completed: self.shared.completed.load(Ordering::Relaxed),
-            rejected_overloaded: self.shared.rejected_overloaded.load(Ordering::Relaxed),
-            rejected_shutdown: self.shared.rejected_shutdown.load(Ordering::Relaxed),
-            swaps: self.shared.swaps.load(Ordering::Relaxed),
+            submitted: self.shared.submitted.get(),
+            completed: self.shared.completed.get(),
+            rejected_overloaded: self.shared.rejected_overloaded.get(),
+            rejected_shutdown: self.shared.rejected_shutdown.get(),
+            swaps: self.shared.swaps.get(),
             batches,
             batch_histogram: hists.batch.clone(),
             mean_batch_occupancy: if batches > 0 {
@@ -363,9 +397,9 @@ impl Server {
             } else {
                 0.0
             },
-            p50_ms: hists.latency.quantile_ms(0.50),
-            p95_ms: hists.latency.quantile_ms(0.95),
-            p99_ms: hists.latency.quantile_ms(0.99),
+            p50_ms: self.shared.latency.quantile_ms(0.50),
+            p95_ms: self.shared.latency.quantile_ms(0.95),
+            p99_ms: self.shared.latency.quantile_ms(0.99),
         }
     }
 
@@ -451,6 +485,7 @@ fn worker_loop(index: usize, mut replica: Replica, shared: Arc<Shared>) {
             if !queue.items.is_empty() {
                 shared.queue_cv.notify_one();
             }
+            shared.queue_len.set(queue.items.len() as f64);
         }
 
         // ---- apply a pending hot swap between batches ----
@@ -482,15 +517,17 @@ fn worker_loop(index: usize, mut replica: Replica, shared: Arc<Shared>) {
         match outcome {
             Ok(predictions) => {
                 let n = batch.len();
-                shared.batches.fetch_add(1, Ordering::Relaxed);
-                shared.completed.fetch_add(n as u64, Ordering::Relaxed);
+                shared.batches.inc();
+                shared.completed.add(n as u64);
+                // The latency histogram is lock-free; only the exact
+                // batch-size buckets need the short mutex.
+                for request in &batch {
+                    shared.latency.record(request.enqueued.elapsed());
+                }
                 {
                     let mut hists = shared.hists.lock().expect("hists poisoned");
                     hists.batch[n] += 1;
                     hists.occupancy_sum += n as u64;
-                    for request in &batch {
-                        hists.latency.record(request.enqueued.elapsed());
-                    }
                 }
                 for (request, prediction) in batch.into_iter().zip(predictions) {
                     request.slot.fill(Ok(prediction));
@@ -499,9 +536,7 @@ fn worker_loop(index: usize, mut replica: Replica, shared: Arc<Shared>) {
             Err(e) => {
                 // Every request of a failed batch is answered with the
                 // error — "answered or explicitly rejected", never lost.
-                shared
-                    .completed
-                    .fetch_add(batch.len() as u64, Ordering::Relaxed);
+                shared.completed.add(batch.len() as u64);
                 for request in batch {
                     request.slot.fill(Err(e.clone()));
                 }
@@ -579,6 +614,28 @@ mod tests {
         assert_eq!(histogrammed, stats.batches);
         assert!(stats.mean_batch_occupancy >= 1.0);
         assert!(stats.p50_ms > 0.0 && stats.p50_ms <= stats.p99_ms);
+    }
+
+    #[test]
+    fn registry_snapshot_matches_stats() {
+        use alf_obs::metrics::MetricsRegistry;
+        let model = plain20(4, 4).unwrap();
+        let registry = MetricsRegistry::new();
+        let server = Server::start_with_registry(&model, tiny_config(), registry.clone()).unwrap();
+        let pendings: Vec<Pending> = (0..6).map(|i| server.submit(image(i)).unwrap()).collect();
+        for p in pendings {
+            p.wait().unwrap();
+        }
+        server.shutdown();
+        let stats = server.stats();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("serve.submitted"), Some(stats.submitted));
+        assert_eq!(snap.counter("serve.completed"), Some(stats.completed));
+        assert_eq!(snap.counter("serve.batches"), Some(stats.batches));
+        let latency = snap.histogram("serve.latency_ns").unwrap();
+        assert_eq!(latency.total, stats.completed);
+        assert_eq!(latency.p99 / 1e6, stats.p99_ms);
+        assert_eq!(snap.gauge("serve.queue_len"), Some(0.0));
     }
 
     #[test]

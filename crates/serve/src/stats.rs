@@ -1,22 +1,29 @@
-//! Serving observability: a fixed-bucket latency histogram and the
-//! [`ServerStats`] snapshot assembled from it.
+//! Serving observability: a latency view over the shared workspace
+//! histogram and the [`ServerStats`] snapshot assembled from it.
+//!
+//! The fixed-bucket log2 histogram that used to live here was generalised
+//! into [`alf_obs::metrics::Histogram`]; [`LatencyHistogram`] remains as
+//! the duration-typed serving view (`record(Duration)`, quantiles in
+//! milliseconds) and can wrap a histogram registered in a
+//! [`MetricsRegistry`](alf_obs::metrics::MetricsRegistry), so the server's
+//! latency distribution is the *same cells* whether read through
+//! [`ServerStats`] or a registry snapshot.
 
+use std::sync::Arc;
 use std::time::Duration;
 
-/// Sub-buckets per octave. Quarter-octave resolution bounds the relative
-/// quantile error at `2^(1/4) − 1 ≈ 19%` of the reported value.
-const SUB_BUCKETS: usize = 4;
-/// Octaves covered, starting at 1 µs; the last bucket is a catch-all for
-/// anything slower than `1 µs · 2^30 ≈ 18 min`.
-const OCTAVES: usize = 30;
-const BUCKETS: usize = SUB_BUCKETS * OCTAVES;
+use alf_obs::json::JsonWriter;
+use alf_obs::metrics::{Histogram, HistogramSpec};
 
 /// Fixed-bucket, log-scale latency histogram.
 ///
-/// The bucket layout is decided at compile time, so [`record`] is a
-/// branch, a `log2` and two increments — no allocation, no syscalls. That
-/// keeps it safe to call from the serving hot path, where the only clock
-/// source is `Instant`.
+/// A duration-typed view over [`alf_obs::metrics::Histogram`] with the
+/// [`HistogramSpec::latency_ns`] layout: bucket 0 at ≤ 1 µs, quarter
+/// octaves (quantile error ≤ `2^(1/4) − 1 ≈ 19%`), catch-all above
+/// `1 µs · 2^30 ≈ 18 min`. [`record`] is a branch, a `log2` and two
+/// relaxed atomic increments — no allocation, no syscalls — so it is safe
+/// to call from the serving hot path, where the only clock source is
+/// `Instant`.
 ///
 /// [`record`]: LatencyHistogram::record
 ///
@@ -26,7 +33,7 @@ const BUCKETS: usize = SUB_BUCKETS * OCTAVES;
 /// use alf_serve::LatencyHistogram;
 /// use std::time::Duration;
 ///
-/// let mut h = LatencyHistogram::new();
+/// let h = LatencyHistogram::new();
 /// for ms in [1u64, 2, 3, 100] {
 ///     h.record(Duration::from_millis(ms));
 /// }
@@ -36,8 +43,7 @@ const BUCKETS: usize = SUB_BUCKETS * OCTAVES;
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LatencyHistogram {
-    counts: Vec<u64>,
-    total: u64,
+    inner: Arc<Histogram>,
 }
 
 impl LatencyHistogram {
@@ -45,51 +51,44 @@ impl LatencyHistogram {
     /// ever makes.
     pub fn new() -> Self {
         Self {
-            counts: vec![0; BUCKETS],
-            total: 0,
+            inner: Arc::new(Histogram::new(HistogramSpec::latency_ns())),
         }
     }
 
+    /// View over an existing shared histogram (typically registered as
+    /// `serve.latency_ns` in a metrics registry). Samples recorded through
+    /// either handle are visible through both.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `inner` does not use the [`HistogramSpec::latency_ns`]
+    /// layout — the millisecond quantile math depends on nanosecond
+    /// samples.
+    pub fn from_shared(inner: Arc<Histogram>) -> Self {
+        assert_eq!(
+            inner.spec(),
+            HistogramSpec::latency_ns(),
+            "LatencyHistogram requires the latency_ns bucket layout"
+        );
+        Self { inner }
+    }
+
     /// Records one latency sample.
-    pub fn record(&mut self, latency: Duration) {
+    pub fn record(&self, latency: Duration) {
         let ns = latency.as_nanos().min(u128::from(u64::MAX)) as u64;
-        self.counts[Self::bucket(ns)] += 1;
-        self.total += 1;
+        self.inner.record(ns);
     }
 
     /// Number of recorded samples.
     pub fn total(&self) -> u64 {
-        self.total
+        self.inner.total()
     }
 
     /// Upper bound of the bucket containing the `q`-quantile sample, in
     /// milliseconds (0.0 for an empty histogram). `q` is clamped to
     /// `[0, 1]`.
     pub fn quantile_ms(&self, q: f64) -> f64 {
-        if self.total == 0 {
-            return 0.0;
-        }
-        let target = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
-        let mut seen = 0u64;
-        for (i, &c) in self.counts.iter().enumerate() {
-            seen += c;
-            if seen >= target {
-                return Self::upper_bound_ns(i) / 1e6;
-            }
-        }
-        Self::upper_bound_ns(BUCKETS - 1) / 1e6
-    }
-
-    fn bucket(ns: u64) -> usize {
-        if ns <= 1_000 {
-            return 0;
-        }
-        let octaves = (ns as f64 / 1_000.0).log2();
-        ((octaves * SUB_BUCKETS as f64) as usize).min(BUCKETS - 1)
-    }
-
-    fn upper_bound_ns(bucket: usize) -> f64 {
-        1_000.0 * 2f64.powf((bucket + 1) as f64 / SUB_BUCKETS as f64)
+        self.inner.quantile(q) / 1e6
     }
 }
 
@@ -135,27 +134,29 @@ impl ServerStats {
         self.rejected_overloaded + self.rejected_shutdown
     }
 
-    /// One JSON object (hand-rolled — the workspace is offline and carries
-    /// no JSON dependency).
+    /// Writes the snapshot as one JSON object into `w`.
+    pub fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_object();
+        w.field_u64("submitted", self.submitted);
+        w.field_u64("completed", self.completed);
+        w.field_u64("rejected_overloaded", self.rejected_overloaded);
+        w.field_u64("rejected_shutdown", self.rejected_shutdown);
+        w.field_u64("swaps", self.swaps);
+        w.field_u64("batches", self.batches);
+        w.field_u64s("batch_histogram", self.batch_histogram.iter().copied());
+        w.field_f64("mean_batch_occupancy", self.mean_batch_occupancy);
+        w.field_f64("p50_ms", self.p50_ms);
+        w.field_f64("p95_ms", self.p95_ms);
+        w.field_f64("p99_ms", self.p99_ms);
+        w.end_object();
+    }
+
+    /// One JSON object, serialised through the shared workspace writer
+    /// (`alf_obs::json`). Floats use shortest round-trip form.
     pub fn to_json(&self) -> String {
-        let hist: Vec<String> = self.batch_histogram.iter().map(u64::to_string).collect();
-        format!(
-            "{{\"submitted\":{},\"completed\":{},\"rejected_overloaded\":{},\
-             \"rejected_shutdown\":{},\"swaps\":{},\"batches\":{},\
-             \"batch_histogram\":[{}],\"mean_batch_occupancy\":{:.4},\
-             \"p50_ms\":{:.4},\"p95_ms\":{:.4},\"p99_ms\":{:.4}}}",
-            self.submitted,
-            self.completed,
-            self.rejected_overloaded,
-            self.rejected_shutdown,
-            self.swaps,
-            self.batches,
-            hist.join(","),
-            self.mean_batch_occupancy,
-            self.p50_ms,
-            self.p95_ms,
-            self.p99_ms,
-        )
+        let mut w = JsonWriter::new();
+        self.write_json(&mut w);
+        w.finish()
     }
 }
 
@@ -173,7 +174,7 @@ mod tests {
 
     #[test]
     fn quantiles_are_monotone_and_bracket_samples() {
-        let mut h = LatencyHistogram::new();
+        let h = LatencyHistogram::new();
         for ms in 1..=100u64 {
             h.record(Duration::from_millis(ms));
         }
@@ -190,12 +191,22 @@ mod tests {
 
     #[test]
     fn extreme_samples_stay_in_range() {
-        let mut h = LatencyHistogram::new();
+        let h = LatencyHistogram::new();
         h.record(Duration::from_nanos(1));
         h.record(Duration::from_secs(100_000));
         assert_eq!(h.total(), 2);
         assert!(h.quantile_ms(0.0) > 0.0);
         assert!(h.quantile_ms(1.0).is_finite());
+    }
+
+    #[test]
+    fn shared_histogram_is_visible_through_both_handles() {
+        let shared = Arc::new(Histogram::new(HistogramSpec::latency_ns()));
+        let view = LatencyHistogram::from_shared(Arc::clone(&shared));
+        view.record(Duration::from_millis(2));
+        shared.record(3_000_000);
+        assert_eq!(view.total(), 2);
+        assert_eq!(shared.total(), 2);
     }
 
     #[test]
@@ -217,6 +228,7 @@ mod tests {
         let json = stats.to_json();
         assert!(json.contains("\"submitted\":10"));
         assert!(json.contains("\"batch_histogram\":[0,1,2]"));
-        assert!(json.contains("\"p99_ms\":4.0000"));
+        assert!(json.contains("\"mean_batch_occupancy\":2.67"));
+        assert!(json.contains("\"p99_ms\":4}"));
     }
 }

@@ -93,11 +93,9 @@ pub fn auto_threads(m: usize, k: usize, n: usize) -> usize {
 
 fn thread_override() -> Option<usize> {
     static OVERRIDE: std::sync::OnceLock<Option<usize>> = std::sync::OnceLock::new();
-    *OVERRIDE.get_or_init(|| {
-        std::env::var("ALF_GEMM_THREADS")
-            .ok()
-            .and_then(|s| s.parse().ok())
-    })
+    // One shared parser for every ALF_*_THREADS knob (rejects 0 and
+    // garbage); cached because this sits on the GEMM dispatch path.
+    *OVERRIDE.get_or_init(|| alf_obs::runtime::env_threads("ALF_GEMM_THREADS"))
 }
 
 /// `C = op(A) · op(B)` into a caller-provided buffer.

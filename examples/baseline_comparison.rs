@@ -13,7 +13,7 @@ use alf::core::{deploy, NetworkCost};
 use alf::data::{Split, SynthVision};
 use alf::nn::LrSchedule;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> alf::Result<()> {
     let data = SynthVision::cifar_like(31)
         .with_image_size(16)
         .with_max_shift(1)
@@ -51,7 +51,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // re-silence after each epoch so pruned channels stay dead.
     let finetune = |model: alf::core::CnnModel,
                     reprune: &dyn Fn(&mut alf::core::CnnModel)|
-     -> Result<alf::core::CnnModel, Box<dyn std::error::Error>> {
+     -> alf::Result<alf::core::CnnModel> {
         let mut ft = AlfTrainer::new(model, hyper.clone(), 9)?;
         for _ in 0..4 {
             ft.run_epoch(&data)?;

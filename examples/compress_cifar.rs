@@ -15,7 +15,7 @@ use alf::tensor::init::Init;
 use alf::tensor::rng::Rng;
 use alf::tensor::Tensor;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> alf::Result<()> {
     let data = SynthVision::cifar_like(21)
         .with_image_size(16)
         .with_max_shift(1)

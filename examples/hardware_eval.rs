@@ -8,7 +8,7 @@ use alf::core::models::geometry;
 use alf::core::ConvShape;
 use alf::hwmodel::{Accelerator, ConvWorkload, Dataflow, Mapper, NetworkReport};
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> alf::Result<()> {
     let accelerator = Accelerator::eyeriss();
     println!(
         "accelerator: {} ({}x{} PEs, {} RF words/PE, {} KiB buffer)",

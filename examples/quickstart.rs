@@ -10,7 +10,7 @@ use alf::core::{deploy, NetworkCost};
 use alf::data::SynthVision;
 use alf::nn::LrSchedule;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> alf::Result<()> {
     // 1. A small synthetic CIFAR-like classification task.
     let data = SynthVision::cifar_like(7)
         .with_image_size(16)

@@ -17,16 +17,34 @@ echo "==> serve_bench --smoke"
 timeout 300 cargo run --release -q -p alf-bench --bin serve_bench -- --smoke
 
 # The training benchmark gates that data-parallel training is bitwise
-# independent of the worker count and that a killed run resumes from its
+# independent of the worker count, that a killed run resumes from its
 # checkpoint bitwise identically (plus a >=1.5x 4-worker speedup gate on
-# multi-core hosts); the timeout turns a hang into a hard failure.
-echo "==> train_bench --smoke"
+# multi-core hosts), and that per-step JSONL telemetry is read-only
+# (bitwise-identical weights) and stays within noise of the
+# telemetry-off wall time; the timeout turns a hang into a hard failure.
+echo "==> train_bench --smoke (includes telemetry overhead + bitwise gates)"
 timeout 300 cargo run --release -q -p alf-bench --bin train_bench -- --smoke
 
 # The kill/resume suite in release mode: checkpoints taken at every
 # phase of an epoch must restore the exact trajectory.
 echo "==> alf-dp resume tests (release)"
 timeout 300 cargo test --release -q -p alf-dp --test resume
+
+# JSON formatting/escaping is defined in exactly one place
+# (alf_obs::json). A second `fn json_escape` anywhere in the workspace
+# means an emitter drifted off the shared writer.
+echo "==> single json_escape implementation"
+escape_impls=$(grep -rn "fn json_escape" crates src --include='*.rs' | wc -l)
+if [ "$escape_impls" -ne 1 ]; then
+  grep -rn "fn json_escape" crates src --include='*.rs' || true
+  echo "FAIL: expected exactly 1 json_escape implementation, found $escape_impls"
+  exit 1
+fi
+
+# The observability crate is the workspace's public-facing telemetry
+# API; its docs must build clean.
+echo "==> cargo doc -p alf-obs (warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q -p alf-obs
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings

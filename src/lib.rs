@@ -12,6 +12,12 @@
 //! * [`hwmodel`] — the Eyeriss-like accelerator model with mapping search.
 //! * [`serve`] — batched inference serving for deployed models.
 //! * [`dp`] — deterministic data-parallel training with checkpoint/resume.
+//! * [`obs`] — zero-dependency observability: metrics registry, JSONL
+//!   event tracing, shared JSON writer.
+//!
+//! Cross-crate failures unify under the facade [`Error`] (see
+//! [`crate::error`]); each sub-crate's own error stays the source of
+//! truth.
 //!
 //! # Quickstart
 //!
@@ -20,7 +26,7 @@
 //! use alf::core::train::{AlfHyper, AlfTrainer};
 //! use alf::data::SynthVision;
 //!
-//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! # fn main() -> alf::Result<()> {
 //! let data = SynthVision::cifar_like(0).with_train_size(512).build()?;
 //! let model = plain20(data.num_classes(), 8)?;
 //! let mut trainer = AlfTrainer::new(model, AlfHyper::default(), 0)?;
@@ -32,11 +38,16 @@
 
 #![forbid(unsafe_code)]
 
+pub mod error;
+
 pub use alf_baselines as baselines;
 pub use alf_core as core;
 pub use alf_data as data;
 pub use alf_dp as dp;
 pub use alf_hwmodel as hwmodel;
 pub use alf_nn as nn;
+pub use alf_obs as obs;
 pub use alf_serve as serve;
 pub use alf_tensor as tensor;
+
+pub use error::{Error, Result};
