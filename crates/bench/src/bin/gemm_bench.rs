@@ -18,7 +18,10 @@ use std::time::{Duration, Instant};
 use alf_bench::Scale;
 use alf_obs::json::JsonWriter;
 use alf_tensor::init::Init;
-use alf_tensor::ops::{gemm_into, gemm_sparse_lhs_into, reference, Workspace};
+use alf_tensor::ops::{
+    auto_threads, gemm_active_rows_into, gemm_into, gemm_sparse_lhs_into, reference, ActiveRows,
+    Workspace,
+};
 use alf_tensor::rng::Rng;
 use alf_tensor::Tensor;
 
@@ -136,6 +139,9 @@ fn main() {
         w.field_u64("m", m as u64);
         w.field_u64("k", k as u64);
         w.field_u64("n", n as u64);
+        // What the auto-dispatch would actually engage for this shape on
+        // this host (1 on single-core hosts regardless of shape).
+        w.field_u64("engaged_threads", auto_threads(m, k, n) as u64);
         w.field_f64("reference_ms", t_ref.as_secs_f64() * 1e3);
         w.field_f64("reference_gflops", gf(t_ref));
         w.field_f64("blocked_1t_ms", t_blk1.as_secs_f64() * 1e3);
@@ -157,6 +163,7 @@ fn main() {
     w.end_array();
 
     bench_sparse(scale, &mut rng, &mut w);
+    let occupancy_ok = bench_occupancy(scale, &mut rng, &mut w);
     w.end_object();
     let mut json = w.finish();
     json.push('\n');
@@ -172,6 +179,108 @@ fn main() {
         );
         std::process::exit(1);
     }
+    // Occupancy gate: packed-panel elision must pay off more the emptier
+    // the mask gets — speedup strictly increasing in the zero-row
+    // fraction. Elided work scales with live rows, so this is a property
+    // of the packing path, not of host speed.
+    if !occupancy_ok {
+        eprintln!(
+            "FAIL: packed-elision speedup is not strictly increasing in the zero-row fraction"
+        );
+        std::process::exit(1);
+    }
+}
+
+/// Dense blocked GEMM vs the packed-panel elision path at rising
+/// zero-row fractions. Writes the `occupancy_sweep` array and
+/// `occupancy_gate_ok` field; returns whether the speedup was strictly
+/// increasing in the zero-row fraction.
+fn bench_occupancy(scale: Scale, rng: &mut Rng, w: &mut JsonWriter) -> bool {
+    let (m, k, n) = match scale {
+        Scale::Smoke => (64, 288, 2048),
+        Scale::Paper => (128, 1152, 8192),
+    };
+    let b = Tensor::randn(&[k, n], Init::Rand, rng);
+    let mut ws = Workspace::new();
+    let mut c = vec![0.0f32; m * n];
+
+    println!("\noccupancy sweep ({m}x{k}x{n}, packed-panel elision)");
+    w.key("occupancy_sweep");
+    w.begin_array();
+    let mut speedups = Vec::new();
+    for &(num, den) in &[(1usize, 4usize), (2, 4), (3, 4)] {
+        let zero_fraction = num as f64 / den as f64;
+        // Strided liveness: row i dead iff i % den < num, so dead rows
+        // interleave with live ones the way mid-training pruning does.
+        let mut a = Tensor::randn(&[m, k], Init::Rand, rng);
+        let mut live = vec![1.0f32; m];
+        for (i, alive) in live.iter_mut().enumerate() {
+            if i % den < num {
+                *alive = 0.0;
+                a.data_mut()[i * k..(i + 1) * k].fill(0.0);
+            }
+        }
+        let rows = ActiveRows::from_mask(&live);
+
+        let t_dense = time_median(|| {
+            gemm_into(
+                &mut c,
+                a.data(),
+                false,
+                b.data(),
+                false,
+                m,
+                k,
+                n,
+                &mut ws,
+                1,
+            );
+            std::hint::black_box(&c);
+        });
+        let dense_bits: Vec<u32> = c.iter().map(|v| v.to_bits()).collect();
+        let t_sparse = time_median(|| {
+            gemm_active_rows_into(
+                &mut c,
+                a.data(),
+                b.data(),
+                false,
+                m,
+                k,
+                n,
+                &rows,
+                &mut ws,
+                1,
+            );
+            std::hint::black_box(&c);
+        });
+        // The whole point of the design: elision is bitwise-invisible.
+        let sparse_bits: Vec<u32> = c.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(
+            dense_bits, sparse_bits,
+            "packed elision diverged from dense at zero fraction {zero_fraction}"
+        );
+
+        let speedup = t_dense.as_secs_f64() / t_sparse.as_secs_f64();
+        println!(
+            "  {:>4.0}% rows zero   dense {:.3} ms   elided {:.3} ms   {:.2}x",
+            zero_fraction * 100.0,
+            t_dense.as_secs_f64() * 1e3,
+            t_sparse.as_secs_f64() * 1e3,
+            speedup
+        );
+        w.begin_object();
+        w.field_f64("zero_row_fraction", zero_fraction);
+        w.field_u64("live_rows", rows.len() as u64);
+        w.field_f64("dense_ms", t_dense.as_secs_f64() * 1e3);
+        w.field_f64("elided_ms", t_sparse.as_secs_f64() * 1e3);
+        w.field_f64("speedup", speedup);
+        w.end_object();
+        speedups.push(speedup);
+    }
+    w.end_array();
+    let ok = speedups.windows(2).all(|p| p[1] > p[0]);
+    w.field_bool("occupancy_gate_ok", ok);
+    ok
 }
 
 /// Dense vs sparse-LHS on a masked-`Wcode`-shaped product (half the LHS

@@ -14,7 +14,18 @@
 //! * **gates telemetry** (smoke scale): a third 1-worker run with JSONL
 //!   telemetry streaming into an in-memory sink must land on the same
 //!   state bitwise (telemetry is read-only) and stay within noise of the
-//!   telemetry-off run's wall time.
+//!   telemetry-off run's wall time;
+//! * **gates occupancy tracking** (smoke scale): per-step wall-clock of
+//!   the sparse execution path must strictly decrease as the forced mask
+//!   occupancy drops 100% → 70% → 40%, and the sparse path's final
+//!   weights must be bitwise identical to a dense-execution reference —
+//!   the training hot loop really does cost less when the mask empties,
+//!   without changing a single bit of the trajectory.
+//!
+//! When a gate cannot run (data-parallel speedup on a 1-core host) the
+//! bench emits a `train.bench.gate_skipped` telemetry event and prints
+//! both the JSONL record and a human-readable reason, so a green CI run
+//! on a small host is distinguishable from a gate that actually passed.
 //!
 //! Results go to stdout as a table and to `BENCH_train.json`
 //! (throughput per worker count, speedup, whether each gate was
@@ -26,11 +37,12 @@ use std::time::Instant;
 use alf_bench::Scale;
 use alf_core::block::AlfBlockConfig;
 use alf_core::models::plain20_alf;
-use alf_core::AlfHyper;
+use alf_core::{AlfHyper, AlfTrainer, CnnModel};
 use alf_data::{Dataset, SynthVision};
 use alf_dp::{DpConfig, DpTrainer};
+use alf_nn::layer::Layer;
 use alf_nn::LrSchedule;
-use alf_obs::events::MemorySink;
+use alf_obs::events::{EventLog, MemorySink};
 use alf_obs::json::JsonWriter;
 
 /// Worker count of the parallel run; the speedup gate threshold.
@@ -185,6 +197,9 @@ fn main() {
         .expect("finish resumed run");
     let resume_bitwise = resumed.state_vector() == states[0];
 
+    // --- occupancy sweep: training cost must track live mask rows ---
+    let sweep = (scale == Scale::Smoke).then(|| occupancy_sweep(&p, &data));
+
     let speedup_gate = host_cores >= 2;
     let mut w = JsonWriter::new();
     w.begin_object();
@@ -209,6 +224,24 @@ fn main() {
     w.field_f64("telemetry_overhead", telemetry_overhead);
     w.field_bool("telemetry_bitwise", telemetry_bitwise);
     w.field_u64("telemetry_step_events", step_events as u64);
+    if let Some(sweep) = &sweep {
+        w.key("occupancy_sweep");
+        w.begin_array();
+        for level in &sweep.levels {
+            w.begin_object();
+            // Two decimals: the f32 level would otherwise print as e.g.
+            // 0.699999988079071 through the f64 field.
+            w.field_f64(
+                "occupancy",
+                (f64::from(level.occupancy) * 100.0).round() / 100.0,
+            );
+            w.field_f64("per_step_ms", level.per_step_ms);
+            w.end_object();
+        }
+        w.end_array();
+        w.field_bool("occupancy_gate_ok", sweep.monotone());
+        w.field_bool("sparse_bitwise", sweep.sparse_bitwise);
+    }
     w.end_object();
     let mut json = w.finish();
     json.push('\n');
@@ -218,6 +251,30 @@ fn main() {
          resume_bitwise={resume_bitwise}  telemetry_overhead={telemetry_overhead:.2}x  \
          telemetry_bitwise={telemetry_bitwise}\nwrote BENCH_train.json"
     );
+
+    // An unenforceable gate must be loudly visible, not silently green:
+    // emit the skip through the same telemetry pipeline the trainers use
+    // and print both the JSONL record and the plain-language reason.
+    if !speedup_gate {
+        let (sink, skipped) = MemorySink::bounded(4);
+        let mut log = EventLog::new(Box::new(sink));
+        if let Some(mut ev) = log.event("train.bench.gate_skipped") {
+            ev.field_str("gate", "dp_speedup");
+            ev.field_u64("host_cores", host_cores as u64);
+            ev.field_str(
+                "reason",
+                "host reports a single core; data-parallel speedup cannot be measured",
+            );
+        }
+        log.flush();
+        for line in skipped.lines() {
+            println!("{line}");
+        }
+        println!(
+            "note: dp-speedup gate SKIPPED — host reports a single core, so the \
+             {PAR_WORKERS}-worker run cannot demonstrate a speedup here"
+        );
+    }
 
     // Gates. Determinism, resume fidelity and telemetry read-only-ness
     // hold on any host; the speedup gate needs real parallelism to be
@@ -254,7 +311,149 @@ fn main() {
         );
         failed = true;
     }
+    if let Some(sweep) = &sweep {
+        if !sweep.monotone() {
+            eprintln!(
+                "FAIL: per-step wall-clock does not strictly decrease as occupancy drops \
+                 ({})",
+                sweep
+                    .levels
+                    .iter()
+                    .map(|l| format!("{:.0}%:{:.1}ms", l.occupancy * 100.0, l.per_step_ms))
+                    .collect::<Vec<_>>()
+                    .join("  ")
+            );
+            failed = true;
+        }
+        if !sweep.sparse_bitwise {
+            eprintln!("FAIL: sparse execution path diverged bitwise from the dense reference");
+            failed = true;
+        }
+    }
     if failed {
         std::process::exit(1);
+    }
+}
+
+/// One measured occupancy level of the sweep.
+struct OccLevel {
+    occupancy: f32,
+    /// Min-of-3 epoch wall-clock divided by steps per epoch.
+    per_step_ms: f64,
+}
+
+struct SweepResult {
+    levels: Vec<OccLevel>,
+    sparse_bitwise: bool,
+}
+
+impl SweepResult {
+    /// Strictly decreasing per-step cost as occupancy drops.
+    fn monotone(&self) -> bool {
+        self.levels
+            .windows(2)
+            .all(|pair| pair[1].per_step_ms < pair[0].per_step_ms)
+    }
+}
+
+/// Every state tensor of the model, flattened to bit patterns.
+fn state_bits(model: &CnnModel) -> Vec<u32> {
+    let mut out = Vec::new();
+    model.visit_state_ref(&mut |t| out.extend(t.data().iter().map(|v| v.to_bits())));
+    out
+}
+
+/// Forces each ALF block to the given mask occupancy by moving the first
+/// `(1 − occupancy)·Co` mask entries into the clip band. The blocks use a
+/// widened threshold (0.5) so the handful of autoencoder steps a bench
+/// epoch takes cannot pull a forced channel back out of the band (the
+/// mask moves by O(`ae_lr`) per step), nor push a live one in.
+fn force_occupancy(model: &mut CnnModel, occupancy: f32) {
+    for block in model.alf_blocks_mut() {
+        let total = block.total_filters();
+        let clip = ((1.0 - occupancy) * total as f32).round() as usize;
+        for ch in 0..clip.min(total.saturating_sub(1)) {
+            block.autoencoder_mut().set_mask_value(ch, 0.05);
+        }
+    }
+}
+
+/// Trains the smoke model at forced occupancies 100% → 40% and measures
+/// per-step wall-clock on the sparse execution path (one warm-up epoch,
+/// then min-of-3 timed epochs per level). At the 60% level a dense
+/// reference (sparse execution off, identical seeds and forced masks)
+/// runs the same schedule and the final states are compared bitwise.
+fn occupancy_sweep(p: &Params, data: &Dataset) -> SweepResult {
+    // Endpoints per the gate (100% → 40%); the midpoint is placed so that
+    // every stage's live-row count crosses an MR-panel boundary between
+    // adjacent levels — a 10%-row step can save zero packed panels in the
+    // narrow stages and would make the strict-decrease gate noise-bound.
+    const LEVELS: [f32; 3] = [1.0, 0.7, 0.4];
+    const TIMED_EPOCHS: usize = 3;
+    const BITWISE_LEVEL: f32 = 0.7;
+
+    let config = AlfBlockConfig {
+        threshold: 0.5,
+        ..AlfBlockConfig::paper_default()
+    };
+    let hyper = AlfHyper {
+        task_lr: 0.05,
+        batch_size: p.batch,
+        lr_schedule: LrSchedule::Constant,
+        ..AlfHyper::default()
+    };
+    let steps = (p.train / p.batch) as f64;
+    // Wider than the throughput runs: at smoke width the ALF convolutions
+    // are a small share of step cost and the occupancy signal would drown
+    // in scheduler noise. Quadrupling the width makes the elided GEMMs the
+    // dominant cost, so the gate measures the hot loop, not the fixed
+    // overheads around it.
+    let width = p.width * 4;
+
+    println!("\noccupancy sweep (width {width}, sparse execution, min-of-{TIMED_EPOCHS} epochs)");
+    println!("{:<12} {:>14} {:>12}", "occupancy", "per-step ms", "live");
+    let mut levels = Vec::new();
+    let mut sparse_bitwise = true;
+    for &occ in &LEVELS {
+        let mut model =
+            plain20_alf(p.classes, width, config, MODEL_SEED).expect("build sweep model");
+        force_occupancy(&mut model, occ);
+
+        let mut trainer =
+            AlfTrainer::new(model.clone(), hyper.clone(), DATA_SEED).expect("build sweep trainer");
+        trainer.run_epoch(data).expect("warm-up epoch");
+        let mut best = f64::INFINITY;
+        for _ in 0..TIMED_EPOCHS {
+            let start = Instant::now();
+            trainer.run_epoch(data).expect("timed epoch");
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        let per_step_ms = best * 1e3 / steps;
+        println!(
+            "{:<12} {per_step_ms:>14.2} {:>12}",
+            format!("{:.0}%", occ * 100.0),
+            format!("{:.2}", trainer.model().remaining_filter_fraction())
+        );
+        levels.push(OccLevel {
+            occupancy: occ,
+            per_step_ms,
+        });
+
+        // Dense reference at one mid-sweep level: same model, same forced
+        // masks, same data order — only the execution path differs.
+        if occ == BITWISE_LEVEL {
+            let mut dense_model = model;
+            dense_model.set_sparse_execution(false);
+            let mut dense =
+                AlfTrainer::new(dense_model, hyper.clone(), DATA_SEED).expect("build dense ref");
+            for _ in 0..=TIMED_EPOCHS {
+                dense.run_epoch(data).expect("dense reference epoch");
+            }
+            sparse_bitwise = state_bits(trainer.model()) == state_bits(dense.model());
+        }
+    }
+    SweepResult {
+        levels,
+        sparse_bitwise,
     }
 }

@@ -104,6 +104,14 @@ pub struct AlfBlock {
     inter_bn: Option<BatchNorm2d>,
     expansion: Conv2d,
     config: AlfBlockConfig,
+    // Occupancy-aware execution switch: when on, the code conv carries an
+    // `ActiveRows` descriptor derived from the clipped mask and the
+    // autoencoder elides pruned rows in its step. Bitwise-neutral.
+    sparse_exec: bool,
+    // The descriptor is recomputed only when the mask may have moved since
+    // the last forward (autoencoder step, direct mutation, checkpoint
+    // load, compaction) — the task player's step never touches the mask.
+    active_dirty: bool,
 }
 
 impl AlfBlock {
@@ -157,6 +165,8 @@ impl AlfBlock {
             inter_bn: config.inter_bn.then(|| BatchNorm2d::new(c_out)),
             expansion,
             config,
+            sparse_exec: true,
+            active_dirty: true,
         }
     }
 
@@ -176,9 +186,30 @@ impl AlfBlock {
     }
 
     /// Mutable access to the block's autoencoder (for experiments that
-    /// manipulate the mask or encoder directly).
+    /// manipulate the mask or encoder directly). Conservatively invalidates
+    /// the cached occupancy descriptor, since the caller may move the mask.
     pub fn autoencoder_mut(&mut self) -> &mut WeightAutoencoder {
+        self.active_dirty = true;
         &mut self.ae
+    }
+
+    /// Toggles the occupancy-aware execution paths (the code conv's
+    /// `ActiveRows` elision and the autoencoder's sparse step). Purely a
+    /// performance switch — both settings produce bitwise-identical
+    /// results; `train_bench`'s dense reference runs with this off, which
+    /// also clears the conv's zero-row scan hint so the baseline is a
+    /// genuinely dense execution.
+    pub fn set_sparse_execution(&mut self, on: bool) {
+        self.sparse_exec = on;
+        self.ae.set_sparse_exec(on);
+        self.code_conv
+            .set_sparse_weight_hint(on && self.config.mask_enabled);
+        self.active_dirty = true;
+    }
+
+    /// Whether the occupancy-aware execution paths are enabled.
+    pub fn sparse_execution(&self) -> bool {
+        self.sparse_exec
     }
 
     /// Current code `Wcode` in convolution layout.
@@ -196,9 +227,23 @@ impl AlfBlock {
         self.ae.active_channels().len()
     }
 
-    /// Total code filters (`Ccode = Co` during training).
+    /// Total code filters of the *original* geometry (`Co`). Physical
+    /// compaction does not change this, so `active/total` occupancy stays
+    /// continuous across a compaction (removed channels keep counting as
+    /// pruned).
     pub fn total_filters(&self) -> usize {
+        self.ae.c_out()
+    }
+
+    /// Current physical code channels (`Ccode`; equal to
+    /// [`AlfBlock::total_filters`] until a compaction shrinks the block).
+    pub fn code_channels(&self) -> usize {
         self.code_conv.c_out()
+    }
+
+    /// Output channels of the block (after the expansion).
+    pub fn c_out(&self) -> usize {
+        self.expansion.c_out()
     }
 
     /// Geometry of the code convolution.
@@ -226,6 +271,7 @@ impl AlfBlock {
     /// constructed through [`AlfBlock::new`]).
     pub fn autoencoder_step(&mut self, lr: f32, schedule: &PruneSchedule) -> Result<AeStats> {
         let nu = schedule.nu(self.ae.zero_fraction());
+        self.active_dirty = true;
         self.ae.step(&self.w.value, lr, nu)
     }
 
@@ -244,7 +290,73 @@ impl AlfBlock {
         ctx: &mut RunCtx,
     ) -> Result<AeStats> {
         let nu = schedule.nu(self.ae.zero_fraction());
+        self.active_dirty = true;
         self.ae.step_in(&self.w.value, lr, nu, &mut ctx.ws)
+    }
+
+    /// Physically compacts the block when live occupancy falls strictly
+    /// below `occupancy` (a fraction of the *current* code channels):
+    /// gathers the autoencoder's encoder columns / decoder rows / mask into
+    /// a dense prefix, rebuilds the code convolution with `Ccode = live`
+    /// output channels, and gathers the expansion's input channels and the
+    /// inter-BN state consistently. Downstream GEMMs then shrink their
+    /// dimensions for real instead of skipping zero rows. Returns whether a
+    /// compaction happened.
+    ///
+    /// Never compacts away the last filter: an all-pruned block keeps its
+    /// current geometry (the sparse paths already skip all its work).
+    ///
+    /// # Errors
+    ///
+    /// Propagates gather shape errors (cannot happen for a block
+    /// constructed through [`AlfBlock::new`]).
+    pub fn compact_if_below(&mut self, occupancy: f32) -> Result<bool> {
+        if !self.ae.mask_enabled() {
+            return Ok(false);
+        }
+        let rows = self.ae.active_rows();
+        if rows.is_all()
+            || rows.is_empty()
+            || (rows.len() as f32) >= occupancy * rows.total() as f32
+        {
+            return Ok(false);
+        }
+        let live = rows.len();
+        let cc = rows.total();
+        let c_in = self.code_conv.c_in();
+        let spec = self.code_conv.spec();
+        self.ae.compact(&rows)?;
+        // The code conv's weight is derived — rebuilt from the compacted
+        // autoencoder on the next forward; only the geometry changes here.
+        let mut code_conv = Conv2d::new(
+            c_in,
+            live,
+            spec.kernel,
+            spec.stride,
+            spec.pad,
+            false,
+            Init::Zeros,
+            &mut Rng::new(0),
+        );
+        code_conv.set_sparse_weight_hint(self.sparse_exec);
+        self.code_conv = code_conv;
+        // Expansion input channels: exp'[o, i] = exp[o, idx[i]].
+        let co = self.expansion.c_out();
+        let old = self.expansion.weight().clone();
+        let mut gathered = vec![0.0f32; co * live];
+        for o in 0..co {
+            for (i, &s) in rows.indices().iter().enumerate() {
+                gathered[o * live + i] = old.data()[o * cc + s];
+            }
+        }
+        let mut expansion = Conv2d::new(live, co, 1, 1, 0, false, Init::Zeros, &mut Rng::new(0));
+        expansion.set_weight(Tensor::from_vec(gathered, &[co, live, 1, 1])?)?;
+        self.expansion = expansion;
+        if let Some(bn) = &mut self.inter_bn {
+            bn.select_channels(rows.indices())?;
+        }
+        self.active_dirty = true;
+        Ok(true)
     }
 }
 
@@ -254,6 +366,17 @@ impl Layer for AlfBlock {
         let code = self.ae.code(&self.w.value)?;
         self.code_conv.set_weight(code)?;
         self.code_conv.zero_grads();
+        // Refresh the cached occupancy descriptor only when the mask may
+        // have moved. The descriptor both skips the conv's per-step
+        // zero-row scan and drives the packed-panel elision; it is only
+        // handed over when σae(0) == 0, i.e. when pruned code rows are
+        // guaranteed to be exact zeros (`sparse_eligible`).
+        if self.active_dirty {
+            let rows =
+                (self.sparse_exec && self.ae.sparse_eligible()).then(|| self.ae.active_rows());
+            self.code_conv.set_active_rows(rows)?;
+            self.active_dirty = false;
+        }
         let mut x = self.code_conv.forward(input, ctx)?;
         x = self.inter_act.forward(&x, ctx)?;
         if let Some(bn) = &mut self.inter_bn {
@@ -272,8 +395,36 @@ impl Layer for AlfBlock {
         if self.config.ste {
             // Straight-through estimator (Eq. 5): the gradient computed for
             // Wcode is applied to W unchanged, skipping encoder, mask and
-            // σae.
-            self.w.grad.axpy(1.0, self.code_conv.weight_grad())?;
+            // σae. Mask-gated: a clipped channel's code row is constant in
+            // W (the clip multiplies by exactly zero), so its true task
+            // gradient is zero — those rows are discarded rather than
+            // injected into W. This also keeps dense and sparse execution
+            // bitwise identical: the rows the sparse conv path leaves as
+            // declared zeros are exactly the rows discarded here. Pruned
+            // channels recover through the *mask* gradient (Eq. 6), which
+            // the autoencoder step keeps flowing.
+            if self.ae.mask_enabled() {
+                let rows = self.ae.active_rows();
+                let kept = self.ae.kept_channels();
+                let fan = self.w.value.len() / self.w.value.dims()[0];
+                if rows.is_all() && self.ae.c_code() == self.w.value.dims()[0] {
+                    // Nothing pruned, nothing compacted: plain accumulate.
+                    self.w.grad.axpy(1.0, self.code_conv.weight_grad())?;
+                } else {
+                    // Row-wise scatter: code row i belongs to raw filter
+                    // kept[i] (identity until a compaction reorders rows).
+                    let g = self.code_conv.weight_grad().data();
+                    let wg = self.w.grad.data_mut();
+                    for &i in rows.indices() {
+                        let (src, dst) = (i * fan, kept[i] * fan);
+                        for f in 0..fan {
+                            wg[dst + f] += g[src + f];
+                        }
+                    }
+                }
+            } else {
+                self.w.grad.axpy(1.0, self.code_conv.weight_grad())?;
+            }
         } else {
             // Ablation: true chain gradient through the autoencoder. The
             // mask zeroises most of it and the encoder mixes in noise —
@@ -308,6 +459,9 @@ impl Layer for AlfBlock {
     fn visit_state(&mut self, visitor: &mut dyn FnMut(&mut Tensor)) {
         // Checkpoints must capture both players: W plus the autoencoder's
         // Wenc/Wdec/M (the code conv's weight is derived and excluded).
+        // A checkpoint load may overwrite the mask through this visitor, so
+        // the cached occupancy descriptor must be recomputed.
+        self.active_dirty = true;
         visitor(&mut self.w.value);
         self.ae.visit_state(visitor);
         if let Some(bn) = &mut self.inter_bn {
@@ -488,6 +642,144 @@ mod tests {
         assert!(stats.nu_prune > 0.99); // dense mask ⇒ full pressure
         assert!(stats.l_rec >= 0.0);
         assert!((stats.l_prune - 1.0).abs() < 0.1); // mask ≈ ones
+    }
+
+    #[test]
+    fn sparse_and_dense_execution_are_bitwise_identical() {
+        // Prune two channels via the mask, then run a full forward/backward
+        // with and without the occupancy-aware paths: outputs, input
+        // gradients and every parameter gradient must match exactly.
+        let mut cfg = AlfBlockConfig::paper_default();
+        cfg.threshold = 0.05;
+        cfg.inter_bn = true;
+        let mut sparse = AlfBlock::new(2, 4, 3, 1, 1, cfg, &mut Rng::new(20));
+        sparse.autoencoder_mut().set_mask_value(1, 0.0);
+        sparse.autoencoder_mut().set_mask_value(2, 0.01); // clipped at t=0.05
+        let mut dense = sparse.clone();
+        dense.set_sparse_execution(false);
+
+        let mut rng = Rng::new(21);
+        let x = Tensor::randn(&[2, 2, 5, 5], Init::Rand, &mut rng);
+        let mut ctx_s = RunCtx::train();
+        let mut ctx_d = RunCtx::train();
+        let ys = sparse.forward(&x, &mut ctx_s).unwrap();
+        let yd = dense.forward(&x, &mut ctx_d).unwrap();
+        assert_eq!(ys.data(), yd.data(), "forward outputs differ");
+        assert!(sparse.code_conv.active_rows().is_some());
+        assert!(dense.code_conv.active_rows().is_none());
+
+        let gs = sparse.backward(&ys, &mut ctx_s).unwrap();
+        let gd = dense.backward(&yd, &mut ctx_d).unwrap();
+        assert_eq!(gs.data(), gd.data(), "input gradients differ");
+        let mut grads_s = Vec::new();
+        sparse.visit_params(&mut |p| grads_s.push(p.grad.clone()));
+        let mut i = 0;
+        dense.visit_params(&mut |p| {
+            assert_eq!(p.grad.data(), grads_s[i].data(), "param grad {i} differs");
+            i += 1;
+        });
+    }
+
+    #[test]
+    fn gated_ste_discards_pruned_rows_in_both_modes() {
+        // The true task gradient through a clipped channel is exactly zero;
+        // the gated STE must not inject the conv's raw rows for those
+        // channels into W, whether or not the sparse path is on.
+        let mut cfg = AlfBlockConfig::paper_default();
+        cfg.threshold = 0.05;
+        let mut b = AlfBlock::new(2, 4, 3, 1, 1, cfg, &mut Rng::new(22));
+        b.autoencoder_mut().set_mask_value(0, 0.0);
+        b.set_sparse_execution(false); // conv computes FULL weight grads
+        let mut ctx = RunCtx::train();
+        let mut rng = Rng::new(23);
+        let x = Tensor::randn(&[1, 2, 5, 5], Init::Rand, &mut rng);
+        let y = b.forward(&x, &mut ctx).unwrap();
+        b.backward(&y, &mut ctx).unwrap();
+        let fan = 18;
+        assert!(
+            b.w.grad.data()[..fan].iter().all(|&v| v == 0.0),
+            "pruned channel's W rows must receive no task gradient"
+        );
+        assert!(b.w.grad.data()[fan..].iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn compaction_preserves_forward_and_shrinks_geometry() {
+        let mut cfg = AlfBlockConfig::paper_default();
+        cfg.threshold = 0.05;
+        cfg.inter_bn = true;
+        let mut b = AlfBlock::new(2, 4, 3, 1, 1, cfg, &mut Rng::new(24));
+        b.autoencoder_mut().set_mask_value(0, 0.0);
+        b.autoencoder_mut().set_mask_value(2, 0.02);
+        let mut rng = Rng::new(25);
+        let x = Tensor::randn(&[2, 2, 6, 6], Init::Rand, &mut rng);
+        let mut ctx = RunCtx::eval();
+        let y_before = b.forward(&x, &mut ctx).unwrap();
+
+        // Occupancy is 2/4 = 0.5: not below 0.5, then below 0.75.
+        assert!(!b.compact_if_below(0.5).unwrap());
+        assert!(b.compact_if_below(0.75).unwrap());
+        assert_eq!(b.code_channels(), 2);
+        assert_eq!(b.total_filters(), 4); // original budget, for occupancy
+        assert_eq!(b.active_filters(), 2);
+        assert_eq!(b.c_out(), 4);
+        assert_eq!(b.expansion_weight().dims(), &[4, 2, 1, 1]);
+        assert_eq!(b.autoencoder().kept_channels(), &[1, 3]);
+
+        // Surviving channels' parameters were moved, not recomputed, and
+        // the dropped channels contributed exact zeros — the block output
+        // is bitwise unchanged.
+        let y_after = b.forward(&x, &mut ctx).unwrap();
+        assert_eq!(y_before.data(), y_after.data());
+
+        // Training still works end to end on the shrunken geometry.
+        let mut tctx = RunCtx::train();
+        let y = b.forward(&x, &mut tctx).unwrap();
+        assert!(b.backward(&y, &mut tctx).is_ok());
+        assert_eq!(b.w.grad.dims(), &[4, 2, 3, 3]);
+    }
+
+    #[test]
+    fn compaction_never_drops_the_last_filter() {
+        let mut cfg = AlfBlockConfig::paper_default();
+        cfg.threshold = 0.05;
+        let mut b = AlfBlock::new(2, 4, 3, 1, 1, cfg, &mut Rng::new(26));
+        for j in 0..4 {
+            b.autoencoder_mut().set_mask_value(j, 0.0);
+        }
+        assert!(!b.compact_if_below(0.9).unwrap());
+        assert_eq!(b.code_channels(), 4);
+        // And the block still runs with everything pruned.
+        let mut ctx = RunCtx::train();
+        let y = b.forward(&Tensor::zeros(&[1, 2, 5, 5]), &mut ctx).unwrap();
+        assert_eq!(y.dims(), &[1, 4, 5, 5]);
+    }
+
+    #[test]
+    fn compacted_ste_routes_gradients_to_original_filters() {
+        // After compaction, code row i corresponds to raw filter kept[i];
+        // the STE must land gradients on those rows of W and leave the
+        // removed channels' rows untouched — matching what the gated STE
+        // did before the compaction.
+        let mut cfg = AlfBlockConfig::paper_default();
+        cfg.threshold = 0.05;
+        let mut before = AlfBlock::new(2, 4, 3, 1, 1, cfg, &mut Rng::new(27));
+        before.autoencoder_mut().set_mask_value(1, 0.0);
+        before.autoencoder_mut().set_mask_value(3, 0.0);
+        let mut after = before.clone();
+        assert!(after.compact_if_below(0.9).unwrap());
+
+        let mut rng = Rng::new(28);
+        let x = Tensor::randn(&[1, 2, 5, 5], Init::Rand, &mut rng);
+        for b in [&mut before, &mut after] {
+            let mut ctx = RunCtx::train();
+            let y = b.forward(&x, &mut ctx).unwrap();
+            b.backward(&y, &mut ctx).unwrap();
+        }
+        assert_eq!(before.w.grad.data(), after.w.grad.data());
+        let fan = 18;
+        assert!(before.w.grad.data()[fan..2 * fan].iter().all(|&v| v == 0.0));
+        assert!(before.w.grad.data()[..fan].iter().any(|&v| v != 0.0));
     }
 
     #[test]

@@ -53,7 +53,7 @@ impl ConvKind {
     pub fn c_out(&self) -> usize {
         match self {
             ConvKind::Standard(c) => c.c_out(),
-            ConvKind::Alf(b) => b.total_filters(),
+            ConvKind::Alf(b) => b.c_out(),
             ConvKind::Deployed { expansion, .. } => expansion.c_out(),
         }
     }
@@ -789,6 +789,34 @@ impl CnnModel {
             }
         }
         out
+    }
+
+    /// Toggles the occupancy-aware execution paths on every ALF block (see
+    /// [`AlfBlock::set_sparse_execution`]). Purely a performance switch —
+    /// results are bitwise identical either way; benchmarks use `false` as
+    /// the dense reference.
+    pub fn set_sparse_execution(&mut self, on: bool) {
+        for b in self.alf_blocks_mut() {
+            b.set_sparse_execution(on);
+        }
+    }
+
+    /// Runs [`AlfBlock::compact_if_below`] on every ALF block, physically
+    /// shrinking blocks whose live occupancy fell strictly below
+    /// `occupancy`. Returns how many blocks compacted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates gather shape errors from the blocks (cannot happen for
+    /// models built by the zoo constructors).
+    pub fn compact_blocks_below(&mut self, occupancy: f32) -> Result<usize> {
+        let mut n = 0;
+        for b in self.alf_blocks_mut() {
+            if b.compact_if_below(occupancy)? {
+                n += 1;
+            }
+        }
+        Ok(n)
     }
 
     /// `(name, active, total)` filter statistics for every ALF block.

@@ -177,6 +177,9 @@ pub struct AlfTrainer {
     // Reused per-step buffer for the autoencoder players' stats, filled
     // only while telemetry is enabled.
     ae_stats_buf: Vec<AeStats>,
+    // Occupancy threshold below which blocks physically compact after the
+    // autoencoder step (None = never; see `set_compact_below`).
+    compact_below: Option<f32>,
 }
 
 impl AlfTrainer {
@@ -198,7 +201,21 @@ impl AlfTrainer {
             eval: Evaluator::new(),
             telemetry: EventLog::disabled(),
             ae_stats_buf: Vec::new(),
+            compact_below: None,
         })
+    }
+
+    /// Enables (or disables, with `None`) mid-training physical compaction:
+    /// after each autoencoder step, any ALF block whose live occupancy
+    /// fell strictly below `occupancy` is shrunk in place
+    /// ([`AlfBlock::compact_if_below`](crate::AlfBlock::compact_if_below)),
+    /// so downstream GEMMs lose the dead dimensions for real. Momentum is
+    /// realigned automatically: slots whose parameter shapes changed
+    /// restart, all others keep their velocity. Off by default — it is a
+    /// performance feature, deliberately *not* an [`AlfHyper`] field, since
+    /// it never changes which channels are live.
+    pub fn set_compact_below(&mut self, occupancy: Option<f32>) {
+        self.compact_below = occupancy;
     }
 
     /// Streams per-step and per-epoch telemetry (`train.step` /
@@ -337,6 +354,22 @@ impl AlfTrainer {
             }
             if n_blocks > 0 {
                 l_rec_sum += block_l_rec / n_blocks as f32;
+            }
+            // --- physical compaction (optional) ---
+            if let Some(occ) = self.compact_below {
+                let compacted = self.model.compact_blocks_below(occ)?;
+                if compacted > 0 {
+                    // Expansion / inter-BN parameter shapes changed:
+                    // momentum restarts for exactly those slots.
+                    let reset = self.task_opt.realign(&mut self.model);
+                    if let Some(mut ev) = self.telemetry.event("train.compact") {
+                        ev.field_u64("epoch", self.epoch as u64);
+                        ev.field_u64("step", batches as u64);
+                        ev.field_u64("blocks_compacted", compacted as u64);
+                        ev.field_u64("momentum_slots_reset", reset as u64);
+                        ev.field_f32("remaining_filters", self.model.remaining_filter_fraction());
+                    }
+                }
             }
             if let Some(mut ev) = self.telemetry.event("train.step") {
                 ev.field_u64("epoch", self.epoch as u64);

@@ -1,0 +1,223 @@
+//! End-to-end properties of mid-training compaction.
+//!
+//! Two guarantees the sparsity-aware path makes and this file enforces:
+//!
+//! 1. **Scheduling compaction is trajectory-invisible until it fires.**
+//!    A trainer running the sparse execution path with compaction armed
+//!    must replay the *exact* per-step loss sequence of a fully dense
+//!    trainer (sparse execution off, no compaction) for every step
+//!    before the first `train.compact` event — f32-exact, compared
+//!    through the shortest-roundtrip decimal the telemetry JSONL emits,
+//!    which is injective on f32 bit patterns (modulo ±0).
+//!
+//! 2. **Checkpoint v2 round-trips a compacted model.** Saving a model
+//!    whose blocks have been physically compacted and loading the blob
+//!    into an identically-compacted clone restores every state tensor
+//!    bitwise. Loading the same blob into an *uncompacted* model must be
+//!    rejected by shape validation — block geometry (`c_code`, `kept`)
+//!    is structural, not serialized, so the load target must already
+//!    have the compacted geometry.
+
+use alf_core::block::AlfBlockConfig;
+use alf_core::models::plain20_alf;
+use alf_core::{checkpoint, AlfHyper, AlfTrainer, PruneSchedule};
+use alf_data::{Dataset, SynthVision};
+use alf_nn::layer::Layer;
+use alf_obs::MemorySink;
+use proptest::prelude::*;
+
+fn small_data(seed: u64) -> Dataset {
+    SynthVision::cifar_like(seed)
+        .with_image_size(12)
+        .with_max_shift(1)
+        .with_num_classes(4)
+        .with_train_size(36)
+        .with_test_size(12)
+        .with_noise(0.05)
+        .build()
+        .unwrap()
+}
+
+fn quick_hyper() -> AlfHyper {
+    AlfHyper {
+        task_lr: 0.05,
+        batch_size: 6,
+        lr_schedule: alf_nn::LrSchedule::Constant,
+        ..AlfHyper::default()
+    }
+}
+
+/// A wide clip band: channels forced to 0.05 stay clipped across the
+/// handful of autoencoder steps a short run takes (the mask moves by
+/// O(lr) per step), while the untouched channels start at 1.0 and
+/// cannot drift below the threshold either.
+fn wide_band_config() -> AlfBlockConfig {
+    AlfBlockConfig {
+        threshold: 0.5,
+        ..AlfBlockConfig::paper_default()
+    }
+}
+
+/// Extracts the raw text of a scalar or flat-array JSON field from one
+/// JSONL record. Comparing these strings compares the underlying f32s
+/// exactly: Rust's float formatting is shortest-roundtrip, so distinct
+/// bit patterns (other than ±0) never collapse to the same text.
+fn json_field(line: &str, key: &str) -> String {
+    let pat = format!("\"{key}\":");
+    let start = line
+        .find(&pat)
+        .unwrap_or_else(|| panic!("no field {key} in {line}"))
+        + pat.len();
+    let rest = &line[start..];
+    let end = if rest.starts_with('[') {
+        rest.find(']').map(|i| i + 1)
+    } else {
+        rest.find([',', '}'])
+    }
+    .unwrap_or_else(|| panic!("unterminated field {key} in {line}"));
+    rest[..end].to_string()
+}
+
+/// `(task_loss, mask_occupancy)` of every `train.step` record strictly
+/// before the first `train.compact` record (all of them when no
+/// compaction fired).
+fn steps_before_first_compact(lines: &[String]) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    for line in lines {
+        if line.contains("\"event\":\"train.compact\"") {
+            break;
+        }
+        if line.contains("\"event\":\"train.step\"") {
+            out.push((
+                json_field(line, "task_loss"),
+                json_field(line, "mask_occupancy"),
+            ));
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2))]
+
+    /// Sparse trainer with compaction armed vs. dense trainer without:
+    /// identical loss sequence for every step before the compaction
+    /// fires, and the compaction really does fire and shrink geometry.
+    #[test]
+    fn compacting_trajectory_matches_dense_until_first_compaction(
+        data_seed in 0u64..1000,
+        model_seed in 0u64..1000,
+    ) {
+        let data = small_data(data_seed);
+        let model = plain20_alf(4, 4, wide_band_config(), model_seed).unwrap();
+
+        let mut dense_model = model.clone();
+        dense_model.set_sparse_execution(false);
+
+        let mut sparse = AlfTrainer::new(model, quick_hyper(), data_seed).unwrap();
+        let mut dense = AlfTrainer::new(dense_model, quick_hyper(), data_seed).unwrap();
+        let (sink_s, lines_s) = MemorySink::bounded(4096);
+        let (sink_d, lines_d) = MemorySink::bounded(4096);
+        sparse.set_telemetry_sink(Box::new(sink_s));
+        dense.set_telemetry_sink(Box::new(sink_d));
+
+        // Epoch 1: all masks at ~1.0, nothing clipped anywhere.
+        sparse.run_epoch(&data).unwrap();
+        dense.run_epoch(&data).unwrap();
+
+        // Force two channels of the first block into the clip band in
+        // BOTH trainers, identically.
+        for t in [&mut sparse, &mut dense] {
+            let block = &mut t.model_mut().alf_blocks_mut()[0];
+            block.autoencoder_mut().set_mask_value(1, 0.05);
+            block.autoencoder_mut().set_mask_value(3, 0.05);
+        }
+
+        // Epoch 2: sparse path now elides the clipped rows while the
+        // dense reference multiplies through their exact zeros. No
+        // compaction yet — trajectories must stay f32-identical.
+        sparse.run_epoch(&data).unwrap();
+        dense.run_epoch(&data).unwrap();
+
+        // Epoch 3: arm compaction on the sparse trainer only. Block 0
+        // sits at 2/4 live < 0.95, so the first batch compacts it.
+        sparse.set_compact_below(Some(0.95));
+        sparse.run_epoch(&data).unwrap();
+        dense.run_epoch(&data).unwrap();
+
+        let lines_s = lines_s.lines();
+        let lines_d = lines_d.lines();
+        prop_assert!(
+            lines_s.iter().any(|l| l.contains("\"event\":\"train.compact\"")),
+            "compaction never fired on the sparse trainer"
+        );
+        prop_assert!(
+            !lines_d.iter().any(|l| l.contains("\"event\":\"train.compact\"")),
+            "dense trainer must never compact"
+        );
+
+        let prefix_s = steps_before_first_compact(&lines_s);
+        // 6 steps/epoch, compaction at the first batch of epoch 3.
+        prop_assert_eq!(prefix_s.len(), 12, "compaction fired at the wrong step");
+        let prefix_d = steps_before_first_compact(&lines_d);
+        prop_assert_eq!(&prefix_s[..], &prefix_d[..prefix_s.len()]);
+
+        // Geometry really shrank: block 0 now runs 2 physical code
+        // channels against its original budget of 4, and occupancy
+        // accounting stays continuous across the compaction.
+        let blocks = sparse.model().alf_blocks();
+        prop_assert_eq!(blocks[0].code_channels(), 2);
+        prop_assert_eq!(blocks[0].total_filters(), 4);
+        prop_assert_eq!(blocks[0].active_filters(), 2);
+    }
+
+    /// Checkpoint v2 of a compacted model: bitwise restore into an
+    /// identically-compacted clone; rejection for an uncompacted target.
+    #[test]
+    fn checkpoint_v2_roundtrips_a_compacted_model(model_seed in 0u64..1000) {
+        let mut model = plain20_alf(4, 4, wide_band_config(), model_seed).unwrap();
+        {
+            let block = &mut model.alf_blocks_mut()[0];
+            block.autoencoder_mut().set_mask_value(0, 0.05);
+            block.autoencoder_mut().set_mask_value(2, 0.05);
+        }
+        let compacted = model.compact_blocks_below(0.95).unwrap();
+        prop_assert_eq!(compacted, 1);
+
+        let state = checkpoint::TrainerState {
+            momentum: Vec::new(),
+            schedule: PruneSchedule::paper_default(),
+            epoch: 3,
+            step: 2,
+            data_seed: model_seed,
+        };
+        let blob = checkpoint::save_trainer(&model, &state);
+
+        // Clone carries the compacted geometry; scrambling its state
+        // tensors proves the load really rewrites them.
+        let mut twin = model.clone();
+        twin.visit_state(&mut |t| {
+            for v in t.data_mut() {
+                *v = 0.25 * *v + 1.0;
+            }
+        });
+        let restored = checkpoint::load_trainer(&mut twin, &blob).unwrap();
+        prop_assert_eq!(restored, Some(state));
+
+        let mut want: Vec<(Vec<usize>, Vec<u32>)> = Vec::new();
+        model.visit_state_ref(&mut |t| {
+            want.push((t.dims().to_vec(), t.data().iter().map(|v| v.to_bits()).collect()));
+        });
+        let mut got: Vec<(Vec<usize>, Vec<u32>)> = Vec::new();
+        twin.visit_state_ref(&mut |t| {
+            got.push((t.dims().to_vec(), t.data().iter().map(|v| v.to_bits()).collect()));
+        });
+        prop_assert_eq!(want, got);
+        prop_assert_eq!(twin.alf_blocks()[0].code_channels(), 2);
+
+        // Geometry is structural, not serialized: an uncompacted model
+        // has differently-shaped state tensors and must be rejected.
+        let mut fresh = plain20_alf(4, 4, wide_band_config(), model_seed).unwrap();
+        prop_assert!(checkpoint::load(&mut fresh, &blob).is_err());
+    }
+}

@@ -10,7 +10,8 @@
 
 use alf_tensor::init::Init;
 use alf_tensor::ops::{
-    auto_threads, col2im_into, conv2d, gemm_into, gemm_sparse_lhs_into, im2col_into, Conv2dSpec,
+    auto_threads, col2im_into, conv2d, gemm_active_k_into, gemm_active_rows_into, gemm_into,
+    gemm_sparse_lhs_into, im2col_into, ActiveRows, Conv2dSpec,
 };
 use alf_tensor::rng::Rng;
 use alf_tensor::{ShapeError, Tensor};
@@ -52,6 +53,7 @@ pub struct Conv2d {
     c_in: usize,
     c_out: usize,
     sparse_weight_hint: bool,
+    active_rows: Option<ActiveRows>,
     cache: Option<Cache>,
     /// Layer-owned im2col column matrix, reused across steps. It must
     /// survive from `forward` to `backward`, so it cannot live in the
@@ -95,6 +97,7 @@ impl Conv2d {
             c_in,
             c_out,
             sparse_weight_hint: false,
+            active_rows: None,
             cache: None,
             cols: Vec::new(),
         }
@@ -166,6 +169,46 @@ impl Conv2d {
     pub fn sparse_weight_hint(&self) -> bool {
         self.sparse_weight_hint
     }
+
+    /// Installs (or clears) the set of live output channels.
+    ///
+    /// With a descriptor installed the layer takes the occupancy-aware
+    /// path: the forward GEMM and the backward weight-gradient GEMM pack
+    /// only the listed rows (pruned channels are never computed — their
+    /// output and their weight gradient are exact zeros), and the input
+    /// gradient GEMM skips the pruned channels' `k` slices. The caller —
+    /// an ALF block deriving the descriptor from its clipped mask —
+    /// guarantees that the *weight rows* of inactive channels are exact
+    /// zeros; under that contract every produced value is bitwise
+    /// identical to the dense path. A descriptor takes precedence over
+    /// [`Conv2d::set_sparse_weight_hint`] (no scan is needed when the
+    /// live set is declared).
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed error when the descriptor does not cover exactly
+    /// `c_out` rows.
+    pub fn set_active_rows(&mut self, rows: Option<ActiveRows>) -> Result<()> {
+        if let Some(r) = &rows {
+            if r.total() != self.c_out {
+                return Err(ShapeError::new(
+                    "conv2d set_active_rows",
+                    format!(
+                        "descriptor covers {} channels but the layer has {}",
+                        r.total(),
+                        self.c_out
+                    ),
+                ));
+            }
+        }
+        self.active_rows = rows;
+        Ok(())
+    }
+
+    /// The installed live-channel descriptor, if any.
+    pub fn active_rows(&self) -> Option<&ActiveRows> {
+        self.active_rows.as_ref()
+    }
 }
 
 impl Layer for Conv2d {
@@ -196,7 +239,23 @@ impl Layer for Conv2d {
         // [co, ci, k, k] weight is already row-major [co, ci·k²].
         let mut prod = ctx.ws.take("prod", self.c_out * ncols);
         let threads = auto_threads(self.c_out, rows, ncols);
-        if self.sparse_weight_hint {
+        if let Some(live) = &self.active_rows {
+            // Declared occupancy: only the live channels' rows are packed
+            // and multiplied; pruned channels are written as exact zeros,
+            // which is what their all-zero weight rows would produce.
+            gemm_active_rows_into(
+                &mut prod,
+                self.weight.value.data(),
+                &self.cols,
+                false,
+                self.c_out,
+                rows,
+                ncols,
+                live,
+                &mut ctx.ws,
+                threads,
+            );
+        } else if self.sparse_weight_hint {
             gemm_sparse_lhs_into(
                 &mut prod,
                 self.weight.value.data(),
@@ -287,18 +346,37 @@ impl Layer for Conv2d {
         // grad_w = gmat · colsᵀ → [co, ci·k²], accumulated straight into the
         // [co, ci, k, k] grad buffer (same row-major data).
         let mut gw = ctx.ws.take("gw", self.c_out * rows);
-        gemm_into(
-            &mut gw,
-            &gmat,
-            false,
-            &self.cols,
-            true,
-            self.c_out,
-            ncols,
-            rows,
-            &mut ctx.ws,
-            auto_threads(self.c_out, ncols, rows),
-        );
+        if let Some(live) = &self.active_rows {
+            // Pruned channels' weight gradients are discarded by the
+            // mask-gated STE anyway (dL/dW through a clipped channel is
+            // exactly zero), so never compute them: their gw rows stay
+            // exact zeros and accumulate as no-ops below.
+            gemm_active_rows_into(
+                &mut gw,
+                &gmat,
+                &self.cols,
+                true,
+                self.c_out,
+                ncols,
+                rows,
+                live,
+                &mut ctx.ws,
+                auto_threads(self.c_out, ncols, rows),
+            );
+        } else {
+            gemm_into(
+                &mut gw,
+                &gmat,
+                false,
+                &self.cols,
+                true,
+                self.c_out,
+                ncols,
+                rows,
+                &mut ctx.ws,
+                auto_threads(self.c_out, ncols, rows),
+            );
+        }
         for (g, &v) in self.weight.grad.data_mut().iter_mut().zip(gw.iter()) {
             *g += v;
         }
@@ -314,18 +392,36 @@ impl Layer for Conv2d {
 
         // grad_x = col2im(Wᵀ_mat · gmat); Wᵀ is absorbed by GEMM packing.
         let mut gcols = ctx.ws.take("gcols", rows * ncols);
-        gemm_into(
-            &mut gcols,
-            self.weight.value.data(),
-            true,
-            &gmat,
-            false,
-            rows,
-            self.c_out,
-            ncols,
-            &mut ctx.ws,
-            auto_threads(rows, self.c_out, ncols),
-        );
+        if let Some(live) = &self.active_rows {
+            // Pruned channels contribute Wᵀ rows that are exact zeros;
+            // skipping their k slices is bitwise invisible (every
+            // accumulator starts at +0.0 and ±0.0 products are identity).
+            gemm_active_k_into(
+                &mut gcols,
+                self.weight.value.data(),
+                true,
+                &gmat,
+                rows,
+                self.c_out,
+                ncols,
+                live,
+                &mut ctx.ws,
+                auto_threads(rows, self.c_out, ncols),
+            );
+        } else {
+            gemm_into(
+                &mut gcols,
+                self.weight.value.data(),
+                true,
+                &gmat,
+                false,
+                rows,
+                self.c_out,
+                ncols,
+                &mut ctx.ws,
+                auto_threads(rows, self.c_out, ncols),
+            );
+        }
         ctx.ws.give("gmat", gmat);
         ctx.count_flops(4 * (self.c_out * rows * ncols) as u64);
         ctx.count_bytes(
@@ -553,6 +649,63 @@ mod tests {
         let gs = sparse.backward(&ys, &mut ctx).unwrap();
         assert!(gd.allclose(&gs, 1e-5));
         assert!(dense.weight_grad().allclose(sparse.weight_grad(), 1e-4));
+    }
+
+    #[test]
+    fn active_rows_path_is_bitwise_dense_on_live_channels() {
+        // With the pruned channels' weight rows zeroed (as a clipped mask
+        // guarantees), the declared-occupancy path must match the dense
+        // path bit for bit: outputs, input gradients, and the live rows of
+        // the weight gradient. Pruned weight-gradient rows stay exact
+        // zeros (the dense path computes them; the mask-gated STE discards
+        // them either way).
+        let mut ctx = RunCtx::train();
+        let mut rng = Rng::new(31);
+        let x = Tensor::randn(&[2, 2, 6, 6], Init::Rand, &mut rng);
+        let mut dense = Conv2d::new(2, 4, 3, 1, 1, false, Init::Rand, &mut Rng::new(32));
+        let mut wt = dense.weight().clone();
+        let row = 2 * 9;
+        for pruned in [1usize, 3] {
+            for v in wt.data_mut()[pruned * row..(pruned + 1) * row].iter_mut() {
+                *v = 0.0;
+            }
+        }
+        dense.set_weight(wt).unwrap();
+        let mut sparse = dense.clone();
+        let live = ActiveRows::from_mask(&[1.0, 0.0, 1.0, 0.0]);
+        sparse.set_active_rows(Some(live.clone())).unwrap();
+        assert_eq!(sparse.active_rows(), Some(&live));
+
+        let yd = dense.forward(&x, &mut ctx).unwrap();
+        let ys = sparse.forward(&x, &mut ctx).unwrap();
+        assert_eq!(yd.data(), ys.data());
+        let gd = dense.backward(&yd, &mut ctx).unwrap();
+        let gs = sparse.backward(&ys, &mut ctx).unwrap();
+        assert_eq!(gd.data(), gs.data());
+        for &c in live.indices() {
+            assert_eq!(
+                &dense.weight_grad().data()[c * row..(c + 1) * row],
+                &sparse.weight_grad().data()[c * row..(c + 1) * row],
+                "live channel {c}"
+            );
+        }
+        assert!(sparse.weight_grad().data()[row..2 * row]
+            .iter()
+            .all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn set_active_rows_rejects_mismatched_descriptor() {
+        let mut conv = mk(33, false); // c_out = 3
+        let err = conv
+            .set_active_rows(Some(ActiveRows::from_mask(&[1.0, 0.0])))
+            .unwrap_err();
+        assert_eq!(err.op(), "conv2d set_active_rows");
+        assert!(conv
+            .set_active_rows(Some(ActiveRows::from_mask(&[1.0, 0.0, 1.0])))
+            .is_ok());
+        assert!(conv.set_active_rows(None).is_ok());
+        assert!(conv.active_rows().is_none());
     }
 
     #[test]

@@ -29,6 +29,19 @@
 //! `Bᵀ` cost a different read stride during the O(size) pack, never a
 //! materialised transpose or a strided inner loop.
 //!
+//! **Sparsity lives in the packing stage too.** Every entry point funnels
+//! into one blocked driver parameterised by an optional row gather (the
+//! `m` dimension) and an optional depth gather (the `k` dimension). A
+//! gather map shrinks the *logical* problem the driver blocks over:
+//! pruned rows or depth slices are never packed, so the micro-kernel
+//! never touches a dead panel — elision happens while panels are built,
+//! not as a pre-pass copy of a compacted operand. [`ActiveRows`] is the
+//! workspace-wide descriptor of which rows survive a clipped ALF mask;
+//! [`gemm_active_rows_into`] and [`gemm_active_k_into`] are the sparse
+//! entry points, and [`gemm_sparse_lhs_into`] (scan-based, for operands
+//! whose sparsity is discovered rather than declared) rides the same
+//! driver.
+//!
 //! Threading partitions the `m` dimension into contiguous multiples of
 //! `MC` (one chunk per worker, spawned per `(NC, KC)` block through the
 //! crossbeam facade). Workers share the read-only packed `B` and own
@@ -43,6 +56,7 @@
 //! caller's [`Workspace`], so steady-state calls are allocation-free.
 
 use super::workspace::Workspace;
+use crate::ShapeError;
 use alf_gemm_kernels::{microkernel_into, microkernel_into_clipped};
 
 // The micro-kernels and the tile geometry live in `alf-gemm-kernels`, a
@@ -65,30 +79,146 @@ pub const MAX_THREADS: usize = 8;
 
 /// Products below this many flops (`2·m·k·n`) always run single-threaded;
 /// at typical single-core throughput this is well under a millisecond of
-/// work, where scoped-thread spawn/join overhead would dominate.
+/// work, where scoped-thread spawn/join overhead would dominate. On a
+/// 1-core host the floor is irrelevant — [`auto_threads`] never engages
+/// workers there at any size, because extra threads can only time-slice
+/// the one core and pay spawn/join on top (the scaling regression the
+/// gemm benchmark records as `engaged_threads`).
 const PAR_FLOP_THRESHOLD: f64 = 8.0e6;
 
 /// Minimum fraction of all-zero LHS rows (in eighths) for
-/// [`gemm_sparse_lhs_into`] to take the compaction path; below this the
-/// compact-and-scatter copies cost more than they save.
+/// [`gemm_sparse_lhs_into`] to take the gathered path; below this the
+/// row-map indirection and `C` scatter cost more than they save.
 const SPARSE_MIN_ZERO_EIGHTHS: usize = 1;
 
-/// Thread count policy for a `[m,k]·[k,n]` product: 1 below the flop
-/// threshold, otherwise capped by the host's parallelism, [`MAX_THREADS`],
-/// and the number of `MC` row blocks. The `ALF_GEMM_THREADS` environment
-/// variable overrides the policy (clamped to `[1, MAX_THREADS]`) — useful
-/// for benchmarking scaling and for forcing determinism checks across
-/// counts.
+/// The set of surviving (unpruned) rows of a masked operand.
+///
+/// This is the workspace's single descriptor of structured row sparsity:
+/// an ALF block computes it once per step from its clipped autoencoder
+/// mask (`Mprune = 1{|m| > t}·m`, so "active" means `|m| > t`), caches it,
+/// and hands it to every kernel that can skip pruned work — the code-conv
+/// forward GEMM and backward weight-gradient GEMM skip inactive `m` rows
+/// ([`gemm_active_rows_into`]), the input-gradient and autoencoder decoder
+/// GEMMs skip inactive `k` slices ([`gemm_active_k_into`]).
+///
+/// Indices are strictly increasing and bounded by `total`, the full row
+/// count of the operand the descriptor covers; the constructors enforce
+/// this so kernels can gather without bounds anxiety.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ActiveRows {
+    idx: Vec<usize>,
+    total: usize,
+}
+
+impl ActiveRows {
+    /// Descriptor with every one of `total` rows active.
+    pub fn full(total: usize) -> Self {
+        Self {
+            idx: (0..total).collect(),
+            total,
+        }
+    }
+
+    /// Rows whose mask entry is nonzero (`±0.0` counts as pruned).
+    pub fn from_mask(mask: &[f32]) -> Self {
+        Self {
+            idx: (0..mask.len()).filter(|&i| mask[i] != 0.0).collect(),
+            total: mask.len(),
+        }
+    }
+
+    /// Rows surviving the ALF clip rule: active iff `|mask[i]| > threshold`
+    /// (strict, matching `Mprune = 1{|m| > t}·m`). Works on the *raw* mask,
+    /// so callers need not materialise the clipped tensor first.
+    pub fn from_clipped_mask(mask: &[f32], threshold: f32) -> Self {
+        Self {
+            idx: (0..mask.len())
+                .filter(|&i| mask[i].abs() > threshold)
+                .collect(),
+            total: mask.len(),
+        }
+    }
+
+    /// Descriptor from an explicit index list over `total` rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed error when the indices are not strictly increasing
+    /// or reach `total` — never panics, so callers can surface descriptor
+    /// mismatches as ordinary shape errors.
+    pub fn from_indices(idx: Vec<usize>, total: usize) -> Result<Self, ShapeError> {
+        for w in idx.windows(2) {
+            if w[0] >= w[1] {
+                return Err(ShapeError::new(
+                    "active_rows",
+                    format!("indices not strictly increasing at {} >= {}", w[0], w[1]),
+                ));
+            }
+        }
+        if let Some(&last) = idx.last() {
+            if last >= total {
+                return Err(ShapeError::new(
+                    "active_rows",
+                    format!("index {last} out of range for {total} rows"),
+                ));
+            }
+        }
+        Ok(Self { idx, total })
+    }
+
+    /// Number of active rows.
+    pub fn len(&self) -> usize {
+        self.idx.len()
+    }
+
+    /// Whether no row is active.
+    pub fn is_empty(&self) -> bool {
+        self.idx.is_empty()
+    }
+
+    /// Full row count of the operand this descriptor covers.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Whether every row is active (kernels take the plain dense path).
+    pub fn is_all(&self) -> bool {
+        self.idx.len() == self.total
+    }
+
+    /// The surviving row indices, strictly increasing.
+    pub fn indices(&self) -> &[usize] {
+        &self.idx
+    }
+}
+
+/// Thread count policy for a `[m,k]·[k,n]` product: 1 on single-core
+/// hosts and below the flop threshold, otherwise capped by the host's
+/// parallelism, [`MAX_THREADS`], and the number of `MC` row blocks. The
+/// `ALF_GEMM_THREADS` environment variable overrides the policy (clamped
+/// to `[1, MAX_THREADS]`) — useful for benchmarking scaling and for
+/// forcing determinism checks across counts.
 pub fn auto_threads(m: usize, k: usize, n: usize) -> usize {
     if let Some(t) = thread_override() {
         return t.clamp(1, MAX_THREADS);
+    }
+    let hw = host_parallelism();
+    if hw <= 1 {
+        return 1;
     }
     let flops = 2.0 * m as f64 * k as f64 * n as f64;
     if flops < PAR_FLOP_THRESHOLD {
         return 1;
     }
-    let hw = std::thread::available_parallelism().map_or(1, |v| v.get());
     hw.min(MAX_THREADS).min(m.div_ceil(MC)).max(1)
+}
+
+/// Cached `std::thread::available_parallelism` (1 when unknown). Cached
+/// because it sits on the GEMM dispatch path; public so benchmarks report
+/// the same figure the policy actually used.
+pub fn host_parallelism() -> usize {
+    static HW: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *HW.get_or_init(|| std::thread::available_parallelism().map_or(1, |v| v.get()))
 }
 
 fn thread_override() -> Option<usize> {
@@ -96,6 +226,35 @@ fn thread_override() -> Option<usize> {
     // One shared parser for every ALF_*_THREADS knob (rejects 0 and
     // garbage); cached because this sits on the GEMM dispatch path.
     *OVERRIDE.get_or_init(|| alf_obs::runtime::env_threads("ALF_GEMM_THREADS"))
+}
+
+/// Gather maps threaded through the packing stage.
+///
+/// `rmap` replaces logical row `i` of the blocked problem with physical
+/// row `rmap[i]` of `A`; `kmap` replaces logical depth `p` with physical
+/// depth `kmap[p]` of both `A` and `B`. `am`/`ak` are the *physical*
+/// dimensions of `A` (`[am, ak]` pre-transpose) and the physical depth of
+/// `B`; they provide the read strides, which the logical (possibly
+/// shrunken) `m`/`k` no longer do. `None` maps degrade to the identity,
+/// and with identity maps the packed panels — and therefore the result —
+/// are bitwise identical to the plain dense path.
+#[derive(Clone, Copy)]
+struct Gather<'g> {
+    rmap: Option<&'g [usize]>,
+    kmap: Option<&'g [usize]>,
+    am: usize,
+    ak: usize,
+}
+
+impl<'g> Gather<'g> {
+    fn dense(m: usize, k: usize) -> Self {
+        Self {
+            rmap: None,
+            kmap: None,
+            am: m,
+            ak: k,
+        }
+    }
 }
 
 /// `C = op(A) · op(B)` into a caller-provided buffer.
@@ -125,6 +284,199 @@ pub fn gemm_into(
     assert_eq!(c.len(), m * n, "gemm: C buffer is not [{m}x{n}]");
     assert_eq!(a.len(), m * k, "gemm: A buffer is not [{m}x{k}] (ta={ta})");
     assert_eq!(b.len(), k * n, "gemm: B buffer is not [{k}x{n}] (tb={tb})");
+    gemm_driver(c, a, ta, b, tb, m, k, n, ws, threads, Gather::dense(m, k));
+}
+
+/// `C = A · op(B)` computing **only** the rows listed in `rows`; every
+/// other row of `C` is written as exact `0.0`, regardless of what `A`
+/// holds there.
+///
+/// This is the declared-sparsity sibling of [`gemm_sparse_lhs_into`]: the
+/// caller (an ALF block with a clipped mask) already knows which rows
+/// survive, so no scan happens and — crucially for the backward pass —
+/// the *skipped rows need not be zero in `A`*. The code-conv forward uses
+/// it to skip pruned weight rows; the backward weight-gradient GEMM uses
+/// it (with `tb = true`) to never compute gradient rows the mask-gated
+/// STE would discard anyway.
+///
+/// Surviving rows are bitwise identical to what the dense kernel would
+/// produce for them: the row gather changes *which* rows are packed, not
+/// the k-accumulation order of any element. When every row is active this
+/// is exactly the dense kernel.
+///
+/// # Panics
+///
+/// Panics when a buffer length disagrees with the stated dimensions or
+/// `rows.total() != m`.
+#[allow(clippy::too_many_arguments)] // mirrors the BLAS gemm signature
+pub fn gemm_active_rows_into(
+    c: &mut [f32],
+    a: &[f32],
+    b: &[f32],
+    tb: bool,
+    m: usize,
+    k: usize,
+    n: usize,
+    rows: &ActiveRows,
+    ws: &mut Workspace,
+    threads: usize,
+) {
+    assert_eq!(
+        rows.total(),
+        m,
+        "gemm_active_rows: descriptor covers {} rows, A has {m}",
+        rows.total()
+    );
+    assert_eq!(
+        c.len(),
+        m * n,
+        "gemm_active_rows: C buffer is not [{m}x{n}]"
+    );
+    assert_eq!(
+        a.len(),
+        m * k,
+        "gemm_active_rows: A buffer is not [{m}x{k}]"
+    );
+    assert_eq!(
+        b.len(),
+        k * n,
+        "gemm_active_rows: B buffer is not [{k}x{n}] (tb={tb})"
+    );
+    if rows.is_all() {
+        gemm_driver(
+            c,
+            a,
+            false,
+            b,
+            tb,
+            m,
+            k,
+            n,
+            ws,
+            threads,
+            Gather::dense(m, k),
+        );
+        return;
+    }
+    c.fill(0.0);
+    let live = rows.len();
+    if live == 0 || k == 0 || n == 0 {
+        return;
+    }
+    // The driver blocks over the compact [live, n] problem — pack_a reads
+    // A through the row map, so pruned rows are never packed and the
+    // micro-kernel never sees a dead panel — then the compact result is
+    // scattered to the surviving rows of C.
+    let mut cc = ws.take("gemm_rows_c", live * n);
+    let gather = Gather {
+        rmap: Some(rows.indices()),
+        kmap: None,
+        am: m,
+        ak: k,
+    };
+    gemm_driver(&mut cc, a, false, b, tb, live, k, n, ws, threads, gather);
+    for (ri, &i) in rows.indices().iter().enumerate() {
+        c[i * n..(i + 1) * n].copy_from_slice(&cc[ri * n..(ri + 1) * n]);
+    }
+    ws.give("gemm_rows_c", cc);
+}
+
+/// `C = op(A) · B` accumulating **only** the depth slices listed in
+/// `active` (over the full depth `k`); contributions from every other
+/// slice are skipped.
+///
+/// The caller asserts, by using this entry point, that the skipped slices
+/// contribute exactly-zero products — true when the `k` dimension ranges
+/// over pruned code channels whose weight rows (or code rows) are exact
+/// zeros. Under that contract the result is bitwise identical to the
+/// dense product: every accumulator starts at `+0.0` and is only ever
+/// added to, so it can never become `-0.0`, and adding a `±0.0` product
+/// to it is the identity. The conv input-gradient GEMM (`Wᵀ·G`) and the
+/// autoencoder decoder GEMM use this to make backward cost track mask
+/// occupancy.
+///
+/// # Panics
+///
+/// Panics when a buffer length disagrees with the stated dimensions or
+/// `active.total() != k`.
+#[allow(clippy::too_many_arguments)] // mirrors the BLAS gemm signature
+pub fn gemm_active_k_into(
+    c: &mut [f32],
+    a: &[f32],
+    ta: bool,
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    active: &ActiveRows,
+    ws: &mut Workspace,
+    threads: usize,
+) {
+    assert_eq!(
+        active.total(),
+        k,
+        "gemm_active_k: descriptor covers {} slices, depth is {k}",
+        active.total()
+    );
+    assert_eq!(c.len(), m * n, "gemm_active_k: C buffer is not [{m}x{n}]");
+    assert_eq!(
+        a.len(),
+        m * k,
+        "gemm_active_k: A buffer is not [{m}x{k}] (ta={ta})"
+    );
+    assert_eq!(b.len(), k * n, "gemm_active_k: B buffer is not [{k}x{n}]");
+    if active.is_all() {
+        gemm_driver(
+            c,
+            a,
+            ta,
+            b,
+            false,
+            m,
+            k,
+            n,
+            ws,
+            threads,
+            Gather::dense(m, k),
+        );
+        return;
+    }
+    let ke = active.len();
+    if ke == 0 || m == 0 || n == 0 {
+        c.fill(0.0);
+        return;
+    }
+    let gather = Gather {
+        rmap: None,
+        kmap: Some(active.indices()),
+        am: m,
+        ak: k,
+    };
+    gemm_driver(c, a, ta, b, false, m, ke, n, ws, threads, gather);
+}
+
+/// The blocked driver behind every entry point. `m` and `k` are the
+/// *logical* (post-gather) dimensions the blocking runs over; `gather`
+/// carries the physical strides and optional index maps (see [`Gather`]).
+#[allow(clippy::too_many_arguments)]
+fn gemm_driver(
+    c: &mut [f32],
+    a: &[f32],
+    ta: bool,
+    b: &[f32],
+    tb: bool,
+    m: usize,
+    k: usize,
+    n: usize,
+    ws: &mut Workspace,
+    threads: usize,
+    gather: Gather<'_>,
+) {
+    debug_assert_eq!(c.len(), m * n);
+    debug_assert_eq!(a.len(), gather.am * gather.ak);
+    debug_assert_eq!(b.len(), gather.ak * n);
+    debug_assert_eq!(gather.rmap.map_or(gather.am, <[usize]>::len), m);
+    debug_assert_eq!(gather.kmap.map_or(gather.ak, <[usize]>::len), k);
     c.fill(0.0);
     if m == 0 || n == 0 || k == 0 {
         return;
@@ -148,7 +500,7 @@ pub fn gemm_into(
         let mut pc = 0;
         while pc < k {
             let kc = KC.min(k - pc);
-            pack_b(&mut bpack, b, tb, k, n, pc, kc, jc, nc);
+            pack_b(&mut bpack, b, tb, n, pc, kc, jc, nc, gather);
             if threads == 1 {
                 process_rows(
                     c,
@@ -156,8 +508,6 @@ pub fn gemm_into(
                     m,
                     a,
                     ta,
-                    m,
-                    k,
                     n,
                     jc,
                     nc,
@@ -165,6 +515,7 @@ pub fn gemm_into(
                     kc,
                     &bpack,
                     &mut apack_all,
+                    gather,
                 );
             } else {
                 let bref = &bpack;
@@ -179,8 +530,8 @@ pub fn gemm_into(
                                 let row0 = t * rows_per_chunk;
                                 let mrows = c_chunk.len() / n;
                                 process_rows(
-                                    c_chunk, row0, mrows, a, ta, m, k, n, jc, nc, pc, kc, bref,
-                                    apack,
+                                    c_chunk, row0, mrows, a, ta, n, jc, nc, pc, kc, bref, apack,
+                                    gather,
                                 );
                             })
                         })
@@ -210,8 +561,6 @@ fn process_rows(
     mrows: usize,
     a: &[f32],
     ta: bool,
-    m: usize,
-    k: usize,
     n: usize,
     jc: usize,
     nc: usize,
@@ -219,9 +568,10 @@ fn process_rows(
     kc: usize,
     bpack: &[f32],
     apack: &mut [f32],
+    gather: Gather<'_>,
 ) {
     let j_panels = nc.div_ceil(NR);
-    pack_a(apack, a, ta, m, k, row0, mrows, pc, kc);
+    pack_a(apack, a, ta, row0, mrows, pc, kc, gather);
     let i_panels = mrows.div_ceil(MR);
     for ip in 0..i_panels {
         let apanel = &apack[ip * kc * MR..(ip + 1) * kc * MR];
@@ -243,31 +593,33 @@ fn process_rows(
     }
 }
 
-/// Packs `A[i0..i0+mc, p0..p0+kc]` (transpose-aware) into `MR`-row panels:
-/// `apack[(ip·kc + p)·MR + r] = A[i0 + ip·MR + r, p0 + p]`, zero-padding
-/// rows past `mc`.
+/// Packs `A[i0..i0+mc, p0..p0+kc]` (transpose- and gather-aware) into
+/// `MR`-row panels: `apack[(ip·kc + p)·MR + r] = A[rmap(i0 + ip·MR + r),
+/// kmap(p0 + p)]`, zero-padding rows past `mc`. This is where row/depth
+/// elision physically happens — a pruned row simply has no panel slot.
 #[allow(clippy::too_many_arguments)]
 fn pack_a(
     apack: &mut [f32],
     a: &[f32],
     ta: bool,
-    m: usize,
-    k: usize,
     i0: usize,
     mc: usize,
     p0: usize,
     kc: usize,
+    gather: Gather<'_>,
 ) {
     for ip in 0..mc.div_ceil(MR) {
         let panel = &mut apack[ip * kc * MR..(ip + 1) * kc * MR];
         for (p, out) in panel.chunks_exact_mut(MR).enumerate().take(kc) {
+            let pk = gather.kmap.map_or(p0 + p, |km| km[p0 + p]);
             for (r, slot) in out.iter_mut().enumerate() {
                 let row = i0 + ip * MR + r;
                 *slot = if row < i0 + mc {
+                    let pr = gather.rmap.map_or(row, |rm| rm[row]);
                     if ta {
-                        a[(p0 + p) * m + row]
+                        a[pk * gather.am + pr]
                     } else {
-                        a[row * k + p0 + p]
+                        a[pr * gather.ak + pk]
                     }
                 } else {
                     0.0
@@ -277,31 +629,32 @@ fn pack_a(
     }
 }
 
-/// Packs `B[p0..p0+kc, j0..j0+nc]` (transpose-aware) into `NR`-column
-/// panels: `bpack[(jp·kc + p)·NR + r] = B[p0 + p, j0 + jp·NR + r]`,
-/// zero-padding columns past `nc`.
+/// Packs `B[p0..p0+kc, j0..j0+nc]` (transpose- and gather-aware) into
+/// `NR`-column panels: `bpack[(jp·kc + p)·NR + r] = B[kmap(p0 + p),
+/// j0 + jp·NR + r]`, zero-padding columns past `nc`.
 #[allow(clippy::too_many_arguments)]
 fn pack_b(
     bpack: &mut [f32],
     b: &[f32],
     tb: bool,
-    k: usize,
     n: usize,
     p0: usize,
     kc: usize,
     j0: usize,
     nc: usize,
+    gather: Gather<'_>,
 ) {
     for jp in 0..nc.div_ceil(NR) {
         let panel = &mut bpack[jp * kc * NR..(jp + 1) * kc * NR];
         for (p, out) in panel.chunks_exact_mut(NR).enumerate().take(kc) {
+            let pk = gather.kmap.map_or(p0 + p, |km| km[p0 + p]);
             for (r, slot) in out.iter_mut().enumerate() {
                 let col = j0 + jp * NR + r;
                 *slot = if col < j0 + nc {
                     if tb {
-                        b[col * k + p0 + p]
+                        b[col * gather.ak + pk]
                     } else {
-                        b[(p0 + p) * n + col]
+                        b[pk * n + col]
                     }
                 } else {
                     0.0
@@ -315,12 +668,13 @@ fn pack_b(
 /// all-zero rows — the masked `Wcode` weight matrix of an ALF block, whose
 /// pruned code channels zero out whole rows.
 ///
-/// Scans `A` once, compacts the nonzero rows, runs the dense blocked
-/// kernel on the compact problem, and scatters the result back; zero rows
-/// of `C` are written directly. Falls back to the dense kernel when fewer
-/// than 1/8 of the rows are zero, where the compact-and-scatter copies
-/// outweigh the skipped flops (see the `sparse_vs_dense` micro-benchmark
-/// in `crates/bench`).
+/// Scans `A` once for all-zero rows, then runs the blocked driver with a
+/// row gather over the survivors — pruned rows are skipped at panel-pack
+/// time, exactly like [`gemm_active_rows_into`] — and scatters the compact
+/// result back; zero rows of `C` are written directly. Falls back to the
+/// dense kernel when fewer than 1/8 of the rows are zero, where the gather
+/// indirection and scatter outweigh the skipped flops (see the
+/// `sparse_vs_dense` micro-benchmark in `crates/bench`).
 ///
 /// # Panics
 ///
@@ -356,18 +710,19 @@ pub fn gemm_sparse_lhs_into(
         ws.give_idx("gemm_sparse_rows", rows);
         return;
     }
-    let ma = rows.len();
-    let mut aa = ws.take("gemm_sparse_a", ma * k);
-    let mut ca = ws.take("gemm_sparse_c", ma * n);
+    let live = rows.len();
+    let mut cc = ws.take("gemm_sparse_c", live * n);
+    let gather = Gather {
+        rmap: Some(&rows),
+        kmap: None,
+        am: m,
+        ak: k,
+    };
+    gemm_driver(&mut cc, a, false, b, false, live, k, n, ws, threads, gather);
     for (ri, &i) in rows.iter().enumerate() {
-        aa[ri * k..(ri + 1) * k].copy_from_slice(&a[i * k..(i + 1) * k]);
+        c[i * n..(i + 1) * n].copy_from_slice(&cc[ri * n..(ri + 1) * n]);
     }
-    gemm_into(&mut ca, &aa, false, b, false, ma, k, n, ws, threads);
-    for (ri, &i) in rows.iter().enumerate() {
-        c[i * n..(i + 1) * n].copy_from_slice(&ca[ri * n..(ri + 1) * n]);
-    }
-    ws.give("gemm_sparse_a", aa);
-    ws.give("gemm_sparse_c", ca);
+    ws.give("gemm_sparse_c", cc);
     ws.give_idx("gemm_sparse_rows", rows);
 }
 
@@ -397,6 +752,32 @@ mod tests {
             m,
             k,
             n,
+            &mut ws,
+            threads,
+        );
+        out
+    }
+
+    fn run_active_rows(
+        a: &Tensor,
+        b: &Tensor,
+        tb: bool,
+        rows: &ActiveRows,
+        threads: usize,
+    ) -> Tensor {
+        let (m, k) = (a.dims()[0], a.dims()[1]);
+        let n = if tb { b.dims()[0] } else { b.dims()[1] };
+        let mut ws = Workspace::new();
+        let mut out = Tensor::zeros(&[m, n]);
+        gemm_active_rows_into(
+            out.data_mut(),
+            a.data(),
+            b.data(),
+            tb,
+            m,
+            k,
+            n,
+            rows,
             &mut ws,
             threads,
         );
@@ -561,8 +942,309 @@ mod tests {
     }
 
     #[test]
+    fn sparse_lhs_all_rows_zero_yields_zero_output() {
+        let a = Tensor::zeros(&[12, 7]);
+        let mut rng = Rng::new(23);
+        let b = Tensor::randn(&[7, 9], Init::Rand, &mut rng);
+        let mut ws = Workspace::new();
+        let mut c = vec![3.0f32; 12 * 9];
+        gemm_sparse_lhs_into(&mut c, a.data(), b.data(), 12, 7, 9, &mut ws, 1);
+        assert_eq!(c, vec![0.0; 12 * 9]);
+    }
+
+    #[test]
+    fn sparse_lhs_single_surviving_row() {
+        let mut rng = Rng::new(24);
+        let mut a = Tensor::zeros(&[20, 5]);
+        for v in a.data_mut()[7 * 5..8 * 5].iter_mut() {
+            *v = 1.5;
+        }
+        let b = Tensor::randn(&[5, 6], Init::Rand, &mut rng);
+        let expect = reference::matmul(&a, &b).unwrap();
+        let mut ws = Workspace::new();
+        let mut c = vec![9.0f32; 20 * 6];
+        gemm_sparse_lhs_into(&mut c, a.data(), b.data(), 20, 5, 6, &mut ws, 1);
+        assert!(Tensor::from_vec(c, &[20, 6])
+            .unwrap()
+            .allclose(&expect, 1e-5));
+    }
+
+    #[test]
+    fn active_rows_surviving_rows_match_dense_bitwise() {
+        // The row gather must not perturb a single bit of the rows it
+        // keeps, even when the skipped rows of A are dense garbage.
+        let mut rng = Rng::new(31);
+        for &(m, k, n) in &[(16, 9, 12), (40, 32, 24), (130, 64, 48)] {
+            let a = Tensor::randn(&[m, k], Init::Rand, &mut rng);
+            let b = Tensor::randn(&[k, n], Init::Rand, &mut rng);
+            let dense = run(&a, false, &b, false, 1);
+            let idx: Vec<usize> = (0..m).filter(|i| i % 3 != 1).collect();
+            let rows = ActiveRows::from_indices(idx.clone(), m).unwrap();
+            let got = run_active_rows(&a, &b, false, &rows, 1);
+            for i in 0..m {
+                if idx.contains(&i) {
+                    assert_eq!(
+                        &got.data()[i * n..(i + 1) * n],
+                        &dense.data()[i * n..(i + 1) * n],
+                        "{m}x{k}x{n} row {i}"
+                    );
+                } else {
+                    assert_eq!(
+                        &got.data()[i * n..(i + 1) * n],
+                        vec![0.0; n].as_slice(),
+                        "{m}x{k}x{n} skipped row {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn active_rows_transposed_b_matches_dense() {
+        let mut rng = Rng::new(32);
+        let a = Tensor::randn(&[24, 10], Init::Rand, &mut rng);
+        let bt = Tensor::randn(&[14, 10], Init::Rand, &mut rng);
+        let dense = run(&a, false, &bt, true, 1);
+        let rows = ActiveRows::from_indices(vec![0, 5, 11, 23], 24).unwrap();
+        let got = run_active_rows(&a, &bt, true, &rows, 1);
+        for &i in rows.indices() {
+            assert_eq!(
+                &got.data()[i * 14..(i + 1) * 14],
+                &dense.data()[i * 14..(i + 1) * 14]
+            );
+        }
+    }
+
+    #[test]
+    fn active_rows_all_rows_is_dense_bitwise() {
+        let mut rng = Rng::new(33);
+        let a = Tensor::randn(&[17, 8], Init::Rand, &mut rng);
+        let b = Tensor::randn(&[8, 13], Init::Rand, &mut rng);
+        let dense = run(&a, false, &b, false, 1);
+        let got = run_active_rows(&a, &b, false, &ActiveRows::full(17), 1);
+        assert_eq!(dense.data(), got.data());
+    }
+
+    #[test]
+    fn active_rows_no_rows_zeroes_output() {
+        let mut rng = Rng::new(34);
+        let a = Tensor::randn(&[9, 4], Init::Rand, &mut rng);
+        let b = Tensor::randn(&[4, 5], Init::Rand, &mut rng);
+        let rows = ActiveRows::from_indices(vec![], 9).unwrap();
+        let mut ws = Workspace::new();
+        let mut c = vec![7.0f32; 45];
+        gemm_active_rows_into(
+            &mut c,
+            a.data(),
+            b.data(),
+            false,
+            9,
+            4,
+            5,
+            &rows,
+            &mut ws,
+            1,
+        );
+        assert_eq!(c, vec![0.0; 45]);
+    }
+
+    #[test]
+    fn active_rows_single_surviving_row() {
+        let mut rng = Rng::new(35);
+        let a = Tensor::randn(&[21, 6], Init::Rand, &mut rng);
+        let b = Tensor::randn(&[6, 7], Init::Rand, &mut rng);
+        let dense = run(&a, false, &b, false, 1);
+        let rows = ActiveRows::from_indices(vec![13], 21).unwrap();
+        let got = run_active_rows(&a, &b, false, &rows, 1);
+        assert_eq!(&got.data()[13 * 7..14 * 7], &dense.data()[13 * 7..14 * 7]);
+        assert!(got.data()[..13 * 7].iter().all(|&v| v == 0.0));
+        assert!(got.data()[14 * 7..].iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn active_rows_bitwise_deterministic_across_thread_counts() {
+        let mut rng = Rng::new(36);
+        let a = Tensor::randn(&[300, 70], Init::Rand, &mut rng);
+        let b = Tensor::randn(&[70, 90], Init::Rand, &mut rng);
+        let idx: Vec<usize> = (0..300).filter(|i| i % 4 != 2).collect();
+        let rows = ActiveRows::from_indices(idx, 300).unwrap();
+        let t1 = run_active_rows(&a, &b, false, &rows, 1);
+        for threads in [2, 4, 8] {
+            let tn = run_active_rows(&a, &b, false, &rows, threads);
+            assert_eq!(t1.data(), tn.data(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn active_rows_workspace_reuse_is_allocation_free() {
+        let mut rng = Rng::new(37);
+        let a = Tensor::randn(&[48, 20], Init::Rand, &mut rng);
+        let b = Tensor::randn(&[20, 16], Init::Rand, &mut rng);
+        let rows = ActiveRows::from_indices((0..24).map(|i| i * 2).collect(), 48).unwrap();
+        let mut ws = Workspace::new();
+        let mut c = vec![0.0f32; 48 * 16];
+        gemm_active_rows_into(
+            &mut c,
+            a.data(),
+            b.data(),
+            false,
+            48,
+            20,
+            16,
+            &rows,
+            &mut ws,
+            1,
+        );
+        let warm = ws.alloc_events();
+        ws.freeze();
+        for _ in 0..5 {
+            gemm_active_rows_into(
+                &mut c,
+                a.data(),
+                b.data(),
+                false,
+                48,
+                20,
+                16,
+                &rows,
+                &mut ws,
+                1,
+            );
+        }
+        assert_eq!(ws.alloc_events(), warm);
+    }
+
+    #[test]
+    fn active_k_matches_dense_when_skipped_slices_are_zero() {
+        // Zero out the inactive k-slices of A so the dense product's
+        // skipped contributions are exact ±0 — then active-k elision must
+        // be bitwise invisible.
+        let mut rng = Rng::new(38);
+        let (m, k, n) = (18, 24, 11);
+        let mut a = Tensor::randn(&[m, k], Init::Rand, &mut rng);
+        let b = Tensor::randn(&[k, n], Init::Rand, &mut rng);
+        let keep: Vec<usize> = (0..k).filter(|p| p % 3 == 0).collect();
+        for row in 0..m {
+            for p in 0..k {
+                if !keep.contains(&p) {
+                    a.data_mut()[row * k + p] = 0.0;
+                }
+            }
+        }
+        let dense = run(&a, false, &b, false, 1);
+        let active = ActiveRows::from_indices(keep, k).unwrap();
+        let mut ws = Workspace::new();
+        let mut c = vec![0.0f32; m * n];
+        gemm_active_k_into(
+            &mut c,
+            a.data(),
+            false,
+            b.data(),
+            m,
+            k,
+            n,
+            &active,
+            &mut ws,
+            1,
+        );
+        assert_eq!(c.as_slice(), dense.data());
+    }
+
+    #[test]
+    fn active_k_transposed_a_matches_dense() {
+        // The Wᵀ·G shape of the conv input gradient: A stored [k, m],
+        // inactive k rows of A zeroed.
+        let mut rng = Rng::new(39);
+        let (m, k, n) = (15, 12, 9);
+        let mut at = Tensor::randn(&[k, m], Init::Rand, &mut rng);
+        let b = Tensor::randn(&[k, n], Init::Rand, &mut rng);
+        let keep = vec![0, 2, 3, 7, 10];
+        for p in 0..k {
+            if !keep.contains(&p) {
+                for v in at.data_mut()[p * m..(p + 1) * m].iter_mut() {
+                    *v = 0.0;
+                }
+            }
+        }
+        let dense = run(&at, true, &b, false, 1);
+        let active = ActiveRows::from_indices(keep, k).unwrap();
+        let mut ws = Workspace::new();
+        let mut c = vec![0.0f32; m * n];
+        gemm_active_k_into(
+            &mut c,
+            at.data(),
+            true,
+            b.data(),
+            m,
+            k,
+            n,
+            &active,
+            &mut ws,
+            1,
+        );
+        assert_eq!(c.as_slice(), dense.data());
+    }
+
+    #[test]
+    fn active_k_empty_zeroes_output() {
+        let a = Tensor::ones(&[3, 4]);
+        let b = Tensor::ones(&[4, 2]);
+        let active = ActiveRows::from_indices(vec![], 4).unwrap();
+        let mut ws = Workspace::new();
+        let mut c = vec![5.0f32; 6];
+        gemm_active_k_into(
+            &mut c,
+            a.data(),
+            false,
+            b.data(),
+            3,
+            4,
+            2,
+            &active,
+            &mut ws,
+            1,
+        );
+        assert_eq!(c, vec![0.0; 6]);
+    }
+
+    #[test]
+    fn active_rows_descriptor_rejects_bad_indices() {
+        // Typed errors, not panics: out-of-range, unsorted, duplicate.
+        assert!(ActiveRows::from_indices(vec![0, 3], 3).is_err());
+        assert!(ActiveRows::from_indices(vec![2, 1], 4).is_err());
+        assert!(ActiveRows::from_indices(vec![1, 1], 4).is_err());
+        assert!(ActiveRows::from_indices(vec![0, 1, 3], 4).is_ok());
+    }
+
+    #[test]
+    fn active_rows_mask_constructors() {
+        let rows = ActiveRows::from_mask(&[0.0, 1.0, -0.0, -2.0]);
+        assert_eq!(rows.indices(), &[1, 3]);
+        assert_eq!(rows.total(), 4);
+        // Clip rule is strict: |m| must exceed the threshold.
+        let rows = ActiveRows::from_clipped_mask(&[0.05, -0.2, 0.2, 0.0], 0.2);
+        assert_eq!(rows.indices(), &[] as &[usize]);
+        let rows = ActiveRows::from_clipped_mask(&[0.05, -0.21, 0.2, 0.0], 0.2);
+        assert_eq!(rows.indices(), &[1]);
+        assert!(!rows.is_all());
+        assert!(ActiveRows::full(3).is_all());
+    }
+
+    #[test]
     fn auto_threads_stays_single_for_small_products() {
         assert_eq!(auto_threads(8, 8, 8), 1);
         assert_eq!(auto_threads(64, 64, 64), 1);
+    }
+
+    #[test]
+    fn auto_threads_never_exceeds_host_parallelism() {
+        // On a 1-core host even huge products stay single-threaded (the
+        // flop floor no longer engages workers that would only time-slice
+        // one core); on bigger hosts the cap still applies.
+        let t = auto_threads(4096, 4096, 4096);
+        assert!(t <= host_parallelism().min(MAX_THREADS));
+        if host_parallelism() == 1 {
+            assert_eq!(t, 1);
+        }
     }
 }

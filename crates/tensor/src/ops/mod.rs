@@ -10,11 +10,13 @@
 //!
 //! * [`gemm`] holds the cache-blocked, register-tiled, multithreaded
 //!   kernel every matrix product routes through; [`gemm_into`] /
-//!   [`gemm_sparse_lhs_into`] are the slice-level entry points hot loops
-//!   call with their own [`Workspace`].
-//! * [`matmul`] / [`matmul_at`] / [`matmul_bt`] / [`matmul_sparse_lhs`]
-//!   are the tensor-level conveniences, drawing scratch from a
-//!   thread-local workspace.
+//!   [`gemm_sparse_lhs_into`] / [`gemm_active_rows_into`] /
+//!   [`gemm_active_k_into`] are the slice-level entry points hot loops
+//!   call with their own [`Workspace`]. [`ActiveRows`] is the shared
+//!   descriptor of which rows of a masked operand survive pruning.
+//! * [`matmul`] / [`matmul_at`] / [`matmul_bt`] / [`matmul_sparse_lhs`] /
+//!   [`matmul_active_rows`] are the tensor-level conveniences, drawing
+//!   scratch from a thread-local workspace.
 //! * [`reference`] preserves the seed's naive kernels for differential
 //!   tests and as the benchmark baseline.
 //! * [`im2col_into`] / [`col2im_into`] write into caller-owned buffers so
@@ -29,8 +31,12 @@ mod workspace;
 
 pub use channels::{concat_channels, split_channels};
 pub use conv::{col2im, col2im_into, conv2d, conv_output_hw, im2col, im2col_into, Conv2dSpec};
-pub use gemm::{auto_threads, gemm_into, gemm_sparse_lhs_into};
+pub use gemm::{
+    auto_threads, gemm_active_k_into, gemm_active_rows_into, gemm_into, gemm_sparse_lhs_into,
+    host_parallelism, ActiveRows,
+};
 pub use matmul::{
-    matmul, matmul_at, matmul_at_ws, matmul_bt, matmul_bt_ws, matmul_sparse_lhs, matmul_ws,
+    matmul, matmul_active_rows, matmul_at, matmul_at_ws, matmul_bt, matmul_bt_ws,
+    matmul_sparse_lhs, matmul_ws,
 };
 pub use workspace::{with_thread_workspace, Workspace};

@@ -25,6 +25,13 @@ timeout 300 cargo run --release -q -p alf-bench --bin serve_bench -- --smoke
 echo "==> train_bench --smoke (includes telemetry overhead + bitwise gates)"
 timeout 300 cargo run --release -q -p alf-bench --bin train_bench -- --smoke
 
+# The GEMM benchmark gates that the blocked kernel beats the seed loops
+# and that packed-panel elision pays off monotonically as the zero-row
+# fraction rises (the occupancy-sweep gate), while staying bitwise equal
+# to the dense kernel; the timeout turns a hang into a hard failure.
+echo "==> gemm_bench --smoke (includes occupancy-sweep gate)"
+timeout 300 cargo run --release -q -p alf-bench --bin gemm_bench -- --scale smoke
+
 # The kill/resume suite in release mode: checkpoints taken at every
 # phase of an epoch must restore the exact trajectory.
 echo "==> alf-dp resume tests (release)"
@@ -38,6 +45,18 @@ escape_impls=$(grep -rn "fn json_escape" crates src --include='*.rs' | wc -l)
 if [ "$escape_impls" -ne 1 ]; then
   grep -rn "fn json_escape" crates src --include='*.rs' || true
   echo "FAIL: expected exactly 1 json_escape implementation, found $escape_impls"
+  exit 1
+fi
+
+# The sparse-execution descriptor is defined in exactly one place
+# (alf_tensor::ops::gemm). A second `ActiveRows` definition means a
+# consumer grew its own liveness bookkeeping that can drift from the
+# packing-stage elision contract.
+echo "==> single ActiveRows definition"
+active_rows_defs=$(grep -rn "pub struct ActiveRows" crates src --include='*.rs' | wc -l)
+if [ "$active_rows_defs" -ne 1 ]; then
+  grep -rn "pub struct ActiveRows" crates src --include='*.rs' || true
+  echo "FAIL: expected exactly 1 ActiveRows definition, found $active_rows_defs"
   exit 1
 fi
 
