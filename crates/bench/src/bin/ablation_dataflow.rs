@@ -1,53 +1,8 @@
-//! Ablation A3 — how much of Fig. 3's result depends on the
-//! row-stationary dataflow?
+//! Ablation A3 — dataflow choice on the Eyeriss-like array.
 //!
-//! Re-maps the vanilla Plain-20 geometry under all three dataflows and
-//! compares total energy and latency. Row-stationary should win on energy
-//! (balanced reuse); output-stationary suffers from weight re-streaming on
-//! this accelerator because weights bypass the global buffer.
-
-use alf_bench::{eng, print_table, Scale};
-use alf_core::models::geometry;
-use alf_hwmodel::{Accelerator, ConvWorkload, Dataflow, Mapper, NetworkReport};
+//! Thin wrapper over `alf_bench::jobs::ablations::dataflow`; the
+//! experiment body lives in the library so `alf-lab` can schedule it.
 
 fn main() {
-    let _scale = Scale::from_args(); // geometry-only: scale-independent
-    println!("Ablation: dataflow choice on the Eyeriss-like array (Plain-20, batch 16)");
-    let workloads: Vec<ConvWorkload> = geometry::plain20_layers(32, 3)
-        .iter()
-        .map(|s| ConvWorkload::from_shape(s, 16))
-        .collect();
-    let mut rows = Vec::new();
-    let mut reports = Vec::new();
-    for dataflow in [
-        Dataflow::RowStationary,
-        Dataflow::WeightStationary,
-        Dataflow::OutputStationary,
-    ] {
-        let mapper = Mapper::new(Accelerator::eyeriss(), dataflow);
-        let report = NetworkReport::evaluate(&mapper, &workloads).expect("mapping");
-        let rf: f64 = report.layers.iter().map(|l| l.energy_rf).sum();
-        let gb: f64 = report.layers.iter().map(|l| l.energy_buffer).sum();
-        let dram: f64 = report.layers.iter().map(|l| l.energy_dram).sum();
-        rows.push(vec![
-            dataflow.label().to_string(),
-            eng(report.total_energy()),
-            format!("{}/{}/{}", eng(rf), eng(gb), eng(dram)),
-            eng(report.total_latency()),
-        ]);
-        reports.push((dataflow, report));
-    }
-    print_table(
-        "dataflow ablation: total energy and latency (normalised units)",
-        &["dataflow", "total energy", "RF/GB/DRAM", "latency"],
-        &rows,
-    );
-    let best = reports
-        .iter()
-        .min_by(|a, b| a.1.total_energy().total_cmp(&b.1.total_energy()))
-        .expect("non-empty");
-    println!(
-        "\nminimum-energy dataflow: {} (Eyeriss implements row-stationary for this reason)",
-        best.0
-    );
+    alf_bench::jobs::standalone_main("ablation_dataflow");
 }

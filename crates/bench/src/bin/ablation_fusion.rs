@@ -1,99 +1,8 @@
-//! Ablation A4 — fused-layer scheduling of the ALF block's codependent
-//! `code → expansion` pair.
+//! Ablation A4 — fused-layer scheduling of the ALF block's pair.
 //!
-//! §IV-B: "such codependent layers can be fused with some advanced
-//! scheduling techniques, eliminating this \[DRAM\] overhead". This binary
-//! quantifies that remark: it maps an ALF-compressed Plain-20 twice — the
-//! naive per-layer schedule (what Fig. 3 reports) and the fused schedule
-//! where the intermediate feature map never leaves the global buffer.
-
-use alf_bench::{eng, print_table, Scale};
-use alf_core::models::geometry;
-use alf_hwmodel::{Accelerator, ConvWorkload, Dataflow, Mapper, NetworkReport};
-
-const BATCH: usize = 16;
-/// A representative post-training compression profile (≈40% remaining,
-/// the paper's Fig. 2c steady state at t = 1e-4).
-const REMAINING: f32 = 0.4;
+//! Thin wrapper over `alf_bench::jobs::ablations::fusion`; the experiment
+//! body lives in the library so `alf-lab` can schedule it.
 
 fn main() {
-    let _scale = Scale::from_args(); // geometry-only: scale-independent
-    println!(
-        "Ablation: fused-layer scheduling of ALF blocks (Plain-20 geometry, {:.0}% filters, batch {BATCH})",
-        100.0 * REMAINING
-    );
-    let layers = geometry::plain20_layers(32, 3);
-    let mapper = Mapper::new(Accelerator::eyeriss(), Dataflow::RowStationary);
-
-    let pairs: Vec<(ConvWorkload, ConvWorkload)> = layers
-        .iter()
-        .map(|s| {
-            let c_code = ((s.c_out as f32 * REMAINING).round() as usize).clamp(1, s.c_out);
-            alf_hwmodel::alf_pair(s, c_code, BATCH)
-        })
-        .collect();
-
-    let flat: Vec<ConvWorkload> = pairs
-        .iter()
-        .flat_map(|(c, e)| [c.clone(), e.clone()])
-        .collect();
-    let unfused = NetworkReport::evaluate(&mapper, &flat)
-        .expect("mapping")
-        .merged();
-    let fused = NetworkReport::evaluate_fused_pairs(&mapper, &pairs).expect("mapping");
-    let vanilla = NetworkReport::evaluate(
-        &mapper,
-        &layers
-            .iter()
-            .map(|s| ConvWorkload::from_shape(s, BATCH))
-            .collect::<Vec<_>>(),
-    )
-    .expect("mapping");
-
-    let rows: Vec<Vec<String>> = unfused
-        .layers
-        .iter()
-        .zip(&fused.layers)
-        .map(|(u, f)| {
-            vec![
-                u.name.to_uppercase(),
-                eng(u.energy_dram),
-                eng(f.energy_dram),
-                format!(
-                    "{:.0}%",
-                    100.0 * (1.0 - f.energy_dram / u.energy_dram.max(1.0))
-                ),
-                eng(u.total_energy()),
-                eng(f.total_energy()),
-            ]
-        })
-        .collect();
-    print_table(
-        "fusion ablation: per-layer DRAM and total energy",
-        &[
-            "layer",
-            "DRAM unfused",
-            "DRAM fused",
-            "DRAM cut",
-            "E unfused",
-            "E fused",
-        ],
-        &rows,
-    );
-    let summarise = |label: &str, r: &NetworkReport| {
-        let (de, dl) = r.reduction_vs(&vanilla);
-        println!(
-            "{label}: total energy {} ({:+.0}% vs vanilla), latency {} ({:+.0}% vs vanilla)",
-            eng(r.total_energy()),
-            -de,
-            eng(r.total_latency()),
-            -dl
-        );
-    };
-    summarise("unfused (Fig. 3 schedule)", &unfused);
-    summarise("fused              ", &fused);
-    println!(
-        "\nexpected: fusion removes the expansion layer's off-chip round trip, recovering the \
-         paper's 'overhead eliminated' scenario — the early-layer DRAM penalty disappears."
-    );
+    alf_bench::jobs::standalone_main("ablation_fusion");
 }

@@ -1,64 +1,8 @@
 //! Ablation A2 — the νprune schedule vs constant pruning pressure.
 //!
-//! The paper weights the mask regulariser with
-//! `νprune = max(0, 1 − exp(m·(θ − prmax)))` so pressure decays as the
-//! zero-fraction approaches the target, preventing over-pruning late in
-//! training. This binary compares the schedule against constant pressure
-//! (`νprune ≡ 1`, i.e. `prmax = 1` at slope 10 keeps ν ≈ 1 everywhere) by
-//! tracking the remaining-filter trajectory and accuracy.
-
-use alf_bench::{print_table, CifarConfig, Scale};
-use alf_core::models::plain20_alf;
-use alf_core::train::AlfTrainer;
-use alf_core::PruneSchedule;
+//! Thin wrapper over `alf_bench::jobs::ablations::nuprune`; the
+//! experiment body lives in the library so `alf-lab` can schedule it.
 
 fn main() {
-    let scale = Scale::from_args();
-    let cfg = CifarConfig::at(scale);
-    let data = cfg.dataset(99).expect("dataset");
-    println!("Ablation: νprune schedule ({} scale)", scale.label());
-
-    let variants: [(&str, PruneSchedule); 3] = [
-        (
-            "paper schedule (m=8, prmax=0.85)",
-            PruneSchedule::paper_default(),
-        ),
-        (
-            "near-constant pressure (m=1, prmax=1.0)",
-            PruneSchedule::new(1.0, 1.0),
-        ),
-        (
-            "early cut-off (m=8, prmax=0.5)",
-            PruneSchedule::new(8.0, 0.5),
-        ),
-    ];
-    let mut rows = Vec::new();
-    for (label, schedule) in variants {
-        let mut hyper = cfg.hyper.clone();
-        hyper.prune_schedule = schedule;
-        let model = plain20_alf(cfg.classes, cfg.width, cfg.block, 6).expect("model");
-        let mut trainer = AlfTrainer::new(model, hyper, 6).expect("trainer");
-        let report = trainer.run(&data, cfg.epochs).expect("training");
-        let trajectory: Vec<String> = report
-            .epochs
-            .iter()
-            .step_by((report.epochs.len() / 6).max(1))
-            .map(|e| format!("{:.0}", 100.0 * e.remaining_filters))
-            .collect();
-        rows.push(vec![
-            label.to_string(),
-            trajectory.join("→"),
-            format!("{:.0}%", 100.0 * report.final_remaining_filters()),
-            format!("{:.1}%", 100.0 * report.final_accuracy()),
-        ]);
-    }
-    print_table(
-        "νprune ablation: remaining-filter trajectory (sampled epochs, %)",
-        &["schedule", "trajectory", "final filters", "test acc"],
-        &rows,
-    );
-    println!(
-        "\nexpected: constant pressure keeps pruning past the target (more filters lost, \
-         lower accuracy); an early cut-off stops pruning at ~50% zeros."
-    );
+    alf_bench::jobs::standalone_main("ablation_nuprune");
 }

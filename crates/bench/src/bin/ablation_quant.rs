@@ -1,55 +1,8 @@
-//! Ablation A5 — quantization composes with ALF (the paper's §II claim
-//! that quantization is orthogonal and applicable in conjunction).
+//! Ablation A5 — post-training quantization of deployed ALF models.
 //!
-//! Trains ALF-Plain-20, deploys it, then fake-quantizes the deployed
-//! weights at 16/8/6/4 bits and reports accuracy and weight storage.
-
-use alf_bench::{eng, print_table, CifarConfig, Scale};
-use alf_core::models::plain20_alf;
-use alf_core::train::{evaluate, AlfTrainer};
-use alf_core::{deploy, quant};
-use alf_data::Split;
+//! Thin wrapper over `alf_bench::jobs::ablations::quant`; the experiment
+//! body lives in the library so `alf-lab` can schedule it.
 
 fn main() {
-    let scale = Scale::from_args();
-    let cfg = CifarConfig::at(scale);
-    let data = cfg.dataset(66).expect("dataset");
-    println!(
-        "Ablation: post-training weight quantization of deployed ALF models ({} scale)",
-        scale.label()
-    );
-
-    eprintln!("training ALF-Plain-20 …");
-    let model = plain20_alf(cfg.classes, cfg.width, cfg.block, 8).expect("model");
-    let mut trainer = AlfTrainer::new(model, cfg.hyper.clone(), 8).expect("trainer");
-    trainer.run(&data, cfg.epochs).expect("training");
-    let deployed = deploy::compress(trainer.model()).expect("deploy");
-    let f32_acc = evaluate(&deployed, &data, Split::Test, 32).expect("eval");
-
-    let mut rows = vec![vec![
-        "f32 (reference)".to_string(),
-        "—".into(),
-        format!("{:.1}%", 100.0 * f32_acc),
-        "—".into(),
-    ]];
-    for bits in [16u8, 8, 6, 4, 3] {
-        let mut q_model = deployed.clone();
-        let report = quant::fake_quantize_model(&mut q_model, bits).expect("quantize");
-        let acc = evaluate(&q_model, &data, Split::Test, 32).expect("eval");
-        rows.push(vec![
-            format!("int{bits}"),
-            eng(report.footprint_bytes() as f64),
-            format!("{:.1}%", 100.0 * acc),
-            format!("{:+.1} pts", 100.0 * (acc - f32_acc)),
-        ]);
-    }
-    print_table(
-        "quantization of the deployed ALF model (weights only)",
-        &["precision", "weight bytes", "accuracy", "Δacc vs f32"],
-        &rows,
-    );
-    println!(
-        "\nexpected: int8 is accuracy-neutral on top of ALF compression (the paper's \
-         orthogonality claim); degradation appears only at very low bit-widths."
-    );
+    alf_bench::jobs::standalone_main("ablation_quant");
 }

@@ -1,49 +1,8 @@
 //! Ablation A1 — is the straight-through estimator necessary?
 //!
-//! §III-B argues that routing the task gradient through the autoencoder's
-//! encoder/mask chain injects noise and zeroises most of the gradient
-//! (clipped mask entries), impeding learning. This binary trains the same
-//! ALF Plain-20 twice — STE on vs off — and compares accuracy and loss.
-
-use alf_bench::{print_table, CifarConfig, Scale};
-use alf_core::models::plain20_alf;
-use alf_core::train::AlfTrainer;
+//! Thin wrapper over `alf_bench::jobs::ablations::ste`; the experiment
+//! body lives in the library so `alf-lab` can schedule it.
 
 fn main() {
-    let scale = Scale::from_args();
-    let cfg = CifarConfig::at(scale);
-    let data = cfg.dataset(88).expect("dataset");
-    println!(
-        "Ablation: straight-through estimator ({} scale)",
-        scale.label()
-    );
-
-    let mut rows = Vec::new();
-    for (label, ste) in [("STE (paper, Eq. 5)", true), ("true chain gradient", false)] {
-        let mut block = cfg.block;
-        block.ste = ste;
-        let model = plain20_alf(cfg.classes, cfg.width, block, 4).expect("model");
-        let mut trainer = AlfTrainer::new(model, cfg.hyper.clone(), 4).expect("trainer");
-        let report = trainer.run(&data, cfg.epochs).expect("training");
-        rows.push(vec![
-            label.to_string(),
-            format!("{:.1}%", 100.0 * report.final_accuracy()),
-            format!(
-                "{:.3}",
-                report.epochs.last().map_or(f32::NAN, |e| e.train_loss)
-            ),
-            format!("{:.0}%", 100.0 * report.final_remaining_filters()),
-        ]);
-    }
-    print_table(
-        "STE ablation: ALF Plain-20, identical seeds/hyper-parameters",
-        &[
-            "task gradient",
-            "test acc",
-            "final train loss",
-            "remaining filters",
-        ],
-        &rows,
-    );
-    println!("\nexpected: the STE run trains better — the chained gradient is mask-zeroised and encoder-mixed.");
+    alf_bench::jobs::standalone_main("ablation_ste");
 }

@@ -1,48 +1,8 @@
-//! Fig. 2a — expansion-layer design-space exploration:
-//! `[Wexp,init | σinter | BNinter]` accuracy bars for Plain-20 ALF blocks.
-
-use alf_bench::{hbar, print_table, Scale};
-use alf_core::explore::{explore_expansion, ExploreSetup};
+//! Fig. 2a — expansion-layer design-space exploration.
+//!
+//! Thin wrapper over `alf_bench::jobs::figures::fig2a`; the experiment
+//! body lives in the library so `alf-lab` can schedule it.
 
 fn main() {
-    let scale = Scale::from_args();
-    let setup = match scale {
-        Scale::Smoke => ExploreSetup::smoke(),
-        Scale::Paper => ExploreSetup::paper(),
-    };
-    println!(
-        "Fig. 2a reproduction ({} scale): Plain-20 + ALF blocks (mask off), {} repeats",
-        scale.label(),
-        setup.repeats
-    );
-    let results = explore_expansion(&setup).expect("exploration failed");
-    let best = results
-        .iter()
-        .map(|r| r.mean())
-        .fold(f32::NEG_INFINITY, f32::max) as f64;
-    let rows: Vec<Vec<String>> = results
-        .iter()
-        .map(|r| {
-            let (lo, hi) = r.spread();
-            vec![
-                r.label.clone(),
-                format!("{:.1}%", 100.0 * r.mean()),
-                format!("[{:.1}, {:.1}]", 100.0 * lo, 100.0 * hi),
-                hbar(r.mean() as f64 / best.max(1e-9), 30),
-            ]
-        })
-        .collect();
-    print_table(
-        "Fig. 2a: accuracy by [Wexp,init | σinter | BNinter]",
-        &["config", "mean acc", "spread", "bar"],
-        &rows,
-    );
-    let winner = results
-        .iter()
-        .max_by(|a, b| a.mean().total_cmp(&b.mean()))
-        .expect("non-empty results");
-    println!(
-        "\nwinner: {}  (paper selects xavier init; BNinter showed no perceivable advantage)",
-        winner.label
-    );
+    alf_bench::jobs::standalone_main("fig2a");
 }

@@ -1,51 +1,8 @@
-//! Fig. 2b — autoencoder design-space exploration: `[Wae,init | σae]`
-//! accuracy for both `σinter = none` and `σinter = ReLU` series.
-
-use alf_bench::{hbar, print_table, Scale};
-use alf_core::explore::{explore_autoencoder, ExploreSetup};
-use alf_nn::activation::ActivationKind;
+//! Fig. 2b — autoencoder design-space exploration.
+//!
+//! Thin wrapper over `alf_bench::jobs::figures::fig2b`; the experiment
+//! body lives in the library so `alf-lab` can schedule it.
 
 fn main() {
-    let scale = Scale::from_args();
-    let setup = match scale {
-        Scale::Smoke => ExploreSetup::smoke(),
-        Scale::Paper => ExploreSetup::paper(),
-    };
-    println!(
-        "Fig. 2b reproduction ({} scale): Plain-20 + ALF blocks, mask disabled (Setup 2)",
-        scale.label()
-    );
-    for sigma_inter in [ActivationKind::Identity, ActivationKind::Relu] {
-        let results = explore_autoencoder(&setup, sigma_inter).expect("exploration failed");
-        let best = results
-            .iter()
-            .map(|r| r.mean())
-            .fold(f32::NEG_INFINITY, f32::max) as f64;
-        let rows: Vec<Vec<String>> = results
-            .iter()
-            .map(|r| {
-                let (lo, hi) = r.spread();
-                vec![
-                    r.label.clone(),
-                    format!("{:.1}%", 100.0 * r.mean()),
-                    format!("[{:.1}, {:.1}]", 100.0 * lo, 100.0 * hi),
-                    hbar(r.mean() as f64 / best.max(1e-9), 30),
-                ]
-            })
-            .collect();
-        print_table(
-            &format!(
-                "Fig. 2b: accuracy by [Wae,init | σae], σinter = {}",
-                sigma_inter
-            ),
-            &["config", "mean acc", "spread", "bar"],
-            &rows,
-        );
-        let winner = results
-            .iter()
-            .max_by(|a, b| a.mean().total_cmp(&b.mean()))
-            .expect("non-empty results");
-        println!("series winner: {}", winner.label);
-    }
-    println!("\npaper finding: xavier|tanh with σinter = none wins — compare above.");
+    alf_bench::jobs::standalone_main("fig2b");
 }

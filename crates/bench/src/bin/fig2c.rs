@@ -1,94 +1,9 @@
-//! Fig. 2c — pruning dynamics over training epochs for five ALF variants
-//! differing in autoencoder learning rate `lrae` and clip threshold `t`,
-//! against the uncompressed Plain-20.
+//! Fig. 2c — pruning dynamics across `(lrae, t)` variants.
 //!
-//! The paper's observations this binary reproduces:
-//! * larger `t` ⇒ more aggressive pruning (fewer remaining filters);
-//! * smaller `lrae` ⇒ fewer mask updates ⇒ more remaining filters;
-//! * accuracy degrades as the remaining-filter fraction drops.
-
-use alf_bench::{print_table, CifarConfig, Scale};
-use alf_core::models::{plain20, plain20_alf};
-use alf_core::train::AlfTrainer;
+//! Thin wrapper over `alf_bench::jobs::figures::fig2c`; the experiment
+//! body lives in the library so `alf-lab` can schedule it (the shared
+//! Plain-20 reference resolves through the artifact store).
 
 fn main() {
-    let scale = Scale::from_args();
-    let cfg = CifarConfig::at(scale);
-    let data = cfg.dataset(42).expect("dataset");
-    println!(
-        "Fig. 2c reproduction ({} scale): Plain-20, {} epochs",
-        scale.label(),
-        cfg.epochs
-    );
-
-    // The five (lrae, t) variants of the paper, rescaled at smoke scale so
-    // the dynamics complete within the shortened schedule (same ordering).
-    let (lr_hi, lr_mid, lr_lo) = match scale {
-        Scale::Smoke => (5e-2, 2e-2, 5e-3),
-        Scale::Paper => (1e-3, 1e-4, 1e-5),
-    };
-    let (t_hi, t_mid, t_lo) = match scale {
-        Scale::Smoke => (5e-2, 2e-2, 1e-2),
-        Scale::Paper => (5e-4, 1e-4, 5e-5),
-    };
-    let variants: Vec<(String, f64, f64)> = vec![
-        (format!("lr={lr_hi:.0e},t={t_lo:.0e}"), lr_hi, t_lo),
-        (format!("lr={lr_hi:.0e},t={t_mid:.0e}"), lr_hi, t_mid),
-        (format!("lr={lr_hi:.0e},t={t_hi:.0e}"), lr_hi, t_hi),
-        (format!("lr={lr_mid:.0e},t={t_mid:.0e}"), lr_mid, t_mid),
-        (format!("lr={lr_lo:.0e},t={t_mid:.0e}"), lr_lo, t_mid),
-    ];
-
-    // Uncompressed reference.
-    let mut vanilla = AlfTrainer::new(
-        plain20(cfg.classes, cfg.width).expect("model"),
-        cfg.hyper.clone(),
-        7,
-    )
-    .expect("trainer");
-    let vanilla_report = vanilla.run(&data, cfg.epochs).expect("training");
-    println!(
-        "\nuncompressed Plain-20 accuracy: {:.1}%",
-        100.0 * vanilla_report.final_accuracy()
-    );
-
-    let mut summary_rows = Vec::new();
-    for (label, lr, t) in &variants {
-        let mut block = cfg.block;
-        block.threshold = *t as f32;
-        let mut hyper = cfg.hyper.clone();
-        hyper.ae_lr = *lr as f32;
-        let model = plain20_alf(cfg.classes, cfg.width, block, 7).expect("model");
-        let mut trainer = AlfTrainer::new(model, hyper, 7).expect("trainer");
-        let report = trainer.run(&data, cfg.epochs).expect("training");
-        println!("\n-- ALF({label}) --");
-        println!("epoch  remaining-filters%  test-acc%");
-        for e in &report.epochs {
-            println!(
-                "{:>5}  {:>17.1}  {:>8.1}",
-                e.epoch,
-                100.0 * e.remaining_filters,
-                100.0 * e.test_accuracy
-            );
-        }
-        summary_rows.push(vec![
-            label.clone(),
-            format!("{:.1}%", 100.0 * report.final_remaining_filters()),
-            format!("{:.1}%", 100.0 * report.final_accuracy()),
-        ]);
-    }
-    summary_rows.push(vec![
-        "Plain-20 (uncompressed)".into(),
-        "100.0%".into(),
-        format!("{:.1}%", 100.0 * vanilla_report.final_accuracy()),
-    ]);
-    print_table(
-        "Fig. 2c summary: final remaining filters and accuracy",
-        &["variant", "remaining filters", "accuracy"],
-        &summary_rows,
-    );
-    println!(
-        "\npaper trends to check: higher t ⇒ fewer filters; lower lrae ⇒ more filters; \
-         paper keeps lr=1e-3, t=1e-4 as the trade-off."
-    );
+    alf_bench::jobs::standalone_main("fig2c");
 }

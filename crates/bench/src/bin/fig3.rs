@@ -1,141 +1,9 @@
-//! Fig. 3 — per-layer energy breakdown (register file / global buffer /
-//! DRAM) and normalised latency of vanilla vs ALF-compressed
-//! Plain-20/ResNet-20 on the Eyeriss hardware model, batch 16.
+//! Fig. 3 — per-layer energy/latency on the Eyeriss model.
 //!
-//! Trends this binary reproduces from the paper:
-//! * register-file energy dominates, especially in deeper layers;
-//! * ALF's expansion layers add DRAM energy in early (large-input) layers;
-//! * deep-layer savings offset that, giving a *total* energy/latency win;
-//! * low-utilisation anomalies: a heavily-compressed layer can lose
-//!   parallelism under row-stationary constraints and run *slower* than
-//!   its vanilla counterpart (the paper's `conv312` case).
-
-use alf_bench::{eng, print_table, CifarConfig, Scale};
-use alf_core::models::{geometry, plain20_alf, resnet20_alf};
-use alf_core::train::AlfTrainer;
-use alf_hwmodel::{Accelerator, ConvWorkload, Dataflow, Mapper, NetworkReport};
-
-const BATCH: usize = 16;
+//! Thin wrapper over `alf_bench::jobs::figures::fig3`; the experiment
+//! body lives in the library so `alf-lab` can schedule it (the two shared
+//! ALF references resolve through the artifact store).
 
 fn main() {
-    let scale = Scale::from_args();
-    let cfg = CifarConfig::at(scale);
-    let data = cfg.dataset(44).expect("dataset");
-    println!(
-        "Fig. 3 reproduction ({} scale): Eyeriss model, row-stationary dataflow, batch {BATCH}",
-        scale.label()
-    );
-
-    // Train both ALF models to obtain per-layer compression ratios.
-    let ratios = |model_seed: u64, residual: bool| -> Vec<f32> {
-        let model = if residual {
-            resnet20_alf(cfg.classes, cfg.width, cfg.block, model_seed).expect("model")
-        } else {
-            plain20_alf(cfg.classes, cfg.width, cfg.block, model_seed).expect("model")
-        };
-        let mut trainer = AlfTrainer::new(model, cfg.hyper.clone(), model_seed).expect("trainer");
-        trainer.run(&data, cfg.epochs).expect("training");
-        trainer
-            .into_model()
-            .filter_stats()
-            .iter()
-            .map(|(_, a, t)| *a as f32 / *t as f32)
-            .collect()
-    };
-    eprintln!("training ALF-Plain-20 …");
-    let plain_ratios = ratios(11, false);
-    eprintln!("training ALF-ResNet-20 …");
-    let resnet_ratios = ratios(12, true);
-
-    // Map the measured ratios onto the paper's width-16 / 32×32 geometry.
-    let paper_geometry = geometry::plain20_layers(32, 3);
-    let mapper = Mapper::new(Accelerator::eyeriss(), Dataflow::RowStationary);
-
-    let vanilla_workloads: Vec<ConvWorkload> = paper_geometry
-        .iter()
-        .map(|s| ConvWorkload::from_shape(s, BATCH))
-        .collect();
-    let vanilla = NetworkReport::evaluate(&mapper, &vanilla_workloads).expect("mapping");
-
-    let alf_report = |ratios: &[f32]| -> NetworkReport {
-        let workloads = alf_hwmodel::alf_network(&paper_geometry, ratios, BATCH);
-        NetworkReport::evaluate(&mapper, &workloads)
-            .expect("mapping")
-            .merged()
-    };
-    let alf_plain = alf_report(&plain_ratios);
-    let alf_resnet = alf_report(&resnet_ratios);
-
-    // Per-layer table.
-    let rows: Vec<Vec<String>> = vanilla
-        .layers
-        .iter()
-        .zip(&alf_plain.layers)
-        .zip(&alf_resnet.layers)
-        .map(|((v, ap), ar)| {
-            vec![
-                v.name.to_uppercase(),
-                format!(
-                    "{}/{}/{}",
-                    eng(v.energy_rf),
-                    eng(v.energy_buffer),
-                    eng(v.energy_dram)
-                ),
-                format!(
-                    "{}/{}/{}",
-                    eng(ap.energy_rf),
-                    eng(ap.energy_buffer),
-                    eng(ap.energy_dram)
-                ),
-                format!(
-                    "{}/{}/{}",
-                    eng(ar.energy_rf),
-                    eng(ar.energy_buffer),
-                    eng(ar.energy_dram)
-                ),
-                eng(v.latency_cycles),
-                eng(ap.latency_cycles),
-                eng(ar.latency_cycles),
-                format!("{:.0}%", 100.0 * ap.utilization),
-            ]
-        })
-        .collect();
-    print_table(
-        "Fig. 3: per-layer energy (RF/GB/DRAM) and latency, batch 16",
-        &[
-            "layer",
-            "vanilla E",
-            "ALF-Plain E",
-            "ALF-ResNet E",
-            "van lat",
-            "ALF-P lat",
-            "ALF-R lat",
-            "ALF-P util",
-        ],
-        &rows,
-    );
-
-    for (label, report) in [("ALF-Plain-20", &alf_plain), ("ALF-ResNet-20", &alf_resnet)] {
-        let (de, dl) = report.reduction_vs(&vanilla);
-        println!(
-            "{label}: total energy change {:+.0}% (paper: −29%), total latency change {:+.0}% (paper: −41%)",
-            -de, -dl
-        );
-    }
-    // Anomaly check: any compressed layer slower than vanilla?
-    let anomalies: Vec<&str> = vanilla
-        .layers
-        .iter()
-        .zip(&alf_plain.layers)
-        .filter(|(v, a)| a.latency_cycles > v.latency_cycles)
-        .map(|(v, _)| v.name.as_str())
-        .collect();
-    if anomalies.is_empty() {
-        println!("no per-layer latency anomaly at this compression profile");
-    } else {
-        println!(
-            "latency anomalies (compressed slower than vanilla, cf. the paper's conv312): {}",
-            anomalies.join(", ")
-        );
-    }
+    alf_bench::jobs::standalone_main("fig3");
 }

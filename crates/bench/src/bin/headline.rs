@@ -1,145 +1,9 @@
-//! Headline claim — "ALF showed a reduction of 70% in network parameters,
-//! 61% in operations and 41% in execution time, with minimal loss in
-//! accuracy" (plus the 29% energy reduction from §IV-B).
+//! Headline claims — params/OPs/latency/energy/accuracy, measured vs paper.
 //!
-//! Trains ALF-ResNet-20, maps the result onto the paper geometry and the
-//! Eyeriss model, and prints measured-vs-paper for all four numbers.
-
-use alf_bench::{print_table, CifarConfig, Scale};
-use alf_core::models::{geometry, resnet20, resnet20_alf};
-use alf_core::train::AlfTrainer;
-use alf_core::NetworkCost;
-use alf_data::Split;
-use alf_hwmodel::{Accelerator, ConvWorkload, Dataflow, Mapper, NetworkReport};
-use alf_nn::{softmax_cross_entropy, Layer, RunCtx};
+//! Thin wrapper over `alf_bench::jobs::tables::headline`; the experiment
+//! body lives in the library so `alf-lab` can schedule it against the
+//! shared baseline trainings.
 
 fn main() {
-    let scale = Scale::from_args();
-    let cfg = CifarConfig::at(scale);
-    let data = cfg.dataset(55).expect("dataset");
-    println!("Headline-claim reproduction ({} scale)", scale.label());
-
-    eprintln!("training vanilla ResNet-20 …");
-    let mut vt = AlfTrainer::new(
-        resnet20(cfg.classes, cfg.width).expect("model"),
-        cfg.hyper.clone(),
-        1,
-    )
-    .expect("trainer");
-    let vanilla_report = vt.run(&data, cfg.epochs).expect("training");
-
-    eprintln!("training ALF-ResNet-20 …");
-    let mut at = AlfTrainer::new(
-        resnet20_alf(cfg.classes, cfg.width, cfg.block, 2).expect("model"),
-        cfg.hyper.clone(),
-        2,
-    )
-    .expect("trainer");
-    let alf_report = at.run(&data, cfg.epochs).expect("training");
-    let mut model = at.into_model();
-    let ratios: Vec<f32> = model
-        .filter_stats()
-        .iter()
-        .map(|(_, a, t)| *a as f32 / *t as f32)
-        .collect();
-
-    // Measured per-layer cost: one profiled fwd+bwd batch through the
-    // trained ALF model via a RunCtx with the profiler attached.
-    eprintln!("profiling one training batch …");
-    let batch: Vec<usize> = (0..cfg.hyper.batch_size.min(data.len_of(Split::Train))).collect();
-    let (images, labels) = data.gather(Split::Train, &batch).expect("batch");
-    let mut ctx = RunCtx::train().with_profiler();
-    let logits = model.forward(&images, &mut ctx).expect("forward");
-    let (_, grad) = softmax_cross_entropy(&logits, &labels).expect("loss");
-    model.backward(&grad, &mut ctx).expect("backward");
-    let profile = ctx.report().expect("profiler was attached");
-
-    // Theoretical metrics on the paper geometry.
-    let paper_geometry = geometry::plain20_layers(32, 3);
-    let baseline = NetworkCost::of_layers(&paper_geometry);
-    let alf_cost = NetworkCost::of_alf_layers(
-        paper_geometry.iter().zip(
-            ratios
-                .iter()
-                .zip(&paper_geometry)
-                .map(|(&r, s)| ((s.c_out as f32 * r).round() as usize).max(1)),
-        ),
-    );
-    let (d_params, d_macs) = alf_cost.reduction_vs(&baseline);
-
-    // Hardware metrics on the Eyeriss model.
-    let mapper = Mapper::new(Accelerator::eyeriss(), Dataflow::RowStationary);
-    let vanilla_hw = NetworkReport::evaluate(
-        &mapper,
-        &paper_geometry
-            .iter()
-            .map(|s| ConvWorkload::from_shape(s, 16))
-            .collect::<Vec<_>>(),
-    )
-    .expect("mapping");
-    let alf_workloads = alf_hwmodel::alf_network(&paper_geometry, &ratios, 16);
-    let alf_hw = NetworkReport::evaluate(&mapper, &alf_workloads)
-        .expect("mapping")
-        .merged();
-    let (d_energy, d_latency) = alf_hw.reduction_vs(&vanilla_hw);
-
-    let rows = vec![
-        vec![
-            "parameters".into(),
-            format!("−{d_params:.0}%"),
-            "−70%".into(),
-        ],
-        vec!["operations".into(), format!("−{d_macs:.0}%"), "−61%".into()],
-        vec![
-            "execution time".into(),
-            format!("−{d_latency:.0}%"),
-            "−41%".into(),
-        ],
-        vec!["energy".into(), format!("−{d_energy:.0}%"), "−29%".into()],
-        vec![
-            "accuracy drop".into(),
-            format!(
-                "{:.1} pts",
-                100.0 * (vanilla_report.final_accuracy() - alf_report.final_accuracy())
-            ),
-            "1.9 pts".into(),
-        ],
-    ];
-    print_table(
-        "Headline claims: measured vs paper",
-        &["metric", "measured", "paper"],
-        &rows,
-    );
-    println!(
-        "\nremaining filters: {:.0}% (Fig. 2c paper range ≈ 36–40% at t = 1e-4)",
-        100.0 * alf_report.final_remaining_filters()
-    );
-
-    // Per-layer measured wall time next to the Eyeriss per-layer latency
-    // prediction (joined by conv-unit name; the hw columns are on the
-    // paper geometry, so compare shapes, not absolute scales).
-    let layer_rows: Vec<Vec<String>> = profile
-        .layers
-        .iter()
-        .map(|l| {
-            let hw = alf_hw.layers.iter().find(|r| r.name == l.name);
-            vec![
-                l.name.clone(),
-                format!("{:.3}", l.fwd_ns as f64 / 1e6),
-                format!("{:.3}", l.bwd_ns as f64 / 1e6),
-                format!("{:.1}", l.flops as f64 / 1e6),
-                hw.map_or_else(|| "—".into(), |r| format!("{:.0}", r.latency_cycles)),
-            ]
-        })
-        .collect();
-    print_table(
-        "Per-layer: measured (profiler) vs Eyeriss prediction",
-        &["layer", "fwd ms", "bwd ms", "MFLOPs", "hw cycles"],
-        &layer_rows,
-    );
-    println!(
-        "\narena high water: {:.2} MB",
-        profile.ws_high_water_bytes as f64 / 1e6
-    );
-    println!("\nper-layer profile JSON:\n{}", profile.to_json());
+    alf_bench::jobs::standalone_main("headline");
 }

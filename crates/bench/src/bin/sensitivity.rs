@@ -1,76 +1,8 @@
-//! Supplementary analysis — per-layer pruning sensitivity (Han et al.),
-//! the handcrafted counterpart of the adaptive `νprune` schedule, compared
-//! against where ALF actually prunes.
+//! Per-layer pruning sensitivity vs the ALF keep decisions.
 //!
-//! Trains a vanilla Plain-20, probes each layer's magnitude-pruning
-//! sensitivity in isolation, then trains the ALF variant and prints the
-//! per-layer filters it kept — so the correlation (ALF prunes harder where
-//! the static analysis says it is safe) can be eyeballed.
-
-use alf_baselines::sensitivity::layer_sensitivity;
-use alf_bench::{print_table, CifarConfig, Scale};
-use alf_core::models::{plain20, plain20_alf};
-use alf_core::train::AlfTrainer;
+//! Thin wrapper over `alf_bench::jobs::tables::sensitivity`; the
+//! experiment body lives in the library so `alf-lab` can schedule it.
 
 fn main() {
-    let scale = Scale::from_args();
-    let cfg = CifarConfig::at(scale);
-    let data = cfg.dataset(50).expect("dataset");
-    println!(
-        "Per-layer pruning sensitivity vs ALF keep decisions ({} scale)",
-        scale.label()
-    );
-
-    eprintln!("training vanilla Plain-20 …");
-    let mut vt = AlfTrainer::new(
-        plain20(cfg.classes, cfg.width).expect("model"),
-        cfg.hyper.clone(),
-        20,
-    )
-    .expect("trainer");
-    vt.run(&data, cfg.epochs).expect("training");
-    let vanilla = vt.into_model();
-
-    eprintln!("probing sensitivity …");
-    let ratios = [0.25f32, 0.5, 0.75, 1.0];
-    let curves = layer_sensitivity(&vanilla, &data, &ratios, 32).expect("sensitivity");
-
-    eprintln!("training ALF Plain-20 …");
-    let mut at = AlfTrainer::new(
-        plain20_alf(cfg.classes, cfg.width, cfg.block, 21).expect("model"),
-        cfg.hyper.clone(),
-        21,
-    )
-    .expect("trainer");
-    at.run(&data, cfg.epochs).expect("training");
-    let stats = at.into_model().filter_stats();
-
-    let rows: Vec<Vec<String>> = curves
-        .iter()
-        .zip(&stats)
-        .map(|(c, (name, active, total))| {
-            let mut row = vec![name.clone()];
-            for (r, a) in &c.points {
-                row.push(format!("{:.0}%@{:.2}", 100.0 * a, r));
-            }
-            row.push(format!(
-                "{}/{} ({:.0}%)",
-                active,
-                total,
-                100.0 * *active as f32 / *total as f32
-            ));
-            row
-        })
-        .collect();
-    print_table(
-        "accuracy when pruning ONE layer to the given keep-ratio (others dense) | ALF kept",
-        &[
-            "layer", "keep .25", "keep .50", "keep .75", "keep 1.0", "ALF kept",
-        ],
-        &rows,
-    );
-    println!(
-        "\nreading: layers whose accuracy column barely moves at keep .25 are insensitive — \
-         the νprune game should (and the ALF column typically does) prune those hardest."
-    );
+    alf_bench::jobs::standalone_main("sensitivity");
 }

@@ -1,173 +1,9 @@
-//! Table II — pruned CNNs on (synthetic) CIFAR-10, conv layers only.
+//! Table II — pruned CNNs on synth-CIFAR.
 //!
-//! Reproduces the comparison rows: Plain-20 / ResNet-20 vanilla, AMC
-//! (learned policy), FPGM (handcrafted policy) and ALF (automatic,
-//! `t = 1e-4` at paper scale). Params/OPs are reported on the paper's
-//! width-16 / 32×32 geometry regardless of the training scale: each
-//! method's per-layer keep decisions are mapped proportionally onto that
-//! geometry so the columns are directly comparable with the paper's.
-
-use alf_baselines::api::{apply_keep_ratios, chained_cost};
-use alf_baselines::{AmcAgent, AmcConfig};
-use alf_bench::{eng, print_table, CifarConfig, Scale};
-use alf_core::models::{geometry, plain20, resnet20, resnet20_alf};
-use alf_core::train::{evaluate, AlfTrainer};
-use alf_core::NetworkCost;
-use alf_data::Split;
+//! Thin wrapper over `alf_bench::jobs::tables::table2`; the experiment
+//! body lives in the library so `alf-lab` can schedule it against the
+//! shared baseline trainings.
 
 fn main() {
-    let scale = Scale::from_args();
-    let cfg = CifarConfig::at(scale);
-    let data = cfg.dataset(33).expect("dataset");
-    let paper_geometry = geometry::plain20_layers(32, 3);
-    let baseline_cost = NetworkCost::of_layers(&paper_geometry);
-    println!(
-        "Table II reproduction ({} scale): training width-{} models on {}x{} synth-CIFAR",
-        scale.label(),
-        cfg.width,
-        cfg.image_size,
-        cfg.image_size
-    );
-
-    // --- vanilla references ------------------------------------------------
-    let mut plain_trainer = AlfTrainer::new(
-        plain20(cfg.classes, cfg.width).expect("model"),
-        cfg.hyper.clone(),
-        1,
-    )
-    .expect("trainer");
-    let plain_report = plain_trainer.run(&data, cfg.epochs).expect("training");
-
-    let mut resnet_trainer = AlfTrainer::new(
-        resnet20(cfg.classes, cfg.width).expect("model"),
-        cfg.hyper.clone(),
-        2,
-    )
-    .expect("trainer");
-    let resnet_report = resnet_trainer.run(&data, cfg.epochs).expect("training");
-    let resnet = resnet_trainer.into_model();
-
-    // --- AMC (learned policy) ----------------------------------------------
-    let amc_cfg = match scale {
-        Scale::Smoke => AmcConfig {
-            population: 6,
-            elites: 2,
-            iterations: 3,
-            eval_batch: 32,
-            ..AmcConfig::default()
-        },
-        Scale::Paper => AmcConfig {
-            population: 16,
-            elites: 4,
-            iterations: 8,
-            ..AmcConfig::default()
-        },
-    };
-    let amc_out = AmcAgent::new(amc_cfg, 5)
-        .search(&resnet, &data)
-        .expect("amc search");
-    // Fine-tune the pruned model briefly, re-silencing after each epoch.
-    let mut amc_model = resnet.clone();
-    apply_keep_ratios(&mut amc_model, &amc_out.keep_ratios);
-    let mut ft = AlfTrainer::new(amc_model, cfg.hyper.clone(), 6).expect("trainer");
-    for _ in 0..(cfg.epochs / 4).max(1) {
-        ft.run_epoch(&data).expect("fine-tune epoch");
-        apply_keep_ratios(ft.model_mut(), &amc_out.keep_ratios);
-    }
-    let amc_acc = evaluate(ft.model(), &data, Split::Test, 64).expect("eval");
-    let amc_cost = chained_cost(
-        &paper_geometry,
-        &ratios_to_keeps(&paper_geometry, &amc_out.keep_ratios),
-    );
-
-    // --- FPGM (handcrafted policy) ------------------------------------------
-    let fpgm_keep = 0.68f32; // uniform keep ratio ⇒ ~−54% OPs via chaining
-    let mut fpgm_model = resnet.clone();
-    let fpgm_ratios = vec![fpgm_keep; paper_geometry.len()];
-    alf_baselines::fpgm::prune_filters(&mut fpgm_model, fpgm_keep);
-    let mut ft = AlfTrainer::new(fpgm_model, cfg.hyper.clone(), 7).expect("trainer");
-    for _ in 0..(cfg.epochs / 4).max(1) {
-        ft.run_epoch(&data).expect("fine-tune epoch");
-        alf_baselines::fpgm::prune_filters(ft.model_mut(), fpgm_keep);
-    }
-    let fpgm_acc = evaluate(ft.model(), &data, Split::Test, 64).expect("eval");
-    let fpgm_cost = chained_cost(
-        &paper_geometry,
-        &ratios_to_keeps(&paper_geometry, &fpgm_ratios),
-    );
-
-    // --- ALF (automatic) ----------------------------------------------------
-    let alf_model = resnet20_alf(cfg.classes, cfg.width, cfg.block, 3).expect("model");
-    let mut alf_trainer = AlfTrainer::new(alf_model, cfg.hyper.clone(), 3).expect("trainer");
-    let alf_report = alf_trainer.run(&data, cfg.epochs).expect("training");
-    let alf_model = alf_trainer.into_model();
-    let ratios: Vec<f32> = alf_model
-        .filter_stats()
-        .iter()
-        .map(|(_, active, total)| *active as f32 / *total as f32)
-        .collect();
-    let alf_cost = NetworkCost::of_alf_layers(
-        paper_geometry.iter().zip(
-            ratios
-                .iter()
-                .zip(&paper_geometry)
-                .map(|(&r, s)| ((s.c_out as f32 * r).round() as usize).max(1)),
-        ),
-    );
-
-    // --- report --------------------------------------------------------------
-    let row = |method: &str, policy: &str, cost: &NetworkCost, acc: f32| -> Vec<String> {
-        let (dp, dm) = cost.reduction_vs(&baseline_cost);
-        vec![
-            method.into(),
-            policy.into(),
-            format!("{} ({:+.0}%)", eng(cost.params as f64), -dp),
-            format!("{} ({:+.0}%)", eng(cost.ops() as f64), -dm),
-            format!("{:.1}%", 100.0 * acc),
-        ]
-    };
-    let rows = vec![
-        row(
-            "Plain-20",
-            "—",
-            &baseline_cost,
-            plain_report.final_accuracy(),
-        ),
-        row(
-            "ResNet-20",
-            "—",
-            &baseline_cost,
-            resnet_report.final_accuracy(),
-        ),
-        row("AMC", "RL-Agent", &amc_cost, amc_acc),
-        row("FPGM", "Handcrafted", &fpgm_cost, fpgm_acc),
-        row(
-            &format!("ALF (t={:.0e})", cfg.block.threshold),
-            "Automatic",
-            &alf_cost,
-            alf_report.final_accuracy(),
-        ),
-    ];
-    print_table(
-        "Table II: pruned CNNs on synth-CIFAR (conv layers only, paper geometry)",
-        &["Method", "Policy", "Params", "OPs", "Acc"],
-        &rows,
-    );
-    let (alf_dp, alf_dm) = alf_cost.reduction_vs(&baseline_cost);
-    println!(
-        "\nALF reductions: params −{alf_dp:.0}% (paper: −70%), OPs −{alf_dm:.0}% (paper: −61%); \
-         accuracy drop vs ResNet-20: {:.1} pts (paper: 1.9)",
-        100.0 * (resnet_report.final_accuracy() - alf_report.final_accuracy())
-    );
-}
-
-fn ratios_to_keeps(geometry: &[alf_core::ConvShape], ratios: &[f32]) -> Vec<usize> {
-    geometry
-        .iter()
-        .enumerate()
-        .map(|(i, s)| {
-            let r = ratios.get(i).copied().unwrap_or(1.0);
-            ((s.c_out as f32 * r).round() as usize).clamp(1, s.c_out)
-        })
-        .collect()
+    alf_bench::jobs::standalone_main("table2");
 }

@@ -1,221 +1,9 @@
-//! Table III — ImageNet benchmarking: Params/OPs of the comparison
-//! architectures (exact 224×224 geometry arithmetic) and the pruned
-//! ResNet-18 rows (LCNN / FPGM / AMC / ALF), with accuracy trends measured
-//! on synth-ImageNet at the selected scale.
-
-use alf_baselines::api::{apply_keep_ratios, chained_cost};
-use alf_baselines::{lcnn, AmcAgent, AmcConfig};
-use alf_bench::{eng, print_table, ImagenetConfig, Scale};
-use alf_core::models::{geometry, resnet18_small, ConvStyle};
-use alf_core::train::{evaluate, AlfTrainer};
-use alf_core::{ConvShape, NetworkCost};
-use alf_data::Split;
+//! Table III — ImageNet-track benchmarking.
+//!
+//! Thin wrapper over `alf_bench::jobs::tables::table3`; the experiment
+//! body lives in the library so `alf-lab` can schedule it against the
+//! shared baseline trainings.
 
 fn main() {
-    let scale = Scale::from_args();
-    let cfg = ImagenetConfig::at(scale);
-    let data = cfg.dataset(77).expect("dataset");
-    println!(
-        "Table III reproduction ({} scale): synth-ImageNet {}x{}, {} classes",
-        scale.label(),
-        cfg.image_size,
-        cfg.image_size,
-        cfg.classes
-    );
-
-    // Exact architecture arithmetic (224×224, 1000 classes).
-    let squeezenet = geometry::squeezenet_layers();
-    let googlenet = geometry::googlenet_layers();
-    let resnet18 = geometry::resnet18_layers();
-
-    // --- trainable substitutions on synth-ImageNet ---------------------------
-    eprintln!("training vanilla ResNet-18-small …");
-    let mut vt = AlfTrainer::new(
-        resnet18_small(cfg.classes, cfg.width, ConvStyle::Standard, 1).expect("model"),
-        cfg.hyper.clone(),
-        1,
-    )
-    .expect("trainer");
-    let vanilla_report = vt.run(&data, cfg.epochs).expect("training");
-    let vanilla = vt.into_model();
-
-    eprintln!("training ALF ResNet-18-small …");
-    let mut at = AlfTrainer::new(
-        resnet18_small(cfg.classes, cfg.width, ConvStyle::Alf(cfg.block), 2).expect("model"),
-        cfg.hyper.clone(),
-        2,
-    )
-    .expect("trainer");
-    let alf_report = at.run(&data, cfg.epochs).expect("training");
-    let alf_ratios: Vec<f32> = at
-        .into_model()
-        .filter_stats()
-        .iter()
-        .map(|(_, a, t)| *a as f32 / *t as f32)
-        .collect();
-
-    eprintln!("running AMC search …");
-    let amc_cfg = match scale {
-        Scale::Smoke => AmcConfig {
-            population: 5,
-            elites: 2,
-            iterations: 2,
-            eval_batch: 32,
-            ..AmcConfig::default()
-        },
-        Scale::Paper => AmcConfig::default(),
-    };
-    let amc_out = AmcAgent::new(amc_cfg, 3)
-        .search(&vanilla, &data)
-        .expect("amc");
-    let mut amc_model = vanilla.clone();
-    apply_keep_ratios(&mut amc_model, &amc_out.keep_ratios);
-    // Brief fine-tune with re-silencing, as AMC does after its search.
-    let mut ft = AlfTrainer::new(amc_model, cfg.hyper.clone(), 6).expect("trainer");
-    for _ in 0..(cfg.epochs / 4).max(1) {
-        ft.run_epoch(&data).expect("fine-tune epoch");
-        apply_keep_ratios(ft.model_mut(), &amc_out.keep_ratios);
-    }
-    let amc_acc = evaluate(ft.model(), &data, Split::Test, 64).expect("eval");
-
-    eprintln!("applying FPGM …");
-    let fpgm_keep = 0.76f32;
-    let mut fpgm_model = vanilla.clone();
-    alf_baselines::fpgm::prune_filters(&mut fpgm_model, fpgm_keep);
-    let fpgm_acc = evaluate(&fpgm_model, &data, Split::Test, 64).expect("eval");
-
-    eprintln!("applying LCNN …");
-    let lcnn_ratio = 0.2f32;
-    let mut lcnn_model = vanilla.clone();
-    lcnn::compress_model(
-        &mut lcnn_model,
-        lcnn_ratio,
-        cfg.image_size,
-        cfg.image_size,
-        9,
-    )
-    .expect("lcnn");
-    let lcnn_acc = evaluate(&lcnn_model, &data, Split::Test, 64).expect("eval");
-
-    // --- map measured keep decisions onto the exact ResNet-18 geometry -------
-    // Skip the parameterised downsample convs (kept dense by every method).
-    let main_keeps = |ratios: &[f32]| -> Vec<usize> {
-        let mut it = ratios.iter();
-        resnet18
-            .convs
-            .iter()
-            .map(|s| {
-                if s.name.ends_with("_ds") {
-                    s.c_out
-                } else {
-                    let r = it.next().copied().unwrap_or(1.0);
-                    ((s.c_out as f32 * r).round() as usize).clamp(1, s.c_out)
-                }
-            })
-            .collect()
-    };
-    let fc = resnet18.fc_params;
-    let with_fc = |c: NetworkCost| NetworkCost {
-        params: c.params + fc,
-        macs: c.macs + fc,
-    };
-    let alf_cost = with_fc(NetworkCost::of_alf_layers(
-        resnet18
-            .convs
-            .iter()
-            .zip(main_keeps(&alf_ratios))
-            .filter(|(s, _)| !s.name.ends_with("_ds")),
-    ));
-    let amc_cost = with_fc(chained_cost(
-        &resnet18.convs,
-        &main_keeps(&amc_out.keep_ratios),
-    ));
-    let fpgm_cost = with_fc(chained_cost(&resnet18.convs, &main_keeps(&[fpgm_keep; 17])));
-    let lcnn_cost = with_fc(lcnn_geometry_cost(&resnet18.convs, lcnn_ratio));
-
-    // --- table ---------------------------------------------------------------
-    let arow = |name: &str, policy: &str, params: u64, macs: u64, acc: String| {
-        vec![
-            name.to_string(),
-            policy.to_string(),
-            eng(params as f64),
-            format!("{} MOPs", 2 * macs / 1_000_000),
-            acc,
-        ]
-    };
-    let measured = |acc: f32| format!("{:.1}%*", 100.0 * acc);
-    let rows = vec![
-        arow(
-            "SqueezeNet",
-            "—",
-            squeezenet.params(),
-            squeezenet.macs(),
-            "57.2% (paper)".into(),
-        ),
-        arow(
-            "GoogleNet",
-            "—",
-            googlenet.params(),
-            googlenet.macs(),
-            "66.8% (paper)".into(),
-        ),
-        arow(
-            "ResNet-18",
-            "—",
-            resnet18.params(),
-            resnet18.macs(),
-            measured(vanilla_report.final_accuracy()),
-        ),
-        arow(
-            "LCNN",
-            "Automatic",
-            lcnn_cost.params,
-            lcnn_cost.macs,
-            measured(lcnn_acc),
-        ),
-        arow(
-            "FPGM",
-            "Handcrafted",
-            fpgm_cost.params,
-            fpgm_cost.macs,
-            measured(fpgm_acc),
-        ),
-        arow(
-            "AMC",
-            "RL-Agent",
-            amc_cost.params,
-            amc_cost.macs,
-            measured(amc_acc),
-        ),
-        arow(
-            "ALF (ours)",
-            "Automatic",
-            alf_cost.params,
-            alf_cost.macs,
-            measured(alf_report.final_accuracy()),
-        ),
-    ];
-    print_table(
-        "Table III: ImageNet benchmarking (Params/OPs exact at 224x224; * = accuracy measured on synth-ImageNet substitute)",
-        &["Method", "Policy", "Params", "OPs", "Acc"],
-        &rows,
-    );
-    println!(
-        "\npaper reference rows: SqueezeNet 1.23M/1722, GoogleNet 6.80M/3004, ResNet-18 11.83M/3743,\n\
-         LCNN –/749 (62.2%), FPGM –/2178 (67.8%), AMC 8.9M/1874 (67.7%), ALF 4.24M/1239 (64.3%)"
-    );
-}
-
-/// Analytic LCNN cost on a geometry: per layer, a dictionary of
-/// `⌈ratio·Co⌉` filters plus a 1-sparse lookup per output channel.
-fn lcnn_geometry_cost(convs: &[ConvShape], ratio: f32) -> NetworkCost {
-    convs.iter().fold(NetworkCost::default(), |acc, s| {
-        let dict = ((s.c_out as f32 * ratio).ceil() as usize).clamp(1, s.c_out);
-        let fan = s.c_in * s.kernel * s.kernel;
-        let hw = (s.h_out * s.w_out) as u64;
-        NetworkCost {
-            params: acc.params + (dict * fan + 2 * s.c_out) as u64,
-            macs: acc.macs + (dict * fan) as u64 * hw + s.c_out as u64 * hw,
-        }
-    })
+    alf_bench::jobs::standalone_main("table3");
 }

@@ -1,4 +1,5 @@
-//! Shared infrastructure for the experiment binaries.
+//! Shared infrastructure for the experiment binaries and the `alf-lab`
+//! campaign runner.
 //!
 //! Every table and figure of the paper has a binary in `src/bin/`:
 //!
@@ -11,7 +12,15 @@
 //! | Fig. 3    | `fig3`              |
 //! | Table III | `table3`            |
 //! | headline  | `headline`          |
-//! | ablations | `ablation_ste`, `ablation_nuprune`, `ablation_dataflow` |
+//! | ablations | `ablation_ste`, `ablation_nuprune`, `ablation_dataflow`, `ablation_fusion`, `ablation_quant` |
+//!
+//! The experiment *bodies* live in [`jobs`] as functions from a typed
+//! context to a structured [`report::JobResult`]; the binaries are thin
+//! wrappers that parse [`cli::BenchArgs`], run one job against a fresh
+//! [`artifacts::ArtifactStore`], print the text report and drop
+//! `results/<job>.{txt,json}`. `alf-lab` runs the same jobs as one
+//! dependency-scheduled campaign in which the shared baseline trainings
+//! of [`artifacts`] happen exactly once.
 //!
 //! All binaries accept `--scale smoke` (default; seconds) or
 //! `--scale paper` (the full sweep; minutes to hours on a laptop).
@@ -25,58 +34,12 @@ use alf_core::PruneSchedule;
 use alf_data::{Dataset, SynthVision};
 use alf_nn::LrSchedule;
 
-/// Experiment scale.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Scale {
-    /// Seconds-per-experiment configuration for CI and smoke testing.
-    Smoke,
-    /// The full configuration (hours on a CPU).
-    Paper,
-}
+pub mod artifacts;
+pub mod cli;
+pub mod jobs;
+pub mod report;
 
-impl Scale {
-    /// Parses the scale from `std::env::args`: either `--scale
-    /// {smoke|paper}` or the bare shorthands `--smoke` / `--paper`.
-    /// Defaults to smoke.
-    ///
-    /// # Panics
-    ///
-    /// Panics with a usage message on an unknown scale value or when both
-    /// shorthands are given.
-    pub fn from_args() -> Self {
-        let args: Vec<String> = std::env::args().collect();
-        let smoke_flag = args.iter().any(|a| a == "--smoke");
-        let paper_flag = args.iter().any(|a| a == "--paper");
-        if smoke_flag && paper_flag {
-            panic!("--smoke and --paper are mutually exclusive");
-        }
-        if smoke_flag {
-            return Scale::Smoke;
-        }
-        if paper_flag {
-            return Scale::Paper;
-        }
-        match args
-            .iter()
-            .position(|a| a == "--scale")
-            .and_then(|i| args.get(i + 1))
-            .map(String::as_str)
-        {
-            None => Scale::Smoke,
-            Some("smoke") => Scale::Smoke,
-            Some("paper") => Scale::Paper,
-            Some(other) => panic!("unknown scale '{other}'; use smoke or paper"),
-        }
-    }
-
-    /// Label for report headers.
-    pub fn label(self) -> &'static str {
-        match self {
-            Scale::Smoke => "smoke",
-            Scale::Paper => "paper",
-        }
-    }
-}
+pub use cli::{BenchArgs, Scale};
 
 /// The CIFAR-track experiment configuration at a given scale.
 #[derive(Debug, Clone)]
@@ -241,32 +204,6 @@ impl ImagenetConfig {
             .with_train_size(self.train_size)
             .with_test_size(self.test_size)
             .build()
-    }
-}
-
-/// Prints a fixed-width table with a header rule.
-pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
-    println!("\n== {title} ==");
-    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
-    for row in rows {
-        for (w, cell) in widths.iter_mut().zip(row) {
-            *w = (*w).max(cell.len());
-        }
-    }
-    let line = |cells: Vec<String>| {
-        let mut s = String::new();
-        for (w, c) in widths.iter().zip(cells) {
-            s.push_str(&format!("{c:<width$}  ", width = w));
-        }
-        println!("{}", s.trim_end());
-    };
-    line(headers.iter().map(|h| h.to_string()).collect());
-    println!(
-        "{}",
-        "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
-    );
-    for row in rows {
-        line(row.clone());
     }
 }
 

@@ -845,6 +845,17 @@ impl CnnModel {
         out
     }
 
+    /// Per-ALF-block keep ratio `active / total`, in [`filter_stats`]
+    /// order — the form every results job maps onto the paper geometry.
+    ///
+    /// [`filter_stats`]: CnnModel::filter_stats
+    pub fn filter_keep_ratios(&self) -> Vec<f32> {
+        self.filter_stats()
+            .iter()
+            .map(|(_, active, total)| *active as f32 / (*total).max(1) as f32)
+            .collect()
+    }
+
     /// Fraction of code filters still active across all ALF blocks
     /// (1.0 for a fully dense model).
     pub fn remaining_filter_fraction(&self) -> f32 {

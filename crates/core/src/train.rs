@@ -205,6 +205,16 @@ impl AlfTrainer {
         })
     }
 
+    /// Pins the trainer's internal per-epoch evaluator to `threads`
+    /// workers (clamped to at least 1), overriding `ALF_EVAL_THREADS` and
+    /// the host default. Campaign schedulers use this to keep a job's
+    /// total worker fan-out inside its thread lease when several trainings
+    /// run concurrently; a thread count never changes results (all
+    /// threaded paths are bitwise deterministic).
+    pub fn set_eval_threads(&mut self, threads: usize) {
+        self.eval = Evaluator::with_threads(threads);
+    }
+
     /// Enables (or disables, with `None`) mid-training physical compaction:
     /// after each autoencoder step, any ALF block whose live occupancy
     /// fell strictly below `occupancy` is shrunk in place
@@ -602,6 +612,38 @@ impl Evaluator {
 /// Propagates shape errors from the model or data pipeline.
 pub fn evaluate(model: &CnnModel, data: &Dataset, split: Split, batch_size: usize) -> Result<f32> {
     Evaluator::new().evaluate(model, data, split, batch_size)
+}
+
+/// Trains `model` for `epochs` epochs under a fixed seed and returns the
+/// trained model together with its full per-epoch trace.
+///
+/// This is the shared-baseline reuse hook: every results job that needs
+/// "the trained vanilla/ALF reference" goes through this one function with
+/// a canonical `(model, hyper, seed)` triple, so a campaign scheduler can
+/// train each reference exactly once and hand the `(CnnModel,
+/// TrainReport)` pair to all consumers. Training is deterministic for a
+/// given triple — two calls produce bitwise-identical weights — which is
+/// what makes the artifact cacheable in the first place. `threads` caps
+/// the trainer's evaluator fan-out ([`AlfTrainer::set_eval_threads`]);
+/// `None` keeps the `ALF_EVAL_THREADS`/host default.
+///
+/// # Errors
+///
+/// Propagates shape errors from the model or data pipeline.
+pub fn train_seeded(
+    model: CnnModel,
+    hyper: &AlfHyper,
+    seed: u64,
+    data: &Dataset,
+    epochs: usize,
+    threads: Option<usize>,
+) -> Result<(CnnModel, TrainReport)> {
+    let mut trainer = AlfTrainer::new(model, hyper.clone(), seed)?;
+    if let Some(n) = threads {
+        trainer.set_eval_threads(n);
+    }
+    let report = trainer.run(data, epochs)?;
+    Ok((trainer.into_model(), report))
 }
 
 #[cfg(test)]

@@ -1,0 +1,7 @@
+//! `alf-lab` — the results grid as one resumable, scheduled campaign.
+
+fn main() -> std::process::ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let code = alf_lab::cli_main(&argv);
+    std::process::ExitCode::from(u8::try_from(code).unwrap_or(1))
+}

@@ -1,0 +1,204 @@
+//! `alf-lab` — the paper's result grid as one resumable, scheduled
+//! campaign.
+//!
+//! Every figure, table and ablation of the ALF reproduction is declared
+//! as a job in one DAG (`alf_bench::jobs::JobKind::grid`): shared
+//! `baseline:*` trainings feed the consumers, so each reference model
+//! trains exactly once per campaign — an invariant the runner asserts
+//! from artifact-store telemetry rather than hopes for. The crate splits
+//! into:
+//!
+//! * [`dag`] — the validated graph with a precomputed deterministic
+//!   schedule order (Kahn's algorithm, declaration-index tie-break);
+//! * [`scheduler`] — budgeted dispatch in exactly that order, with
+//!   per-job thread leases and a progress hook that can abort;
+//! * [`campaign`] — the CRC-framed append-only manifest that makes a
+//!   killed campaign resumable (completed jobs skip; their metrics
+//!   survive into the report);
+//! * [`pareto`] — the consolidated coverage + Pareto-frontier report;
+//! * [`runner`] — the glue, plus [`cli_main`] for the `alf-lab` binary
+//!   and the `alf lab` subcommand.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod dag;
+pub mod pareto;
+pub mod runner;
+pub mod scheduler;
+
+pub use runner::{run_campaign, CampaignOpts, CampaignSummary, LabError};
+
+use alf_bench::jobs::JobKind;
+use alf_bench::report::Table;
+use alf_bench::BenchArgs;
+
+const USAGE: &str = "\
+alf-lab — run the ALF results grid as one resumable campaign
+
+USAGE:
+    alf-lab [run] [OPTIONS]    run (or resume) the campaign
+    alf-lab list               print the declared job grid
+
+OPTIONS:
+    --scale {smoke|paper} | --smoke | --paper   experiment scale (default smoke)
+    --jobs N          worker budget (default: $ALF_LAB_THREADS, then host cores)
+    --out DIR         artifact directory (default: results)
+    --only a,b,c      run only these jobs (plus transitive dependencies)
+    --fresh           discard the existing manifest instead of resuming
+    --abort-after N   abort after N job completions, exit 70 (kill simulation)
+
+EXIT CODES:
+    0  campaign finished, every job succeeded
+    1  usage/campaign error, or some job failed or was skipped
+    70 campaign aborted by --abort-after (resume by re-running)
+";
+
+/// Renders the declared grid (`alf-lab list`).
+fn grid_table() -> String {
+    let rows = JobKind::grid()
+        .into_iter()
+        .map(|j| {
+            vec![
+                j.id().to_string(),
+                j.threads().to_string(),
+                j.deps()
+                    .into_iter()
+                    .map(|d| d.id().to_string())
+                    .collect::<Vec<_>>()
+                    .join(", "),
+            ]
+        })
+        .collect();
+    Table::new("declared job grid", &["job", "lease", "depends on"], rows).to_text()
+}
+
+/// The `alf-lab` entry point, reusable from the `alf` facade binary.
+/// Returns the process exit code (see [`USAGE`]'s exit-code table).
+#[must_use]
+pub fn cli_main(argv: &[String]) -> i32 {
+    let mut argv = argv.to_vec();
+    match argv.first().map(String::as_str) {
+        Some("list") => {
+            print!("{}", grid_table());
+            return 0;
+        }
+        Some("help") | Some("--help") | Some("-h") => {
+            print!("{USAGE}");
+            return 0;
+        }
+        Some("run") => {
+            argv.remove(0);
+        }
+        _ => {}
+    }
+    let opts = match parse_opts(&argv) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("alf-lab: {msg}\n\n{USAGE}");
+            return 1;
+        }
+    };
+    match run_campaign(&opts) {
+        Ok(summary) => {
+            print!("{}", summary.report);
+            println!(
+                "report: {} / {}",
+                summary.report_txt.display(),
+                summary.report_json.display()
+            );
+            if summary.aborted {
+                eprintln!("campaign aborted by --abort-after; re-run to resume");
+                70
+            } else {
+                i32::from(summary.has_failures())
+            }
+        }
+        Err(e) => {
+            eprintln!("alf-lab: {e}");
+            1
+        }
+    }
+}
+
+fn parse_opts(argv: &[String]) -> Result<CampaignOpts, String> {
+    let mut args = BenchArgs::from_argv(argv)?;
+    let mut opts = CampaignOpts::new(args.scale);
+    opts.jobs = args.jobs;
+    opts.out = args.out_dir();
+    opts.fresh = args.flag("fresh");
+    if let Some(list) = args.value("only")? {
+        let ids: Vec<String> = list
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(str::to_string)
+            .collect();
+        if ids.is_empty() {
+            return Err("--only needs at least one job id".into());
+        }
+        opts.only = Some(ids);
+    }
+    if let Some(n) = args.value("abort-after")? {
+        let n: usize = n
+            .parse()
+            .map_err(|_| format!("--abort-after: bad value '{n}'"))?;
+        if n == 0 {
+            return Err("--abort-after must be >= 1".into());
+        }
+        opts.abort_after = Some(n);
+    }
+    args.finish()?;
+    Ok(opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|a| a.to_string()).collect()
+    }
+
+    #[test]
+    fn opts_parse_the_full_surface() {
+        let opts = parse_opts(&argv(&[
+            "--paper",
+            "--jobs",
+            "3",
+            "--out",
+            "camp",
+            "--fresh",
+            "--only",
+            "headline, fig3",
+            "--abort-after",
+            "2",
+        ]))
+        .unwrap();
+        assert_eq!(opts.scale, alf_bench::Scale::Paper);
+        assert_eq!(opts.jobs, Some(3));
+        assert_eq!(opts.out, std::path::PathBuf::from("camp"));
+        assert!(opts.fresh);
+        assert_eq!(
+            opts.only.as_deref(),
+            Some(&["headline".to_string(), "fig3".to_string()][..])
+        );
+        assert_eq!(opts.abort_after, Some(2));
+    }
+
+    #[test]
+    fn bad_opts_are_rejected() {
+        assert!(parse_opts(&argv(&["--abort-after", "0"])).is_err());
+        assert!(parse_opts(&argv(&["--only", ""])).is_err());
+        assert!(parse_opts(&argv(&["--wat"])).is_err());
+    }
+
+    #[test]
+    fn grid_table_lists_every_job() {
+        let t = grid_table();
+        for j in JobKind::grid() {
+            assert!(t.contains(j.id()), "grid table misses {}", j.id());
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! DAG semantics through the public API: typed cycle errors,
+//! deterministic dispatch at any worker count, and failure skipping —
+//! all on synthetic jobs (no model training).
+
+use std::collections::BTreeSet;
+use std::sync::Mutex;
+use std::time::Duration;
+
+use alf_lab::dag::{Dag, DagError, JobSpec};
+use alf_lab::scheduler::{run_dag, JobStatus, Progress};
+
+fn spec(id: &str, deps: &[&str], threads: usize) -> JobSpec {
+    JobSpec::new(id, deps, threads)
+}
+
+/// A two-tier synthetic grid shaped like the real one: shared "bases"
+/// feeding several consumers, plus free jobs.
+fn synthetic() -> Vec<JobSpec> {
+    vec![
+        spec("base:a", &[], 2),
+        spec("base:b", &[], 2),
+        spec("free:1", &[], 1),
+        spec("cons:ab", &["base:a", "base:b"], 1),
+        spec("cons:a", &["base:a"], 2),
+        spec("cons:b", &["base:b"], 1),
+        spec("leaf", &["cons:ab"], 1),
+    ]
+}
+
+#[test]
+fn cycle_is_a_typed_error_not_a_hang() {
+    let err = Dag::new(vec![
+        spec("x", &["z"], 1),
+        spec("y", &["x"], 1),
+        spec("z", &["y"], 1),
+    ])
+    .unwrap_err();
+    let DagError::Cycle(path) = err else {
+        panic!("expected DagError::Cycle, got {err:?}");
+    };
+    assert_eq!(path.first(), path.last(), "path closes the loop: {path:?}");
+    let distinct: BTreeSet<&String> = path.iter().collect();
+    assert_eq!(distinct.len(), 3, "all three nodes appear: {path:?}");
+}
+
+#[test]
+fn start_order_is_identical_at_every_worker_count() {
+    let reference = {
+        let dag = Dag::new(synthetic()).unwrap();
+        dag.schedule_order()
+            .iter()
+            .map(|&i| dag.jobs()[i].id.clone())
+            .collect::<Vec<_>>()
+    };
+    for budget in 1..=8usize {
+        let dag = Dag::new(synthetic()).unwrap();
+        let starts = Mutex::new(Vec::new());
+        let summary = run_dag(
+            &dag,
+            budget,
+            &BTreeSet::new(),
+            |s, _| {
+                // Uneven durations try to tempt a timing-dependent
+                // scheduler into reordering; ours must not.
+                std::thread::sleep(Duration::from_millis((s.id.len() as u64 * 7) % 23));
+                Ok::<_, String>(())
+            },
+            |p| {
+                if let Progress::Started { spec, .. } = p {
+                    starts.lock().unwrap().push(spec.id.clone());
+                }
+                true
+            },
+        );
+        assert!(summary.all_terminal(&dag));
+        assert_eq!(
+            *starts.lock().unwrap(),
+            reference,
+            "budget {budget} changed the start order"
+        );
+    }
+}
+
+#[test]
+fn dependency_failure_skips_dependents_but_not_siblings() {
+    let dag = Dag::new(synthetic()).unwrap();
+    let summary = run_dag(
+        &dag,
+        4,
+        &BTreeSet::new(),
+        |s, _| {
+            if s.id == "base:a" {
+                Err("synthetic failure".to_string())
+            } else {
+                Ok(s.id.clone())
+            }
+        },
+        |_| true,
+    );
+    assert!(summary.all_terminal(&dag));
+    let status = |id: &str| {
+        summary
+            .outcomes
+            .iter()
+            .find(|o| o.id == id)
+            .unwrap_or_else(|| panic!("{id} has no outcome"))
+            .status
+            .clone()
+    };
+    assert_eq!(
+        status("base:a"),
+        JobStatus::Failed("synthetic failure".into())
+    );
+    assert!(matches!(status("cons:a"), JobStatus::Skipped { dep } if dep == "base:a"));
+    assert!(matches!(status("cons:ab"), JobStatus::Skipped { dep } if dep == "base:a"));
+    assert!(matches!(status("leaf"), JobStatus::Skipped { dep } if dep == "cons:ab"));
+    // The healthy half of the grid is untouched.
+    assert_eq!(status("base:b"), JobStatus::Completed);
+    assert_eq!(status("cons:b"), JobStatus::Completed);
+    assert_eq!(status("free:1"), JobStatus::Completed);
+}
+
+#[test]
+fn leases_never_exceed_the_budget() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let in_flight = AtomicUsize::new(0);
+    let peak = AtomicUsize::new(0);
+    let jobs: Vec<JobSpec> = (0..12).map(|i| spec(&format!("j{i}"), &[], 2)).collect();
+    let dag = Dag::new(jobs).unwrap();
+    let budget = 5;
+    let summary = run_dag(
+        &dag,
+        budget,
+        &BTreeSet::new(),
+        |_, lease| {
+            let now = in_flight.fetch_add(lease, Ordering::SeqCst) + lease;
+            peak.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(Duration::from_millis(5));
+            in_flight.fetch_sub(lease, Ordering::SeqCst);
+            Ok::<_, String>(lease)
+        },
+        |_| true,
+    );
+    assert!(summary.all_terminal(&dag));
+    assert!(
+        peak.load(Ordering::SeqCst) <= budget,
+        "peak lease {} exceeded budget {budget}",
+        peak.load(Ordering::SeqCst)
+    );
+    for r in summary.results {
+        assert_eq!(r, Some(2), "lease of a 2-thread job under budget 5");
+    }
+}

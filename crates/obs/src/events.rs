@@ -152,6 +152,23 @@ impl FileSink {
             writer: std::io::BufWriter::new(std::fs::File::create(path)?),
         })
     }
+
+    /// Opens `path` for appending (creating it if missing), so a resumed
+    /// run extends the same JSONL stream instead of truncating it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the I/O error when the file cannot be opened.
+    pub fn append(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        Ok(Self {
+            writer: std::io::BufWriter::new(
+                std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(path)?,
+            ),
+        })
+    }
 }
 
 impl TelemetrySink for FileSink {
@@ -185,6 +202,11 @@ pub struct EventLog {
     /// Reused line buffer: steady-state emission allocates nothing.
     buf: String,
     seq: u64,
+    /// Scope fields stamped into every record (after `t_ms`), in
+    /// insertion order. Used by job-structured emitters (the `alf-lab`
+    /// campaign runner) so each line carries its job identity without
+    /// every call site repeating it.
+    scope: Vec<(String, String)>,
 }
 
 impl std::fmt::Debug for EventLog {
@@ -211,6 +233,7 @@ impl EventLog {
             start: Instant::now(),
             buf: String::new(),
             seq: 0,
+            scope: Vec::new(),
         }
     }
 
@@ -223,7 +246,27 @@ impl EventLog {
             start: Instant::now(),
             buf: String::new(),
             seq: 0,
+            scope: Vec::new(),
         }
+    }
+
+    /// Sets (or replaces) a scope field: every subsequent record carries
+    /// `"key":"value"` right after its `t_ms` field. Scope keys persist
+    /// until [`EventLog::clear_scope`]; re-setting a key updates it in
+    /// place, preserving insertion order.
+    pub fn set_scope(&mut self, key: &str, value: &str) {
+        match self.scope.iter_mut().find(|(k, _)| k == key) {
+            Some((_, v)) => {
+                v.clear();
+                v.push_str(value);
+            }
+            None => self.scope.push((key.to_string(), value.to_string())),
+        }
+    }
+
+    /// Removes one scope field (no-op when the key is not set).
+    pub fn clear_scope(&mut self, key: &str) {
+        self.scope.retain(|(k, _)| k != key);
     }
 
     /// Whether events are being recorded.
@@ -270,6 +313,9 @@ impl<'a> Event<'a> {
             "t_ms",
             log.start.elapsed().as_secs_f64() * 1e3, // wall-time delta
         );
+        for (k, v) in &log.scope {
+            writer.field_str(k, v);
+        }
         Self { log, writer }
     }
 
@@ -349,6 +395,24 @@ mod tests {
             assert!(!line.contains('\n'));
         }
         assert_eq!(log.events_written(), 3);
+    }
+
+    #[test]
+    fn scope_fields_stamp_every_record_in_order() {
+        let (sink, handle) = MemorySink::bounded(8);
+        let mut log = EventLog::new(Box::new(sink));
+        log.set_scope("campaign", "smoke");
+        log.set_scope("job", "table2");
+        log.event("job.start").expect("enabled").field_u64("n", 1);
+        log.set_scope("job", "fig3"); // re-set updates in place
+        log.event("job.start").expect("enabled").field_u64("n", 2);
+        log.clear_scope("job");
+        log.event("campaign.end").expect("enabled");
+        let lines = handle.lines();
+        assert!(lines[0].contains("\"campaign\":\"smoke\",\"job\":\"table2\",\"n\":1"));
+        assert!(lines[1].contains("\"campaign\":\"smoke\",\"job\":\"fig3\",\"n\":2"));
+        assert!(lines[2].contains("\"campaign\":\"smoke\"}"));
+        assert!(!lines[2].contains("\"job\""));
     }
 
     #[test]

@@ -37,6 +37,56 @@ timeout 300 cargo run --release -q -p alf-bench --bin gemm_bench -- --scale smok
 echo "==> alf-dp resume tests (release)"
 timeout 300 cargo test --release -q -p alf-dp --test resume
 
+# The campaign runner gates: a subset campaign (headline + the two
+# geometry ablations, plus the baselines the DAG pulls in) is aborted
+# after its first completion (exit 70 — the kill simulation), resumed,
+# and must then report every declared job in a terminal state with the
+# consolidated Pareto pair on disk. This exercises the manifest
+# (write/truncate/replay), the scheduler, and the exactly-once training
+# assertion end to end.
+echo "==> alf-lab kill/resume campaign (smoke subset)"
+LAB_OUT=$(mktemp -d)
+LAB_ONLY="headline,ablation_dataflow,ablation_fusion"
+set +e
+timeout 300 cargo run --release -q -p alf-lab --bin alf-lab -- \
+  run --smoke --out "$LAB_OUT" --only "$LAB_ONLY" --fresh --abort-after 1 \
+  > /dev/null
+lab_code=$?
+set -e
+if [ "$lab_code" -ne 70 ]; then
+  echo "FAIL: expected --abort-after to exit 70, got $lab_code"
+  exit 1
+fi
+timeout 300 cargo run --release -q -p alf-lab --bin alf-lab -- \
+  run --smoke --out "$LAB_OUT" --only "$LAB_ONLY" > /dev/null
+for f in pareto-smoke.txt pareto-smoke.json campaign-smoke.manifest; do
+  if [ ! -s "$LAB_OUT/$f" ]; then
+    echo "FAIL: resumed campaign left no $f"
+    exit 1
+  fi
+done
+if ! grep -q '"all_terminal":true' "$LAB_OUT/pareto-smoke.json"; then
+  echo "FAIL: resumed campaign did not reach a terminal state for every job"
+  exit 1
+fi
+if ! grep -q '"status":"cached"' "$LAB_OUT/pareto-smoke.json"; then
+  echo "FAIL: resume re-ran jobs the aborted campaign already completed"
+  exit 1
+fi
+rm -rf "$LAB_OUT"
+
+# The experiment CLI surface is defined in exactly one place
+# (alf_bench::cli::Scale::from_args). A second `fn from_args` means a
+# binary regrew its own argv parsing that can drift from the shared
+# --scale/--jobs/--out surface.
+echo "==> single Scale::from_args definition"
+from_args_defs=$(grep -rn "pub fn from_args" crates src --include='*.rs' | wc -l)
+if [ "$from_args_defs" -ne 1 ]; then
+  grep -rn "pub fn from_args" crates src --include='*.rs' || true
+  echo "FAIL: expected exactly 1 from_args definition, found $from_args_defs"
+  exit 1
+fi
+
 # JSON formatting/escaping is defined in exactly one place
 # (alf_obs::json). A second `fn json_escape` anywhere in the workspace
 # means an emitter drifted off the shared writer.

@@ -6,6 +6,8 @@
 //! * `eval`   — evaluate a checkpoint's accuracy.
 //! * `deploy` — strip a trained ALF checkpoint and report compression.
 //! * `hwmap`  — map a model geometry onto the Eyeriss-like accelerator.
+//! * `lab`    — run the paper's full results grid as one resumable
+//!   campaign (delegates to `alf-lab`; see `alf lab help`).
 //!
 //! Run `alf <subcommand> --help` (or no arguments) for the option list.
 
@@ -60,7 +62,7 @@ impl Args {
 }
 
 fn usage() -> &'static str {
-    "usage: alf <train|eval|deploy|summary|hwmap> [options]\n\
+    "usage: alf <train|eval|deploy|summary|hwmap|lab> [options]\n\
      \n\
      common data options: --data-seed N --classes N --image-size N\n\
      \u{20}                    --train-size N --test-size N\n\
@@ -72,7 +74,8 @@ fn usage() -> &'static str {
      alf deploy --model plain20-alf|resnet20-alf --ckpt FILE [--width N]\n\
      alf summary [--model M] [--ckpt FILE] [--width N]\n\
      alf hwmap  [--width N] [--image-size N] [--batch N] [--dataflow rs|ws|os]\n\
-     \u{20}          [--remaining F]"
+     \u{20}          [--remaining F]\n\
+     alf lab    <run|list|help> [lab options]   resumable results campaign"
 }
 
 fn build_model(
@@ -295,6 +298,11 @@ fn main() -> ExitCode {
         eprintln!("{}", usage());
         return ExitCode::FAILURE;
     };
+    if cmd == "lab" {
+        // `lab` owns its argv surface (scale flags, --only, --fresh, …).
+        let code = alf::lab::cli_main(&argv[1..]);
+        return ExitCode::from(u8::try_from(code).unwrap_or(1));
+    }
     let args = match Args::parse(&argv[1..]) {
         Ok(a) => a,
         Err(e) => {

@@ -45,6 +45,7 @@ pub use alf_core as core;
 pub use alf_data as data;
 pub use alf_dp as dp;
 pub use alf_hwmodel as hwmodel;
+pub use alf_lab as lab;
 pub use alf_nn as nn;
 pub use alf_obs as obs;
 pub use alf_serve as serve;
