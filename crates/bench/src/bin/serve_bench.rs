@@ -16,12 +16,22 @@
 //! `BENCH_serve.json` (throughput in img/s, p50/p95/p99 latency, mean
 //! batch occupancy, rejection counts).
 //!
-//! `--smoke` (default; ~3 s) **gates**: the process exits nonzero when
-//! the compressed model does not serve strictly more images per second
-//! than the uncompressed one. `--paper` serves the full 32×32/10-class
-//! geometry for longer windows.
+//! A second **socket mode** then repeats the comparison end to end over
+//! real TCP: one `alf_net::NetServer` routes both model forms, clients
+//! probe each model's capacity closed-loop over keep-alive connections,
+//! then offer paced traffic at 1.5× the faster capacity. The `socket`
+//! section of `BENCH_serve.json` records per-model socket throughput and
+//! per-status tallies plus the front end's accept/shed/parse-error
+//! counters.
+//!
+//! `--smoke` (default; a few seconds) **gates**: the process exits
+//! nonzero when the compressed model does not serve strictly more images
+//! per second than the uncompressed one — in process *and* over the
+//! socket. `--paper` serves the full 32×32/10-class geometry for longer
+//! windows.
 
 use std::collections::VecDeque;
+use std::net::SocketAddr;
 use std::time::{Duration, Instant};
 
 use alf_bench::Scale;
@@ -29,7 +39,10 @@ use alf_core::block::AlfBlockConfig;
 use alf_core::deploy;
 use alf_core::model::CnnModel;
 use alf_core::models::plain20_alf;
+use alf_net::client::HttpClient;
+use alf_net::{ModelSpec, NetConfig, NetServer};
 use alf_obs::json::JsonWriter;
+use alf_obs::metrics::MetricsRegistry;
 use alf_serve::{ServeConfig, Server, ServerStats};
 use alf_tensor::init::Init;
 use alf_tensor::rng::Rng;
@@ -150,6 +163,59 @@ fn main() {
     }
 
     let speedup = results[1].1.throughput / results[0].1.throughput;
+
+    // --- socket mode: the same comparison over real TCP connections ---
+    let registry = MetricsRegistry::new();
+    let net = NetServer::start(
+        vec![
+            ModelSpec {
+                name: "uncompressed".to_string(),
+                model: alf.clone(),
+                serve: serve_cfg.clone(),
+            },
+            ModelSpec {
+                name: "compressed".to_string(),
+                model: deployed.clone(),
+                serve: serve_cfg.clone(),
+            },
+        ],
+        NetConfig {
+            threads: Some(2 * p.workers),
+            ..NetConfig::new("127.0.0.1:0")
+        },
+        registry.clone(),
+    )
+    .expect("start net server");
+    let addr = net.addr();
+    let bodies: Vec<Vec<u8>> = pool
+        .iter()
+        .map(|t| t.data().iter().flat_map(|v| v.to_le_bytes()).collect())
+        .collect();
+
+    let sock_cap_alf = socket_probe(addr, "uncompressed", &bodies, p.probe);
+    let sock_cap_dep = socket_probe(addr, "compressed", &bodies, p.probe);
+    let sock_offered = 1.5 * sock_cap_alf.max(sock_cap_dep);
+    println!(
+        "\nsocket capacity probe: uncompressed {sock_cap_alf:.0} img/s, \
+         compressed {sock_cap_dep:.0} img/s -> offered load {sock_offered:.0} img/s"
+    );
+    println!(
+        "{:<36} {:>12} {:>8} {:>8} {:>8} {:>8}",
+        "socket run", "img/s", "ok", "429", "503", "504"
+    );
+    let mut socket_results = Vec::new();
+    for model in ["uncompressed", "compressed"] {
+        let r = socket_open_loop(addr, model, &bodies, sock_offered, p.run);
+        println!(
+            "{:<36} {:>12.1} {:>8} {:>8} {:>8} {:>8}",
+            model, r.throughput, r.ok, r.quota_429, r.unavailable_503, r.expired_504
+        );
+        socket_results.push((model, r));
+    }
+    let socket_speedup = socket_results[1].1.throughput / socket_results[0].1.throughput;
+    net.shutdown();
+    let net_snapshot = registry.snapshot();
+
     let mut w = JsonWriter::new();
     w.begin_object();
     w.field_str("bench", "serve");
@@ -178,19 +244,160 @@ fn main() {
     }
     w.end_array();
     w.field_f64("speedup", speedup);
+    w.key("socket");
+    w.begin_object();
+    w.field_f64("offered_rate_img_s", sock_offered);
+    w.key("runs");
+    w.begin_array();
+    for (model, r) in &socket_results {
+        w.begin_object();
+        w.field_str("model", model);
+        w.field_f64("throughput_img_s", r.throughput);
+        w.field_u64("ok", r.ok);
+        w.field_u64("rejected_quota_429", r.quota_429);
+        w.field_u64("rejected_unavailable_503", r.unavailable_503);
+        w.field_u64("expired_504", r.expired_504);
+        w.end_object();
+    }
+    w.end_array();
+    for counter in [
+        "net.accepted",
+        "net.closed",
+        "net.conn_limit_rejected",
+        "net.shed_quota",
+        "net.parse_errors",
+        "net.responses",
+    ] {
+        w.field_u64(counter, net_snapshot.counter(counter).unwrap_or(0));
+    }
+    w.field_f64("speedup", socket_speedup);
+    w.end_object();
     w.end_object();
     let mut json = w.finish();
     json.push('\n');
     std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
-    println!("\ncompression speedup: {speedup:.2}x\nwrote BENCH_serve.json");
+    println!(
+        "\ncompression speedup: {speedup:.2}x in process, {socket_speedup:.2}x over the socket\n\
+         wrote BENCH_serve.json"
+    );
 
-    // Gate: deploy::compress must improve serving throughput.
+    // Gate: deploy::compress must improve serving throughput, both in
+    // process and end to end over TCP.
     if speedup <= 1.0 {
         eprintln!(
             "FAIL: compressed model served {speedup:.2}x the uncompressed throughput \
              (expected > 1.0x)"
         );
         std::process::exit(1);
+    }
+    if socket_speedup <= 1.0 {
+        eprintln!(
+            "FAIL: compressed model served {socket_speedup:.2}x the uncompressed throughput \
+             over the socket (expected > 1.0x)"
+        );
+        std::process::exit(1);
+    }
+}
+
+/// Per-model socket-run tally.
+struct SocketResult {
+    throughput: f64,
+    ok: u64,
+    quota_429: u64,
+    unavailable_503: u64,
+    expired_504: u64,
+}
+
+/// Closed-loop capacity estimate over real connections: two keep-alive
+/// clients keep one request in flight each; completions per second.
+fn socket_probe(addr: SocketAddr, model: &str, bodies: &[Vec<u8>], duration: Duration) -> f64 {
+    let target = format!("/v1/models/{model}/predict");
+    let start = Instant::now();
+    let completed: u64 = std::thread::scope(|scope| {
+        (0..2)
+            .map(|t| {
+                let target = &target;
+                scope.spawn(move || {
+                    let mut client =
+                        HttpClient::connect(addr, Duration::from_secs(30)).expect("connect");
+                    let mut ok = 0u64;
+                    let mut i = t;
+                    while start.elapsed() < duration {
+                        let resp = client
+                            .post(target, &[], &bodies[i % bodies.len()])
+                            .expect("probe request answered");
+                        assert_eq!(resp.status, 200, "{}", resp.text());
+                        ok += 1;
+                        i += 1;
+                    }
+                    ok
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().expect("probe client"))
+            .sum()
+    });
+    completed as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Paced offered traffic over real connections: each client thread paces
+/// its share of the offered rate and catches up after slow responses, so
+/// the aggregate arrival schedule is fixed while the server sheds what it
+/// must (429/503/504 are counted, never dropped silently).
+fn socket_open_loop(
+    addr: SocketAddr,
+    model: &str,
+    bodies: &[Vec<u8>],
+    rate_per_s: f64,
+    duration: Duration,
+) -> SocketResult {
+    const CLIENTS: usize = 4;
+    let target = format!("/v1/models/{model}/predict");
+    let per_client = rate_per_s / CLIENTS as f64;
+    let start = Instant::now();
+    let tallies: Vec<(u64, u64, u64, u64)> = std::thread::scope(|scope| {
+        (0..CLIENTS)
+            .map(|t| {
+                let target = &target;
+                scope.spawn(move || {
+                    let mut client =
+                        HttpClient::connect(addr, Duration::from_secs(30)).expect("connect");
+                    let (mut ok, mut quota, mut unavail, mut expired) = (0u64, 0u64, 0u64, 0u64);
+                    let mut issued = 0u64;
+                    while start.elapsed() < duration {
+                        let due = (start.elapsed().as_secs_f64() * per_client) as u64;
+                        if issued >= due {
+                            std::thread::sleep(Duration::from_micros(200));
+                            continue;
+                        }
+                        let body = &bodies[(t + issued as usize) % bodies.len()];
+                        let resp = client.post(target, &[], body).expect("request answered");
+                        issued += 1;
+                        match resp.status {
+                            200 => ok += 1,
+                            429 => quota += 1,
+                            503 => unavail += 1,
+                            504 => expired += 1,
+                            other => panic!("untyped status {other}: {}", resp.text()),
+                        }
+                    }
+                    (ok, quota, unavail, expired)
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().expect("load client"))
+            .collect()
+    });
+    let elapsed = start.elapsed();
+    let sum = |f: fn(&(u64, u64, u64, u64)) -> u64| tallies.iter().map(f).sum::<u64>();
+    SocketResult {
+        throughput: sum(|t| t.0) as f64 / elapsed.as_secs_f64(),
+        ok: sum(|t| t.0),
+        quota_429: sum(|t| t.1),
+        unavailable_503: sum(|t| t.2),
+        expired_504: sum(|t| t.3),
     }
 }
 

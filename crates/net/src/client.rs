@@ -1,0 +1,182 @@
+//! A small blocking HTTP/1.1 client for tests and benchmarks.
+//!
+//! One [`HttpClient`] owns one keep-alive connection; [`request`] writes
+//! a request and blocks until the full `content-length`-framed response
+//! arrives. Bytes read past the current response (server pipelining never
+//! happens here, but short reads split anywhere) carry over to the next
+//! call. This is the load-generation side of `serve_bench`'s socket mode
+//! and of the socket smoke test — deliberately simple, not a general
+//! client.
+//!
+//! [`request`]: HttpClient::request
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// One parsed response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientResponse {
+    /// Status code from the status line.
+    pub status: u16,
+    /// Headers in arrival order; names lowercased, values trimmed.
+    pub headers: Vec<(String, String)>,
+    /// The `content-length`-framed body.
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// First header named `name` (lowercase), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 (lossy).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// A blocking keep-alive connection to an [`NetServer`](crate::NetServer).
+#[derive(Debug)]
+pub struct HttpClient {
+    stream: TcpStream,
+    /// Bytes read past the previous response.
+    carry: Vec<u8>,
+}
+
+impl HttpClient {
+    /// Connects (blocking) with `TCP_NODELAY` and a read timeout, so a
+    /// wedged server fails a test instead of hanging it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect/configuration I/O errors.
+    pub fn connect(addr: SocketAddr, read_timeout: Duration) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(read_timeout))?;
+        Ok(Self {
+            stream,
+            carry: Vec::new(),
+        })
+    }
+
+    /// `GET target` with no extra headers.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`HttpClient::request`].
+    pub fn get(&mut self, target: &str) -> io::Result<ClientResponse> {
+        self.request("GET", target, &[], &[])
+    }
+
+    /// `POST target` with the given extra headers and body.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`HttpClient::request`].
+    pub fn post(
+        &mut self,
+        target: &str,
+        headers: &[(&str, &str)],
+        body: &[u8],
+    ) -> io::Result<ClientResponse> {
+        self.request("POST", target, headers, body)
+    }
+
+    /// Writes one request and blocks for its response.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the socket; `InvalidData` for a malformed response;
+    /// `UnexpectedEof` / `WouldBlock`-as-timeout when the server closes or
+    /// stalls mid-response.
+    pub fn request(
+        &mut self,
+        method: &str,
+        target: &str,
+        headers: &[(&str, &str)],
+        body: &[u8],
+    ) -> io::Result<ClientResponse> {
+        let mut wire = format!("{method} {target} HTTP/1.1\r\n").into_bytes();
+        for (name, value) in headers {
+            wire.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
+        }
+        wire.extend_from_slice(format!("content-length: {}\r\n\r\n", body.len()).as_bytes());
+        wire.extend_from_slice(body);
+        self.stream.write_all(&wire)?;
+        self.read_response()
+    }
+
+    fn read_more(&mut self) -> io::Result<()> {
+        let mut chunk = [0u8; 4096];
+        let n = self.stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed mid-response",
+            ));
+        }
+        self.carry.extend_from_slice(&chunk[..n]);
+        Ok(())
+    }
+
+    fn read_response(&mut self) -> io::Result<ClientResponse> {
+        // Header block: everything up to the first CRLFCRLF.
+        let header_end = loop {
+            if let Some(pos) = find_double_crlf(&self.carry) {
+                break pos;
+            }
+            self.read_more()?;
+        };
+        let head = String::from_utf8(self.carry[..header_end].to_vec())
+            .map_err(|_| bad("response head is not UTF-8"))?;
+        let mut lines = head.split("\r\n");
+        let status_line = lines.next().ok_or_else(|| bad("empty response head"))?;
+        let mut parts = status_line.splitn(3, ' ');
+        let (Some(version), Some(code)) = (parts.next(), parts.next()) else {
+            return Err(bad("malformed status line"));
+        };
+        if !version.starts_with("HTTP/1.") {
+            return Err(bad("not an HTTP/1.x response"));
+        }
+        let status: u16 = code.parse().map_err(|_| bad("non-numeric status code"))?;
+        let mut headers = Vec::new();
+        for line in lines {
+            let (name, value) = line
+                .split_once(':')
+                .ok_or_else(|| bad("header without colon"))?;
+            headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+        }
+        let length: usize = headers
+            .iter()
+            .find(|(n, _)| n == "content-length")
+            .ok_or_else(|| bad("response without content-length"))?
+            .1
+            .parse()
+            .map_err(|_| bad("non-numeric content-length"))?;
+        let body_start = header_end + 4;
+        while self.carry.len() < body_start + length {
+            self.read_more()?;
+        }
+        let body = self.carry[body_start..body_start + length].to_vec();
+        self.carry.drain(..body_start + length);
+        Ok(ClientResponse {
+            status,
+            headers,
+            body,
+        })
+    }
+}
+
+fn bad(detail: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, detail.to_string())
+}
+
+fn find_double_crlf(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}

@@ -24,6 +24,10 @@
 //! * **Admission control.** The queue depth is bounded; a submit against a
 //!   full queue gets a typed [`ServeError::Overloaded`] rejection instead
 //!   of unbounded latency.
+//! * **Request deadlines.** [`Server::submit_with_deadline`] attaches an
+//!   optional deadline; the batcher drops requests whose deadline passed
+//!   while they queued, answering them with [`ServeError::Expired`]
+//!   instead of wasting a replica slot on a reply nobody is waiting for.
 //! * **Graceful shutdown.** [`Server::shutdown`] stops admissions, drains
 //!   every queued and in-flight request, and joins the workers; requests
 //!   arriving during the drain are rejected with
@@ -80,6 +84,9 @@ pub enum ServeError {
     /// The server is draining (or already stopped); the request was not
     /// admitted.
     ShuttingDown,
+    /// The request's deadline passed while it waited in the queue; it was
+    /// dropped by the batcher without occupying a replica slot.
+    Expired,
     /// The request (or configuration) is malformed — e.g. wrong image
     /// dimensions.
     BadRequest(String),
@@ -99,6 +106,9 @@ impl fmt::Display for ServeError {
                 )
             }
             ServeError::ShuttingDown => write!(f, "server is shutting down; request rejected"),
+            ServeError::Expired => {
+                write!(f, "request deadline expired before a replica picked it up")
+            }
             ServeError::BadRequest(detail) => write!(f, "bad request: {detail}"),
             ServeError::BadCheckpoint(detail) => write!(f, "bad checkpoint: {detail}"),
             ServeError::Internal(detail) => write!(f, "internal serving error: {detail}"),

@@ -55,6 +55,12 @@ pub struct ServeConfig {
     /// Run each replica at `max_batch` and at 1 before serving, so the
     /// arenas reach steady state ahead of the first real request.
     pub prewarm: bool,
+    /// Instance name for metric prefixes. Empty (the default) keeps the
+    /// historical `serve.*` names; a non-empty name exports
+    /// `serve.<name>.*` instead, so multiple servers can share one
+    /// [`MetricsRegistry`] (multi-model routing) without their counters
+    /// and histograms colliding. Restricted to `[A-Za-z0-9_.-]`.
+    pub name: String,
 }
 
 impl ServeConfig {
@@ -71,6 +77,17 @@ impl ServeConfig {
             height,
             width,
             prewarm: true,
+            name: String::new(),
+        }
+    }
+
+    /// The prefix serving instruments are registered under: `serve.` for
+    /// an unnamed server, `serve.<name>.` otherwise.
+    pub fn metric_prefix(&self) -> String {
+        if self.name.is_empty() {
+            "serve.".to_string()
+        } else {
+            format!("serve.{}.", self.name)
         }
     }
 
@@ -87,6 +104,13 @@ impl ServeConfig {
         }
         if self.channels == 0 || self.height == 0 || self.width == 0 {
             return bad("image dims must be non-zero");
+        }
+        if !self
+            .name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '.' | '-'))
+        {
+            return bad("name must contain only [A-Za-z0-9_.-]");
         }
         Ok(())
     }
@@ -113,6 +137,19 @@ pub struct Pending {
 }
 
 impl Pending {
+    /// Non-blocking poll: takes the answer if the request has been served
+    /// (or rejected) and `None` while it is still queued or in flight.
+    /// Once this returns `Some`, the slot is empty — the caller owns the
+    /// taken value and later polls (or [`Pending::wait`]) would block
+    /// forever, so poll-driven callers must keep it.
+    pub fn try_wait(&self) -> Option<Result<Prediction>> {
+        self.slot
+            .result
+            .lock()
+            .expect("response slot poisoned")
+            .take()
+    }
+
     /// Blocks until the request is answered.
     ///
     /// # Errors
@@ -133,6 +170,7 @@ impl Pending {
 struct QueuedRequest {
     image: Tensor,
     enqueued: Instant,
+    deadline: Option<Instant>,
     slot: Arc<ResponseSlot>,
 }
 
@@ -174,6 +212,7 @@ struct Shared {
     completed: Counter,
     rejected_overloaded: Counter,
     rejected_shutdown: Counter,
+    expired: Counter,
     swaps: Counter,
     batches: Counter,
     queue_len: Gauge,
@@ -206,10 +245,12 @@ impl Server {
 
     /// Like [`Server::start`], but registers the serving instruments
     /// (`serve.submitted`, `serve.completed`, `serve.rejected_*`,
-    /// `serve.swaps`, `serve.batches`, `serve.queue_len`,
+    /// `serve.expired`, `serve.swaps`, `serve.batches`, `serve.queue_len`,
     /// `serve.latency_ns`) in the caller's `registry`, so one registry
     /// snapshot can cover serving alongside training and profiling
-    /// metrics.
+    /// metrics. A non-empty [`ServeConfig::name`] prefixes every
+    /// instrument as `serve.<name>.*` instead, letting multiple servers
+    /// (one per routed model) share a registry without name collisions.
     ///
     /// # Errors
     ///
@@ -220,6 +261,7 @@ impl Server {
         registry: MetricsRegistry,
     ) -> Result<Self> {
         cfg.validate()?;
+        let prefix = cfg.metric_prefix();
         let dims = [cfg.channels, cfg.height, cfg.width];
         let mut replicas = Vec::with_capacity(cfg.workers);
         for _ in 0..cfg.workers {
@@ -239,15 +281,16 @@ impl Server {
             }),
             swap_version: AtomicU64::new(0),
             freeze: AtomicBool::new(false),
-            submitted: registry.counter("serve.submitted"),
-            completed: registry.counter("serve.completed"),
-            rejected_overloaded: registry.counter("serve.rejected_overloaded"),
-            rejected_shutdown: registry.counter("serve.rejected_shutdown"),
-            swaps: registry.counter("serve.swaps"),
-            batches: registry.counter("serve.batches"),
-            queue_len: registry.gauge("serve.queue_len"),
+            submitted: registry.counter(&format!("{prefix}submitted")),
+            completed: registry.counter(&format!("{prefix}completed")),
+            rejected_overloaded: registry.counter(&format!("{prefix}rejected_overloaded")),
+            rejected_shutdown: registry.counter(&format!("{prefix}rejected_shutdown")),
+            expired: registry.counter(&format!("{prefix}expired")),
+            swaps: registry.counter(&format!("{prefix}swaps")),
+            batches: registry.counter(&format!("{prefix}batches")),
+            queue_len: registry.gauge(&format!("{prefix}queue_len")),
             latency: LatencyHistogram::from_shared(
-                registry.histogram("serve.latency_ns", HistogramSpec::latency_ns()),
+                registry.histogram(&format!("{prefix}latency_ns"), HistogramSpec::latency_ns()),
             ),
             registry,
             hists: Mutex::new(Hists {
@@ -279,7 +322,7 @@ impl Server {
         &self.shared.cfg
     }
 
-    /// Submits one `[C, H, W]` image for classification.
+    /// Submits one `[C, H, W]` image for classification with no deadline.
     ///
     /// # Errors
     ///
@@ -288,6 +331,23 @@ impl Server {
     /// * [`ServeError::Overloaded`] — the queue is at `queue_depth`.
     /// * [`ServeError::ShuttingDown`] — the server is draining.
     pub fn submit(&self, image: Tensor) -> Result<Pending> {
+        self.submit_with_deadline(image, None)
+    }
+
+    /// Like [`Server::submit`], but with an optional deadline: a request
+    /// whose deadline has passed by the time a worker pops it from the
+    /// queue is answered with [`ServeError::Expired`] instead of spending
+    /// a replica slot on an answer the caller has given up on. A request
+    /// that entered a batch before its deadline passed is served normally.
+    ///
+    /// # Errors
+    ///
+    /// Same admission contract as [`Server::submit`].
+    pub fn submit_with_deadline(
+        &self,
+        image: Tensor,
+        deadline: Option<Instant>,
+    ) -> Result<Pending> {
         let cfg = &self.shared.cfg;
         let want = [cfg.channels, cfg.height, cfg.width];
         if image.dims() != want {
@@ -313,6 +373,7 @@ impl Server {
             queue.items.push_back(QueuedRequest {
                 image,
                 enqueued: Instant::now(),
+                deadline,
                 slot: Arc::clone(&slot),
             });
             self.shared.queue_len.set(queue.items.len() as f64);
@@ -389,6 +450,7 @@ impl Server {
             completed: self.shared.completed.get(),
             rejected_overloaded: self.shared.rejected_overloaded.get(),
             rejected_shutdown: self.shared.rejected_shutdown.get(),
+            expired: self.shared.expired.get(),
             swaps: self.shared.swaps.get(),
             batches,
             batch_histogram: hists.batch.clone(),
@@ -439,6 +501,23 @@ impl Drop for Server {
     }
 }
 
+/// Batcher-side deadline enforcement: a popped request whose deadline has
+/// passed is answered with [`ServeError::Expired`] on the spot (the slot
+/// fill wakes its waiter) and never reaches a replica. Returns `true` when
+/// the request survived and was appended to `batch`.
+fn expire_if_late(request: QueuedRequest, shared: &Shared, batch: &mut Vec<QueuedRequest>) -> bool {
+    let late = request
+        .deadline
+        .is_some_and(|deadline| Instant::now() >= deadline);
+    if late {
+        shared.expired.inc();
+        request.slot.fill(Err(ServeError::Expired));
+        return false;
+    }
+    batch.push(request);
+    true
+}
+
 fn worker_loop(index: usize, mut replica: Replica, shared: Arc<Shared>) {
     let cfg = &shared.cfg;
     let mut seen_version = 0u64;
@@ -453,8 +532,10 @@ fn worker_loop(index: usize, mut replica: Replica, shared: Arc<Shared>) {
             let mut queue = shared.queue.lock().expect("queue poisoned");
             loop {
                 if let Some(first) = queue.items.pop_front() {
-                    batch.push(first);
-                    break;
+                    if expire_if_late(first, &shared, &mut batch) {
+                        break;
+                    }
+                    continue;
                 }
                 if queue.draining {
                     return; // queue empty + draining ⇒ done
@@ -464,7 +545,7 @@ fn worker_loop(index: usize, mut replica: Replica, shared: Arc<Shared>) {
             let deadline = batch[0].enqueued + cfg.max_wait;
             while batch.len() < cfg.max_batch {
                 if let Some(next) = queue.items.pop_front() {
-                    batch.push(next);
+                    expire_if_late(next, &shared, &mut batch);
                     continue;
                 }
                 if queue.draining {
@@ -586,6 +667,10 @@ mod tests {
                 channels: 0,
                 ..tiny_config()
             },
+            ServeConfig {
+                name: "has space".to_string(),
+                ..tiny_config()
+            },
         ] {
             assert!(matches!(
                 Server::start(&model, broken),
@@ -697,6 +782,80 @@ mod tests {
         assert_eq!(stats.rejected_overloaded, overloaded as u64);
         assert_eq!(stats.submitted + stats.rejected(), 64);
         assert_eq!(stats.completed, stats.submitted);
+    }
+
+    #[test]
+    fn expired_requests_are_dropped_by_the_batcher() {
+        let model = plain20(4, 4).unwrap();
+        let server = Server::start(&model, tiny_config()).unwrap();
+        // A deadline of "now" has always passed by the time a worker pops
+        // the request, so the batcher must answer Expired without running
+        // the model; a generous deadline is served normally.
+        let expired = server
+            .submit_with_deadline(image(0), Some(Instant::now()))
+            .unwrap();
+        assert_eq!(expired.wait().unwrap_err(), ServeError::Expired);
+        let served = server
+            .submit_with_deadline(image(1), Some(Instant::now() + Duration::from_secs(60)))
+            .unwrap();
+        assert!(served.wait().is_ok());
+        server.shutdown();
+        let stats = server.stats();
+        assert_eq!(stats.submitted, 2);
+        assert_eq!(stats.expired, 1);
+        assert_eq!(stats.completed, 1);
+        assert_eq!(
+            stats.completed + stats.expired,
+            stats.submitted,
+            "every admitted request is answered or expired"
+        );
+    }
+
+    #[test]
+    fn try_wait_polls_without_blocking() {
+        let model = plain20(4, 4).unwrap();
+        let server = Server::start(&model, tiny_config()).unwrap();
+        let pending = server.submit(image(0)).unwrap();
+        let answer = loop {
+            if let Some(result) = pending.try_wait() {
+                break result;
+            }
+            std::thread::yield_now();
+        };
+        assert!(answer.unwrap().class < 4);
+        // The slot was emptied by the successful poll.
+        assert!(pending.try_wait().is_none());
+        server.shutdown();
+    }
+
+    #[test]
+    fn named_servers_share_a_registry_without_collisions() {
+        use alf_obs::metrics::MetricsRegistry;
+        let model = plain20(4, 4).unwrap();
+        let registry = MetricsRegistry::new();
+        let alpha = ServeConfig {
+            name: "alpha".to_string(),
+            ..tiny_config()
+        };
+        let beta = ServeConfig {
+            name: "beta".to_string(),
+            ..tiny_config()
+        };
+        let a = Server::start_with_registry(&model, alpha, registry.clone()).unwrap();
+        let b = Server::start_with_registry(&model, beta, registry.clone()).unwrap();
+        a.submit(image(0)).unwrap().wait().unwrap();
+        for i in 0..2 {
+            b.submit(image(i)).unwrap().wait().unwrap();
+        }
+        a.shutdown();
+        b.shutdown();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("serve.alpha.submitted"), Some(1));
+        assert_eq!(snap.counter("serve.beta.submitted"), Some(2));
+        assert_eq!(snap.histogram("serve.alpha.latency_ns").unwrap().total, 1);
+        assert_eq!(snap.histogram("serve.beta.latency_ns").unwrap().total, 2);
+        // Unnamed instruments must not appear: nothing collided.
+        assert_eq!(snap.counter("serve.submitted"), None);
     }
 
     #[test]

@@ -111,6 +111,10 @@ pub struct ServerStats {
     pub rejected_overloaded: u64,
     /// Requests rejected because the server was draining.
     pub rejected_shutdown: u64,
+    /// Admitted requests answered with [`Expired`](crate::ServeError::Expired)
+    /// because their deadline passed in the queue. After a drain,
+    /// `completed + expired == submitted`.
+    pub expired: u64,
     /// Successful hot swaps applied so far.
     pub swaps: u64,
     /// Micro-batches executed.
@@ -141,6 +145,7 @@ impl ServerStats {
         w.field_u64("completed", self.completed);
         w.field_u64("rejected_overloaded", self.rejected_overloaded);
         w.field_u64("rejected_shutdown", self.rejected_shutdown);
+        w.field_u64("expired", self.expired);
         w.field_u64("swaps", self.swaps);
         w.field_u64("batches", self.batches);
         w.field_u64s("batch_histogram", self.batch_histogram.iter().copied());
@@ -216,6 +221,7 @@ mod tests {
             completed: 8,
             rejected_overloaded: 1,
             rejected_shutdown: 1,
+            expired: 1,
             swaps: 2,
             batches: 3,
             batch_histogram: vec![0, 1, 2],
@@ -227,6 +233,7 @@ mod tests {
         assert_eq!(stats.rejected(), 2);
         let json = stats.to_json();
         assert!(json.contains("\"submitted\":10"));
+        assert!(json.contains("\"expired\":1"));
         assert!(json.contains("\"batch_histogram\":[0,1,2]"));
         assert!(json.contains("\"mean_batch_occupancy\":2.67"));
         assert!(json.contains("\"p99_ms\":4}"));

@@ -12,9 +12,20 @@ cargo test -q
 
 # The serving benchmark gates that deploy::compress improves serving
 # throughput and that the server neither deadlocks nor panics under
-# open-loop load; the timeout turns a hang into a hard failure.
-echo "==> serve_bench --smoke"
+# open-loop load — in process and again end to end over real TCP
+# connections (the socket section of BENCH_serve.json); the timeout turns
+# a hang into a hard failure.
+echo "==> serve_bench --smoke (includes socket-mode gate)"
 timeout 300 cargo run --release -q -p alf-bench --bin serve_bench -- --smoke
+
+# The socket smoke test drives the network front end over an ephemeral
+# port: concurrent keep-alive clients, one hot checkpoint swap over the
+# wire, one tenant-over-quota burst. Every request must be answered or
+# typed-rejected and the /metrics totals must account exactly for the
+# client-side tallies; the timeout turns a poll-loop wedge into a hard
+# failure.
+echo "==> alf-net socket smoke (release)"
+timeout 300 cargo test --release -q -p alf-net --test socket_smoke
 
 # The training benchmark gates that data-parallel training is bitwise
 # independent of the worker count, that a killed run resumes from its

@@ -6,6 +6,8 @@
 //! * `eval`   — evaluate a checkpoint's accuracy.
 //! * `deploy` — strip a trained ALF checkpoint and report compression.
 //! * `hwmap`  — map a model geometry onto the Eyeriss-like accelerator.
+//! * `serve`  — serve a model over HTTP (`alf-net` front end): predict,
+//!   hot checkpoint swap, per-tenant quotas, `/metrics`.
 //! * `lab`    — run the paper's full results grid as one resumable
 //!   campaign (delegates to `alf-lab`; see `alf lab help`).
 //!
@@ -62,7 +64,7 @@ impl Args {
 }
 
 fn usage() -> &'static str {
-    "usage: alf <train|eval|deploy|summary|hwmap|lab> [options]\n\
+    "usage: alf <train|eval|deploy|summary|hwmap|serve|lab> [options]\n\
      \n\
      common data options: --data-seed N --classes N --image-size N\n\
      \u{20}                    --train-size N --test-size N\n\
@@ -75,6 +77,9 @@ fn usage() -> &'static str {
      alf summary [--model M] [--ckpt FILE] [--width N]\n\
      alf hwmap  [--width N] [--image-size N] [--batch N] [--dataflow rs|ws|os]\n\
      \u{20}          [--remaining F]\n\
+     alf serve  [--addr HOST:PORT] [--model M] [--ckpt FILE] [--width N]\n\
+     \u{20}          [--name NAME] [--rate REQ_PER_S] [--burst N] [--threads N]\n\
+     \u{20}          [--max-conns N] [data options]\n\
      alf lab    <run|list|help> [lab options]   resumable results campaign"
 }
 
@@ -292,6 +297,57 @@ fn cmd_hwmap(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    use alf::net::{ModelSpec, NetConfig, NetServer, QuotaConfig};
+    use alf::obs::metrics::MetricsRegistry;
+    use alf::serve::ServeConfig;
+
+    let data = build_data(args)?;
+    let model_name = args.get_or("model", "plain20-alf");
+    let model = match args.get("ckpt") {
+        Some(_) => load_ckpt(args, &data)?,
+        None => build_model(
+            &model_name,
+            data.num_classes(),
+            args.num("width", 8usize)?,
+            args.num("threshold", 2e-2f32)?,
+            args.num("seed", 1u64)?,
+        )?,
+    };
+    let [c, h, w] = data.image_dims();
+    let name = args.get_or("name", &model_name);
+    let rate = args.num("rate", f64::INFINITY)?;
+    let burst = args.num("burst", 8.0f64)?;
+    let spec = ModelSpec {
+        name: name.clone(),
+        model,
+        serve: ServeConfig::new(c, h, w),
+    };
+    let cfg = NetConfig {
+        quota: if rate.is_finite() {
+            QuotaConfig::per_tenant(rate, burst)
+        } else {
+            QuotaConfig::unlimited()
+        },
+        max_connections: args.num("max-conns", 256usize)?,
+        threads: args
+            .get("threads")
+            .map(|_| args.num("threads", 1))
+            .transpose()?,
+        ..NetConfig::new(&args.get_or("addr", "127.0.0.1:8080"))
+    };
+    let server =
+        NetServer::start(vec![spec], cfg, MetricsRegistry::new()).map_err(|e| e.to_string())?;
+    println!("serving '{name}' on http://{}", server.addr());
+    println!("  POST /v1/models/{name}/predict     raw little-endian f32 body ({c}x{h}x{w})");
+    println!("  POST /v1/models/{name}/checkpoint  hot-swap weights");
+    println!("  GET  /metrics | /healthz | /v1/models");
+    // Serve until the process is killed.
+    loop {
+        std::thread::park();
+    }
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = argv.first() else {
@@ -316,6 +372,7 @@ fn main() -> ExitCode {
         "deploy" => cmd_deploy(&args),
         "summary" => cmd_summary(&args),
         "hwmap" => cmd_hwmap(&args),
+        "serve" => cmd_serve(&args),
         "--help" | "help" => {
             println!("{}", usage());
             Ok(())

@@ -40,6 +40,8 @@ pub enum Error {
     Checkpoint(alf_tensor::ShapeError),
     /// The serving engine rejected or failed a request.
     Serve(alf_serve::ServeError),
+    /// The network front end failed to start or bind.
+    Net(alf_net::NetError),
     /// An encoded dataset blob failed to decode.
     DecodeDataset(alf_data::DecodeDatasetError),
     /// The accelerator mapper found no feasible mapping.
@@ -56,6 +58,7 @@ impl fmt::Display for Error {
             Error::Shape(e) => e.fmt(f),
             Error::Checkpoint(e) => write!(f, "checkpoint: {}", e.detail()),
             Error::Serve(e) => e.fmt(f),
+            Error::Net(e) => e.fmt(f),
             Error::DecodeDataset(e) => e.fmt(f),
             Error::Mapper(e) => e.fmt(f),
             Error::Io(e) => e.fmt(f),
@@ -68,6 +71,7 @@ impl std::error::Error for Error {
         match self {
             Error::Shape(e) | Error::Checkpoint(e) => Some(e),
             Error::Serve(e) => Some(e),
+            Error::Net(e) => Some(e),
             Error::DecodeDataset(e) => Some(e),
             Error::Mapper(e) => Some(e),
             Error::Io(e) => Some(e),
@@ -92,6 +96,12 @@ impl From<alf_tensor::ShapeError> for Error {
 impl From<alf_serve::ServeError> for Error {
     fn from(e: alf_serve::ServeError) -> Self {
         Error::Serve(e)
+    }
+}
+
+impl From<alf_net::NetError> for Error {
+    fn from(e: alf_net::NetError) -> Self {
+        Error::Net(e)
     }
 }
 
@@ -137,6 +147,13 @@ mod tests {
             Error::Serve(alf_serve::ServeError::ShuttingDown)
         ));
         assert!(e.to_string().contains("shutting down"));
+    }
+
+    #[test]
+    fn net_error_converts() {
+        let e: Error = alf_net::NetError::BadConfig("no models".to_string()).into();
+        assert!(matches!(e, Error::Net(_)));
+        assert!(e.to_string().contains("no models"));
     }
 
     #[test]

@@ -11,6 +11,8 @@
 //! * [`baselines`] — magnitude / FPGM / AMC-style / LCNN compression baselines.
 //! * [`hwmodel`] — the Eyeriss-like accelerator model with mapping search.
 //! * [`serve`] — batched inference serving for deployed models.
+//! * [`net`] — network front end over `serve`: HTTP/1.1, multi-model
+//!   routing, per-tenant quotas, `/metrics` exposition.
 //! * [`dp`] — deterministic data-parallel training with checkpoint/resume.
 //! * [`obs`] — zero-dependency observability: metrics registry, JSONL
 //!   event tracing, shared JSON writer.
@@ -46,6 +48,7 @@ pub use alf_data as data;
 pub use alf_dp as dp;
 pub use alf_hwmodel as hwmodel;
 pub use alf_lab as lab;
+pub use alf_net as net;
 pub use alf_nn as nn;
 pub use alf_obs as obs;
 pub use alf_serve as serve;
