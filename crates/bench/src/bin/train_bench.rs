@@ -20,7 +20,13 @@
 //!   occupancy drops 100% → 70% → 40%, and the sparse path's final
 //!   weights must be bitwise identical to a dense-execution reference —
 //!   the training hot loop really does cost less when the mask empties,
-//!   without changing a single bit of the trajectory.
+//!   without changing a single bit of the trajectory;
+//! * **gates the socket collective** (smoke scale): a 2-rank `alf-dist`
+//!   run over real loopback TCP must land on the single-process state
+//!   bitwise, and with masks forced to 100% → 70% → 40% occupancy the
+//!   encoded gradient bytes on the wire must strictly decrease with the
+//!   sparse row encoding engaged — distribution changes where the adds
+//!   happen, never what they compute, and the wire cost tracks pruning.
 //!
 //! When a gate cannot run (data-parallel speedup on a 1-core host) the
 //! bench emits a `train.bench.gate_skipped` telemetry event and prints
@@ -200,6 +206,10 @@ fn main() {
     // --- occupancy sweep: training cost must track live mask rows ---
     let sweep = (scale == Scale::Smoke).then(|| occupancy_sweep(&p, &data));
 
+    // --- dist: the socket collective must match bitwise, and its sparse
+    // gradient wire must shrink as the mask empties ---
+    let dist = (scale == Scale::Smoke).then(|| dist_section(&p, &data, &states[0], steps));
+
     let speedup_gate = host_cores >= 2;
     let mut w = JsonWriter::new();
     w.begin_object();
@@ -241,6 +251,28 @@ fn main() {
         w.end_array();
         w.field_bool("occupancy_gate_ok", sweep.monotone());
         w.field_bool("sparse_bitwise", sweep.sparse_bitwise);
+    }
+    if let Some(dist) = &dist {
+        w.key("dist");
+        w.begin_object();
+        w.field_u64("world", 2);
+        w.field_bool("bitwise_2rank", dist.bitwise);
+        w.key("grad_bytes_sweep");
+        w.begin_array();
+        for level in &dist.levels {
+            w.begin_object();
+            w.field_f64(
+                "occupancy",
+                (f64::from(level.occupancy) * 100.0).round() / 100.0,
+            );
+            w.field_u64("grad_bytes", level.grad_bytes);
+            w.field_u64("sparse_tensors", level.sparse_tensors);
+            w.end_object();
+        }
+        w.end_array();
+        w.field_bool("grad_bytes_gate_ok", dist.bytes_monotone());
+        w.field_bool("sparse_wire_active", dist.sparse_active());
+        w.end_object();
     }
     w.end_object();
     let mut json = w.finish();
@@ -330,9 +362,161 @@ fn main() {
             failed = true;
         }
     }
+    if let Some(dist) = &dist {
+        if !dist.bitwise {
+            eprintln!("FAIL: 2-rank socket collective diverged bitwise from 1 process");
+            failed = true;
+        }
+        if !dist.bytes_monotone() {
+            eprintln!(
+                "FAIL: gradient bytes-on-wire do not strictly decrease as occupancy drops ({})",
+                dist.levels
+                    .iter()
+                    .map(|l| format!("{:.0}%:{}B", l.occupancy * 100.0, l.grad_bytes))
+                    .collect::<Vec<_>>()
+                    .join("  ")
+            );
+            failed = true;
+        }
+        if !dist.sparse_active() {
+            eprintln!("FAIL: sparse gradient encoding never engaged during the pruned sweep");
+            failed = true;
+        }
+    }
     if failed {
         std::process::exit(1);
     }
+}
+
+/// One occupancy level of the dist wire sweep.
+struct DistLevel {
+    occupancy: f32,
+    /// Total encoded gradient payload bytes shipped by both ranks over
+    /// the measured steps (subtree roots up + reduced broadcast down).
+    grad_bytes: u64,
+    /// Tensor segments that took the sparse row encoding.
+    sparse_tensors: u64,
+}
+
+struct DistResult {
+    bitwise: bool,
+    levels: Vec<DistLevel>,
+}
+
+impl DistResult {
+    /// Strictly decreasing bytes-on-wire as occupancy drops.
+    fn bytes_monotone(&self) -> bool {
+        self.levels
+            .windows(2)
+            .all(|pair| pair[1].grad_bytes < pair[0].grad_bytes)
+    }
+
+    /// The sparse encoding engaged at every pruned level.
+    fn sparse_active(&self) -> bool {
+        self.levels
+            .iter()
+            .filter(|l| l.occupancy < 1.0)
+            .all(|l| l.sparse_tensors > 0)
+    }
+}
+
+/// Outcome of one in-process 2-rank collective: both ranks' final
+/// states plus the wire counters of both directions.
+struct TwoRankRun {
+    master_state: Vec<f32>,
+    worker_state: Vec<f32>,
+    grad_bytes: u64,
+    sparse_tensors: u64,
+}
+
+/// Runs a 2-rank socket collective (rank 1 on a thread, real loopback
+/// TCP) for `steps` steps from `model`.
+fn run_two_rank(model: CnnModel, p: &Params, data: &Dataset, steps: usize) -> TwoRankRun {
+    use alf_dist::{DistConfig, DistReducer};
+
+    let addr = alf_dist::ephemeral_addr().expect("pick loopback addr");
+    let listener = std::net::TcpListener::bind(addr).expect("bind collective addr");
+    let worker_model = model.clone();
+    std::thread::scope(|s| {
+        let worker = s.spawn(move || {
+            let dist = DistConfig::new(2, 1, addr);
+            let mut t = DpTrainer::new(worker_model, config(p, 2)).expect("worker trainer");
+            let mut red = DistReducer::worker(dist, t.model(), None).expect("worker handshake");
+            for _ in 0..steps {
+                t.advance_step_with(data, &mut red).expect("worker step");
+            }
+            (t.state_vector(), red.metrics().grad_bytes_tx.get())
+        });
+        let dist = DistConfig::new(2, 0, addr);
+        let mut t = DpTrainer::new(model, config(p, 2)).expect("master trainer");
+        let mut red =
+            DistReducer::master(dist, t.model(), &listener, None).expect("master handshake");
+        for _ in 0..steps {
+            t.advance_step_with(data, &mut red).expect("master step");
+        }
+        let (worker_state, worker_bytes) = worker.join().expect("worker thread");
+        TwoRankRun {
+            master_state: t.state_vector(),
+            worker_state,
+            grad_bytes: red.metrics().grad_bytes_tx.get() + worker_bytes,
+            sparse_tensors: red.metrics().tensors_sparse.get(),
+        }
+    })
+}
+
+/// The dist gates: a 2-rank collective over real sockets must land on
+/// `reference` bitwise, and with masks forced to 100% → 70% → 40%
+/// occupancy the encoded gradient bytes on the wire must strictly
+/// decrease (run-length sparse rows elide exactly the STE-zeroed ones).
+fn dist_section(p: &Params, data: &Dataset, reference: &[f32], steps: usize) -> DistResult {
+    const LEVELS: [f32; 3] = [1.0, 0.7, 0.4];
+    const SWEEP_STEPS: usize = 2;
+
+    let model = plain20_alf(
+        p.classes,
+        p.width,
+        AlfBlockConfig::paper_default(),
+        MODEL_SEED,
+    )
+    .expect("build dist model");
+    let run = run_two_rank(model, p, data, steps);
+    let bitwise = run.master_state == reference && run.worker_state == reference;
+    println!(
+        "\ndist: 2-rank socket collective, {steps} steps — bitwise={bitwise} \
+         ({} gradient bytes on wire)",
+        run.grad_bytes
+    );
+
+    // Byte sweep on forced masks; the widened threshold keeps forced
+    // channels pinned for the handful of steps (same trick as the
+    // occupancy sweep above).
+    let sweep_config = AlfBlockConfig {
+        threshold: 0.5,
+        ..AlfBlockConfig::paper_default()
+    };
+    println!(
+        "{:<12} {:>16} {:>16}",
+        "occupancy", "grad bytes", "sparse tensors"
+    );
+    let mut levels = Vec::new();
+    for &occ in &LEVELS {
+        let mut model =
+            plain20_alf(p.classes, p.width, sweep_config, MODEL_SEED).expect("build sweep model");
+        force_occupancy(&mut model, occ);
+        let run = run_two_rank(model, p, data, SWEEP_STEPS);
+        println!(
+            "{:<12} {:>16} {:>16}",
+            format!("{:.0}%", occ * 100.0),
+            run.grad_bytes,
+            run.sparse_tensors
+        );
+        levels.push(DistLevel {
+            occupancy: occ,
+            grad_bytes: run.grad_bytes,
+            sparse_tensors: run.sparse_tensors,
+        });
+    }
+    DistResult { bitwise, levels }
 }
 
 /// One measured occupancy level of the sweep.

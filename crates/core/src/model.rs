@@ -759,6 +759,54 @@ impl CnnModel {
         out
     }
 
+    /// Per-parameter live-row descriptors for the model's flat parameter
+    /// walk, in [`CnnModel::visit_params`] order.
+    ///
+    /// Entry `i` is `Some(rows)` when flat parameter `i` is an ALF
+    /// block's raw filter bank whose gated STE guarantees pruned rows of
+    /// the gradient are **exactly zero** (`config.ste` with the mask
+    /// enabled): `rows` then lists the surviving original-filter indices
+    /// — the block's [`ActiveRows`](alf_tensor::ops::ActiveRows) over
+    /// code rows mapped through its kept-channel table — against the raw
+    /// bank's full row count. Every other parameter (and every block
+    /// without that guarantee) is `None`. This is the descriptor table
+    /// the `alf-dist` sparse gradient codec keys its row elision off;
+    /// losslessness relies precisely on the exact-zero guarantee pinned
+    /// by `block::tests::gated_ste_discards_pruned_rows_in_both_modes`.
+    pub fn param_active_rows(&self) -> Vec<Option<alf_tensor::ops::ActiveRows>> {
+        // Map each ALF block's raw weight tensor to its descriptor by
+        // data-pointer identity, then walk the flat parameter order.
+        let mut by_ptr: Vec<(*const f32, alf_tensor::ops::ActiveRows)> = Vec::new();
+        for block in self.alf_blocks() {
+            let config = block.config();
+            let ae = block.autoencoder();
+            if !(config.ste && ae.mask_enabled()) {
+                continue;
+            }
+            let rows = ae.active_rows();
+            let kept = ae.kept_channels();
+            let total = block.raw_weight().dims()[0];
+            let mapped: Vec<usize> = rows.indices().iter().map(|&i| kept[i]).collect();
+            // kept_channels is strictly increasing, so the mapped list
+            // is a valid descriptor over the raw bank's rows.
+            let Ok(desc) = alf_tensor::ops::ActiveRows::from_indices(mapped, total) else {
+                continue;
+            };
+            by_ptr.push((block.raw_weight().data().as_ptr(), desc));
+        }
+        let mut out = Vec::new();
+        self.visit_params_ref(&mut |p| {
+            let ptr = p.value.data().as_ptr();
+            out.push(
+                by_ptr
+                    .iter()
+                    .find(|(w, _)| std::ptr::eq(*w, ptr))
+                    .map(|(_, d)| d.clone()),
+            );
+        });
+        out
+    }
+
     /// Iterates over all ALF blocks (in network order) mutably — the hook
     /// the autoencoder player uses.
     pub fn alf_blocks_mut(&mut self) -> Vec<&mut AlfBlock> {
@@ -1000,6 +1048,50 @@ mod tests {
     #[test]
     fn model_requires_classifier() {
         assert!(CnnModel::from_units("m", vec![], 2).is_err());
+    }
+
+    #[test]
+    fn param_active_rows_tracks_masks_in_flat_order() {
+        let mut model = crate::models::plain20_alf(
+            4,
+            8,
+            crate::block::AlfBlockConfig {
+                threshold: 0.05,
+                ..crate::block::AlfBlockConfig::paper_default()
+            },
+            11,
+        )
+        .unwrap();
+        // Fresh masks: every block fully live, every W descriptor is_all.
+        let descs = model.param_active_rows();
+        let mut param_lens = Vec::new();
+        model.visit_params_ref(&mut |p| param_lens.push(p.value.len()));
+        assert_eq!(descs.len(), param_lens.len());
+        let blocks = model.alf_blocks().len();
+        assert_eq!(descs.iter().filter(|d| d.is_some()).count(), blocks);
+        for d in descs.iter().flatten() {
+            assert!(d.is_all());
+        }
+        // Prune two channels of the first block: its descriptor (and only
+        // its) loses exactly those original rows.
+        {
+            let mut bs = model.alf_blocks_mut();
+            bs[0].autoencoder_mut().set_mask_value(1, 0.01);
+            bs[0].autoencoder_mut().set_mask_value(3, 0.0);
+        }
+        let descs = model.param_active_rows();
+        let pruned: Vec<_> = descs.iter().flatten().filter(|d| !d.is_all()).collect();
+        assert_eq!(pruned.len(), 1);
+        let d = pruned[0];
+        assert_eq!(d.total(), d.len() + 2);
+        assert!(!d.indices().contains(&1));
+        assert!(!d.indices().contains(&3));
+        // Descriptors sit at W-sized parameter slots.
+        for (desc, len) in descs.iter().zip(&param_lens) {
+            if let Some(d) = desc {
+                assert_eq!(len % d.total(), 0, "W length divisible by row count");
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,152 @@
+//! Local multi-process launcher: resolve one address, fan out rank
+//! processes, join their exit codes.
+//!
+//! The `alf dist` subcommand uses this to run rank 0 in-process (so the
+//! master's progress output and exit code surface directly) while ranks
+//! `1..world` run as `alf dist-rank` children of the same executable.
+//! Any child left unjoined when the [`Launcher`] drops is killed, so an
+//! error on the master path cannot leak orphan rank processes.
+
+use std::net::{SocketAddr, TcpListener};
+use std::process::{Child, Command};
+
+use crate::error::{DistError, Result};
+
+/// Picks a free loopback address by binding port 0 and dropping the
+/// listener. The port is then passed to every rank, which re-binds
+/// (master) or connects with backoff (workers) — the tiny window in
+/// which another process could steal it is acceptable for a local
+/// launcher.
+pub fn ephemeral_addr() -> Result<SocketAddr> {
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    Ok(listener.local_addr()?)
+}
+
+/// Child rank processes, joined as a unit.
+#[derive(Debug, Default)]
+pub struct Launcher {
+    children: Vec<(usize, Child)>,
+}
+
+/// Exit status of one joined rank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RankExit {
+    /// The rank the process ran.
+    pub rank: usize,
+    /// Its exit code; `None` when killed by a signal.
+    pub code: Option<i32>,
+}
+
+impl RankExit {
+    /// Whether the rank exited cleanly.
+    pub fn ok(&self) -> bool {
+        self.code == Some(0)
+    }
+}
+
+impl Launcher {
+    /// An empty launcher.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Spawns `cmd` as the process for `rank` and tracks it for join.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::Io`] when the spawn itself fails.
+    pub fn spawn_rank(&mut self, rank: usize, cmd: &mut Command) -> Result<()> {
+        let child = cmd.spawn().map_err(|e| {
+            DistError::Io(std::io::Error::new(
+                e.kind(),
+                format!("failed to spawn rank {rank}: {e}"),
+            ))
+        })?;
+        self.children.push((rank, child));
+        Ok(())
+    }
+
+    /// Waits for every spawned rank, in spawn order, returning each exit
+    /// status. Waiting never short-circuits: even when an early rank
+    /// fails, the rest are joined so the caller sees the full picture
+    /// (and no zombies remain).
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::Io`] when a wait fails at the OS level.
+    pub fn join(mut self) -> Result<Vec<RankExit>> {
+        let mut exits = Vec::with_capacity(self.children.len());
+        for (rank, mut child) in self.children.drain(..) {
+            let status = child.wait()?;
+            exits.push(RankExit {
+                rank,
+                code: status.code(),
+            });
+        }
+        Ok(exits)
+    }
+}
+
+impl Drop for Launcher {
+    fn drop(&mut self) {
+        for (_, child) in &mut self.children {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+/// Folds joined exits into a single verdict: `Ok` when every rank
+/// exited 0, else a typed [`DistError::RankLost`] naming the first
+/// failed rank.
+pub fn check_exits(exits: &[RankExit]) -> Result<()> {
+    for e in exits {
+        if !e.ok() {
+            return Err(DistError::RankLost {
+                rank: e.rank as u32,
+                detail: match e.code {
+                    Some(c) => format!("rank process exited with code {c}"),
+                    None => "rank process killed by signal".to_string(),
+                },
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ephemeral_addr_is_loopback_nonzero_port() {
+        let addr = ephemeral_addr().unwrap();
+        assert!(addr.ip().is_loopback());
+        assert_ne!(addr.port(), 0);
+    }
+
+    #[test]
+    fn join_reports_exit_codes_in_spawn_order() {
+        let mut launcher = Launcher::new();
+        launcher
+            .spawn_rank(1, Command::new("true").arg("--"))
+            .unwrap();
+        launcher
+            .spawn_rank(2, Command::new("false").arg("--"))
+            .unwrap();
+        let exits = launcher.join().unwrap();
+        assert_eq!(exits.len(), 2);
+        assert_eq!(
+            exits[0],
+            RankExit {
+                rank: 1,
+                code: Some(0)
+            }
+        );
+        assert_eq!(exits[1].rank, 2);
+        assert!(!exits[1].ok());
+        let err = check_exits(&exits).unwrap_err();
+        assert!(matches!(err, DistError::RankLost { rank: 2, .. }), "{err}");
+        assert!(check_exits(&exits[..1]).is_ok());
+    }
+}

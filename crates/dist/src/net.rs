@@ -1,0 +1,118 @@
+//! Socket plumbing: connect-with-backoff, accept deadlines, and the
+//! per-connection configuration every rank applies symmetrically.
+//!
+//! Workers usually start before the master's listener is up, so
+//! [`connect_with_backoff`] retries with exponential backoff inside a
+//! total budget instead of failing on the first `ECONNREFUSED`. Once a
+//! stream exists, [`configure_stream`] pins `TCP_NODELAY` (frames are
+//! latency-bound request/response pairs) and the read/write deadlines
+//! that turn a hung peer into a typed [`DistError::RankLost`] instead
+//! of a wedged process.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+use crate::error::{DistError, Result};
+
+/// Applies the collective's socket discipline: no Nagle, and
+/// `read_timeout` as both the read and write deadline.
+pub fn configure_stream(stream: &TcpStream, read_timeout: Duration) -> Result<()> {
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(read_timeout))?;
+    stream.set_write_timeout(Some(read_timeout))?;
+    Ok(())
+}
+
+/// Connects to `addr`, retrying with exponential backoff (10 ms
+/// doubling to 500 ms) until `budget` is exhausted.
+///
+/// # Errors
+///
+/// [`DistError::Io`] carrying the last connect failure once the budget
+/// runs out.
+pub fn connect_with_backoff(addr: SocketAddr, budget: Duration) -> Result<TcpStream> {
+    let deadline = Instant::now() + budget;
+    let mut backoff = Duration::from_millis(10);
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(stream) => return Ok(stream),
+            Err(e) => {
+                if Instant::now() + backoff >= deadline {
+                    return Err(DistError::Io(io::Error::new(
+                        e.kind(),
+                        format!("connect to master at {addr} failed after {budget:?}: {e}"),
+                    )));
+                }
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(Duration::from_millis(500));
+            }
+        }
+    }
+}
+
+/// Accepts one connection within `budget`, polling a nonblocking
+/// listener so a worker that never starts cannot wedge the master.
+///
+/// # Errors
+///
+/// [`DistError::Io`] with kind `TimedOut` when the budget expires.
+pub fn accept_with_deadline(listener: &TcpListener, budget: Duration) -> Result<TcpStream> {
+    listener.set_nonblocking(true)?;
+    let deadline = Instant::now() + budget;
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                stream.set_nonblocking(false)?;
+                return Ok(stream);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                if Instant::now() >= deadline {
+                    return Err(DistError::Io(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        format!("no worker connected within {budget:?}"),
+                    )));
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) => return Err(DistError::Io(e)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn connect_backoff_times_out_with_context() {
+        // A port from the ephemeral range nobody is listening on: bind
+        // then drop to learn one.
+        let addr = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let err = connect_with_backoff(addr, Duration::from_millis(50)).unwrap_err();
+        assert!(matches!(err, DistError::Io(_)), "{err}");
+        assert!(err.to_string().contains("connect to master"), "{err}");
+    }
+
+    #[test]
+    fn accept_deadline_expires_typed() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let err = accept_with_deadline(&listener, Duration::from_millis(40)).unwrap_err();
+        let DistError::Io(io) = &err else {
+            panic!("expected Io, got {err}");
+        };
+        assert_eq!(io.kind(), io::ErrorKind::TimedOut);
+    }
+
+    #[test]
+    fn connect_succeeds_once_listener_appears() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let stream = connect_with_backoff(addr, Duration::from_secs(2)).unwrap();
+        configure_stream(&stream, Duration::from_millis(100)).unwrap();
+        assert!(stream.nodelay().unwrap());
+    }
+}

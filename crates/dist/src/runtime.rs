@@ -1,0 +1,183 @@
+//! Per-rank training runtime: the loop one `alf dist-rank` process
+//! runs.
+//!
+//! Every rank holds a full [`DpTrainer`] — model, optimizer momentum,
+//! epoch/step counters — and drives it through
+//! [`DpTrainer::advance_step_with`] with either the [`LocalReducer`]
+//! (`world == 1`, the single-process reference) or a [`DistReducer`]
+//! over sockets. Because the broadcast reduced gradient, loss fold and
+//! correct count are bit-identical on every rank, all ranks replay the
+//! identical optimizer and autoencoder moves and stay in bitwise
+//! lockstep; rank 0 additionally writes checkpoints (atomically:
+//! `tmp` + rename) so a killed collective resumes bitwise.
+//!
+//! [`DpTrainer::advance_step_with`]: alf_dp::DpTrainer::advance_step_with
+
+use std::net::TcpListener;
+use std::path::{Path, PathBuf};
+
+use alf_core::{CnnModel, EpochStats};
+use alf_data::Dataset;
+use alf_dp::{DpConfig, DpTrainer, LocalReducer, Reducer};
+use alf_obs::MetricsRegistry;
+
+use crate::error::{DistError, Result};
+use crate::reducer::{DistConfig, DistReducer};
+
+/// Exit code of the `--die-after` fault-injection hook, distinct from
+/// generic failure so the smoke test can tell a scripted death from an
+/// accidental one.
+pub const DIE_EXIT_CODE: i32 = 13;
+
+/// What one rank process should run.
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Epochs to complete (counted from the trainer's resumed position).
+    pub epochs: usize,
+    /// Rank 0 writes a checkpoint every this many steps.
+    pub ckpt_every: Option<u64>,
+    /// Periodic checkpoint target (rank 0 only).
+    pub ckpt_path: Option<PathBuf>,
+    /// Final checkpoint target, written once training completes (rank 0
+    /// only).
+    pub out: Option<PathBuf>,
+    /// Fault-injection hook: terminate this process with
+    /// [`DIE_EXIT_CODE`] after completing this many steps.
+    pub die_after_steps: Option<u64>,
+    /// Checkpoint blob to resume from instead of fresh weights.
+    pub resume: Option<Vec<u8>>,
+}
+
+impl RunOptions {
+    /// Runs `epochs` epochs with no checkpointing or fault injection.
+    pub fn new(epochs: usize) -> Self {
+        Self {
+            epochs,
+            ckpt_every: None,
+            ckpt_path: None,
+            out: None,
+            die_after_steps: None,
+            resume: None,
+        }
+    }
+}
+
+/// What a completed rank hands back: the trainer (with its final
+/// weights) and the per-epoch statistics.
+#[derive(Debug)]
+pub struct RankOutcome {
+    /// The trainer after the run — every rank's weights are bitwise
+    /// identical.
+    pub trainer: DpTrainer,
+    /// Statistics of the epochs completed in this run.
+    pub epochs: Vec<EpochStats>,
+}
+
+/// Writes `bytes` to `path` atomically: a sibling `.tmp` file, flushed,
+/// then renamed over the target so readers never observe a torn
+/// checkpoint.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> Result<()> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, bytes)?;
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Runs one rank of the collective to completion.
+///
+/// `world == 1` short-circuits to the [`LocalReducer`] — no sockets,
+/// byte-for-byte the plain `DpTrainer` path — which is what the bitwise
+/// gates compare multi-rank runs against. Otherwise rank 0 binds
+/// `dist.addr` and masters the collective while ranks `1..world`
+/// connect as workers.
+///
+/// # Errors
+///
+/// Handshake, wire and socket failures as typed [`DistError`]s; trainer
+/// shape errors as [`DistError::Train`].
+pub fn run_rank(
+    dist: &DistConfig,
+    model: CnnModel,
+    dp: DpConfig,
+    data: &Dataset,
+    opts: &RunOptions,
+    registry: Option<&MetricsRegistry>,
+) -> Result<RankOutcome> {
+    let mut trainer = match &opts.resume {
+        Some(blob) => DpTrainer::resume(model, dp, blob).map_err(DistError::Train)?,
+        None => DpTrainer::new(model, dp).map_err(DistError::Train)?,
+    };
+    let mut reducer: Box<dyn Reducer> = if dist.world <= 1 {
+        Box::new(LocalReducer)
+    } else if dist.rank == 0 {
+        let listener = TcpListener::bind(dist.addr)?;
+        Box::new(DistReducer::master(
+            dist.clone(),
+            trainer.model(),
+            &listener,
+            registry,
+        )?)
+    } else {
+        Box::new(DistReducer::worker(
+            dist.clone(),
+            trainer.model(),
+            registry,
+        )?)
+    };
+    let mut epochs = Vec::with_capacity(opts.epochs);
+    let mut steps_done: u64 = 0;
+    while epochs.len() < opts.epochs {
+        let stats = trainer
+            .advance_step_with(data, reducer.as_mut())
+            .map_err(DistError::from_reduce)?;
+        steps_done += 1;
+        if let Some(s) = stats {
+            epochs.push(s);
+        }
+        if dist.rank == 0 {
+            if let (Some(every), Some(path)) = (opts.ckpt_every, &opts.ckpt_path) {
+                if every > 0 && steps_done.is_multiple_of(every) {
+                    write_atomic(path, &trainer.checkpoint())?;
+                }
+            }
+        }
+        if let Some(k) = opts.die_after_steps {
+            if steps_done >= k {
+                // Scripted fault: drop the socket mid-collective so the
+                // surviving ranks observe a typed RankLost.
+                eprintln!(
+                    "dist-rank {}: fault injection, dying after step {steps_done}",
+                    dist.rank
+                );
+                std::process::exit(DIE_EXIT_CODE);
+            }
+        }
+    }
+    if dist.rank == 0 {
+        if let Some(out) = &opts.out {
+            write_atomic(out, &trainer.checkpoint())?;
+        }
+    }
+    Ok(RankOutcome { trainer, epochs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_atomic_replaces_without_leaving_tmp() {
+        let dir = std::env::temp_dir().join(format!(
+            "alf-dist-atomic-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let target = dir.join("ckpt.bin");
+        write_atomic(&target, b"one").unwrap();
+        write_atomic(&target, b"two").unwrap();
+        assert_eq!(std::fs::read(&target).unwrap(), b"two");
+        assert!(!target.with_extension("tmp").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

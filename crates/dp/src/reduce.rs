@@ -1,0 +1,163 @@
+//! The reduction seam between in-process and socket-distributed training.
+//!
+//! [`DpTrainer::advance_step_with`](crate::DpTrainer::advance_step_with)
+//! delegates two decisions to a [`Reducer`]: *which contiguous slice of
+//! the batch this participant computes* ([`Reducer::partition`]) and *how
+//! the per-sample gradient leaves become the one reduced gradient every
+//! participant applies* ([`Reducer::reduce`]). The in-process
+//! [`LocalReducer`] owns the whole batch and runs
+//! [`tree_reduce_into_first`] directly; `alf-dist`'s socket reducer owns
+//! one shard per rank and exchanges subtree partial sums so that the
+//! very same adds happen in the very same order — which is why both
+//! backends produce bitwise-identical weights (see
+//! [`crate::allreduce`]).
+
+use std::fmt;
+use std::ops::Range;
+
+use alf_core::CnnModel;
+use alf_tensor::ShapeError;
+
+use crate::allreduce::tree_reduce_into_first;
+
+/// Failure of a reduction backend.
+#[derive(Debug)]
+pub enum ReduceError {
+    /// Arithmetic or shape failure inside the training step itself.
+    Shape(ShapeError),
+    /// The reduction transport failed — a lost rank, a protocol
+    /// mismatch, a corrupt frame. In-process reduction never produces
+    /// this; `alf-dist` carries its typed `DistError` here (recover it
+    /// with [`std::error::Error`] downcasting on the box).
+    Transport(Box<dyn std::error::Error + Send + Sync + 'static>),
+}
+
+impl ReduceError {
+    /// Collapses into a [`ShapeError`] for callers on the in-process
+    /// path, where `Transport` cannot occur.
+    pub(crate) fn into_shape(self) -> ShapeError {
+        match self {
+            ReduceError::Shape(e) => e,
+            ReduceError::Transport(e) => ShapeError::new("reduce", e.to_string()),
+        }
+    }
+}
+
+impl fmt::Display for ReduceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReduceError::Shape(e) => e.fmt(f),
+            ReduceError::Transport(e) => write!(f, "reduction transport: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReduceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReduceError::Shape(e) => Some(e),
+            ReduceError::Transport(e) => Some(e.as_ref()),
+        }
+    }
+}
+
+impl From<ShapeError> for ReduceError {
+    fn from(e: ShapeError) -> Self {
+        ReduceError::Shape(e)
+    }
+}
+
+/// Read-only step coordinates handed to [`Reducer::reduce`].
+///
+/// `model` is the participant's model *before* this step's optimizer
+/// update — the state whose masks gated the backward pass that produced
+/// the leaves. A sparse gradient codec may derive live-row descriptors
+/// from it, because pruned rows of a gated-STE block's weight gradient
+/// are exactly zero in every leaf (and hence in every partial sum).
+pub struct StepContext<'a> {
+    /// The model that produced the leaves (pre-update state).
+    pub model: &'a CnnModel,
+    /// Epoch of the step in progress.
+    pub epoch: u64,
+    /// Step within the epoch.
+    pub step: u64,
+    /// Total batch size `b` — the leaf count across all participants.
+    pub batch: usize,
+}
+
+/// What a reduction returns: everything downstream of the all-reduce
+/// that every participant must agree on bitwise.
+pub struct ReducedStep {
+    /// The tree-reduced gradient sum over all `b` leaves (unscaled; the
+    /// trainer applies the `1/b` batch mean, clip and optimizer step).
+    pub grad: Vec<f32>,
+    /// Deterministic slot-order `f64` fold of all `b` per-sample losses.
+    pub loss_sum: f64,
+    /// Total correctly-classified samples across the batch.
+    pub correct: usize,
+}
+
+/// A gradient-reduction backend for [`crate::DpTrainer`].
+pub trait Reducer {
+    /// The contiguous range of batch slots this participant computes
+    /// leaves for. Must satisfy `partition(b) ⊆ 0..b`.
+    fn partition(&self, batch: usize) -> Range<usize>;
+
+    /// Reduces the batch's per-sample leaves into one [`ReducedStep`].
+    ///
+    /// `leaves`, `losses` and `corrects` cover exactly this
+    /// participant's [`Reducer::partition`] of the batch, indexed from
+    /// the partition start. Leaves are scratch: implementations may
+    /// consume or overwrite them.
+    ///
+    /// # Errors
+    ///
+    /// [`ReduceError::Transport`] when a distributed backend loses a
+    /// peer or the wire protocol fails; [`ReduceError::Shape`] when the
+    /// leaves are malformed.
+    fn reduce(
+        &mut self,
+        leaves: &mut [Vec<f32>],
+        losses: &[f32],
+        corrects: &[u8],
+        ctx: &StepContext<'_>,
+    ) -> Result<ReducedStep, ReduceError>;
+}
+
+/// The in-process backend: this participant owns the whole batch and
+/// reduces it with [`tree_reduce_into_first`] — byte-for-byte the
+/// behaviour `DpTrainer` had before the seam existed.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct LocalReducer;
+
+impl Reducer for LocalReducer {
+    fn partition(&self, batch: usize) -> Range<usize> {
+        0..batch
+    }
+
+    fn reduce(
+        &mut self,
+        leaves: &mut [Vec<f32>],
+        losses: &[f32],
+        corrects: &[u8],
+        _ctx: &StepContext<'_>,
+    ) -> Result<ReducedStep, ReduceError> {
+        if leaves.is_empty() {
+            return Err(ReduceError::Shape(ShapeError::new(
+                "reduce",
+                "local reduction over an empty batch",
+            )));
+        }
+        tree_reduce_into_first(leaves);
+        let mut loss_sum = 0.0f64;
+        for &l in losses {
+            loss_sum += f64::from(l);
+        }
+        let correct = corrects.iter().map(|&c| usize::from(c)).sum();
+        Ok(ReducedStep {
+            grad: std::mem::take(&mut leaves[0]),
+            loss_sum,
+            correct,
+        })
+    }
+}

@@ -15,7 +15,7 @@ use alf_tensor::rng::Rng;
 use alf_tensor::{ShapeError, Tensor};
 use bytes::Bytes;
 
-use crate::allreduce::tree_reduce_into_first;
+use crate::reduce::{LocalReducer, ReduceError, Reducer, StepContext};
 use crate::Result;
 
 /// Configuration of a [`DpTrainer`].
@@ -352,21 +352,48 @@ impl DpTrainer {
     /// end of the epoch (resume against mismatched data), and any shape
     /// error from the model or data pipeline.
     pub fn advance_step(&mut self, data: &Dataset) -> Result<Option<EpochStats>> {
+        self.advance_step_with(data, &mut LocalReducer)
+            .map_err(ReduceError::into_shape)
+    }
+
+    /// [`DpTrainer::advance_step`] with an explicit reduction backend.
+    ///
+    /// The reducer decides which contiguous batch slice this participant
+    /// computes ([`Reducer::partition`]) and performs the all-reduce
+    /// ([`Reducer::reduce`]); everything downstream — batch-mean
+    /// scaling, gradient clip, optimizer step, the autoencoder player,
+    /// epoch statistics — replays identically on every participant from
+    /// the reduced result, which is what keeps distributed ranks in
+    /// bitwise lockstep (see `alf-dist`).
+    ///
+    /// # Errors
+    ///
+    /// [`ReduceError::Shape`] for model/data failures (the
+    /// [`DpTrainer::advance_step`] contract), [`ReduceError::Transport`]
+    /// when a distributed backend fails.
+    pub fn advance_step_with(
+        &mut self,
+        data: &Dataset,
+        reducer: &mut dyn Reducer,
+    ) -> std::result::Result<Option<EpochStats>, ReduceError> {
         let n = data.len_of(Split::Train);
         if n == 0 {
-            return Err(ShapeError::new("dp_train", "empty training split"));
+            return Err(ReduceError::Shape(ShapeError::new(
+                "dp_train",
+                "empty training split",
+            )));
         }
         let batch_size = self.config.hyper.batch_size;
         let plan = EpochPlan::new(n, batch_size, self.data_seed, self.epoch);
         if self.step as usize >= plan.num_batches() {
-            return Err(ShapeError::new(
+            return Err(ReduceError::Shape(ShapeError::new(
                 "dp_train",
                 format!(
                     "step {} out of range: epoch has {} batches (resumed against different data?)",
                     self.step,
                     plan.num_batches()
                 ),
-            ));
+            )));
         }
         if self.step == 0 {
             self.loss_sum = 0.0;
@@ -378,6 +405,17 @@ impl DpTrainer {
 
         let batch = plan.batch(self.step as usize).to_vec();
         let b = batch.len();
+        // This participant's contiguous slice of the batch. The local
+        // backend owns all of it; a distributed rank owns its shard and
+        // leaves the rest to its peers.
+        let part = reducer.partition(b);
+        if part.start > part.end || part.end > b {
+            return Err(ReduceError::Shape(ShapeError::new(
+                "dp_train",
+                format!("reducer partition {part:?} outside batch 0..{b}"),
+            )));
+        }
+        let plen = part.len();
 
         // --- BN statistics: master pilot forward ---
         // Workers normalise with *frozen* running statistics (batch
@@ -390,21 +428,22 @@ impl DpTrainer {
         let (pilot, _labels) = data.gather(Split::Train, &batch)?;
         self.model.forward(&pilot, &mut self.ctx)?;
 
-        // --- task player: shard the batch over worker replicas ---
+        // --- task player: shard this participant's slice over workers ---
         let threads = resolve_threads(self.config.threads, "ALF_DP_THREADS")
-            .min(b)
+            .min(plen.max(1))
             .max(1);
         self.sync_replicas(threads);
-        self.leaves.resize_with(b, Vec::new);
-        self.sample_loss.resize(b, 0.0);
-        self.sample_correct.resize(b, 0);
-        {
+        self.leaves.resize_with(plen, Vec::new);
+        self.sample_loss.resize(plen, 0.0);
+        self.sample_correct.resize(plen, 0);
+        if plen > 0 {
             let (epoch, step, data_seed) = (self.epoch, self.step, self.data_seed);
             let augment = self.config.hyper.augment;
             let batch = &batch[..];
-            let leaf_chunks = split_shards(&mut self.leaves[..b], threads);
-            let loss_chunks = split_shards(&mut self.sample_loss[..b], threads);
-            let correct_chunks = split_shards(&mut self.sample_correct[..b], threads);
+            let part_start = part.start;
+            let leaf_chunks = split_shards(&mut self.leaves[..plen], threads);
+            let loss_chunks = split_shards(&mut self.sample_loss[..plen], threads);
+            let correct_chunks = split_shards(&mut self.sample_correct[..plen], threads);
             let replicas = &mut self.replicas[..threads];
             crossbeam::thread::scope(|scope| {
                 let mut handles = Vec::new();
@@ -415,10 +454,14 @@ impl DpTrainer {
                     .zip(replicas.iter_mut())
                     .enumerate()
                 {
-                    let range = shard_range(b, s, threads);
+                    let range = shard_range(plen, s, threads);
                     handles.push(scope.spawn(move |_| -> Result<()> {
                         let (replica, ctx) = slot;
-                        for (local, j) in range.enumerate() {
+                        for (local, p) in range.enumerate() {
+                            // Global batch slot: augmentation draws and
+                            // leaf positions are keyed by it, never by
+                            // the shard or partition layout.
+                            let j = part_start + p;
                             // Per-sample granularity: no float accumulation
                             // crosses a shard boundary, so the leaves are
                             // independent of the shard layout.
@@ -454,10 +497,32 @@ impl DpTrainer {
         // Reduce the per-sample leaves in the fixed tree order, then scale
         // to the batch mean. Both are pure functions of the batch size.
         let expected = total_param_len(&self.model);
-        tree_reduce_into_first(&mut self.leaves[..b]);
-        debug_assert_eq!(self.leaves[0].len(), expected);
+        let reduced = {
+            let step_ctx = StepContext {
+                model: &self.model,
+                epoch: self.epoch,
+                step: self.step,
+                batch: b,
+            };
+            reducer.reduce(
+                &mut self.leaves[..plen],
+                &self.sample_loss[..plen],
+                &self.sample_correct[..plen],
+                &step_ctx,
+            )?
+        };
+        let mut grad = reduced.grad;
+        if grad.len() != expected {
+            return Err(ReduceError::Shape(ShapeError::new(
+                "dp_train",
+                format!(
+                    "reduced gradient has {} values, model has {expected}",
+                    grad.len()
+                ),
+            )));
+        }
         let inv_b = 1.0 / b as f32;
-        for g in self.leaves[0].iter_mut() {
+        for g in grad.iter_mut() {
             *g *= inv_b;
         }
         let grad_norm = if self.config.max_grad_norm.is_some() || self.telemetry.is_enabled() {
@@ -466,7 +531,7 @@ impl DpTrainer {
             // (With clipping off this runs only for telemetry, and is
             // read-only either way.)
             let mut sq = 0.0f32;
-            for &g in self.leaves[0].iter() {
+            for &g in grad.iter() {
                 sq += g * g;
             }
             sq.sqrt()
@@ -477,7 +542,7 @@ impl DpTrainer {
         if let Some(max_norm) = self.config.max_grad_norm {
             if grad_norm > max_norm {
                 let scale = max_norm / grad_norm;
-                for g in self.leaves[0].iter_mut() {
+                for g in grad.iter_mut() {
                     *g *= scale;
                 }
                 post_clip_norm = max_norm;
@@ -489,23 +554,19 @@ impl DpTrainer {
             .lr_schedule
             .lr_at(self.config.hyper.task_lr, self.epoch as usize);
         self.task_opt.set_lr(lr);
-        self.task_opt
-            .step_layer_from_flat(&mut self.model, &self.leaves[0]);
+        self.task_opt.step_layer_from_flat(&mut self.model, &grad);
 
         // --- autoencoder player: one block per worker ---
         let ae_stats = self.ae_player_step(threads)?;
 
         // Loss statistics in fixed slot order (f64 so the accumulation is
-        // well-conditioned; still a deterministic left fold).
-        let mut batch_loss = 0.0f64;
-        for &l in &self.sample_loss[..b] {
-            batch_loss += f64::from(l);
-        }
+        // well-conditioned; still a deterministic left fold). The reducer
+        // already folded all b slots — for the local backend this is the
+        // same left fold as always; a distributed backend folds each
+        // rank's slice in rank order, which is slot order.
+        let batch_loss = reduced.loss_sum;
         self.loss_sum += batch_loss / b as f64;
-        self.correct += self.sample_correct[..b]
-            .iter()
-            .map(|&c| usize::from(c))
-            .sum::<usize>();
+        self.correct += reduced.correct;
         self.seen += b;
         self.batches_done += 1;
         if let Some(mut ev) = self.telemetry.event("train.step") {

@@ -31,6 +31,7 @@ use std::io::{Read, Seek, Write};
 use std::path::{Path, PathBuf};
 
 use alf_bench::report::ParetoPoint;
+use alf_obs::crc32;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 const MAGIC: &[u8; 8] = b"ALFLAB01";
@@ -137,19 +138,6 @@ impl From<std::io::Error> for CampaignError {
     fn from(e: std::io::Error) -> Self {
         CampaignError::Io(e)
     }
-}
-
-/// CRC-32 (IEEE 802.3, reflected), bitwise — no tables, no dependency.
-fn crc32(data: &[u8]) -> u32 {
-    let mut crc = !0u32;
-    for &b in data {
-        crc ^= u32::from(b);
-        for _ in 0..8 {
-            let mask = (crc & 1).wrapping_neg();
-            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
-        }
-    }
-    !crc
 }
 
 fn put_string(buf: &mut BytesMut, s: &str) {

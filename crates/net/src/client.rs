@@ -8,11 +8,79 @@
 //! and of the socket smoke test — deliberately simple, not a general
 //! client.
 //!
+//! The connection carries **both** a read and a write deadline (a
+//! stalled server can block a writer too, once the socket send buffer
+//! fills), and an expired deadline surfaces as the typed
+//! [`ClientError::Timeout`] rather than a bare `io::Error` the caller
+//! has to kind-match.
+//!
 //! [`request`]: HttpClient::request
 
+use std::fmt;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
+
+/// Typed client failure.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ClientError {
+    /// A socket deadline expired. `during` names the phase ("connect",
+    /// "write request", "read response") and `deadline` is the limit
+    /// that was exceeded.
+    Timeout {
+        /// What the client was doing when the deadline hit.
+        during: &'static str,
+        /// The configured deadline.
+        deadline: Duration,
+    },
+    /// Any other socket-level failure (refused, reset, EOF mid-response).
+    Io(io::Error),
+    /// The server answered, but not with parseable HTTP/1.1.
+    Malformed(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Timeout { during, deadline } => {
+                write!(f, "timed out after {deadline:?} while {during}")
+            }
+            Self::Io(e) => write!(f, "socket error: {e}"),
+            Self::Malformed(detail) => write!(f, "malformed response: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl ClientError {
+    /// Whether this failure was a deadline expiry.
+    pub fn is_timeout(&self) -> bool {
+        matches!(self, Self::Timeout { .. })
+    }
+
+    /// Classifies a raw socket error: deadline expiries (`WouldBlock` on
+    /// Unix, `TimedOut` elsewhere) become [`ClientError::Timeout`].
+    fn from_io(e: io::Error, during: &'static str, deadline: Duration) -> Self {
+        match e.kind() {
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => {
+                Self::Timeout { during, deadline }
+            }
+            _ => Self::Io(e),
+        }
+    }
+}
+
+/// Client result alias.
+pub type ClientResult<T> = std::result::Result<T, ClientError>;
 
 /// One parsed response.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -44,23 +112,32 @@ impl ClientResponse {
 #[derive(Debug)]
 pub struct HttpClient {
     stream: TcpStream,
+    timeout: Duration,
     /// Bytes read past the previous response.
     carry: Vec<u8>,
 }
 
 impl HttpClient {
-    /// Connects (blocking) with `TCP_NODELAY` and a read timeout, so a
-    /// wedged server fails a test instead of hanging it.
+    /// Connects (blocking) with `TCP_NODELAY` and `timeout` as both the
+    /// read and the write deadline, so a wedged server fails a test with
+    /// a typed [`ClientError::Timeout`] instead of hanging it.
     ///
     /// # Errors
     ///
-    /// Propagates connect/configuration I/O errors.
-    pub fn connect(addr: SocketAddr, read_timeout: Duration) -> io::Result<Self> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        stream.set_read_timeout(Some(read_timeout))?;
+    /// Connect/configuration failures, classified ([`ClientError`]).
+    pub fn connect(addr: SocketAddr, timeout: Duration) -> ClientResult<Self> {
+        let stream =
+            TcpStream::connect(addr).map_err(|e| ClientError::from_io(e, "connecting", timeout))?;
+        stream.set_nodelay(true).map_err(ClientError::Io)?;
+        stream
+            .set_read_timeout(Some(timeout))
+            .map_err(ClientError::Io)?;
+        stream
+            .set_write_timeout(Some(timeout))
+            .map_err(ClientError::Io)?;
         Ok(Self {
             stream,
+            timeout,
             carry: Vec::new(),
         })
     }
@@ -70,7 +147,7 @@ impl HttpClient {
     /// # Errors
     ///
     /// Same contract as [`HttpClient::request`].
-    pub fn get(&mut self, target: &str) -> io::Result<ClientResponse> {
+    pub fn get(&mut self, target: &str) -> ClientResult<ClientResponse> {
         self.request("GET", target, &[], &[])
     }
 
@@ -84,7 +161,7 @@ impl HttpClient {
         target: &str,
         headers: &[(&str, &str)],
         body: &[u8],
-    ) -> io::Result<ClientResponse> {
+    ) -> ClientResult<ClientResponse> {
         self.request("POST", target, headers, body)
     }
 
@@ -92,40 +169,46 @@ impl HttpClient {
     ///
     /// # Errors
     ///
-    /// I/O errors from the socket; `InvalidData` for a malformed response;
-    /// `UnexpectedEof` / `WouldBlock`-as-timeout when the server closes or
-    /// stalls mid-response.
+    /// [`ClientError::Timeout`] when either socket deadline expires,
+    /// [`ClientError::Malformed`] for an unparseable response,
+    /// [`ClientError::Io`] for everything else (including a server that
+    /// closes mid-response).
     pub fn request(
         &mut self,
         method: &str,
         target: &str,
         headers: &[(&str, &str)],
         body: &[u8],
-    ) -> io::Result<ClientResponse> {
+    ) -> ClientResult<ClientResponse> {
         let mut wire = format!("{method} {target} HTTP/1.1\r\n").into_bytes();
         for (name, value) in headers {
             wire.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
         }
         wire.extend_from_slice(format!("content-length: {}\r\n\r\n", body.len()).as_bytes());
         wire.extend_from_slice(body);
-        self.stream.write_all(&wire)?;
+        self.stream
+            .write_all(&wire)
+            .map_err(|e| ClientError::from_io(e, "writing request", self.timeout))?;
         self.read_response()
     }
 
-    fn read_more(&mut self) -> io::Result<()> {
+    fn read_more(&mut self) -> ClientResult<()> {
         let mut chunk = [0u8; 4096];
-        let n = self.stream.read(&mut chunk)?;
+        let n = self
+            .stream
+            .read(&mut chunk)
+            .map_err(|e| ClientError::from_io(e, "reading response", self.timeout))?;
         if n == 0 {
-            return Err(io::Error::new(
+            return Err(ClientError::Io(io::Error::new(
                 io::ErrorKind::UnexpectedEof,
                 "server closed mid-response",
-            ));
+            )));
         }
         self.carry.extend_from_slice(&chunk[..n]);
         Ok(())
     }
 
-    fn read_response(&mut self) -> io::Result<ClientResponse> {
+    fn read_response(&mut self) -> ClientResult<ClientResponse> {
         // Header block: everything up to the first CRLFCRLF.
         let header_end = loop {
             if let Some(pos) = find_double_crlf(&self.carry) {
@@ -173,10 +256,43 @@ impl HttpClient {
     }
 }
 
-fn bad(detail: &str) -> io::Error {
-    io::Error::new(io::ErrorKind::InvalidData, detail.to_string())
+fn bad(detail: &str) -> ClientError {
+    ClientError::Malformed(detail.to_string())
 }
 
 fn find_double_crlf(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn stalled_server_surfaces_a_typed_timeout() {
+        // A listener that accepts (kernel backlog) but never answers.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = HttpClient::connect(addr, Duration::from_millis(60)).unwrap();
+        let err = client.get("/stalled").unwrap_err();
+        assert!(err.is_timeout(), "{err}");
+        assert!(err.to_string().contains("reading response"), "{err}");
+        drop(listener);
+    }
+
+    #[test]
+    fn both_deadlines_are_installed() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = HttpClient::connect(addr, Duration::from_millis(250)).unwrap();
+        // The kernel may round the deadline to its timer granularity, so
+        // assert presence and ballpark rather than the exact value.
+        let near = |d: Option<Duration>| {
+            let d = d.expect("deadline installed");
+            d >= Duration::from_millis(200) && d <= Duration::from_millis(300)
+        };
+        assert!(near(client.stream.read_timeout().unwrap()));
+        assert!(near(client.stream.write_timeout().unwrap()));
+    }
 }

@@ -13,6 +13,8 @@
 //!   buffered file for runs, null sink compiled to near-nothing).
 //! * [`runtime`] — the shared `ALF_*_THREADS` worker-count parser
 //!   ([`resolve_threads`]).
+//! * [`crc`] — the workspace's single CRC-32 ([`crc32`]) shared by every
+//!   checksummed byte format (campaign manifest, dist wire frames).
 //!
 //! It deliberately has **no dependencies** (std only) so that every crate
 //! in the workspace — including `alf-tensor` at the bottom of the stack —
@@ -33,11 +35,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod crc;
 pub mod events;
 pub mod json;
 pub mod metrics;
 pub mod runtime;
 
+pub use crc::crc32;
 pub use events::{Event, EventLog, FileSink, MemoryHandle, MemorySink, NullSink, TelemetrySink};
 pub use json::{json_escape, JsonWriter};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSpec, MetricsRegistry, MetricsSnapshot};

@@ -190,6 +190,21 @@ impl ActiveRows {
     pub fn indices(&self) -> &[usize] {
         &self.idx
     }
+
+    /// The surviving rows as maximal `(start, len)` runs of consecutive
+    /// indices, in increasing order — the run-length form the `alf-dist`
+    /// sparse gradient encoding puts on the wire. Concatenating the runs
+    /// reproduces [`ActiveRows::indices`] exactly.
+    pub fn runs(&self) -> Vec<(usize, usize)> {
+        let mut out: Vec<(usize, usize)> = Vec::new();
+        for &i in &self.idx {
+            match out.last_mut() {
+                Some((start, len)) if *start + *len == i => *len += 1,
+                _ => out.push((i, 1)),
+            }
+        }
+        out
+    }
 }
 
 /// Thread count policy for a `[m,k]·[k,n]` product: 1 on single-core
@@ -1228,6 +1243,24 @@ mod tests {
         assert_eq!(rows.indices(), &[1]);
         assert!(!rows.is_all());
         assert!(ActiveRows::full(3).is_all());
+    }
+
+    #[test]
+    fn active_rows_runs_are_maximal_and_lossless() {
+        let rows = ActiveRows::from_indices(vec![0, 1, 2, 5, 7, 8], 10).unwrap();
+        assert_eq!(rows.runs(), vec![(0, 3), (5, 1), (7, 2)]);
+        // Concatenating runs reproduces the index list exactly.
+        let rebuilt: Vec<usize> = rows
+            .runs()
+            .into_iter()
+            .flat_map(|(start, len)| start..start + len)
+            .collect();
+        assert_eq!(rebuilt, rows.indices());
+        assert_eq!(ActiveRows::full(4).runs(), vec![(0, 4)]);
+        assert!(ActiveRows::from_indices(vec![], 4)
+            .unwrap()
+            .runs()
+            .is_empty());
     }
 
     #[test]

@@ -48,6 +48,44 @@ timeout 300 cargo run --release -q -p alf-bench --bin gemm_bench -- --scale smok
 echo "==> alf-dp resume tests (release)"
 timeout 300 cargo test --release -q -p alf-dp --test resume
 
+# The distributed-training smoke, end to end over real processes: a
+# 4-rank socket collective is killed mid-epoch (rank 2 dies after its
+# 6th step), which must surface as a typed RankLost and a nonzero exit
+# with no final checkpoint; resuming the collective from rank 0's
+# periodic checkpoint must then land bitwise on the checkpoint of a
+# single-process run of the same schedule.
+echo "==> alf dist 4-rank kill/resume smoke (bitwise vs 1 process)"
+DIST_OUT=$(mktemp -d)
+DIST_ARGS="--train-size 48 --test-size 16 --image-size 12 --batch 12 --width 8"
+timeout 300 ./target/release/alf dist --ranks 1 --epochs 2 $DIST_ARGS \
+  --out "$DIST_OUT/ref.ckpt" > /dev/null
+set +e
+timeout 300 ./target/release/alf dist --ranks 4 --epochs 2 $DIST_ARGS \
+  --ckpt "$DIST_OUT/live.ckpt" --ckpt-every 4 --die-after 2:6 \
+  --out "$DIST_OUT/never.ckpt" > "$DIST_OUT/fail.out" 2>&1
+dist_code=$?
+set -e
+if [ "$dist_code" -eq 0 ]; then
+  echo "FAIL: collective with a killed rank exited 0"
+  exit 1
+fi
+if ! grep -q "RankLost: rank 2" "$DIST_OUT/fail.out"; then
+  cat "$DIST_OUT/fail.out"
+  echo "FAIL: killed rank did not surface as a typed RankLost"
+  exit 1
+fi
+if [ -e "$DIST_OUT/never.ckpt" ]; then
+  echo "FAIL: failed collective wrote a final checkpoint"
+  exit 1
+fi
+timeout 300 ./target/release/alf dist --ranks 4 --epochs 1 $DIST_ARGS \
+  --resume "$DIST_OUT/live.ckpt" --out "$DIST_OUT/resumed.ckpt" > /dev/null
+if ! cmp -s "$DIST_OUT/ref.ckpt" "$DIST_OUT/resumed.ckpt"; then
+  echo "FAIL: resumed 4-rank collective is not bitwise-equal to 1 process"
+  exit 1
+fi
+rm -rf "$DIST_OUT"
+
 # The campaign runner gates: a subset campaign (headline + the two
 # geometry ablations, plus the baselines the DAG pulls in) is aborted
 # after its first completion (exit 70 — the kill simulation), resumed,
@@ -118,6 +156,17 @@ active_rows_defs=$(grep -rn "pub struct ActiveRows" crates src --include='*.rs' 
 if [ "$active_rows_defs" -ne 1 ]; then
   grep -rn "pub struct ActiveRows" crates src --include='*.rs' || true
   echo "FAIL: expected exactly 1 ActiveRows definition, found $active_rows_defs"
+  exit 1
+fi
+
+# CRC-32 is defined in exactly one place (alf_obs::crc). A second table
+# definition means a framing or manifest consumer regrew its own
+# checksum that can drift from the shared IEEE 802.3 implementation.
+echo "==> single crc32 implementation"
+crc_defs=$(grep -rn "fn crc32(" crates src --include='*.rs' | wc -l)
+if [ "$crc_defs" -ne 1 ]; then
+  grep -rn "fn crc32(" crates src --include='*.rs' || true
+  echo "FAIL: expected exactly 1 crc32 implementation, found $crc_defs"
   exit 1
 fi
 

@@ -14,6 +14,8 @@
 //! * [`net`] — network front end over `serve`: HTTP/1.1, multi-model
 //!   routing, per-tenant quotas, `/metrics` exposition.
 //! * [`dp`] — deterministic data-parallel training with checkpoint/resume.
+//! * [`dist`] — multi-process data-parallel training over TCP sockets,
+//!   bitwise-identical to single-process `dp` at any rank count.
 //! * [`obs`] — zero-dependency observability: metrics registry, JSONL
 //!   event tracing, shared JSON writer.
 //!
@@ -45,6 +47,7 @@ pub mod error;
 pub use alf_baselines as baselines;
 pub use alf_core as core;
 pub use alf_data as data;
+pub use alf_dist as dist;
 pub use alf_dp as dp;
 pub use alf_hwmodel as hwmodel;
 pub use alf_lab as lab;

@@ -74,6 +74,17 @@ pub trait Buf {
         self.copy_to_slice(&mut raw);
         u64::from_le_bytes(raw)
     }
+
+    /// Reads a single byte.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no bytes remain.
+    fn get_u8(&mut self) -> u8 {
+        let mut raw = [0u8; 1];
+        self.copy_to_slice(&mut raw);
+        raw[0]
+    }
 }
 
 /// Write side: sequential byte appends.
@@ -94,6 +105,11 @@ pub trait BufMut {
     /// Appends a little-endian `u64`.
     fn put_u64_le(&mut self, v: u64) {
         self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a single byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
     }
 }
 
