@@ -204,7 +204,12 @@ fn bench_deploy(c: &mut Criterion) {
         }
     }
     c.bench_function("deploy_compress_plain20_w8", |bench| {
-        bench.iter(|| deploy::compress(black_box(&model)).unwrap())
+        bench.iter(|| {
+            deploy::Pipeline::new()
+                .run(black_box(&model))
+                .unwrap()
+                .model
+        })
     });
 }
 

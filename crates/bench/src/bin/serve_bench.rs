@@ -1,14 +1,18 @@
-//! Serving throughput benchmark: compressed vs uncompressed Plain-20.
+//! Serving throughput benchmark: uncompressed vs compressed vs int8
+//! Plain-20.
 //!
 //! Builds a Plain-20 ALF model, clips 70% of every block's mask entries
 //! (the serving cost depends only on the resulting sparsity, not on how
 //! training produced it), and serves the same open-loop synthetic load
-//! against two forms of the network:
+//! against three forms of the network:
 //!
 //! * **uncompressed** — the training-form ALF model (full `Co`-filter
-//!   convolutions through the masked code), and
-//! * **compressed** — `deploy::compress` output (stripped code conv +
-//!   1×1 expansion).
+//!   convolutions through the masked code),
+//! * **compressed** — `deploy::Pipeline` output (stripped code conv +
+//!   1×1 expansion, f32), and
+//! * **int8** — the same deployment served at [`Precision::Int8`]: the
+//!   replica folds batch-norm and lowers to the fused `i8×i8→i32` engine,
+//!   calibrated on a batch drawn from the benchmark's own image pool.
 //!
 //! The offered rate is fixed at 1.5× the faster server's measured
 //! capacity, so both runs are saturated and completed-throughput reflects
@@ -27,8 +31,10 @@
 //! `--smoke` (default; a few seconds) **gates**: the process exits
 //! nonzero when the compressed model does not serve strictly more images
 //! per second than the uncompressed one — in process *and* over the
-//! socket. `--paper` serves the full 32×32/10-class geometry for longer
-//! windows.
+//! socket — when the int8 form does not serve strictly more than the f32
+//! compressed form, or when int8 top-1 agreement with the f32 deployment
+//! falls below 99% on a held-out eval set. `--paper` serves the full
+//! 32×32/10-class geometry for longer windows.
 
 use std::collections::VecDeque;
 use std::net::SocketAddr;
@@ -36,14 +42,15 @@ use std::time::{Duration, Instant};
 
 use alf_bench::Scale;
 use alf_core::block::AlfBlockConfig;
-use alf_core::deploy;
+use alf_core::deploy::{self, Pipeline, QuantSpec};
 use alf_core::model::CnnModel;
 use alf_core::models::plain20_alf;
 use alf_net::client::HttpClient;
 use alf_net::{ModelSpec, NetConfig, NetServer};
+use alf_nn::{Layer, RunCtx};
 use alf_obs::json::JsonWriter;
 use alf_obs::metrics::MetricsRegistry;
-use alf_serve::{ServeConfig, Server, ServerStats};
+use alf_serve::{Precision, ServeConfig, Server, ServerStats};
 use alf_tensor::init::Init;
 use alf_tensor::rng::Rng;
 use alf_tensor::Tensor;
@@ -108,7 +115,7 @@ fn main() {
     let mut alf = plain20_alf(p.classes, p.width, AlfBlockConfig::paper_default(), 42)
         .expect("build plain20-alf");
     clip_masks(&mut alf, PRUNED_FRACTION);
-    let deployed = deploy::compress(&alf).expect("compress");
+    let deployed = deploy::Pipeline::new().run(&alf).expect("deploy").model;
     println!(
         "pruned {:.0}% of code filters (remaining {:.0}%)",
         100.0 * PRUNED_FRACTION,
@@ -127,28 +134,45 @@ fn main() {
     let pool: Vec<Tensor> = (0..64)
         .map(|_| Tensor::randn(&[3, p.image, p.image], Init::Rand, &mut rng))
         .collect();
+    // Calibration batch for the int8 form, drawn from the same pool the
+    // load generator replays.
+    let calib = stack_images(&pool[..16.min(pool.len())]);
+    let int8_cfg = ServeConfig {
+        precision: Precision::Int8(calib.clone()),
+        ..serve_cfg.clone()
+    };
+
+    // int8 fidelity: top-1 agreement between the int8 engine and the f32
+    // deployment on a held-out eval set (fresh draws, not the pool).
+    let agreement = int8_agreement(&deployed, &calib, p.image, &mut rng);
+    println!(
+        "int8 top-1 agreement vs f32 deployment: {:.2}%",
+        100.0 * agreement
+    );
 
     // --- capacity probe (closed loop), then one shared offered rate ---
     let cap_alf = probe_capacity(&alf, &serve_cfg, &pool, p.probe);
     let cap_dep = probe_capacity(&deployed, &serve_cfg, &pool, p.probe);
-    let offered = 1.5 * cap_alf.max(cap_dep);
+    let cap_int8 = probe_capacity(&deployed, &int8_cfg, &pool, p.probe);
+    let offered = 1.5 * cap_alf.max(cap_dep).max(cap_int8);
     println!(
-        "capacity probe: uncompressed {cap_alf:.0} img/s, compressed {cap_dep:.0} img/s \
-         -> offered load {offered:.0} img/s"
+        "capacity probe: uncompressed {cap_alf:.0} img/s, compressed {cap_dep:.0} img/s, \
+         int8 {cap_int8:.0} img/s -> offered load {offered:.0} img/s"
     );
 
     // --- measured open-loop runs ---
     let runs = [
-        ("plain20-alf (uncompressed)", &alf),
-        ("deployed-plain20-alf (compressed)", &deployed),
+        ("plain20-alf (uncompressed)", &alf, &serve_cfg),
+        ("deployed-plain20-alf (compressed)", &deployed, &serve_cfg),
+        ("deployed-plain20-alf (int8)", &deployed, &int8_cfg),
     ];
     let mut results = Vec::new();
     println!(
         "{:<36} {:>12} {:>9} {:>9} {:>9} {:>10} {:>9}",
         "model", "img/s", "p50 ms", "p95 ms", "p99 ms", "occupancy", "rejected"
     );
-    for (name, model) in runs {
-        let r = run_open_loop(model, &serve_cfg, &pool, offered, p.run);
+    for (name, model, cfg) in runs {
+        let r = run_open_loop(model, cfg, &pool, offered, p.run);
         println!(
             "{:<36} {:>12.1} {:>9.3} {:>9.3} {:>9.3} {:>10.2} {:>9}",
             name,
@@ -163,6 +187,7 @@ fn main() {
     }
 
     let speedup = results[1].1.throughput / results[0].1.throughput;
+    let int8_speedup = results[2].1.throughput / results[1].1.throughput;
 
     // --- socket mode: the same comparison over real TCP connections ---
     let registry = MetricsRegistry::new();
@@ -177,6 +202,11 @@ fn main() {
                 name: "compressed".to_string(),
                 model: deployed.clone(),
                 serve: serve_cfg.clone(),
+            },
+            ModelSpec {
+                name: "int8".to_string(),
+                model: deployed.clone(),
+                serve: int8_cfg.clone(),
             },
         ],
         NetConfig {
@@ -194,17 +224,19 @@ fn main() {
 
     let sock_cap_alf = socket_probe(addr, "uncompressed", &bodies, p.probe);
     let sock_cap_dep = socket_probe(addr, "compressed", &bodies, p.probe);
-    let sock_offered = 1.5 * sock_cap_alf.max(sock_cap_dep);
+    let sock_cap_int8 = socket_probe(addr, "int8", &bodies, p.probe);
+    let sock_offered = 1.5 * sock_cap_alf.max(sock_cap_dep).max(sock_cap_int8);
     println!(
         "\nsocket capacity probe: uncompressed {sock_cap_alf:.0} img/s, \
-         compressed {sock_cap_dep:.0} img/s -> offered load {sock_offered:.0} img/s"
+         compressed {sock_cap_dep:.0} img/s, int8 {sock_cap_int8:.0} img/s \
+         -> offered load {sock_offered:.0} img/s"
     );
     println!(
         "{:<36} {:>12} {:>8} {:>8} {:>8} {:>8}",
         "socket run", "img/s", "ok", "429", "503", "504"
     );
     let mut socket_results = Vec::new();
-    for model in ["uncompressed", "compressed"] {
+    for model in ["uncompressed", "compressed", "int8"] {
         let r = socket_open_loop(addr, model, &bodies, sock_offered, p.run);
         println!(
             "{:<36} {:>12.1} {:>8} {:>8} {:>8} {:>8}",
@@ -244,6 +276,15 @@ fn main() {
     }
     w.end_array();
     w.field_f64("speedup", speedup);
+    w.key("int8");
+    w.begin_object();
+    w.field_f64("throughput_img_s", results[2].1.throughput);
+    w.field_f64("speedup_vs_f32_compressed", int8_speedup);
+    w.field_f64("top1_agreement", agreement);
+    w.field_u64("calibration_images", calib.dims()[0] as u64);
+    w.key("stats");
+    results[2].1.stats.write_json(&mut w);
+    w.end_object();
     w.key("socket");
     w.begin_object();
     w.field_f64("offered_rate_img_s", sock_offered);
@@ -278,11 +319,13 @@ fn main() {
     std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
     println!(
         "\ncompression speedup: {speedup:.2}x in process, {socket_speedup:.2}x over the socket\n\
-         wrote BENCH_serve.json"
+         int8 speedup over f32 compressed: {int8_speedup:.2}x \
+         (top-1 agreement {:.2}%)\nwrote BENCH_serve.json",
+        100.0 * agreement
     );
 
-    // Gate: deploy::compress must improve serving throughput, both in
-    // process and end to end over TCP.
+    // Gate: the deployment pipeline must improve serving throughput, both
+    // in process and end to end over TCP.
     if speedup <= 1.0 {
         eprintln!(
             "FAIL: compressed model served {speedup:.2}x the uncompressed throughput \
@@ -297,6 +340,63 @@ fn main() {
         );
         std::process::exit(1);
     }
+    // Gate: the int8 engine must beat the f32 compressed path while
+    // agreeing with it on ≥99% of top-1 predictions.
+    if int8_speedup <= 1.0 {
+        eprintln!(
+            "FAIL: int8 model served {int8_speedup:.2}x the f32 compressed throughput \
+             (expected > 1.0x)"
+        );
+        std::process::exit(1);
+    }
+    if agreement < 0.99 {
+        eprintln!(
+            "FAIL: int8 top-1 agreement {:.2}% with the f32 deployment (expected >= 99%)",
+            100.0 * agreement
+        );
+        std::process::exit(1);
+    }
+}
+
+/// Stacks `[3, H, W]` images into one `NCHW` calibration batch.
+fn stack_images(images: &[Tensor]) -> Tensor {
+    let dims = images[0].dims();
+    let mut data = Vec::with_capacity(images.len() * images[0].len());
+    for img in images {
+        data.extend_from_slice(img.data());
+    }
+    Tensor::from_vec(data, &[images.len(), dims[0], dims[1], dims[2]]).expect("stack calib batch")
+}
+
+/// Fraction of a held-out eval set on which the int8 engine's top-1
+/// prediction matches the f32 deployment's.
+fn int8_agreement(deployed: &CnnModel, calib: &Tensor, image: usize, rng: &mut Rng) -> f64 {
+    let lowered = Pipeline::new()
+        .fold_bn(true)
+        .quantize(QuantSpec::int8(calib.clone()))
+        .run(deployed)
+        .expect("int8 lowering");
+    let mut qm = lowered.quantized.expect("quantized engine");
+    let mut f32m = deployed.clone();
+    let mut ctx = RunCtx::eval();
+    let classes = f32m.num_classes();
+    let (batch, batches) = (16usize, 16usize);
+    let mut agree = 0usize;
+    for _ in 0..batches {
+        let x = Tensor::randn(&[batch, 3, image, image], Init::Rand, rng);
+        let logits = f32m.forward(&x, &mut ctx).expect("f32 forward");
+        let q = qm.predict(&x).expect("int8 predict");
+        for (row, &qc) in logits.data().chunks_exact(classes).zip(&q) {
+            let mut best = 0;
+            for (i, &v) in row.iter().enumerate() {
+                if v > row[best] {
+                    best = i;
+                }
+            }
+            agree += usize::from(best == qc);
+        }
+    }
+    agree as f64 / (batch * batches) as f64
 }
 
 /// Per-model socket-run tally.

@@ -270,7 +270,7 @@ pub fn fusion(ctx: &JobCtx<'_>) -> Result<JobResult> {
 pub fn quant(ctx: &JobCtx<'_>) -> Result<JobResult> {
     let data = ctx.store.cifar()?;
     let baseline = ctx.store.baseline(BaselineKind::AlfPlain20)?;
-    let deployed = deploy::compress(&baseline.model)?;
+    let deployed = deploy::Pipeline::new().run(&baseline.model)?.model;
     let f32_acc = ctx.evaluate(&deployed, &data, Split::Test, 32)?;
 
     let mut out = JobResult::new("ablation_quant", ctx.scale());
@@ -282,7 +282,8 @@ pub fn quant(ctx: &JobCtx<'_>) -> Result<JobResult> {
     ]];
     for bits in [16u8, 8, 6, 4, 3] {
         let mut q_model = deployed.clone();
-        let report = quant::fake_quantize_model(&mut q_model, bits)?;
+        let report = quant::fake_quantize_model(&mut q_model, bits)
+            .map_err(|e| alf_tensor::ShapeError::new("quantize", e.to_string()))?;
         let acc = ctx.evaluate(&q_model, &data, Split::Test, 32)?;
         out.metric(&format!("accuracy_int{bits}"), f64::from(acc));
         rows.push(vec![

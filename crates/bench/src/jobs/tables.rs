@@ -4,6 +4,7 @@
 use alf_baselines::api::{apply_keep_ratios, chained_cost};
 use alf_baselines::sensitivity::layer_sensitivity;
 use alf_baselines::{lcnn, AmcAgent, AmcConfig};
+use alf_core::deploy::{Pipeline, QuantSpec};
 use alf_core::models::geometry;
 use alf_core::train::AlfTrainer;
 use alf_core::{ConvShape, NetworkCost, Result};
@@ -463,6 +464,79 @@ pub fn headline(ctx: &JobCtx<'_>) -> Result<JobResult> {
     out.note(format!(
         "arena high water: {:.2} MB",
         profile.ws_high_water_bytes as f64 / 1e6
+    ));
+
+    // Int8 deployment of the shared ALF Plain-20: measured per-layer
+    // speedup of the fused int8 engine over the f32 deployment, next to
+    // the hardware model's 16-bit → 8-bit Eyeriss prediction (same
+    // geometry caveat as above — compare shapes, not absolute scales).
+    let alf_p20 = ctx.store.baseline(BaselineKind::AlfPlain20)?;
+    let mut f32_deploy = Pipeline::new().run(&alf_p20.model)?.model;
+    let mut prof_ctx = RunCtx::eval().with_profiler();
+    f32_deploy.forward(&images, &mut prof_ctx)?;
+    let f32_profile = prof_ctx.report().expect("profiler was attached");
+    let lowered = Pipeline::new()
+        .fold_bn(true)
+        .quantize(QuantSpec::int8(images.clone()))
+        .run(&alf_p20.model)?;
+    let mut qm = lowered.quantized.expect("pipeline ran with quantize");
+    qm.forward(&images)?;
+    let p20_workloads = alf_hwmodel::alf_network(&paper_geometry, &alf_p20.ratios, 16);
+    let hw16 = super::map_hw(NetworkReport::evaluate(&mapper, &p20_workloads))?.merged();
+    let mapper8 = Mapper::new(Accelerator::eyeriss_int8(), Dataflow::RowStationary);
+    let hw8 = super::map_hw(NetworkReport::evaluate(&mapper8, &p20_workloads))?.merged();
+
+    let (mut f32_total_ns, mut int8_total_ns) = (0u64, 0u64);
+    let int8_rows: Vec<Vec<String>> = qm
+        .layer_times_ns()
+        .iter()
+        .map(|(name, int8_ns)| {
+            let f32_ns = f32_profile
+                .layers
+                .iter()
+                .find(|l| &l.name == name)
+                .map(|l| l.fwd_ns);
+            let predicted = match (
+                hw16.layers.iter().find(|r| &r.name == name),
+                hw8.layers.iter().find(|r| &r.name == name),
+            ) {
+                (Some(a), Some(b)) if b.latency_cycles > 0.0 => {
+                    Some(a.latency_cycles / b.latency_cycles)
+                }
+                _ => None,
+            };
+            if let Some(f) = f32_ns {
+                f32_total_ns += f;
+                int8_total_ns += int8_ns;
+            }
+            vec![
+                name.clone(),
+                f32_ns.map_or_else(|| "—".into(), |f| format!("{:.3}", f as f64 / 1e6)),
+                format!("{:.3}", *int8_ns as f64 / 1e6),
+                f32_ns.map_or_else(
+                    || "—".into(),
+                    |f| format!("{:.2}x", f as f64 / (*int8_ns).max(1) as f64),
+                ),
+                predicted.map_or_else(|| "—".into(), |p| format!("{:.2}x", p)),
+            ]
+        })
+        .collect();
+    out.push_table(Table::new(
+        "Per-layer int8: measured speedup over f32 deployment vs Eyeriss 16b→8b prediction \
+         (ALF Plain-20)",
+        &["layer", "f32 ms", "int8 ms", "measured", "predicted"],
+        int8_rows,
+    ));
+    let measured_speedup = f32_total_ns as f64 / (int8_total_ns.max(1)) as f64;
+    let predicted_speedup = hw16.total_latency() / hw8.total_latency().max(1.0);
+    out.metric("int8_measured_speedup", measured_speedup);
+    out.metric("int8_predicted_speedup", predicted_speedup);
+    out.note(format!(
+        "int8 engine: {measured_speedup:.2}x measured over the f32 deployment (conv stack, \
+         batch {}); Eyeriss predicts {predicted_speedup:.2}x at 8-bit words; weight footprint \
+         {} bytes",
+        images.dims()[0],
+        qm.weight_bytes()
     ));
     Ok(out)
 }

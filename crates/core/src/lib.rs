@@ -34,6 +34,7 @@ pub mod explore;
 pub mod metrics;
 pub mod model;
 pub mod models;
+pub mod qmodel;
 pub mod quant;
 pub mod schedule;
 pub mod summary;
@@ -43,6 +44,8 @@ pub use autoencoder::{AeStats, WeightAutoencoder};
 pub use block::{AlfBlock, AlfBlockConfig};
 pub use metrics::{ConvShape, NetworkCost};
 pub use model::{CnnModel, ConvKind};
+pub use qmodel::QuantizedModel;
+pub use quant::{QuantError, QuantReport};
 pub use schedule::PruneSchedule;
 pub use train::{AlfHyper, AlfTrainer, EpochStats, Evaluator, StateSnapshot, TrainReport};
 

@@ -146,11 +146,16 @@ impl Layer for ConvKind {
 }
 
 /// Named conv → BN → (optional) activation unit.
+///
+/// The batch-norm layer is optional: training-form units always carry
+/// one, but BN folding at deploy time (`deploy::Pipeline`) pushes the
+/// normalisation into the conv's weight and bias and removes the layer,
+/// leaving a pure conv(→act) unit.
 #[derive(Debug, Clone)]
 pub struct ConvUnit {
     name: String,
     conv: ConvKind,
-    bn: BatchNorm2d,
+    bn: Option<BatchNorm2d>,
     act: Option<Activation>,
 }
 
@@ -162,7 +167,7 @@ impl ConvUnit {
         Self {
             name: name.into(),
             conv,
-            bn,
+            bn: Some(bn),
             act: act.map(Activation::new),
         }
     }
@@ -182,14 +187,26 @@ impl ConvUnit {
         &mut self.conv
     }
 
-    /// The unit's batch-norm layer.
-    pub fn bn(&self) -> &BatchNorm2d {
-        &self.bn
+    /// The unit's batch-norm layer; `None` once folded away at deploy.
+    pub fn bn(&self) -> Option<&BatchNorm2d> {
+        self.bn.as_ref()
     }
 
-    /// Mutable access to the unit's batch-norm layer.
-    pub fn bn_mut(&mut self) -> &mut BatchNorm2d {
-        &mut self.bn
+    /// Mutable access to the unit's batch-norm layer, when present.
+    pub fn bn_mut(&mut self) -> Option<&mut BatchNorm2d> {
+        self.bn.as_mut()
+    }
+
+    /// Removes and returns the batch-norm layer. The unit then runs
+    /// conv(→act) only; the caller (BN folding in `deploy`) is
+    /// responsible for having absorbed γ/β/μ/σ² into the conv first.
+    pub fn take_bn(&mut self) -> Option<BatchNorm2d> {
+        self.bn.take()
+    }
+
+    /// The trailing activation kind, if the unit has one.
+    pub fn activation(&self) -> Option<ActivationKind> {
+        self.act.as_ref().map(Activation::kind)
     }
 
     /// Silences a set of output channels: zeroes the convolution filters
@@ -212,8 +229,10 @@ impl ConvUnit {
                     *v = 0.0;
                 }
             }
-            self.bn.scale_mut().data_mut()[ch] = 0.0;
-            self.bn.shift_mut().data_mut()[ch] = 0.0;
+            if let Some(bn) = &mut self.bn {
+                bn.scale_mut().data_mut()[ch] = 0.0;
+                bn.shift_mut().data_mut()[ch] = 0.0;
+            }
         }
     }
 }
@@ -225,7 +244,9 @@ impl Layer for ConvUnit {
         let token = ctx.scope_start();
         let run = |this: &mut Self, ctx: &mut RunCtx| -> Result<Tensor> {
             let mut h = this.conv.forward(x, ctx)?;
-            h = this.bn.forward(&h, ctx)?;
+            if let Some(bn) = &mut this.bn {
+                h = bn.forward(&h, ctx)?;
+            }
             if let Some(act) = &mut this.act {
                 h = act.forward(&h, ctx)?;
             }
@@ -243,7 +264,9 @@ impl Layer for ConvUnit {
             if let Some(act) = &mut this.act {
                 g = act.backward(&g, ctx)?;
             }
-            let g = this.bn.backward(&g, ctx)?;
+            if let Some(bn) = &mut this.bn {
+                g = bn.backward(&g, ctx)?;
+            }
             this.conv.backward(&g, ctx)
         };
         let out = run(self, ctx);
@@ -253,22 +276,30 @@ impl Layer for ConvUnit {
 
     fn visit_params(&mut self, v: &mut dyn FnMut(&mut Param)) {
         self.conv.visit_params(v);
-        self.bn.visit_params(v);
+        if let Some(bn) = &mut self.bn {
+            bn.visit_params(v);
+        }
     }
 
     fn visit_params_ref(&self, v: &mut dyn FnMut(&Param)) {
         self.conv.visit_params_ref(v);
-        self.bn.visit_params_ref(v);
+        if let Some(bn) = &self.bn {
+            bn.visit_params_ref(v);
+        }
     }
 
     fn visit_state(&mut self, v: &mut dyn FnMut(&mut Tensor)) {
         self.conv.visit_state(v);
-        self.bn.visit_state(v);
+        if let Some(bn) = &mut self.bn {
+            bn.visit_state(v);
+        }
     }
 
     fn visit_state_ref(&self, v: &mut dyn FnMut(&Tensor)) {
         self.conv.visit_state_ref(v);
-        self.bn.visit_state_ref(v);
+        if let Some(bn) = &self.bn {
+            bn.visit_state_ref(v);
+        }
     }
 }
 
@@ -705,6 +736,24 @@ impl CnnModel {
     /// Renames the model (deployment marks compressed models).
     pub fn set_name(&mut self, name: impl Into<String>) {
         self.name = name.into();
+    }
+
+    /// All conv units in execution order (residual blocks contribute
+    /// `a`, `b`) — parallel to [`CnnModel::conv_shapes`].
+    pub fn conv_units(&self) -> Vec<&ConvUnit> {
+        let mut out = Vec::new();
+        for unit in &self.units {
+            match unit {
+                Unit::Conv(cu) => out.push(cu),
+                Unit::Residual(r) => {
+                    out.push(&r.a);
+                    out.push(&r.b);
+                }
+                Unit::Fire(f) => out.extend(f.conv_units()),
+                _ => {}
+            }
+        }
+        out
     }
 
     /// All conv units in execution order, mutably (residual blocks

@@ -423,7 +423,7 @@ mod tests {
                     .unwrap();
             }
         }
-        let mut deployed = crate::deploy::compress(&model).unwrap();
+        let mut deployed = crate::deploy::Pipeline::new().run(&model).unwrap().model;
         let mut rng = alf_tensor::rng::Rng::new(11);
         let x = Tensor::randn(&[1, 3, 16, 16], alf_tensor::init::Init::Rand, &mut rng);
         let a = model.forward(&x, &mut RunCtx::eval()).unwrap();

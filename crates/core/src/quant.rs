@@ -10,11 +10,62 @@
 //! path, while [`QuantReport::footprint_bytes`] accounts the deployed storage win.
 
 use alf_nn::layer::Layer;
-use alf_tensor::{ShapeError, Tensor};
+use alf_tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
 use crate::model::CnnModel;
-use crate::Result;
+
+/// Typed quantization failure, carrying bit-width / tensor context. The
+/// facade crate surfaces this as `alf::Error::Quant`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QuantError {
+    /// Bit-width outside the supported `[2, 16]` range.
+    BadBits {
+        /// The rejected bit-width.
+        bits: u8,
+    },
+    /// A tensor held a NaN or infinity — fitting a scale to it would
+    /// silently poison every quantized value downstream.
+    NonFinite {
+        /// Shape of the offending tensor.
+        tensor: String,
+        /// Flat index of the first non-finite element.
+        index: usize,
+    },
+    /// A calibration pass produced no usable activation statistics.
+    EmptyCalibration {
+        /// The layer whose activation range came up empty.
+        layer: String,
+    },
+    /// A model form the int8 engine does not support.
+    Unsupported {
+        /// What was encountered and why it cannot be quantized.
+        what: String,
+    },
+}
+
+impl std::fmt::Display for QuantError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QuantError::BadBits { bits } => write!(f, "bit-width {bits} outside [2, 16]"),
+            QuantError::NonFinite { tensor, index } => {
+                write!(
+                    f,
+                    "non-finite value at flat index {index} of tensor {tensor}"
+                )
+            }
+            QuantError::EmptyCalibration { layer } => {
+                write!(
+                    f,
+                    "calibration produced no activation range for layer '{layer}'"
+                )
+            }
+            QuantError::Unsupported { what } => write!(f, "unsupported for int8: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for QuantError {}
 
 /// A symmetric linear quantizer for one tensor.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -30,16 +81,25 @@ impl Quantizer {
     ///
     /// # Errors
     ///
-    /// Returns an error when `bits` is outside `[2, 16]`.
-    pub fn fit(t: &Tensor, bits: u8) -> Result<Self> {
+    /// [`QuantError::BadBits`] when `bits` is outside `[2, 16]`;
+    /// [`QuantError::NonFinite`] when the tensor holds a NaN or infinity
+    /// (a NaN would otherwise propagate through the `max_abs` scan and
+    /// poison the scale silently).
+    pub fn fit(t: &Tensor, bits: u8) -> Result<Self, QuantError> {
         if !(2..=16).contains(&bits) {
-            return Err(ShapeError::new(
-                "quantize",
-                format!("bit-width {bits} outside [2, 16]"),
-            ));
+            return Err(QuantError::BadBits { bits });
         }
         let qmax = ((1i32 << (bits - 1)) - 1) as f32;
-        let max_abs = t.data().iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        let mut max_abs = 0.0f32;
+        for (i, &v) in t.data().iter().enumerate() {
+            if !v.is_finite() {
+                return Err(QuantError::NonFinite {
+                    tensor: t.shape().to_string(),
+                    index: i,
+                });
+            }
+            max_abs = max_abs.max(v.abs());
+        }
         Ok(Self {
             bits,
             scale: if max_abs == 0.0 { 1.0 } else { max_abs / qmax },
@@ -104,7 +164,10 @@ impl QuantReport {
 ///
 /// # Errors
 ///
-/// Returns an error when `bits` is outside `[2, 16]`.
+/// [`QuantError::BadBits`] when `bits` is outside `[2, 16]` (checked
+/// before any tensor is touched); [`QuantError::NonFinite`] when a weight
+/// tensor holds a NaN or infinity — tensors visited before the offender
+/// have already been rewritten in that case.
 ///
 /// # Example
 ///
@@ -112,19 +175,16 @@ impl QuantReport {
 /// use alf_core::models::plain20;
 /// use alf_core::quant;
 ///
-/// # fn main() -> alf_core::Result<()> {
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let mut model = plain20(10, 4)?;
 /// let report = quant::fake_quantize_model(&mut model, 8)?;
 /// assert!(report.footprint_bytes() < report.baseline_footprint_bytes());
 /// # Ok(())
 /// # }
 /// ```
-pub fn fake_quantize_model(model: &mut CnnModel, bits: u8) -> Result<QuantReport> {
+pub fn fake_quantize_model(model: &mut CnnModel, bits: u8) -> Result<QuantReport, QuantError> {
     if !(2..=16).contains(&bits) {
-        return Err(ShapeError::new(
-            "quantize",
-            format!("bit-width {bits} outside [2, 16]"),
-        ));
+        return Err(QuantError::BadBits { bits });
     }
     let mut report = QuantReport {
         bits,
@@ -132,12 +192,19 @@ pub fn fake_quantize_model(model: &mut CnnModel, bits: u8) -> Result<QuantReport
         scalars: 0,
         max_abs_error: 0.0,
     };
+    let mut failure: Option<QuantError> = None;
     model.visit_params(&mut |p| {
         let t = &mut p.value;
-        if t.shape().rank() < 2 {
+        if t.shape().rank() < 2 || failure.is_some() {
             return;
         }
-        let q = Quantizer::fit(t, bits).expect("bits validated above");
+        let q = match Quantizer::fit(t, bits) {
+            Ok(q) => q,
+            Err(e) => {
+                failure = Some(e);
+                return;
+            }
+        };
         report.tensors += 1;
         report.scalars += t.len() as u64;
         for v in t.data_mut() {
@@ -146,7 +213,10 @@ pub fn fake_quantize_model(model: &mut CnnModel, bits: u8) -> Result<QuantReport
             *v = rounded;
         }
     });
-    Ok(report)
+    match failure {
+        Some(e) => Err(e),
+        None => Ok(report),
+    }
 }
 
 #[cfg(test)]
@@ -206,10 +276,39 @@ mod tests {
     #[test]
     fn rejects_bad_bit_widths() {
         let t = Tensor::ones(&[1]);
-        assert!(Quantizer::fit(&t, 1).is_err());
-        assert!(Quantizer::fit(&t, 17).is_err());
+        assert_eq!(Quantizer::fit(&t, 1), Err(QuantError::BadBits { bits: 1 }));
+        assert_eq!(
+            Quantizer::fit(&t, 17),
+            Err(QuantError::BadBits { bits: 17 })
+        );
         let mut model = plain20(4, 4).unwrap();
-        assert!(fake_quantize_model(&mut model, 1).is_err());
+        assert_eq!(
+            fake_quantize_model(&mut model, 1),
+            Err(QuantError::BadBits { bits: 1 })
+        );
+    }
+
+    #[test]
+    fn non_finite_values_are_a_typed_error_not_a_poisoned_scale() {
+        // A NaN used to slide through the max_abs fold (f32::max keeps the
+        // accumulator's NaN) and emerge as a silently-NaN scale.
+        for bad in [f32::NAN, f32::INFINITY, f32::NEG_INFINITY] {
+            let t = Tensor::from_vec(vec![1.0, bad, 2.0], &[3]).unwrap();
+            match Quantizer::fit(&t, 8) {
+                Err(QuantError::NonFinite { index, .. }) => assert_eq!(index, 1),
+                other => panic!("expected NonFinite, got {other:?}"),
+            }
+        }
+        let mut model = plain20(4, 4).unwrap();
+        model.visit_params(&mut |p| {
+            if p.value.shape().rank() >= 2 {
+                p.value.data_mut()[0] = f32::NAN;
+            }
+        });
+        assert!(matches!(
+            fake_quantize_model(&mut model, 8),
+            Err(QuantError::NonFinite { .. })
+        ));
     }
 
     #[test]

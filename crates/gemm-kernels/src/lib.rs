@@ -119,6 +119,61 @@ pub fn microkernel_into_clipped(
     }
 }
 
+/// Int8 companion of [`microkernel_into`]: multiplies one packed `A`
+/// panel by one packed `B` panel — both holding *exact small-integer
+/// values* in f32 slots, as produced by the i8 packing routines in
+/// `alf-tensor` — and adds the `MR`×`NR` product tile into the i32 `c`,
+/// whose rows are `n` apart. Write-back is clipped to the `rlim`×`clim`
+/// live region, so one definition serves both full tiles (`rlim = MR`,
+/// `clim = NR`; the zero-padded panel tails contribute exact zeroes) and
+/// ragged edge tiles. Panel layouts match the f32 kernel:
+/// `apanel[p*MR + r]` is `A[row0 + r, p]`, `bpanel[p*NR + j]` is
+/// `B[p, col0 + j]`.
+///
+/// # Why the accumulator is f32 (and why that is still exact)
+///
+/// A direct `i8×i8→i32` loop nest forces LLVM into sign-extension
+/// shuffles plus the slow vector i32 multiply and was measured at roughly
+/// half the f32 kernel's throughput. Holding the i8 values in f32 lanes
+/// instead reproduces the f32 kernel's broadcast outer-product lowering
+/// exactly — and loses nothing: every product of two i8 values has
+/// magnitude ≤ 127² = 16129, so a panel of up to `kc = 1040` steps keeps
+/// every partial sum below 2²⁴, where f32 represents every integer
+/// exactly. No rounding can occur, and the i32 write-back (`v as i32`) is
+/// an exact conversion. The blocked driver's `KC = 256` is far inside
+/// that bound; the kernel debug-asserts the panel depth so a future
+/// re-blocking cannot silently break exactness.
+#[inline(never)]
+pub fn microkernel_i8_into(
+    apanel: &[f32],
+    bpanel: &[f32],
+    c: &mut [i32],
+    n: usize,
+    rlim: usize,
+    clim: usize,
+) {
+    // 2²⁴ / 127² = 1040.6: at kc ≤ 1040 every partial sum stays an
+    // exactly representable f32 integer.
+    debug_assert!(
+        apanel.len() <= 1040 * MR,
+        "i8 panel too deep for exact f32 accumulation"
+    );
+    let mut acc = [[0.0f32; NR]; MR];
+    for (ap, bp) in apanel.chunks_exact(MR).zip(bpanel.chunks_exact(NR)) {
+        for (accr, &av) in acc.iter_mut().zip(ap.iter()) {
+            for (o, &bv) in accr.iter_mut().zip(bp.iter()) {
+                *o += av * bv;
+            }
+        }
+    }
+    for (r, accr) in acc.iter().enumerate().take(rlim) {
+        let crow = &mut c[r * n..r * n + clim];
+        for (o, &v) in crow.iter_mut().zip(accr.iter()) {
+            *o += v as i32;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -197,5 +252,80 @@ mod tests {
         let mut c = vec![2.0f32; (MR - 1) * 8 + NR];
         microkernel_into(&[], &[], &mut c, 8);
         assert!(c.iter().all(|&v| v == 2.0));
+    }
+
+    /// i8 values widened into the f32 panel slots the int8 kernel takes.
+    fn i8_panels(kc: usize) -> (Vec<f32>, Vec<f32>) {
+        let apanel: Vec<f32> = (0..kc * MR)
+            .map(|i| f32::from(((i * 37) % 255) as i8))
+            .collect();
+        let bpanel: Vec<f32> = (0..kc * NR)
+            .map(|i| f32::from(((i * 91 + 13) % 255) as i8))
+            .collect();
+        (apanel, bpanel)
+    }
+
+    fn reference_i8_tile(apanel: &[f32], bpanel: &[f32], kc: usize) -> Vec<i32> {
+        let mut tile = vec![0i32; MR * NR];
+        for p in 0..kc {
+            for r in 0..MR {
+                for j in 0..NR {
+                    tile[r * NR + j] += apanel[p * MR + r] as i32 * bpanel[p * NR + j] as i32;
+                }
+            }
+        }
+        tile
+    }
+
+    #[test]
+    fn i8_full_tile_is_bitwise_exact() {
+        let kc = 41;
+        let (apanel, bpanel) = i8_panels(kc);
+        let n = 11;
+        let mut c = vec![7i32; (MR - 1) * n + NR];
+        microkernel_i8_into(&apanel, &bpanel, &mut c, n, MR, NR);
+        let tile = reference_i8_tile(&apanel, &bpanel, kc);
+        for r in 0..MR {
+            for j in 0..NR {
+                assert_eq!(c[r * n + j], 7 + tile[r * NR + j], "tile ({r},{j})");
+            }
+        }
+        for r in 0..MR - 1 {
+            for j in NR..n {
+                assert_eq!(c[r * n + j], 7, "gap ({r},{j}) clobbered");
+            }
+        }
+    }
+
+    #[test]
+    fn i8_clipped_tile_writes_only_live_region() {
+        let kc = 23;
+        let (apanel, bpanel) = i8_panels(kc);
+        let (n, rlim, clim) = (9, 5, 3);
+        let mut c = vec![-2i32; (rlim - 1) * n + clim];
+        microkernel_i8_into(&apanel, &bpanel, &mut c, n, rlim, clim);
+        let tile = reference_i8_tile(&apanel, &bpanel, kc);
+        for r in 0..rlim {
+            for j in 0..clim {
+                assert_eq!(c[r * n + j], -2 + tile[r * NR + j], "clipped ({r},{j})");
+            }
+        }
+        for r in 0..rlim - 1 {
+            for j in clim..n {
+                assert_eq!(c[r * n + j], -2, "clipped gap ({r},{j}) clobbered");
+            }
+        }
+    }
+
+    #[test]
+    fn i8_extreme_values_do_not_overflow_i32() {
+        // ±127 · ∓127 over a full KC-depth panel drives every partial sum
+        // to its worst case; the kernel must still be exact.
+        let kc = 256;
+        let apanel = vec![127.0f32; kc * MR];
+        let bpanel = vec![-127.0f32; kc * NR];
+        let mut c = vec![0i32; (MR - 1) * NR + NR];
+        microkernel_i8_into(&apanel, &bpanel, &mut c, NR, MR, NR);
+        assert!(c.iter().all(|&v| v == -16129 * kc as i32));
     }
 }

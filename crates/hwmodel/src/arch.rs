@@ -82,6 +82,25 @@ impl Accelerator {
         }
     }
 
+    /// The same Eyeriss silicon reinterpreted for 8-bit words, as the
+    /// int8 deployment path sees it: halving the word width doubles the
+    /// *word* capacity of the register files and the global buffer and
+    /// doubles the words the 64-bit DRAM interface moves per normalised
+    /// cycle. Per-access energies keep the 16-bit normalisation — the
+    /// published relative table does not resolve datatype width, and the
+    /// latency comparison (what the int8 benchmarks validate against) is
+    /// unaffected by that choice.
+    pub fn eyeriss_int8() -> Self {
+        Self {
+            name: "eyeriss-int8".into(),
+            rf_words_per_pe: 440,
+            global_buffer_words: 128 * 1024,
+            word_bytes: 1,
+            dram_words_per_cycle: 8.0,
+            ..Self::eyeriss()
+        }
+    }
+
     /// Total number of processing elements.
     pub fn pe_count(&self) -> usize {
         self.pe_rows * self.pe_cols

@@ -30,7 +30,9 @@ use crate::{NetError, Result};
 /// model itself, and its serving configuration. [`Router::start`]
 /// overwrites [`ServeConfig::name`] with `name` and
 /// [`ServeConfig::workers`] with this router's per-model share of the
-/// worker budget.
+/// worker budget. Numeric precision rides in the serving configuration:
+/// set [`ServeConfig::precision`] to `Precision::Int8(calib)` to serve
+/// this model through the fused int8 engine.
 #[derive(Debug)]
 pub struct ModelSpec {
     /// URL segment (`/v1/models/<name>/…`) and metric prefix

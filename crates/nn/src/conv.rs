@@ -149,6 +149,28 @@ impl Conv2d {
         Ok(())
     }
 
+    /// Read-only view of the per-channel bias, when the layer has one.
+    pub fn bias(&self) -> Option<&Tensor> {
+        self.bias.as_ref().map(|b| &b.value)
+    }
+
+    /// Installs (or replaces) the per-channel bias. BN folding uses this
+    /// to push `β − γ·μ/√(σ²+ε)` into the conv it folds into.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `bias` is `[c_out]`.
+    pub fn set_bias(&mut self, bias: Tensor) -> Result<()> {
+        if bias.dims() != [self.c_out] {
+            return Err(ShapeError::new(
+                "set_bias",
+                format!("bias {} vs c_out {}", bias.shape(), self.c_out),
+            ));
+        }
+        self.bias = Some(Param::new(bias, false));
+        Ok(())
+    }
+
     /// Disables weight decay on the conv weight (the paper's ALF blocks
     /// train `W` without regularisation).
     pub fn without_weight_decay(mut self) -> Self {

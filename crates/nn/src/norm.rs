@@ -99,6 +99,13 @@ impl BatchNorm2d {
         &self.running_var
     }
 
+    /// The numerical-stability epsilon added to the variance. Exposed so
+    /// BN folding (`alf-core::deploy`) reproduces the eval-path
+    /// `1/√(σ²+ε)` exactly.
+    pub fn eps(&self) -> f32 {
+        self.eps
+    }
+
     /// Shrinks the layer to the listed channels, gathering γ/β (values
     /// *and* accumulated gradients) and the running statistics in index
     /// order. Used by ALF block compaction, which reorders surviving code

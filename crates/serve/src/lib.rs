@@ -1,6 +1,6 @@
 //! Batched inference serving for deployed ALF models.
 //!
-//! The paper's deployment story ends with [`alf_core::deploy::compress`]
+//! The paper's deployment story ends with [`alf_core::deploy::Pipeline`]
 //! producing a dense `code conv → 1×1 expansion` network; this crate is
 //! the runtime that actually serves it. A [`Server`] accepts single-image
 //! classification requests on a bounded submission queue, coalesces them
@@ -10,6 +10,13 @@
 //! so after warm-up the per-batch arena traffic is zero — the same
 //! steady-state contract the training hot loop enforces in
 //! `tests/profiling.rs`.
+//!
+//! [`ServeConfig::precision`] selects the numeric engine per model:
+//! [`Precision::F32`] serves the deployed model as-is, while
+//! [`Precision::Int8`] (with a calibration batch) has every replica fold
+//! batch-norm and lower the model to the fused `i8×i8→i32` engine at
+//! start-up — and again after every hot checkpoint swap, reusing the
+//! same calibration.
 //!
 //! ```text
 //! submit() ──► bounded queue ──► micro-batcher ──► worker replicas
@@ -66,7 +73,7 @@ mod server;
 mod stats;
 
 pub use replica::{Prediction, Replica};
-pub use server::{Pending, ServeConfig, Server};
+pub use server::{Pending, Precision, ServeConfig, Server};
 pub use stats::{LatencyHistogram, ServerStats};
 
 use std::fmt;

@@ -9,11 +9,14 @@
 //! per-batch staging allocation either.
 
 use alf_core::checkpoint;
+use alf_core::deploy::{Pipeline, QuantSpec};
 use alf_core::model::CnnModel;
+use alf_core::qmodel::QuantizedModel;
 use alf_nn::layer::Layer;
 use alf_nn::RunCtx;
 use alf_tensor::Tensor;
 
+use crate::server::Precision;
 use crate::{Result, ServeError};
 
 /// One classification answer.
@@ -47,6 +50,11 @@ pub struct Prediction {
 #[derive(Debug)]
 pub struct Replica {
     model: CnnModel,
+    /// The fused int8 engine, when this replica serves
+    /// [`Precision::Int8`]; rebuilt after every checkpoint swap.
+    quant: Option<QuantizedModel>,
+    /// Calibration batch retained for those rebuilds.
+    calib: Option<Tensor>,
     ctx: RunCtx,
     staging: Vec<f32>,
     image_dims: [usize; 3],
@@ -54,34 +62,56 @@ pub struct Replica {
 }
 
 impl Replica {
-    /// Builds a replica serving `[C, H, W]` images, probing the model with
-    /// one zero image to validate the geometry and learn the class count.
+    /// Builds an f32 replica serving `[C, H, W]` images, probing the model
+    /// with one zero image to validate the geometry and learn the class
+    /// count.
     ///
     /// # Errors
     ///
     /// [`ServeError::BadRequest`] when the dimensions are zero, the model
     /// rejects them, or its output is not `[1, classes]` logits.
     pub fn new(model: CnnModel, image_dims: [usize; 3]) -> Result<Self> {
+        Self::with_precision(model, image_dims, &Precision::F32)
+    }
+
+    /// Like [`Replica::new`], but for an explicit numeric form. For
+    /// [`Precision::Int8`] the model is lowered through
+    /// `deploy::Pipeline` (BN folding + int8 quantization calibrated on
+    /// the carried batch) and batches run on the fused int8 engine; the
+    /// f32 model is kept for checkpoint swaps.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadRequest`] additionally when the int8 lowering
+    /// rejects the model (unsupported form, bad calibration batch).
+    pub fn with_precision(
+        model: CnnModel,
+        image_dims: [usize; 3],
+        precision: &Precision,
+    ) -> Result<Self> {
         let [c, h, w] = image_dims;
         if c == 0 || h == 0 || w == 0 {
             return Err(ServeError::BadRequest(format!(
                 "image dims must be non-zero, got {image_dims:?}"
             )));
         }
+        let (quant, calib) = match precision {
+            Precision::F32 => (None, None),
+            Precision::Int8(calib) => (Some(Self::lower_int8(&model, calib)?), Some(calib.clone())),
+        };
         let mut replica = Self {
             model,
+            quant,
+            calib,
             ctx: RunCtx::eval(),
             staging: Vec::new(),
             image_dims,
             classes: 0,
         };
         let probe = Tensor::zeros(&[1, c, h, w]);
-        let logits = replica
-            .model
-            .forward(&probe, &mut replica.ctx)
-            .map_err(|e| {
-                ServeError::BadRequest(format!("model rejects [1, {c}, {h}, {w}] inputs: {e}"))
-            })?;
+        let logits = replica.forward(&probe).map_err(|e| {
+            ServeError::BadRequest(format!("model rejects [1, {c}, {h}, {w}] inputs: {e}"))
+        })?;
         if logits.dims().len() != 2 || logits.dims()[0] != 1 || logits.dims()[1] == 0 {
             return Err(ServeError::BadRequest(format!(
                 "model produced {:?} for a single image; expected [1, classes] logits",
@@ -90,6 +120,25 @@ impl Replica {
         }
         replica.classes = logits.dims()[1];
         Ok(replica)
+    }
+
+    /// Runs the deploy pipeline that turns the f32 model into the fused
+    /// int8 engine.
+    fn lower_int8(model: &CnnModel, calib: &Tensor) -> Result<QuantizedModel> {
+        let deployed = Pipeline::new()
+            .fold_bn(true)
+            .quantize(QuantSpec::int8(calib.clone()))
+            .run(model)
+            .map_err(|e| ServeError::BadRequest(format!("int8 lowering failed: {e}")))?;
+        Ok(deployed.quantized.expect("quantize(..) produces an engine"))
+    }
+
+    /// One batched forward through whichever engine this replica runs.
+    fn forward(&mut self, batch: &Tensor) -> alf_core::Result<Tensor> {
+        match &mut self.quant {
+            Some(q) => q.forward(batch),
+            None => self.model.forward(batch, &mut self.ctx),
+        }
     }
 
     /// The `[C, H, W]` geometry this replica serves.
@@ -102,9 +151,14 @@ impl Replica {
         self.classes
     }
 
-    /// The served model.
+    /// The served model (the f32 form, even for int8 replicas).
     pub fn model(&self) -> &CnnModel {
         &self.model
+    }
+
+    /// Whether batches run on the fused int8 engine.
+    pub fn is_int8(&self) -> bool {
+        self.quant.is_some()
     }
 
     /// The replica's execution context (arena + profiler).
@@ -130,8 +184,7 @@ impl Replica {
         let [c, h, w] = self.image_dims;
         for b in [max_batch.max(1), 1] {
             let x = Tensor::zeros(&[b, c, h, w]);
-            self.model
-                .forward(&x, &mut self.ctx)
+            self.forward(&x)
                 .map_err(|e| ServeError::Internal(format!("prewarm forward failed: {e}")))?;
         }
         Ok(())
@@ -165,7 +218,7 @@ impl Replica {
         }
         let batch = Tensor::from_vec(staged, &[images.len(), c, h, w])
             .map_err(|e| ServeError::Internal(e.to_string()))?;
-        let logits = match self.model.forward(&batch, &mut self.ctx) {
+        let logits = match self.forward(&batch) {
             Ok(l) => l,
             Err(e) => {
                 self.staging = batch.into_vec();
@@ -205,10 +258,20 @@ impl Replica {
     /// # Errors
     ///
     /// [`ServeError::BadCheckpoint`] when the blob is malformed or its
-    /// state structure mismatches the model (the model is left untouched).
+    /// state structure mismatches the model (the model is left untouched),
+    /// or when the swapped weights cannot be re-lowered to int8.
     pub fn load_checkpoint(&mut self, blob: &[u8]) -> Result<()> {
         checkpoint::load(&mut self.model, blob)
-            .map_err(|e| ServeError::BadCheckpoint(e.to_string()))
+            .map_err(|e| ServeError::BadCheckpoint(e.to_string()))?;
+        if let Some(calib) = &self.calib {
+            // Int8 replicas re-run the lowering so the served engine
+            // tracks the new weights.
+            self.quant = Some(
+                Self::lower_int8(&self.model, calib)
+                    .map_err(|e| ServeError::BadCheckpoint(e.to_string()))?,
+            );
+        }
+        Ok(())
     }
 }
 
@@ -273,6 +336,52 @@ mod tests {
         }
         r.ctx_mut().ws.thaw();
         assert_eq!(r.ctx().ws.alloc_events(), events);
+    }
+
+    fn int8_replica() -> Replica {
+        let mut rng = alf_tensor::rng::Rng::new(3);
+        let calib = Tensor::randn(&[4, 3, 12, 12], alf_tensor::init::Init::Rand, &mut rng);
+        Replica::with_precision(plain20(4, 4).unwrap(), [3, 12, 12], &Precision::Int8(calib))
+            .unwrap()
+    }
+
+    #[test]
+    fn int8_replica_serves_and_mostly_agrees_with_f32() {
+        let mut q = int8_replica();
+        assert!(q.is_int8());
+        assert_eq!(q.classes(), 4);
+        let mut f = replica();
+        let mut rng = alf_tensor::rng::Rng::new(4);
+        let imgs: Vec<Tensor> = (0..16)
+            .map(|_| Tensor::randn(&[3, 12, 12], alf_tensor::init::Init::Rand, &mut rng))
+            .collect();
+        let refs: Vec<&Tensor> = imgs.iter().collect();
+        let qp = q.run_batch(&refs).unwrap();
+        let fp = f.run_batch(&refs).unwrap();
+        let agree = qp
+            .iter()
+            .zip(&fp)
+            .filter(|(a, b)| a.class == b.class)
+            .count();
+        assert!(agree * 10 >= refs.len() * 9, "{agree}/{}", refs.len());
+    }
+
+    #[test]
+    fn int8_replica_rebuilds_engine_on_checkpoint_swap() {
+        let mut r = int8_replica();
+        let img = Tensor::from_fn(&[3, 12, 12], |i| (i % 11) as f32 * 0.05);
+        let before = r.run_batch(&[&img]).unwrap().remove(0);
+        let mut other = plain20(4, 4).unwrap();
+        other.visit_params(&mut |p| {
+            for v in p.value.data_mut() {
+                *v += 0.05;
+            }
+        });
+        let blob = alf_core::checkpoint::save(&other);
+        r.load_checkpoint(&blob).unwrap();
+        assert!(r.is_int8());
+        let after = r.run_batch(&[&img]).unwrap().remove(0);
+        assert_ne!(before.logits, after.logits);
     }
 
     #[test]

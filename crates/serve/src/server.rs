@@ -34,8 +34,25 @@ use crate::replica::{Prediction, Replica};
 use crate::stats::{LatencyHistogram, ServerStats};
 use crate::{Result, ServeError};
 
+/// Numeric form the worker replicas execute.
+///
+/// `F32` serves the model exactly as handed to [`Server::start`]. `Int8`
+/// lowers it through `alf_core::deploy::Pipeline` first — batch-norm
+/// folding, then symmetric int8 quantization with activation scales
+/// calibrated on the carried `NCHW` batch — and serves the fused int8
+/// engine. The f32 model is kept alongside for checkpoint validation; a
+/// hot swap re-runs the lowering against the same calibration batch.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Precision {
+    /// Full-precision f32 execution (the default).
+    #[default]
+    F32,
+    /// Fused int8 execution, calibrated on the carried `NCHW` batch.
+    Int8(Tensor),
+}
+
 /// Serving configuration.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServeConfig {
     /// Worker threads, each owning one model replica.
     pub workers: usize,
@@ -61,6 +78,8 @@ pub struct ServeConfig {
     /// [`MetricsRegistry`] (multi-model routing) without their counters
     /// and histograms colliding. Restricted to `[A-Za-z0-9_.-]`.
     pub name: String,
+    /// Numeric form the replicas execute ([`Precision::F32`] by default).
+    pub precision: Precision,
 }
 
 impl ServeConfig {
@@ -78,6 +97,7 @@ impl ServeConfig {
             width,
             prewarm: true,
             name: String::new(),
+            precision: Precision::F32,
         }
     }
 
@@ -111,6 +131,11 @@ impl ServeConfig {
             .all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '.' | '-'))
         {
             return bad("name must contain only [A-Za-z0-9_.-]");
+        }
+        if let Precision::Int8(calib) = &self.precision {
+            if calib.dims().len() != 4 || calib.dims()[0] == 0 {
+                return bad("int8 calibration batch must be a non-empty NCHW tensor");
+            }
         }
         Ok(())
     }
@@ -265,7 +290,7 @@ impl Server {
         let dims = [cfg.channels, cfg.height, cfg.width];
         let mut replicas = Vec::with_capacity(cfg.workers);
         for _ in 0..cfg.workers {
-            let mut replica = Replica::new(model.clone(), dims)?;
+            let mut replica = Replica::with_precision(model.clone(), dims, &cfg.precision)?;
             if cfg.prewarm {
                 replica.prewarm(cfg.max_batch)?;
             }

@@ -17,6 +17,9 @@
 //! * [`matmul`] / [`matmul_at`] / [`matmul_bt`] / [`matmul_sparse_lhs`] /
 //!   [`matmul_active_rows`] are the tensor-level conveniences, drawing
 //!   scratch from a thread-local workspace.
+//! * [`qgemm`] is the int8 sibling: [`gemm_i8_into`] runs `i8×i8→i32`
+//!   products with the same panel-packing structure for the quantized
+//!   deployment path, and [`im2col_i8_into`] feeds it.
 //! * [`reference`] preserves the seed's naive kernels for differential
 //!   tests and as the benchmark baseline.
 //! * [`im2col_into`] / [`col2im_into`] write into caller-owned buffers so
@@ -26,6 +29,7 @@ mod channels;
 mod conv;
 pub mod gemm;
 mod matmul;
+pub mod qgemm;
 pub mod reference;
 mod workspace;
 
@@ -39,4 +43,5 @@ pub use matmul::{
     matmul, matmul_active_rows, matmul_at, matmul_at_ws, matmul_bt, matmul_bt_ws,
     matmul_sparse_lhs, matmul_ws,
 };
+pub use qgemm::{gemm_i8_into, im2col_i8_into};
 pub use workspace::{with_thread_workspace, Workspace};

@@ -43,6 +43,8 @@ use std::cell::RefCell;
 pub struct Workspace {
     slots: Vec<Slot>,
     idx_slots: Vec<IdxSlot>,
+    i8_slots: Vec<I8Slot>,
+    i32_slots: Vec<I32Slot>,
     alloc_events: u64,
     frozen: bool,
 }
@@ -61,6 +63,20 @@ struct Slot {
 struct IdxSlot {
     name: &'static str,
     buf: Vec<usize>,
+    cap: usize,
+}
+
+#[derive(Debug)]
+struct I8Slot {
+    name: &'static str,
+    buf: Vec<i8>,
+    cap: usize,
+}
+
+#[derive(Debug)]
+struct I32Slot {
+    name: &'static str,
+    buf: Vec<i32>,
     cap: usize,
 }
 
@@ -162,6 +178,91 @@ impl Workspace {
         }
     }
 
+    /// Takes the named i8 buffer out of the arena, resized to `len`
+    /// elements; contents semantics and allocation accounting match
+    /// [`Workspace::take`]. Used by the int8 inference path for quantized
+    /// im2col matrices and GEMM packing panels.
+    pub fn take_i8(&mut self, name: &'static str, len: usize) -> Vec<i8> {
+        let idx = match self.i8_slots.iter().position(|s| s.name == name) {
+            Some(i) => i,
+            None => {
+                self.note_alloc(name, len);
+                self.i8_slots.push(I8Slot {
+                    name,
+                    buf: Vec::with_capacity(len),
+                    cap: 0,
+                });
+                self.i8_slots.len() - 1
+            }
+        };
+        let mut buf = std::mem::take(&mut self.i8_slots[idx].buf);
+        if buf.capacity() < len {
+            self.note_grow(name, buf.capacity(), len);
+            buf.reserve(len - buf.len());
+        }
+        buf.resize(len, 0);
+        self.i8_slots[idx].cap = self.i8_slots[idx].cap.max(buf.capacity());
+        buf
+    }
+
+    /// Returns an i8 buffer to the arena; adoption semantics match
+    /// [`Workspace::give`].
+    pub fn give_i8(&mut self, name: &'static str, buf: Vec<i8>) {
+        match self.i8_slots.iter_mut().find(|s| s.name == name) {
+            Some(slot) => {
+                slot.cap = slot.cap.max(buf.capacity());
+                slot.buf = buf;
+            }
+            None => {
+                self.note_alloc(name, buf.capacity());
+                let cap = buf.capacity();
+                self.i8_slots.push(I8Slot { name, buf, cap });
+            }
+        }
+    }
+
+    /// Takes the named i32 buffer out of the arena, resized to `len`
+    /// elements; contents semantics and allocation accounting match
+    /// [`Workspace::take`]. Used for the int8 GEMM's i32 accumulators.
+    pub fn take_i32(&mut self, name: &'static str, len: usize) -> Vec<i32> {
+        let idx = match self.i32_slots.iter().position(|s| s.name == name) {
+            Some(i) => i,
+            None => {
+                self.note_alloc(name, len);
+                self.i32_slots.push(I32Slot {
+                    name,
+                    buf: Vec::with_capacity(len),
+                    cap: 0,
+                });
+                self.i32_slots.len() - 1
+            }
+        };
+        let mut buf = std::mem::take(&mut self.i32_slots[idx].buf);
+        if buf.capacity() < len {
+            self.note_grow(name, buf.capacity(), len);
+            buf.reserve(len - buf.len());
+        }
+        buf.resize(len, 0);
+        self.i32_slots[idx].cap = self.i32_slots[idx].cap.max(buf.capacity());
+        buf
+    }
+
+    /// Returns an i32 buffer to the arena; adoption semantics match
+    /// [`Workspace::give`].
+    pub fn give_i32(&mut self, name: &'static str, buf: Vec<i32>) {
+        match self.i32_slots.iter_mut().find(|s| s.name == name) {
+            Some(slot) => {
+                slot.cap = slot.cap.max(buf.capacity());
+                slot.buf = buf;
+            }
+            None => {
+                self.note_alloc(name, buf.capacity());
+                let cap = buf.capacity();
+                self.i32_slots.push(I32Slot { name, buf, cap });
+            }
+        }
+    }
+
     /// Number of allocation events (slot creations + capacity growths)
     /// since construction.
     pub fn alloc_events(&self) -> u64 {
@@ -176,7 +277,12 @@ impl Workspace {
     pub fn high_water_bytes(&self) -> usize {
         let f32s: usize = self.slots.iter().map(|s| s.cap).sum();
         let idxs: usize = self.idx_slots.iter().map(|s| s.cap).sum();
-        f32s * std::mem::size_of::<f32>() + idxs * std::mem::size_of::<usize>()
+        let i8s: usize = self.i8_slots.iter().map(|s| s.cap).sum();
+        let i32s: usize = self.i32_slots.iter().map(|s| s.cap).sum();
+        f32s * std::mem::size_of::<f32>()
+            + idxs * std::mem::size_of::<usize>()
+            + i8s
+            + i32s * std::mem::size_of::<i32>()
     }
 
     /// Marks the workspace as warmed up: any further buffer growth trips
@@ -347,6 +453,26 @@ mod tests {
         let r = ws.take_idx("rows", 8);
         ws.give_idx("rows", r);
         assert!(ws.high_water_bytes() >= 100 * 4 + 8 * std::mem::size_of::<usize>());
+    }
+
+    #[test]
+    fn i8_and_i32_slots_reuse_capacity() {
+        let mut ws = Workspace::new();
+        let mut q = ws.take_i8("q", 64);
+        q[0] = -5;
+        ws.give_i8("q", q);
+        let a = ws.take_i32("acc", 32);
+        ws.give_i32("acc", a);
+        let events = ws.alloc_events();
+        ws.freeze();
+        let q = ws.take_i8("q", 64);
+        assert_eq!(q[0], -5, "contents preserved up to common length");
+        ws.give_i8("q", q);
+        let a = ws.take_i32("acc", 32);
+        ws.give_i32("acc", a);
+        assert_eq!(ws.alloc_events(), events);
+        ws.thaw();
+        assert!(ws.high_water_bytes() >= 64 + 32 * 4);
     }
 
     #[test]

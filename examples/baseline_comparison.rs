@@ -139,7 +139,7 @@ fn main() -> alf::Result<()> {
     let mut alf_trainer = AlfTrainer::new(plain20_alf(4, 8, block, 6)?, hyper, 6)?;
     alf_trainer.run(&data, 16)?;
     let alf = alf_trainer.into_model();
-    let deployed = deploy::compress(&alf)?;
+    let deployed = deploy::Pipeline::new().run(&alf)?.model;
     let cost = deploy::cost(&deployed, 16, 16);
     rows.push((
         "alf (automatic)".into(),

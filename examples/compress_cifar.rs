@@ -51,7 +51,7 @@ fn main() -> alf::Result<()> {
     let alf = alf_trainer.into_model();
 
     // Deploy and verify exact functional equivalence.
-    let mut deployed = deploy::compress(&alf)?;
+    let mut deployed = deploy::Pipeline::new().run(&alf)?.model;
     let mut alf_eval = alf.clone();
     let probe = Tensor::randn(&[4, 3, 16, 16], Init::Rand, &mut Rng::new(9));
     let mut ctx = RunCtx::eval();

@@ -56,7 +56,7 @@ fn main() -> alf::Result<()> {
     // 4. Deployment: strip the zero code filters (and the matching
     //    expansion channels) into a dense compressed model.
     let trained = trainer.into_model();
-    let deployed = deploy::compress(&trained)?;
+    let deployed = deploy::Pipeline::new().run(&trained)?.model;
     let vanilla_cost = NetworkCost::of_layers(&trained.conv_shapes(16, 16));
     let deployed_cost = deploy::cost(&deployed, 16, 16);
     let (dp, dm) = deployed_cost.reduction_vs(&vanilla_cost);

@@ -10,13 +10,22 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
-# The serving benchmark gates that deploy::compress improves serving
-# throughput and that the server neither deadlocks nor panics under
-# open-loop load — in process and again end to end over real TCP
-# connections (the socket section of BENCH_serve.json); the timeout turns
-# a hang into a hard failure.
-echo "==> serve_bench --smoke (includes socket-mode gate)"
+# The serving benchmark gates that the deploy::Pipeline compressed form
+# improves serving throughput, that the fused int8 deployment beats the
+# f32 compressed path while agreeing with it on >=99% of predictions,
+# and that the server neither deadlocks nor panics under open-loop load
+# — in process and again end to end over real TCP connections (the
+# socket section of BENCH_serve.json); the timeout turns a hang into a
+# hard failure.
+echo "==> serve_bench --smoke (includes socket-mode + int8 gates)"
 timeout 300 cargo run --release -q -p alf-bench --bin serve_bench -- --smoke
+
+# The int8 serving integration test drives Precision::Int8 through the
+# public Server API: every request must come back with a valid class and
+# the int8 predictions must track the f32 deployment's.
+echo "==> int8 serving smoke (release)"
+timeout 300 cargo test --release -q --test serving \
+  int8_precision_serves_and_tracks_the_f32_deployment
 
 # The socket smoke test drives the network front end over an ephemeral
 # port: concurrent keep-alive clients, one hot checkpoint swap over the
@@ -156,6 +165,36 @@ active_rows_defs=$(grep -rn "pub struct ActiveRows" crates src --include='*.rs' 
 if [ "$active_rows_defs" -ne 1 ]; then
   grep -rn "pub struct ActiveRows" crates src --include='*.rs' || true
   echo "FAIL: expected exactly 1 ActiveRows definition, found $active_rows_defs"
+  exit 1
+fi
+
+# The fused i8×i8→i32 micro-kernel is defined in exactly one place
+# (alf_gemm_kernels::microkernel_i8_into). A second definition means a
+# consumer regrew its own quantized inner loop that can drift from the
+# exactness contract (f32 accumulation, KC·127² < 2²⁴).
+echo "==> single i8 micro-kernel definition"
+i8_kernel_defs=$(grep -rn "pub fn microkernel_i8_into" crates src --include='*.rs' | wc -l)
+if [ "$i8_kernel_defs" -ne 1 ]; then
+  grep -rn "pub fn microkernel_i8_into" crates src --include='*.rs' || true
+  echo "FAIL: expected exactly 1 i8 micro-kernel definition, found $i8_kernel_defs"
+  exit 1
+fi
+
+# Deployment flows through deploy::Pipeline; the deprecated
+# deploy::compress wrapper exists only for source compatibility. Any
+# direct call site outside its own defining module means a consumer
+# bypassed the Pipeline API (and with it fold/quantize provenance).
+echo "==> no deploy::compress call sites outside the deprecated wrapper"
+# (both greps exit 1 in the passing case — no match at all, or every
+# match filtered — so shield the pipeline from `pipefail`.)
+compress_calls=$(
+  { grep -rn "deploy::compress(" crates src --include='*.rs' || true; } \
+    | { grep -v "crates/core/src/deploy.rs" || true; } | wc -l
+)
+if [ "$compress_calls" -ne 0 ]; then
+  grep -rn "deploy::compress(" crates src --include='*.rs' \
+    | grep -v "crates/core/src/deploy.rs" || true
+  echo "FAIL: expected 0 deploy::compress call sites, found $compress_calls"
   exit 1
 fi
 

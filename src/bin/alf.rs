@@ -192,7 +192,10 @@ fn cmd_eval(args: &Args) -> Result<(), String> {
 fn cmd_deploy(args: &Args) -> Result<(), String> {
     let data = build_data(args)?;
     let model = load_ckpt(args, &data)?;
-    let deployed = deploy::compress(&model).map_err(|e| e.to_string())?;
+    let deployed = deploy::Pipeline::new()
+        .run(&model)
+        .map_err(|e| e.to_string())?
+        .model;
     let [_, h, w] = data.image_dims();
     let dense = NetworkCost::of_layers(&model.conv_shapes(h, w));
     let compressed = deploy::cost(&deployed, h, w);

@@ -38,6 +38,10 @@ pub enum Error {
     /// operation name is `"checkpoint"`; split out so callers can
     /// distinguish "bad saved state" from "bad model arithmetic".
     Checkpoint(alf_tensor::ShapeError),
+    /// Quantization failed — bad bit-width, a non-finite tensor value,
+    /// an empty calibration batch, or a model form the int8 engine does
+    /// not support. Carries the bit-width/tensor context of the origin.
+    Quant(alf_core::quant::QuantError),
     /// The serving engine rejected or failed a request.
     Serve(alf_serve::ServeError),
     /// The network front end failed to start or bind.
@@ -57,6 +61,7 @@ impl fmt::Display for Error {
         match self {
             Error::Shape(e) => e.fmt(f),
             Error::Checkpoint(e) => write!(f, "checkpoint: {}", e.detail()),
+            Error::Quant(e) => write!(f, "quantize: {e}"),
             Error::Serve(e) => e.fmt(f),
             Error::Net(e) => e.fmt(f),
             Error::DecodeDataset(e) => e.fmt(f),
@@ -70,6 +75,7 @@ impl std::error::Error for Error {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             Error::Shape(e) | Error::Checkpoint(e) => Some(e),
+            Error::Quant(e) => Some(e),
             Error::Serve(e) => Some(e),
             Error::Net(e) => Some(e),
             Error::DecodeDataset(e) => Some(e),
@@ -89,6 +95,24 @@ impl From<alf_tensor::ShapeError> for Error {
             Error::Checkpoint(e)
         } else {
             Error::Shape(e)
+        }
+    }
+}
+
+impl From<alf_core::quant::QuantError> for Error {
+    fn from(e: alf_core::quant::QuantError) -> Self {
+        Error::Quant(e)
+    }
+}
+
+impl From<alf_core::deploy::DeployError> for Error {
+    /// Splits a deployment failure back into its origin: structural
+    /// problems land in [`Error::Shape`], quantization problems keep
+    /// their context in [`Error::Quant`].
+    fn from(e: alf_core::deploy::DeployError) -> Self {
+        match e {
+            alf_core::deploy::DeployError::Shape(s) => s.into(),
+            alf_core::deploy::DeployError::Quant(q) => Error::Quant(q),
         }
     }
 }
@@ -154,6 +178,26 @@ mod tests {
         let e: Error = alf_net::NetError::BadConfig("no models".to_string()).into();
         assert!(matches!(e, Error::Net(_)));
         assert!(e.to_string().contains("no models"));
+    }
+
+    #[test]
+    fn quant_error_converts_with_context() {
+        let e: Error = alf_core::quant::QuantError::BadBits { bits: 1 }.into();
+        assert!(matches!(
+            e,
+            Error::Quant(alf_core::quant::QuantError::BadBits { bits: 1 })
+        ));
+        assert!(e.to_string().contains("bit-width 1"));
+        let d: Error =
+            alf_core::deploy::DeployError::Quant(alf_core::quant::QuantError::EmptyCalibration {
+                layer: "input".into(),
+            })
+            .into();
+        assert!(matches!(d, Error::Quant(_)));
+        let s: Error =
+            alf_core::deploy::DeployError::Shape(alf_tensor::ShapeError::new("deploy", "bad"))
+                .into();
+        assert!(matches!(s, Error::Shape(_)));
     }
 
     #[test]

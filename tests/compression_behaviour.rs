@@ -129,7 +129,10 @@ fn alf_needs_no_pretrained_model_unlike_the_baselines() {
     let mut trainer = AlfTrainer::new(model, hyper, 3).expect("trainer");
     let report = trainer.run(&d, 10).expect("training");
     assert!(report.final_accuracy() > 0.3, "{}", report.final_accuracy());
-    let deployed = deploy::compress(trainer.model()).expect("deploy");
+    let deployed = deploy::Pipeline::new()
+        .run(trainer.model())
+        .expect("deploy")
+        .model;
     assert!(deploy::cost(&deployed, 12, 12).params > 0);
 }
 
@@ -169,8 +172,8 @@ fn deployment_is_idempotent() {
                 .expect("ae step");
         }
     }
-    let once = deploy::compress(&model).expect("deploy");
-    let mut twice = deploy::compress(&once).expect("deploy");
+    let once = deploy::Pipeline::new().run(&model).expect("deploy").model;
+    let mut twice = deploy::Pipeline::new().run(&once).expect("deploy").model;
     let mut once_m = once.clone();
     use alf::nn::{Layer, RunCtx};
     let x = Tensor::randn(

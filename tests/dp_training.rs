@@ -68,7 +68,7 @@ fn dp_train_checkpoint_resume_deploy_round_trip() {
             block.autoencoder_mut().set_mask_value(j, 0.0);
         }
     }
-    let mut deployed = deploy::compress(&trained).unwrap();
+    let mut deployed = deploy::Pipeline::new().run(&trained).unwrap().model;
     let (x, _) = data.gather(alf::data::Split::Test, &[0, 1, 2, 3]).unwrap();
     let mut ctx = RunCtx::new(Mode::Eval);
     let full = trained.forward(&x, &mut ctx).unwrap();

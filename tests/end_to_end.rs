@@ -59,7 +59,7 @@ fn full_pipeline_train_prune_deploy_map() {
     );
 
     // Deployment must preserve the function exactly.
-    let mut deployed = deploy::compress(&trained).expect("deploy");
+    let mut deployed = deploy::Pipeline::new().run(&trained).expect("deploy").model;
     let mut original = trained.clone();
     let probe = Tensor::randn(&[2, 3, 12, 12], Init::Rand, &mut Rng::new(3));
     let a = original
@@ -131,7 +131,7 @@ fn residual_alf_pipeline_deploys() {
     let mut trainer = AlfTrainer::new(model, quick_hyper(), 7).expect("trainer");
     trainer.run(&data, 6).expect("training");
     let trained = trainer.into_model();
-    let deployed = deploy::compress(&trained).expect("deploy");
+    let deployed = deploy::Pipeline::new().run(&trained).expect("deploy").model;
     let vanilla_cost = NetworkCost::of_layers(&trained.conv_shapes(12, 12));
     let deployed_cost = deploy::cost(&deployed, 12, 12);
     // Deployed cost is bounded by (and with pruning below) the ALF-block

@@ -349,3 +349,67 @@ fn blocked_gemm_handles_empty_dims() {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // ---- deployment: BN folding ------------------------------------------
+
+    /// Folding batch-norm into conv weights at deploy time must be
+    /// numerically equivalent to running the BN layers in f32, for any
+    /// random conv→BN→ReLU stack — depth, widths, input size and all
+    /// parameters drawn at random, with running statistics populated by
+    /// genuine train-mode forwards.
+    #[test]
+    fn bn_folding_matches_unfolded_pipeline(seed in 0u64..500, depth in 1usize..4,
+                                            widths in proptest::collection::vec(2usize..6, 3),
+                                            side in 6usize..10) {
+        use alf::core::deploy::Pipeline;
+        use alf::core::model::{CnnModel, ConvKind, ConvUnit, Unit};
+        use alf::nn::conv::Conv2d;
+        use alf::nn::linear::Linear;
+        use alf::nn::pool::GlobalAvgPool;
+        use alf::nn::{Layer, RunCtx};
+
+        let mut rng = Rng::new(seed);
+        let mut units = Vec::new();
+        let mut c_in = 3usize;
+        for d in 0..depth {
+            let c_out = widths[d % widths.len()];
+            units.push(Unit::Conv(ConvUnit::new(
+                format!("conv{d}"),
+                ConvKind::Standard(Conv2d::new(c_in, c_out, 3, 1, 1, true, Init::Rand, &mut rng)),
+                Some(ActivationKind::Relu),
+            )));
+            c_in = c_out;
+        }
+        units.push(Unit::GlobalPool(GlobalAvgPool::new()));
+        units.push(Unit::Classifier(Linear::new(c_in, 4, Init::Rand, &mut rng)));
+        let mut model = CnnModel::from_units("prop-bn", units, 4).unwrap();
+
+        // Move γ/β off their identity init and populate running stats
+        // with train-mode batches, so folding has real work to do.
+        for cu in model.conv_units_mut() {
+            if let Some(bn) = cu.bn_mut() {
+                let c = bn.channels();
+                *bn.scale_mut() = Tensor::randn(&[c], Init::Rand, &mut rng).map(|v| 1.0 + 0.3 * v);
+                *bn.shift_mut() = Tensor::randn(&[c], Init::Rand, &mut rng).scale(0.2);
+            }
+        }
+        let mut train_ctx = RunCtx::train();
+        for _ in 0..3 {
+            let batch = Tensor::randn(&[4, 3, side, side], Init::Rand, &mut rng);
+            model.forward(&batch, &mut train_ctx).unwrap();
+        }
+
+        let mut unfolded = Pipeline::new().run(&model).unwrap().model;
+        let mut folded = Pipeline::new().fold_bn(true).run(&model).unwrap().model;
+        prop_assert!(folded.conv_units().iter().all(|u| u.bn().is_none()));
+
+        let x = Tensor::randn(&[2, 3, side, side], Init::Rand, &mut rng);
+        let y_bn = unfolded.forward(&x, &mut RunCtx::eval()).unwrap();
+        let y_fold = folded.forward(&x, &mut RunCtx::eval()).unwrap();
+        prop_assert!(y_bn.allclose(&y_fold, 1e-4),
+                     "folded output diverges (depth {depth}, side {side})");
+    }
+}

@@ -1,5 +1,5 @@
 //! Integration tests for the `alf-serve` subsystem: the deployment
-//! round-trip (`compress` → `checkpoint::save` → `load` → serve) must be
+//! round-trip (`deploy::Pipeline` → `checkpoint::save` → `load` → serve) must be
 //! bitwise-faithful to the training-form network, and the server must
 //! survive concurrent load with a hot swap and a graceful shutdown
 //! without losing requests or allocating in steady state.
@@ -21,7 +21,7 @@ const CLASSES: usize = 4;
 const IMAGE: usize = 12;
 
 /// A Plain-20 ALF model with 60% of every block's code filters clipped to
-/// exact zero, so `deploy::compress` has structure to strip.
+/// exact zero, so the deployment pipeline has structure to strip.
 fn pruned_model(seed: u64) -> CnnModel {
     let mut model =
         plain20_alf(CLASSES, 4, AlfBlockConfig::paper_default(), seed).expect("build model");
@@ -55,12 +55,18 @@ fn serve_config(workers: usize, max_batch: usize, queue_depth: usize) -> ServeCo
 #[test]
 fn deployment_roundtrip_serves_bitwise_identical_logits() {
     let mut train_form = pruned_model(17);
-    let deployed = deploy::compress(&train_form).expect("compress");
+    let deployed = deploy::Pipeline::new()
+        .run(&train_form)
+        .expect("compress")
+        .model;
     let blob = checkpoint::save(&deployed);
 
     // A *fresh* deployed model, deliberately perturbed so the test can
     // only pass if `checkpoint::load` actually restores the weights.
-    let mut fresh = deploy::compress(&train_form).expect("compress fresh");
+    let mut fresh = deploy::Pipeline::new()
+        .run(&train_form)
+        .expect("compress fresh")
+        .model;
     fresh.visit_params(&mut |p| {
         for v in p.value.data_mut() {
             *v += 0.25;
@@ -220,4 +226,47 @@ fn serving_under_load_loses_nothing_and_stays_allocation_free() {
         Err(e) => panic!("expected ShuttingDown after shutdown, got {e}"),
         Ok(_) => panic!("server accepted a request after shutdown"),
     }
+}
+
+/// `Precision::Int8` through the public server: the int8-lowered replica
+/// answers every request with a valid class, and its predictions track
+/// the f32 deployment's on the overwhelming majority of inputs.
+#[test]
+fn int8_precision_serves_and_tracks_the_f32_deployment() {
+    let train_form = pruned_model(23);
+    let deployed = deploy::Pipeline::new()
+        .run(&train_form)
+        .expect("deploy")
+        .model;
+    let mut rng = Rng::new(11);
+    let calib = Tensor::randn(&[8, 3, IMAGE, IMAGE], Init::Rand, &mut rng);
+    let cfg = ServeConfig {
+        precision: alf::serve::Precision::Int8(calib),
+        ..serve_config(2, 4, 32)
+    };
+    let server = Server::start(&deployed, cfg).expect("start int8 server");
+
+    let mut f32_model = deployed.clone();
+    let mut ctx = RunCtx::eval();
+    let (mut agree, total) = (0usize, 32usize);
+    for _ in 0..total {
+        let img = image(&mut rng);
+        let batched = img.reshape(&[1, 3, IMAGE, IMAGE]).expect("batch of one");
+        let logits = f32_model.forward(&batched, &mut ctx).expect("f32 forward");
+        let f32_class = logits
+            .data()
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap();
+        let prediction = server.submit(img).expect("submit").wait().expect("answer");
+        assert!(prediction.class < CLASSES);
+        agree += usize::from(prediction.class == f32_class);
+    }
+    server.shutdown();
+    assert!(
+        agree * 10 >= total * 9,
+        "int8 agreed with f32 on only {agree}/{total} predictions"
+    );
 }
